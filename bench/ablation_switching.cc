@@ -1,0 +1,66 @@
+// Ablations of ELink's design choices (Sections 3.2 and 5):
+//   * the switch budget c (paper: 3-5, experiments use 4);
+//   * the switch-gain threshold phi (paper: 0.1 delta);
+//   * the literal Fig. 16 switch condition vs the prose's gain rule;
+//   * ordered sentinel scheduling vs the unordered O(sqrt N) variant, whose
+//     "poor clustering quality due to excessive contention" the paper
+//     asserts without measurement.
+#include "bench/bench_util.h"
+#include "data/tao.h"
+#include "data/terrain.h"
+
+using namespace elink;
+using namespace elink::bench;
+
+namespace {
+
+void RunConfig(const SensorDataset& ds, double delta, const char* label,
+               int max_switches, double phi_fraction, bool literal_rule,
+               ElinkMode mode) {
+  ElinkConfig cfg;
+  cfg.delta = delta;
+  cfg.max_switches = max_switches;
+  cfg.phi_fraction = phi_fraction;
+  cfg.literal_figure_switch_rule = literal_rule;
+  cfg.seed = 17;
+  const ElinkResult r = Unwrap(RunElink(ds, cfg, mode), "elink");
+  PrintRow({label, Cell(r.clustering.num_clusters()),
+            Cell(r.stats.total_units()), Cell(r.total_switches),
+            Cell(r.repaired_fragments), Cell(r.completion_time, 1)});
+}
+
+void RunSuite(const SensorDataset& ds, const char* dataset_name) {
+  const double delta = 0.3 * FeatureDiameter(ds);
+  std::printf("-- %s (N = %d, delta = %.4f) --\n", dataset_name,
+              ds.topology.num_nodes(), delta);
+  PrintRow({"variant", "clusters", "units", "switches", "repairs", "time"});
+  RunConfig(ds, delta, "baseline(c=4)", 4, 0.1, false, ElinkMode::kImplicit);
+  RunConfig(ds, delta, "c=0", 0, 0.1, false, ElinkMode::kImplicit);
+  RunConfig(ds, delta, "c=1", 1, 0.1, false, ElinkMode::kImplicit);
+  RunConfig(ds, delta, "c=8", 8, 0.1, false, ElinkMode::kImplicit);
+  RunConfig(ds, delta, "phi=0", 4, 0.0, false, ElinkMode::kImplicit);
+  RunConfig(ds, delta, "phi=0.3d", 4, 0.3, false, ElinkMode::kImplicit);
+  RunConfig(ds, delta, "fig16-literal", 4, 0.1, true, ElinkMode::kImplicit);
+  RunConfig(ds, delta, "unordered", 4, 0.1, false, ElinkMode::kUnordered);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("ELink design ablations (switch budget, gain threshold, "
+              "switch rule, sentinel ordering)\n\n");
+  {
+    TaoConfig tao;
+    RunSuite(Unwrap(MakeTaoDataset(tao), "tao"), "Tao-like");
+  }
+  {
+    TerrainConfig tcfg;
+    tcfg.num_nodes = 500;
+    tcfg.radio_range_fraction = 0.07;
+    RunSuite(Unwrap(MakeTerrainDataset(tcfg), "terrain"), "Terrain");
+  }
+  std::printf("expected: unordered worst quality (cross-level contention); "
+              "larger c slightly better quality at more switches\n");
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Shared helpers for the figure-reproduction harnesses.
+//
+// Each bench binary regenerates one table/figure of the paper's Section 8 as
+// a plain-text table: one row per x-axis point, one column per algorithm.
+// The EXPERIMENTS.md file records how each output maps onto the original
+// figure.
+#ifndef ELINK_BENCH_BENCH_UTIL_H_
+#define ELINK_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baselines/hierarchical.h"
+#include "baselines/spanning_forest.h"
+#include "baselines/spectral.h"
+#include "cluster/elink.h"
+#include "common/status.h"
+#include "data/dataset.h"
+#include "index/backbone.h"
+#include "index/mtree.h"
+
+namespace elink {
+namespace bench {
+
+/// Dies loudly on error results: bench harnesses have no recovery path.
+template <typename T>
+T Unwrap(Result<T> r, const char* what) {
+  if (!r.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what, r.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(r).value();
+}
+
+/// Prints a row of right-aligned cells under 14-char columns.
+inline void PrintRow(const std::vector<std::string>& cells) {
+  for (const auto& c : cells) std::printf("%14s", c.c_str());
+  std::printf("\n");
+}
+
+inline std::string Cell(double v, int precision = 1) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+inline std::string Cell(uint64_t v) { return std::to_string(v); }
+inline std::string Cell(int v) { return std::to_string(v); }
+
+/// The four Section-8.3 clustering algorithms run on one dataset at one
+/// delta: cluster counts and total clustering communication (paper message
+/// units).  ELink cost includes the leader-backbone construction, as
+/// Section 8.2 prescribes.
+struct AlgorithmOutcomes {
+  int elink_clusters = 0;
+  uint64_t elink_implicit_units = 0;
+  uint64_t elink_explicit_units = 0;
+  int spectral_clusters = 0;
+  int hierarchical_clusters = 0;
+  uint64_t hierarchical_units = 0;
+  int forest_clusters = 0;
+  uint64_t forest_units = 0;
+  Clustering elink_clustering;
+  Clustering hierarchical_clustering;
+  Clustering forest_clustering;
+};
+
+/// Runs all four algorithms.  `run_spectral` can be disabled for large
+/// sweeps where the centralized baseline dominates runtime.
+inline AlgorithmOutcomes RunAllAlgorithms(const SensorDataset& ds,
+                                          double delta, uint64_t seed,
+                                          bool run_spectral = true) {
+  AlgorithmOutcomes out;
+
+  ElinkConfig ecfg;
+  ecfg.delta = delta;
+  ecfg.seed = seed;
+  ElinkResult imp = Unwrap(RunElink(ds, ecfg, ElinkMode::kImplicit), "elink");
+  out.elink_clusters = imp.clustering.num_clusters();
+  MessageStats backbone_cost;
+  Backbone::Build(imp.clustering, ds.topology.adjacency, &backbone_cost);
+  out.elink_implicit_units =
+      imp.stats.total_units() + backbone_cost.total_units();
+  out.elink_clustering = std::move(imp.clustering);
+
+  ElinkResult exp =
+      Unwrap(RunElink(ds, ecfg, ElinkMode::kExplicit), "elink-explicit");
+  out.elink_explicit_units =
+      exp.stats.total_units() + backbone_cost.total_units();
+
+  if (run_spectral) {
+    SpectralConfig scfg;
+    scfg.delta = delta;
+    scfg.seed = seed;
+    SpectralResult sp = Unwrap(
+        SpectralDeltaClustering(ds.topology.adjacency, ds.features,
+                                *ds.metric, scfg),
+        "spectral");
+    out.spectral_clusters = sp.clustering.num_clusters();
+  }
+
+  HierarchicalResult hc = Unwrap(
+      HierarchicalClustering(ds.topology.adjacency, ds.features, *ds.metric,
+                             delta),
+      "hierarchical");
+  out.hierarchical_clusters = hc.clustering.num_clusters();
+  out.hierarchical_units = hc.stats.total_units();
+  out.hierarchical_clustering = std::move(hc.clustering);
+
+  SpanningForestResult sf = Unwrap(
+      SpanningForestClustering(ds.topology.adjacency, ds.features, *ds.metric,
+                               delta),
+      "spanning-forest");
+  out.forest_clusters = sf.clustering.num_clusters();
+  out.forest_units = sf.stats.total_units();
+  out.forest_clustering = std::move(sf.clustering);
+  return out;
+}
+
+}  // namespace bench
+}  // namespace elink
+
+#endif  // ELINK_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,71 @@
+// Theorems 2 & 3 — empirical validation of ELink's O(sqrt(N) log N) running
+// time and O(N) message complexity on grid networks, for both signalling
+// techniques (explicit additionally under asynchronous delays).
+//
+// The normalized columns (units/N, time / (sqrt(N) log4(N))) must stay flat
+// (bounded) across a 16x size range for the bounds to hold empirically.
+#include <cmath>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "sim/topology.h"
+
+using namespace elink;
+using namespace elink::bench;
+
+namespace {
+
+/// Smooth synthetic features on the grid so clusterings are non-trivial.
+std::vector<Feature> SmoothGridFeatures(int side, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Feature> f;
+  f.reserve(static_cast<size_t>(side) * side);
+  for (int r = 0; r < side; ++r) {
+    for (int c = 0; c < side; ++c) {
+      f.push_back({10.0 * std::sin(3.0 * r / side) +
+                   8.0 * std::cos(2.5 * c / side) + rng.Normal(0.0, 0.3)});
+    }
+  }
+  return f;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Theorems 2/3 - time and message scaling of ELink on grids "
+              "(delta = 6, smooth feature field)\n\n");
+  PrintRow({"N", "mode", "units", "units/N", "time", "t/(rtN*log4N)"});
+  const WeightedEuclidean metric = WeightedEuclidean::Euclidean(1);
+  for (int side : {8, 12, 16, 24, 32}) {
+    const int n = side * side;
+    const Topology topo = MakeGridTopology(side, side);
+    const std::vector<Feature> features = SmoothGridFeatures(side, 99);
+    const double norm = std::sqrt(n) * (std::log(n) / std::log(4.0));
+
+    struct ModeSpec {
+      const char* name;
+      ElinkMode mode;
+      bool synchronous;
+    };
+    const ModeSpec modes[] = {
+        {"implicit", ElinkMode::kImplicit, true},
+        {"explicit", ElinkMode::kExplicit, true},
+        {"expl-async", ElinkMode::kExplicit, false},
+    };
+    for (const auto& spec : modes) {
+      ElinkConfig cfg;
+      cfg.delta = 6.0;
+      cfg.seed = n;
+      cfg.synchronous = spec.synchronous;
+      const ElinkResult r =
+          Unwrap(RunElink(topo, features, metric, cfg, spec.mode), "elink");
+      PrintRow({Cell(n), spec.name, Cell(r.stats.total_units()),
+                Cell(static_cast<double>(r.stats.total_units()) / n, 2),
+                Cell(r.completion_time, 1),
+                Cell(r.completion_time / norm, 2)});
+    }
+  }
+  std::printf("\nexpected shape: units/N and t/(rtN*log4N) bounded (flat) "
+              "across the size sweep\n");
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Fig. 8 — Clustering quality (number of clusters) vs delta on the Tao data.
+//
+// Paper shape: ELink tracks the centralized spectral algorithm closely;
+// Hierarchical is worse; Spanning forest is worst.  All counts fall as delta
+// grows.
+#include "bench/bench_util.h"
+#include "data/tao.h"
+
+using namespace elink;
+using namespace elink::bench;
+
+int main() {
+  std::printf("Fig. 8 - clustering quality vs delta, Tao-like data "
+              "(6x9 buoys, 1 training month; phi = 0.1 delta, c = 4)\n\n");
+  TaoConfig tao;  // Full-size Tao workload.
+  const SensorDataset ds = Unwrap(MakeTaoDataset(tao), "tao");
+  const double diameter = FeatureDiameter(ds);
+
+  PrintRow({"delta", "ELink", "Centralized", "Hierarchical", "SpanForest"});
+  for (double frac : {0.12, 0.16, 0.2, 0.25, 0.3, 0.4, 0.5}) {
+    const double delta = frac * diameter;
+    const AlgorithmOutcomes r = RunAllAlgorithms(ds, delta, /*seed=*/8);
+    PrintRow({Cell(delta, 3), Cell(r.elink_clusters),
+              Cell(r.spectral_clusters), Cell(r.hierarchical_clusters),
+              Cell(r.forest_clusters)});
+  }
+  std::printf("\nexpected shape: ELink ~ Centralized < Hierarchical <= "
+              "SpanForest; all decrease with delta\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Fig. 9 — Clustering quality vs delta on the Death-Valley-like terrain,
+// averaged over random topologies.
+//
+// Paper setup: 2500 sensors scattered over the elevation raster, 5 random
+// topologies.  Default here: 600 sensors x 3 topologies so the centralized
+// spectral baseline finishes in seconds; pass --full for the paper-scale
+// sweep (2500 x 5, spectral disabled above 1500 nodes for runtime).
+#include <cstring>
+
+#include "bench/bench_util.h"
+#include "data/terrain.h"
+
+using namespace elink;
+using namespace elink::bench;
+
+int main(int argc, char** argv) {
+  const bool full = argc > 1 && std::strcmp(argv[1], "--full") == 0;
+  const int num_nodes = full ? 2500 : 600;
+  const int topologies = full ? 5 : 3;
+  const bool run_spectral = num_nodes <= 1500;
+
+  std::printf("Fig. 9 - clustering quality vs delta, terrain data "
+              "(%d sensors, avg over %d random topologies)\n\n",
+              num_nodes, topologies);
+  PrintRow({"delta", "ELink", run_spectral ? "Centralized" : "Centralized*",
+            "Hierarchical", "SpanForest"});
+
+  for (double frac : {0.1, 0.15, 0.2, 0.3, 0.4, 0.5}) {
+    double sum_delta = 0, sum_elink = 0, sum_spec = 0, sum_hier = 0,
+           sum_forest = 0;
+    for (int topo = 0; topo < topologies; ++topo) {
+      TerrainConfig tcfg;
+      tcfg.num_nodes = num_nodes;
+      tcfg.radio_range_fraction = full ? 0.035 : 0.07;
+      tcfg.seed = 100 + topo;
+      const SensorDataset ds = Unwrap(MakeTerrainDataset(tcfg), "terrain");
+      const double delta = frac * FeatureDiameter(ds);
+      const AlgorithmOutcomes r =
+          RunAllAlgorithms(ds, delta, /*seed=*/topo, run_spectral);
+      sum_delta += delta;
+      sum_elink += r.elink_clusters;
+      sum_spec += r.spectral_clusters;
+      sum_hier += r.hierarchical_clusters;
+      sum_forest += r.forest_clusters;
+    }
+    PrintRow({Cell(sum_delta / topologies, 1), Cell(sum_elink / topologies, 1),
+              run_spectral ? Cell(sum_spec / topologies, 1)
+                           : std::string("n/a"),
+              Cell(sum_hier / topologies, 1),
+              Cell(sum_forest / topologies, 1)});
+  }
+  std::printf("\nexpected shape: ELink ~ Centralized < Hierarchical <= "
+              "SpanForest\n");
+  if (!run_spectral) {
+    std::printf("* spectral skipped at this scale (centralized runtime)\n");
+  }
+  return 0;
+}

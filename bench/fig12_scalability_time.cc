@@ -1,0 +1,108 @@
+// Fig. 12 — Scalability with time on the Tao data (log-scale in the paper).
+//
+// Cumulative communication over the live month for:
+//   Central-raw    every raw measurement shipped to the base station;
+//   Central-model  model coefficients shipped on slack violation;
+//   ELink (impl/expl), Hierarchical, SpanForest: one-time clustering cost
+//                  (incl. backbone for ELink) + in-network update handling.
+//
+// Paper shape: raw >> model >> distributed, one order of magnitude per step;
+// distributed curves stay nearly flat after the initial clustering.
+#include <vector>
+
+#include "baselines/centralized_cost.h"
+#include "bench/bench_util.h"
+#include "cluster/maintenance.h"
+#include "data/tao.h"
+#include "timeseries/seasonal.h"
+
+using namespace elink;
+using namespace elink::bench;
+
+namespace {
+
+/// One distributed algorithm's replay state.
+struct DistributedTrack {
+  const char* name;
+  uint64_t initial_units;
+  MaintenanceSession session;
+};
+
+}  // namespace
+
+int main() {
+  TaoConfig tao;
+  tao.eval_days = 28;
+  const SensorDataset ds = Unwrap(MakeTaoDataset(tao), "tao");
+  const int n = ds.topology.num_nodes();
+  const double delta = 0.35 * FeatureDiameter(ds);
+  const double slack = 0.1 * delta;
+
+  std::printf("Fig. 12 - cumulative message units over time, Tao-like data "
+              "(%d buoys, delta = %.3f, slack = %.3f)\n\n",
+              n, delta, slack);
+
+  // Initial clusterings.
+  const AlgorithmOutcomes algos =
+      RunAllAlgorithms(ds, delta, /*seed=*/12, /*run_spectral=*/false);
+  MaintenanceConfig mcfg;
+  mcfg.delta = delta;
+  mcfg.slack = slack;
+  std::vector<DistributedTrack> tracks;
+  tracks.push_back({"ELink-imp", algos.elink_implicit_units,
+                    MaintenanceSession(ds.topology, algos.elink_clustering,
+                                       ds.features, ds.metric, mcfg)});
+  tracks.push_back({"ELink-exp", algos.elink_explicit_units,
+                    MaintenanceSession(ds.topology, algos.elink_clustering,
+                                       ds.features, ds.metric, mcfg)});
+  tracks.push_back({"Hierarch", algos.hierarchical_units,
+                    MaintenanceSession(ds.topology,
+                                       algos.hierarchical_clustering,
+                                       ds.features, ds.metric, mcfg)});
+  tracks.push_back({"SpanForest", algos.forest_units,
+                    MaintenanceSession(ds.topology, algos.forest_clustering,
+                                       ds.features, ds.metric, mcfg)});
+
+  CentralizedRawUpdater raw(ds.topology, PickBaseStation(ds.topology));
+  CentralizedModelUpdater central(ds.topology, PickBaseStation(ds.topology),
+                                  ds.metric, slack, ds.features);
+  std::vector<SeasonalArModel> models;
+  models.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    models.push_back(Unwrap(
+        SeasonalArModel::Train(ds.train_streams[i], tao.measurements_per_day),
+        "train"));
+  }
+
+  PrintRow({"day", "Central-raw", "Central-mdl", "ELink-imp", "ELink-exp",
+            "Hierarch", "SpanForest"});
+  const int per_day = tao.measurements_per_day;
+  for (int day = 1; day <= tao.eval_days; ++day) {
+    for (int t = (day - 1) * per_day; t < day * per_day; ++t) {
+      for (int i = 0; i < n; ++i) {
+        models[i].Observe(ds.streams[i][t]);
+        raw.Measurement(i);
+        if (t % 6 == 5) {
+          const Feature f = models[i].Feature();
+          central.UpdateFeature(i, f);
+          for (auto& track : tracks) track.session.UpdateFeature(i, f);
+        }
+      }
+    }
+    if (day % 4 == 0 || day == 1) {
+      PrintRow({Cell(day), Cell(raw.stats().total_units()),
+                Cell(central.stats().total_units()),
+                Cell(tracks[0].initial_units +
+                     tracks[0].session.stats().total_units()),
+                Cell(tracks[1].initial_units +
+                     tracks[1].session.stats().total_units()),
+                Cell(tracks[2].initial_units +
+                     tracks[2].session.stats().total_units()),
+                Cell(tracks[3].initial_units +
+                     tracks[3].session.stats().total_units())});
+    }
+  }
+  std::printf("\nexpected shape (log scale): raw >> model >> distributed; "
+              "distributed curves nearly flat after clustering\n");
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Fig. 13 — Scalability with network size on the synthetic data.
+//
+// Total clustering communication (paper message units) for networks of 100
+// to 800 uniformly placed nodes (density 0.8, ~4 radio neighbors).
+//
+// Paper shape: ELink-implicit < ELink-explicit < SpanForest-ish <<
+// Hierarchical << Centralized; distributed algorithms scale linearly while
+// the centralized collection and Hierarchical's leader relays blow up.
+#include "baselines/centralized_cost.h"
+#include "bench/bench_util.h"
+#include "cluster/maintenance.h"
+#include "data/synthetic.h"
+#include "timeseries/rls.h"
+
+using namespace elink;
+using namespace elink::bench;
+
+namespace {
+
+/// Replays `steps` stream measurements through per-node AR(1) refits,
+/// feeding the same feature updates to a maintenance session (per
+/// clustering) and the centralized updater.  Returns nothing; costs
+/// accumulate inside the sessions.
+void ReplayStream(const SensorDataset& ds, int steps,
+                  std::vector<MaintenanceSession*> sessions,
+                  CentralizedModelUpdater* central) {
+  const int n = ds.topology.num_nodes();
+  // Per-node online AR(1) on demeaned values, warm from the training mean.
+  std::vector<RlsEstimator> rls(n, RlsEstimator(1));
+  std::vector<double> mean(n, 0.0);
+  std::vector<double> prev(n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    double s = 0.0;
+    for (double v : ds.train_streams[i]) s += v;
+    mean[i] = s / ds.train_streams[i].size();
+    prev[i] = ds.train_streams[i].back() - mean[i];
+    // Warm the estimator on the training tail so early updates are sane.
+    for (size_t t = 1; t < ds.train_streams[i].size(); ++t) {
+      rls[i].Observe({ds.train_streams[i][t - 1] - mean[i]},
+                     ds.train_streams[i][t] - mean[i]);
+    }
+  }
+  for (int t = 0; t < steps; ++t) {
+    for (int i = 0; i < n; ++i) {
+      const double x = ds.streams[i][t] - mean[i];
+      rls[i].Observe({prev[i]}, x);
+      prev[i] = x;
+      if (t % 10 == 9) {
+        const Feature f = {rls[i].coefficients()[0]};
+        for (auto* s : sessions) s->UpdateFeature(i, f);
+        central->UpdateFeature(i, f);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Fig. 13 - clustering + update-handling cost vs network size, "
+              "synthetic data (density 0.8, avg degree ~4, delta = 0.3 x "
+              "diameter, 300 stream steps)\n\n");
+  PrintRow({"N", "ELink-imp", "ELink-exp", "SpanForest", "Hierarch",
+            "Centralized"});
+  const int kTrials = 3;  // Topology instances averaged per size.
+  for (int n : {100, 200, 300, 400, 600, 800}) {
+    double imp = 0, exp_units = 0, forest = 0, hier = 0, cent = 0;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      SyntheticConfig scfg;
+      scfg.num_nodes = n;
+      scfg.seed = 3000 + n + 131 * trial;
+      SyntheticConfig stream_cfg = scfg;
+      stream_cfg.stream_length = 320;
+      const SensorDataset ds =
+          Unwrap(MakeSyntheticDataset(stream_cfg), "synthetic");
+      const double delta = 0.3 * FeatureDiameter(ds);
+      const double slack = 0.05 * delta;
+      const AlgorithmOutcomes r = RunAllAlgorithms(
+          ds, delta, /*seed=*/n + trial, /*run_spectral=*/false);
+
+      // Centralized: every node ships its coefficients to the base station
+      // once for the spectral algorithm to cluster there, then re-ships on
+      // every slack violation during the stream.
+      CentralizedModelUpdater central(ds.topology,
+                                      PickBaseStation(ds.topology),
+                                      ds.metric, slack,
+                                      std::vector<Feature>(n, Feature{1e18}));
+      for (int i = 0; i < n; ++i) central.UpdateFeature(i, ds.features[i]);
+
+      // Distributed algorithms absorb the same stream via the Section-6
+      // maintenance protocol, each on its own clustering.
+      MaintenanceConfig mcfg;
+      mcfg.delta = delta;
+      mcfg.slack = slack;
+      MaintenanceSession m_elink(ds.topology, r.elink_clustering, ds.features,
+                                 ds.metric, mcfg);
+      MaintenanceSession m_forest(ds.topology, r.forest_clustering,
+                                  ds.features, ds.metric, mcfg);
+      MaintenanceSession m_hier(ds.topology, r.hierarchical_clustering,
+                                ds.features, ds.metric, mcfg);
+      ReplayStream(ds, 300, {&m_elink, &m_forest, &m_hier}, &central);
+
+      imp += static_cast<double>(r.elink_implicit_units +
+                                 m_elink.stats().total_units());
+      exp_units += static_cast<double>(r.elink_explicit_units +
+                                       m_elink.stats().total_units());
+      forest += static_cast<double>(r.forest_units +
+                                    m_forest.stats().total_units());
+      hier += static_cast<double>(r.hierarchical_units +
+                                  m_hier.stats().total_units());
+      cent += static_cast<double>(central.stats().total_units());
+    }
+    PrintRow({Cell(n), Cell(imp / kTrials, 0), Cell(exp_units / kTrials, 0),
+              Cell(forest / kTrials, 0), Cell(hier / kTrials, 0),
+              Cell(cent / kTrials, 0)});
+  }
+  std::printf("\nexpected shape: implicit < explicit; distributed linear in "
+              "N; Hierarchical and Centralized grow super-linearly\n");
+  return 0;
+}

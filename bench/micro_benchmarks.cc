@@ -1,0 +1,154 @@
+// Micro-benchmarks (google-benchmark) for the hot paths: RLS updates,
+// metric distances, event-queue throughput, quadtree construction, ELink
+// end-to-end, M-tree build, and range-query execution.
+#include <benchmark/benchmark.h>
+
+#include "cluster/elink.h"
+#include "cluster/quadtree.h"
+#include "common/rng.h"
+#include "data/terrain.h"
+#include "index/backbone.h"
+#include "index/mtree.h"
+#include "index/range_query.h"
+#include "sim/event_queue.h"
+#include "timeseries/rls.h"
+
+namespace elink {
+namespace {
+
+void BM_RlsObserve(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  RlsEstimator est(k);
+  Rng rng(1);
+  Vector x(k);
+  for (auto _ : state) {
+    for (int j = 0; j < k; ++j) x[j] = rng.Uniform(-1, 1);
+    est.Observe(x, rng.Uniform(-1, 1));
+    benchmark::DoNotOptimize(est.coefficients());
+  }
+}
+BENCHMARK(BM_RlsObserve)->Arg(1)->Arg(4)->Arg(8);
+
+void BM_WeightedEuclidean(benchmark::State& state) {
+  const int dim = static_cast<int>(state.range(0));
+  WeightedEuclidean metric(std::vector<double>(dim, 0.5));
+  Rng rng(2);
+  Feature a(dim), b(dim);
+  for (int j = 0; j < dim; ++j) {
+    a[j] = rng.Uniform01();
+    b[j] = rng.Uniform01();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(metric.Distance(a, b));
+  }
+}
+BENCHMARK(BM_WeightedEuclidean)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_EventQueueChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    EventQueue q;
+    int sink = 0;
+    for (int i = 0; i < 1000; ++i) {
+      q.ScheduleAt(static_cast<double>((i * 7919) % 1000),
+                   [&sink] { ++sink; });
+    }
+    q.RunAll();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueChurn);
+
+void BM_QuadtreeBuild(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  const Topology topo = MakeGridTopology(side, side);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(QuadtreeDecomposition::Build(topo));
+  }
+}
+BENCHMARK(BM_QuadtreeBuild)->Arg(16)->Arg(32);
+
+void BM_ElinkEndToEnd(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  const Topology topo = MakeGridTopology(side, side);
+  Rng rng(3);
+  std::vector<Feature> features;
+  for (int i = 0; i < topo.num_nodes(); ++i) {
+    features.push_back({rng.Uniform(0, 20)});
+  }
+  const WeightedEuclidean metric = WeightedEuclidean::Euclidean(1);
+  ElinkConfig cfg;
+  cfg.delta = 6.0;
+  cfg.seed = 1;
+  for (auto _ : state) {
+    auto r = RunElink(topo, features, metric, cfg, ElinkMode::kImplicit);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_ElinkEndToEnd)->Arg(10)->Arg(20);
+
+struct QueryFixtureState {
+  SensorDataset ds;
+  Clustering clustering;
+  std::vector<int> tree;
+};
+
+void BM_RangeQuery(benchmark::State& state) {
+  static QueryFixtureState* fx = [] {
+    auto* s = new QueryFixtureState();
+    TerrainConfig tcfg;
+    tcfg.num_nodes = 400;
+    tcfg.radio_range_fraction = 0.08;
+    s->ds = std::move(MakeTerrainDataset(tcfg)).value();
+    ElinkConfig cfg;
+    cfg.delta = 0.2 * FeatureDiameter(s->ds);
+    cfg.seed = 1;
+    s->clustering =
+        std::move(RunElink(s->ds, cfg, ElinkMode::kImplicit)).value()
+            .clustering;
+    s->tree = BuildClusterTrees(s->clustering, s->ds.topology.adjacency);
+    return s;
+  }();
+  const double delta = 0.2 * FeatureDiameter(fx->ds);
+  const ClusterIndex index = ClusterIndex::Build(
+      fx->clustering, fx->tree, fx->ds.features, *fx->ds.metric);
+  const Backbone backbone =
+      Backbone::Build(fx->clustering, fx->ds.topology.adjacency, nullptr,
+                      &fx->ds.features, fx->ds.metric.get());
+  RangeQueryEngine engine(fx->clustering, index, backbone, fx->ds.features,
+                          *fx->ds.metric, delta);
+  Rng rng(7);
+  for (auto _ : state) {
+    const Feature& q = fx->ds.features[rng.UniformInt(400)];
+    benchmark::DoNotOptimize(engine.Query(0, q, 0.8 * delta));
+  }
+}
+BENCHMARK(BM_RangeQuery);
+
+void BM_MTreeBuild(benchmark::State& state) {
+  static QueryFixtureState* fx = [] {
+    auto* s = new QueryFixtureState();
+    TerrainConfig tcfg;
+    tcfg.num_nodes = 400;
+    tcfg.radio_range_fraction = 0.08;
+    s->ds = std::move(MakeTerrainDataset(tcfg)).value();
+    ElinkConfig cfg;
+    cfg.delta = 0.2 * FeatureDiameter(s->ds);
+    cfg.seed = 1;
+    s->clustering =
+        std::move(RunElink(s->ds, cfg, ElinkMode::kImplicit)).value()
+            .clustering;
+    s->tree = BuildClusterTrees(s->clustering, s->ds.topology.adjacency);
+    return s;
+  }();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ClusterIndex::Build(
+        fx->clustering, fx->tree, fx->ds.features, *fx->ds.metric));
+  }
+}
+BENCHMARK(BM_MTreeBuild);
+
+}  // namespace
+}  // namespace elink
+
+BENCHMARK_MAIN();

@@ -1,0 +1,138 @@
+// Cost-model validation: the same range queries executed (a) by the
+// centralized accounting engine and (b) as the fully distributed protocol in
+// the event simulator.  Match counts must be identical; transmitted units
+// should track each other closely (the engine is the model of the
+// protocol); the protocol additionally reports real end-to-end latency in
+// simulated hop-time.
+#include "bench/bench_util.h"
+#include "cluster/maintenance.h"
+#include "cluster/maintenance_protocol.h"
+#include "common/rng.h"
+#include "data/tao.h"
+#include "data/terrain.h"
+#include "index/query_protocol.h"
+#include "index/range_query.h"
+
+using namespace elink;
+using namespace elink::bench;
+
+namespace {
+
+void RunSuite(const SensorDataset& ds, const char* name, double delta_frac) {
+  const double delta = delta_frac * FeatureDiameter(ds);
+  ElinkConfig ecfg;
+  ecfg.delta = delta;
+  ecfg.seed = 21;
+  const ElinkResult clustered =
+      Unwrap(RunElink(ds, ecfg, ElinkMode::kImplicit), "elink");
+  const auto tree =
+      BuildClusterTrees(clustered.clustering, ds.topology.adjacency);
+  const ClusterIndex index = ClusterIndex::Build(clustered.clustering, tree,
+                                                 ds.features, *ds.metric);
+  const Backbone backbone =
+      Backbone::Build(clustered.clustering, ds.topology.adjacency, nullptr,
+                      &ds.features, ds.metric.get());
+  RangeQueryEngine engine(clustered.clustering, index, backbone, ds.features,
+                          *ds.metric, delta);
+  DistributedRangeQuery protocol(ds.topology, clustered.clustering, index,
+                                 backbone, ds.features, ds.metric);
+
+  std::printf("-- %s (N = %d, %d clusters) --\n", name,
+              ds.topology.num_nodes(),
+              clustered.clustering.num_clusters());
+  PrintRow({"r/delta", "matches", "engine_u", "protocol_u", "latency"});
+  Rng rng(5);
+  const int n = ds.topology.num_nodes();
+  for (double rfrac : {0.4, 0.7, 1.0}) {
+    long long matches = 0;
+    uint64_t engine_units = 0, protocol_units = 0;
+    double latency = 0.0;
+    const int trials = 20;
+    for (int t = 0; t < trials; ++t) {
+      const Feature q = ds.features[rng.UniformInt(n)];
+      const int initiator = static_cast<int>(rng.UniformInt(n));
+      const double r = rfrac * delta;
+      const RangeQueryResult er = engine.Query(initiator, q, r);
+      const DistributedQueryOutcome pr =
+          Unwrap(protocol.Run(initiator, q, r), "protocol");
+      if (pr.match_count != static_cast<long long>(er.matches.size())) {
+        std::fprintf(stderr, "COUNT MISMATCH\n");
+        std::abort();
+      }
+      matches += pr.match_count;
+      engine_units += er.stats.total_units();
+      protocol_units += pr.stats.total_units();
+      latency += pr.latency;
+    }
+    PrintRow({Cell(rfrac, 1), Cell(static_cast<int>(matches / trials)),
+              Cell(engine_units / trials), Cell(protocol_units / trials),
+              Cell(latency / trials, 1)});
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+namespace {
+
+void ValidateMaintenance() {
+  std::printf("-- Section-6 maintenance: accounting session vs distributed "
+              "protocol --\n");
+  TerrainConfig tcfg;
+  tcfg.num_nodes = 200;
+  tcfg.radio_range_fraction = 0.1;
+  const SensorDataset ds = Unwrap(MakeTerrainDataset(tcfg), "terrain");
+  const double delta = 0.3 * FeatureDiameter(ds);
+  const double slack = 0.1 * delta;
+  ElinkConfig ecfg;
+  ecfg.delta = delta;
+  ecfg.slack = slack;
+  ecfg.seed = 31;
+  const ElinkResult base =
+      Unwrap(RunElink(ds, ecfg, ElinkMode::kImplicit), "elink");
+
+  MaintenanceConfig mcfg;
+  mcfg.delta = delta;
+  mcfg.slack = slack;
+  MaintenanceSession session(ds.topology, base.clustering, ds.features,
+                             ds.metric, mcfg);
+  DistributedMaintenance protocol(ds.topology, base.clustering, ds.features,
+                                  ds.metric, mcfg);
+  Rng rng(77);
+  std::vector<Feature> current = ds.features;
+  for (int round = 0; round < 20; ++round) {
+    for (int i = 0; i < ds.topology.num_nodes(); ++i) {
+      current[i][0] += rng.Normal(0.0, 0.03 * delta);
+      session.UpdateFeature(i, current[i]);
+      protocol.ApplyUpdate(i, current[i]);
+    }
+  }
+  const Status inv = protocol.ValidateRootDistanceInvariant(delta + 2 * slack);
+  PrintRow({"", "clusters", "units"});
+  PrintRow({"session", Cell(session.clustering().num_clusters()),
+            Cell(session.stats().total_units())});
+  PrintRow({"protocol", Cell(protocol.CurrentClustering().num_clusters()),
+            Cell(protocol.stats().total_units())});
+  std::printf("   protocol invariant: %s\n\n", inv.ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Range-query cost-model validation: accounting engine vs the "
+              "distributed protocol in the simulator\n\n");
+  {
+    TaoConfig tao;
+    RunSuite(Unwrap(MakeTaoDataset(tao), "tao"), "Tao-like", 0.35);
+  }
+  {
+    TerrainConfig tcfg;
+    tcfg.num_nodes = 400;
+    tcfg.radio_range_fraction = 0.08;
+    RunSuite(Unwrap(MakeTerrainDataset(tcfg), "terrain"), "Terrain", 0.2);
+  }
+  ValidateMaintenance();
+  std::printf("expected: identical match counts; engine and protocol units "
+              "within a small factor of each other\n");
+  return 0;
+}

@@ -1,0 +1,108 @@
+#include "baselines/exact.h"
+
+#include <vector>
+
+namespace elink {
+
+namespace {
+
+class ExactSearch {
+ public:
+  ExactSearch(const AdjacencyList& adjacency,
+              const std::vector<Feature>& features,
+              const DistanceMetric& metric, double delta)
+      : adjacency_(adjacency),
+        features_(features),
+        metric_(metric),
+        delta_(delta),
+        n_(static_cast<int>(adjacency.size())),
+        assignment_(n_, -1),
+        best_count_(n_ + 1) {}
+
+  Clustering Run() {
+    Recurse(0, 0);
+    Clustering out;
+    out.root_of.assign(n_, -1);
+    // Root of each cluster: its smallest member.
+    std::vector<int> cluster_root(best_count_, -1);
+    for (int i = 0; i < n_; ++i) {
+      const int c = best_assignment_[i];
+      if (cluster_root[c] < 0) cluster_root[c] = i;
+      out.root_of[i] = cluster_root[c];
+    }
+    return out;
+  }
+
+ private:
+  void Recurse(int node, int clusters_used) {
+    if (clusters_used >= best_count_) return;  // Cannot improve.
+    if (node == n_) {
+      if (AllClustersConnected(clusters_used)) {
+        best_count_ = clusters_used;
+        best_assignment_ = assignment_;
+      }
+      return;
+    }
+    // Try joining each existing cluster (compactness pruning).
+    for (int c = 0; c < clusters_used; ++c) {
+      if (!CompatibleWithCluster(node, c)) continue;
+      assignment_[node] = c;
+      Recurse(node + 1, clusters_used);
+    }
+    // Open a new cluster.
+    assignment_[node] = clusters_used;
+    Recurse(node + 1, clusters_used + 1);
+    assignment_[node] = -1;
+  }
+
+  bool CompatibleWithCluster(int node, int c) const {
+    for (int j = 0; j < node; ++j) {
+      if (assignment_[j] == c &&
+          metric_.Distance(features_[node], features_[j]) > delta_ + 1e-12) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool AllClustersConnected(int clusters_used) const {
+    for (int c = 0; c < clusters_used; ++c) {
+      std::vector<char> mask(n_, 0);
+      for (int i = 0; i < n_; ++i) {
+        if (assignment_[i] == c) mask[i] = 1;
+      }
+      if (!IsInducedConnected(adjacency_, mask)) return false;
+    }
+    return true;
+  }
+
+  const AdjacencyList& adjacency_;
+  const std::vector<Feature>& features_;
+  const DistanceMetric& metric_;
+  const double delta_;
+  const int n_;
+  std::vector<int> assignment_;
+  std::vector<int> best_assignment_;
+  int best_count_;
+};
+
+}  // namespace
+
+Result<Clustering> ExactOptimalClustering(const AdjacencyList& adjacency,
+                                          const std::vector<Feature>& features,
+                                          const DistanceMetric& metric,
+                                          double delta, int max_nodes) {
+  const int n = static_cast<int>(adjacency.size());
+  if (n == 0) return Status::InvalidArgument("empty graph");
+  if (n > max_nodes) {
+    return Status::InvalidArgument(
+        "instance too large for exact search (Theorem 1: NP-complete)");
+  }
+  if (features.size() != static_cast<size_t>(n)) {
+    return Status::InvalidArgument("features size mismatch");
+  }
+  ExactSearch search(adjacency, features, metric, delta);
+  return search.Run();
+}
+
+}  // namespace elink

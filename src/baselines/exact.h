@@ -1,0 +1,28 @@
+// Exact optimal delta-clustering for small instances.
+//
+// Theorem 1 shows minimizing the number of delta-clusters is NP-complete and
+// inapproximable, so no polynomial algorithm exists; this branch-and-bound
+// searches all partitions for instances of a dozen-odd nodes.  It provides
+// the ground-truth lower bound that the quality tests compare ELink and the
+// baselines against.
+#ifndef ELINK_BASELINES_EXACT_H_
+#define ELINK_BASELINES_EXACT_H_
+
+#include "cluster/clustering.h"
+#include "common/status.h"
+#include "metric/distance.h"
+
+namespace elink {
+
+/// Finds a minimum-cardinality valid delta-clustering by exhaustive
+/// branch-and-bound over node-to-cluster assignments (pruned by pairwise
+/// compactness and by the best count found so far; connectivity is checked
+/// at complete assignments).  Errors for graphs larger than `max_nodes`.
+Result<Clustering> ExactOptimalClustering(const AdjacencyList& adjacency,
+                                          const std::vector<Feature>& features,
+                                          const DistanceMetric& metric,
+                                          double delta, int max_nodes = 14);
+
+}  // namespace elink
+
+#endif  // ELINK_BASELINES_EXACT_H_

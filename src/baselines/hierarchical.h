@@ -1,0 +1,42 @@
+// Distributed hierarchical clustering baseline (paper Section 8.3).
+//
+// Every node starts as a singleton cluster; in each round, spatially
+// neighboring clusters evaluate merger candidates.  A pair (Ci, Cj) is a
+// candidate when the safe bound m_i + d(F_ri, F_rj) + m_j <= delta holds
+// (m is the cluster's feature diameter), its fitness is the paper's merged
+// diameter estimate m_ij, and two clusters merge when each is the other's
+// best candidate.  Rounds repeat until no merger is possible.
+//
+// Message accounting follows the paper's discussion of Fig. 13: boundary
+// nodes exchange (root feature, diameter) with each adjacent cluster, every
+// candidate evaluation is propagated to the cluster leader over the cluster's
+// internal tree, and merge decisions are broadcast to all members — which is
+// why this algorithm's communication scales as O(N^2).
+#ifndef ELINK_BASELINES_HIERARCHICAL_H_
+#define ELINK_BASELINES_HIERARCHICAL_H_
+
+#include "cluster/clustering.h"
+#include "common/status.h"
+#include "metric/distance.h"
+#include "sim/stats.h"
+
+namespace elink {
+
+/// Result of the hierarchical algorithm.
+struct HierarchicalResult {
+  Clustering clustering;
+  MessageStats stats;
+  int rounds = 0;
+  int merges = 0;
+};
+
+/// Runs hierarchical merging to a fixed point.  The output is a valid
+/// delta-clustering: merges only happen under the safe diameter bound, and
+/// stored diameters are maintained exactly, so pairwise compactness holds.
+Result<HierarchicalResult> HierarchicalClustering(
+    const AdjacencyList& adjacency, const std::vector<Feature>& features,
+    const DistanceMetric& metric, double delta);
+
+}  // namespace elink
+
+#endif  // ELINK_BASELINES_HIERARCHICAL_H_

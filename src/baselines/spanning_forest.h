@@ -1,0 +1,42 @@
+// Spanning-forest clustering baseline (paper Section 8.3).
+//
+// Phase 1 decomposes the network into a forest: every node picks, among its
+// neighbors with a *smaller id* (a partial order that prevents cycles), the
+// one with the smallest feature distance as its parent.  Phase 2 checks each
+// tree for delta-compactness bottom-up: every node tracks `height`, an upper
+// bound on the path-sum feature distance to any leaf of its cluster subtree,
+// and when two branches meeting at a node could put two members more than
+// delta apart, the heavier branch is detached as a new cluster.
+//
+// Time and message complexity O(N).  Greedy and suboptimal: this is the
+// "cheap but coarse" end of the comparison in Figs. 8-9.
+#ifndef ELINK_BASELINES_SPANNING_FOREST_H_
+#define ELINK_BASELINES_SPANNING_FOREST_H_
+
+#include "cluster/clustering.h"
+#include "common/status.h"
+#include "metric/distance.h"
+#include "sim/stats.h"
+
+namespace elink {
+
+/// Result of the spanning-forest algorithm.
+struct SpanningForestResult {
+  Clustering clustering;
+  /// Phase-1 feature exchanges plus phase-2 height reports and detach
+  /// instructions, in paper message units.
+  MessageStats stats;
+  /// Forest parent per node after phase 1 (parent[i] == i at forest roots).
+  std::vector<int> forest_parent;
+};
+
+/// Runs both phases.  The output is a valid delta-clustering: tree edges are
+/// communication edges (connectivity) and the height bound enforces pairwise
+/// compactness via the triangle inequality.
+Result<SpanningForestResult> SpanningForestClustering(
+    const AdjacencyList& adjacency, const std::vector<Feature>& features,
+    const DistanceMetric& metric, double delta);
+
+}  // namespace elink
+
+#endif  // ELINK_BASELINES_SPANNING_FOREST_H_

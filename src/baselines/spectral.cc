@@ -1,0 +1,325 @@
+#include "baselines/spectral.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "linalg/kmeans.h"
+
+namespace elink {
+
+namespace {
+
+/// Modified Gram-Schmidt orthonormalization of the columns of m (in place).
+/// Columns that collapse to zero are re-randomized.
+void Orthonormalize(Matrix* m, Rng* rng) {
+  const size_t n = m->rows();
+  const size_t k = m->cols();
+  for (size_t c = 0; c < k; ++c) {
+    for (size_t prev = 0; prev < c; ++prev) {
+      double dot = 0.0;
+      for (size_t r = 0; r < n; ++r) dot += (*m)(r, c) * (*m)(r, prev);
+      for (size_t r = 0; r < n; ++r) (*m)(r, c) -= dot * (*m)(r, prev);
+    }
+    double norm = 0.0;
+    for (size_t r = 0; r < n; ++r) norm += (*m)(r, c) * (*m)(r, c);
+    norm = std::sqrt(norm);
+    if (norm < 1e-12) {
+      for (size_t r = 0; r < n; ++r) (*m)(r, c) = rng->Normal();
+      // Re-orthogonalize this column once against the previous ones.
+      for (size_t prev = 0; prev < c; ++prev) {
+        double dot = 0.0;
+        for (size_t r = 0; r < n; ++r) dot += (*m)(r, c) * (*m)(r, prev);
+        for (size_t r = 0; r < n; ++r) (*m)(r, c) -= dot * (*m)(r, prev);
+      }
+      norm = 0.0;
+      for (size_t r = 0; r < n; ++r) norm += (*m)(r, c) * (*m)(r, c);
+      norm = std::sqrt(std::max(norm, 1e-12));
+    }
+    for (size_t r = 0; r < n; ++r) (*m)(r, c) /= norm;
+  }
+}
+
+}  // namespace
+
+Result<Matrix> TopEigenvectorsOfNormalizedAffinity(
+    const AdjacencyList& adjacency,
+    const std::function<double(int, int)>& affinity, int k, Rng* rng,
+    int iterations) {
+  const int n = static_cast<int>(adjacency.size());
+  if (k <= 0 || k > n) {
+    return Status::InvalidArgument("subspace size k out of range");
+  }
+  // Degrees of the affinity-weighted graph; isolated nodes get degree 1 so
+  // the normalization stays finite (their rows are zero anyway).
+  std::vector<double> degree(n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j : adjacency[i]) degree[i] += affinity(i, j);
+    if (degree[i] <= 1e-12) degree[i] = 1.0;
+  }
+  std::vector<double> inv_sqrt_deg(n);
+  for (int i = 0; i < n; ++i) inv_sqrt_deg[i] = 1.0 / std::sqrt(degree[i]);
+
+  // Operator application: y = (I + D^-1/2 A D^-1/2) x, columnwise.
+  auto apply = [&](const Matrix& x, Matrix* y) {
+    const size_t cols = x.cols();
+    *y = x;  // The I term.
+    for (int i = 0; i < n; ++i) {
+      for (int j : adjacency[i]) {
+        const double w = affinity(i, j) * inv_sqrt_deg[i] * inv_sqrt_deg[j];
+        for (size_t c = 0; c < cols; ++c) (*y)(i, c) += w * x(j, c);
+      }
+    }
+  };
+
+  Matrix x(n, k);
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < k; ++c) x(r, c) = rng->Normal();
+  }
+  Orthonormalize(&x, rng);
+  Matrix y;
+  for (int it = 0; it < iterations; ++it) {
+    apply(x, &y);
+    x = y;
+    Orthonormalize(&x, rng);
+  }
+  return x;
+}
+
+Result<SpectralResult> SpectralDeltaClustering(
+    const AdjacencyList& adjacency, const std::vector<Feature>& features,
+    const DistanceMetric& metric, const SpectralConfig& config) {
+  const int n = static_cast<int>(adjacency.size());
+  if (n == 0) return Status::InvalidArgument("empty graph");
+  if (features.size() != static_cast<size_t>(n)) {
+    return Status::InvalidArgument("features size mismatch");
+  }
+  if (config.delta < 0) {
+    return Status::InvalidArgument("delta must be non-negative");
+  }
+  Rng rng(config.seed);
+
+  const double sigma = std::max(config.sigma_fraction * config.delta, 1e-9);
+  auto affinity = [&](int i, int j) {
+    const double d = metric.Distance(features[i], features[j]);
+    if (config.paper_literal_affinity) return d;
+    return std::exp(-d * d / (2.0 * sigma * sigma));
+  };
+
+  // Recursive spectral bisection: a connected component that satisfies the
+  // pairwise delta-condition becomes one cluster; otherwise it is split in
+  // two by k-means (k = 2) on its own NJW embedding and the connected pieces
+  // recurse.  This realizes the paper's "repeat with different k until every
+  // cluster satisfies the delta-condition" search in its strongest form.
+  SpectralResult result;
+  result.clustering.root_of.assign(n, -1);
+  result.chosen_k = 0;
+
+  // Emits `members` as one final cluster rooted at its medoid.
+  auto emit = [&](const std::vector<int>& members) {
+    int root = members[0];
+    double best = 1e300;
+    for (int cand : members) {
+      double worst = 0.0;
+      for (int other : members) {
+        worst =
+            std::max(worst, metric.Distance(features[cand], features[other]));
+      }
+      if (worst < best) {
+        best = worst;
+        root = cand;
+      }
+    }
+    for (int m : members) result.clustering.root_of[m] = root;
+    ++result.chosen_k;
+  };
+
+  // Returns the farthest-from-`from` member (ties to smaller id).
+  auto farthest = [&](const std::vector<int>& members, int from) {
+    int best = members[0];
+    double best_d = -1.0;
+    for (int m : members) {
+      const double d = metric.Distance(features[from], features[m]);
+      if (d > best_d) {
+        best_d = d;
+        best = m;
+      }
+    }
+    return best;
+  };
+
+  std::vector<std::vector<int>> work;
+  // Seed the recursion with the connected components of the whole graph.
+  {
+    const std::vector<int> comp = ConnectedComponents(adjacency);
+    std::map<int, std::vector<int>> groups;
+    for (int i = 0; i < n; ++i) groups[comp[i]].push_back(i);
+    for (auto& [id, members] : groups) {
+      (void)id;
+      work.push_back(std::move(members));
+    }
+  }
+
+  while (!work.empty()) {
+    std::vector<int> members = std::move(work.back());
+    work.pop_back();
+    // Compact already?
+    bool compact = true;
+    for (size_t a = 0; a < members.size() && compact; ++a) {
+      for (size_t b = a + 1; b < members.size(); ++b) {
+        if (metric.Distance(features[members[a]], features[members[b]]) >
+            config.delta + 1e-12) {
+          compact = false;
+          break;
+        }
+      }
+    }
+    if (compact) {
+      emit(members);
+      continue;
+    }
+
+    // Induced subgraph in local indices.
+    const int m = static_cast<int>(members.size());
+    std::map<int, int> local;
+    for (int i = 0; i < m; ++i) local[members[i]] = i;
+    AdjacencyList sub(m);
+    for (int i = 0; i < m; ++i) {
+      for (int nb : adjacency[members[i]]) {
+        auto it = local.find(nb);
+        if (it != local.end()) sub[i].push_back(it->second);
+      }
+    }
+    auto sub_affinity = [&](int i, int j) {
+      return affinity(members[i], members[j]);
+    };
+
+    // 2-way NJW split.
+    std::vector<int> assignment(m, 0);
+    bool split_ok = false;
+    Result<Matrix> vecs = TopEigenvectorsOfNormalizedAffinity(
+        sub, sub_affinity, std::min(2, m), &rng, 150);
+    if (vecs.ok() && m >= 2) {
+      const int dim = static_cast<int>(vecs.value().cols());
+      std::vector<Vector> points(m, Vector(dim, 0.0));
+      for (int i = 0; i < m; ++i) {
+        double norm = 0.0;
+        for (int c = 0; c < dim; ++c) {
+          norm += vecs.value()(i, c) * vecs.value()(i, c);
+        }
+        norm = std::sqrt(std::max(norm, 1e-12));
+        for (int c = 0; c < dim; ++c) {
+          points[i][c] = vecs.value()(i, c) / norm;
+        }
+      }
+      Result<KMeansResult> km =
+          KMeans(points, 2, &rng, 100, config.kmeans_restarts);
+      if (km.ok()) {
+        assignment = km.value().assignment;
+        int count0 = 0;
+        for (int a : assignment) count0 += a == 0 ? 1 : 0;
+        split_ok = count0 > 0 && count0 < m;
+      }
+    }
+    if (!split_ok) {
+      // Fallback that always makes progress: bipartition around the two
+      // mutually farthest features (they exist: the component violates
+      // delta, so its diameter is positive).
+      const int p1 = farthest(members, members[0]);
+      const int p2 = farthest(members, p1);
+      for (int i = 0; i < m; ++i) {
+        const double d1 = metric.Distance(features[members[i]], features[p1]);
+        const double d2 = metric.Distance(features[members[i]], features[p2]);
+        assignment[i] = d1 <= d2 ? 0 : 1;
+      }
+    }
+
+    // Connected components of each side recurse.
+    for (int side = 0; side < 2; ++side) {
+      std::vector<char> mask(n, 0);
+      bool any = false;
+      for (int i = 0; i < m; ++i) {
+        if (assignment[i] == side) {
+          mask[members[i]] = 1;
+          any = true;
+        }
+      }
+      if (!any) continue;
+      const std::vector<int> comp = InducedComponents(adjacency, mask);
+      std::map<int, std::vector<int>> groups;
+      for (int i = 0; i < m; ++i) {
+        if (assignment[i] == side) groups[comp[members[i]]].push_back(members[i]);
+      }
+      for (auto& [id, g] : groups) {
+        (void)id;
+        work.push_back(std::move(g));
+      }
+    }
+  }
+
+  // Merge-back pass: top-down bisection can overshoot, so greedily re-merge
+  // adjacent clusters whenever the union still satisfies the
+  // delta-condition, smallest union diameter first.  The base station has
+  // all features, so this is free for the centralized algorithm.
+  for (;;) {
+    auto groups = result.clustering.Groups();
+    // Adjacent root pairs.
+    std::set<std::pair<int, int>> adjacent;
+    for (int u = 0; u < n; ++u) {
+      for (int v : adjacency[u]) {
+        const int ru = result.clustering.root_of[u];
+        const int rv = result.clustering.root_of[v];
+        if (ru != rv) adjacent.insert(std::minmax(ru, rv));
+      }
+    }
+    std::map<int, const std::vector<int>*> members_of;
+    for (const auto& [root, members] : groups) members_of[root] = &members;
+    double best_diameter = 1e300;
+    std::pair<int, int> best_pair{-1, -1};
+    for (const auto& [ra, rb] : adjacent) {
+      double diameter = 0.0;
+      bool ok = true;
+      const auto& ma = *members_of[ra];
+      const auto& mb = *members_of[rb];
+      for (size_t a = 0; a < ma.size() && ok; ++a) {
+        for (size_t b = 0; b < mb.size(); ++b) {
+          const double d =
+              metric.Distance(features[ma[a]], features[mb[b]]);
+          diameter = std::max(diameter, d);
+          if (d > config.delta + 1e-12) {
+            ok = false;
+            break;
+          }
+        }
+      }
+      if (ok && diameter < best_diameter) {
+        best_diameter = diameter;
+        best_pair = {ra, rb};
+      }
+    }
+    if (best_pair.first < 0) break;
+    // Merge rb into ra; re-root at the union's medoid.
+    std::vector<int> merged = *members_of[best_pair.first];
+    merged.insert(merged.end(), members_of[best_pair.second]->begin(),
+                  members_of[best_pair.second]->end());
+    --result.chosen_k;
+    int root = merged[0];
+    double best = 1e300;
+    for (int cand : merged) {
+      double worst = 0.0;
+      for (int other : merged) {
+        worst =
+            std::max(worst, metric.Distance(features[cand], features[other]));
+      }
+      if (worst < best) {
+        best = worst;
+        root = cand;
+      }
+    }
+    for (int m : merged) result.clustering.root_of[m] = root;
+  }
+  return result;
+}
+
+}  // namespace elink

@@ -1,0 +1,121 @@
+#include "cluster/clustering.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+
+#include "common/strings.h"
+
+namespace elink {
+
+int Clustering::num_clusters() const {
+  std::set<int> roots;
+  for (int r : root_of) {
+    if (r >= 0) roots.insert(r);
+  }
+  return static_cast<int>(roots.size());
+}
+
+std::vector<std::pair<int, std::vector<int>>> Clustering::Groups() const {
+  std::map<int, std::vector<int>> groups;
+  for (size_t i = 0; i < root_of.size(); ++i) {
+    if (root_of[i] >= 0) groups[root_of[i]].push_back(static_cast<int>(i));
+  }
+  return {groups.begin(), groups.end()};
+}
+
+Status ValidateDeltaClustering(const Clustering& clustering,
+                               const AdjacencyList& adjacency,
+                               const std::vector<Feature>& features,
+                               const DistanceMetric& metric, double delta) {
+  const size_t n = adjacency.size();
+  if (clustering.root_of.size() != n) {
+    return Status::FailedPrecondition("clustering size mismatch");
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const int r = clustering.root_of[i];
+    if (r < 0 || static_cast<size_t>(r) >= n) {
+      return Status::FailedPrecondition(
+          StringPrintf("node %zu unclustered or root out of range", i));
+    }
+    if (clustering.root_of[r] != r) {
+      return Status::FailedPrecondition(StringPrintf(
+          "root %d of node %zu is not a member of its own cluster", r, i));
+    }
+  }
+  for (const auto& [root, members] : clustering.Groups()) {
+    // Connectivity of the induced subgraph.
+    std::vector<char> mask(n, 0);
+    for (int m : members) mask[m] = 1;
+    if (!IsInducedConnected(adjacency, mask)) {
+      return Status::FailedPrecondition(
+          StringPrintf("cluster rooted at %d is disconnected", root));
+    }
+    // Pairwise delta-compactness.
+    for (size_t a = 0; a < members.size(); ++a) {
+      for (size_t b = a + 1; b < members.size(); ++b) {
+        const double d =
+            metric.Distance(features[members[a]], features[members[b]]);
+        if (d > delta + 1e-9) {
+          return Status::FailedPrecondition(StringPrintf(
+              "cluster rooted at %d violates delta: d(%d, %d) = %.6f > %.6f",
+              root, members[a], members[b], d, delta));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+int RepairDisconnectedClusters(Clustering* clustering,
+                               const AdjacencyList& adjacency) {
+  const size_t n = adjacency.size();
+  int created = 0;
+  for (const auto& [root, members] : clustering->Groups()) {
+    std::vector<char> mask(n, 0);
+    for (int m : members) mask[m] = 1;
+    const std::vector<int> comp = InducedComponents(adjacency, mask);
+    const int root_comp = comp[root];
+    // Smallest member id per non-root component becomes its new root.
+    std::map<int, int> new_root_of_comp;
+    for (int m : members) {
+      if (comp[m] == root_comp) continue;
+      auto [it, inserted] = new_root_of_comp.emplace(comp[m], m);
+      if (!inserted) it->second = std::min(it->second, m);
+    }
+    created += static_cast<int>(new_root_of_comp.size());
+    for (int m : members) {
+      if (comp[m] != root_comp) {
+        clustering->root_of[m] = new_root_of_comp[comp[m]];
+      }
+    }
+  }
+  return created;
+}
+
+std::vector<int> BuildClusterTrees(const Clustering& clustering,
+                                   const AdjacencyList& adjacency) {
+  const size_t n = adjacency.size();
+  std::vector<int> parent(n, -1);
+  for (const auto& [root, members] : clustering.Groups()) {
+    std::vector<char> mask(n, 0);
+    for (int m : members) mask[m] = 1;
+    // BFS from the root restricted to cluster members.
+    std::deque<int> queue{root};
+    parent[root] = root;
+    while (!queue.empty()) {
+      const int u = queue.front();
+      queue.pop_front();
+      for (int v : adjacency[u]) {
+        if (mask[v] && parent[v] < 0) {
+          parent[v] = u;
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+  return parent;
+}
+
+}  // namespace elink

@@ -1,0 +1,69 @@
+// The delta-clustering model (paper Definition 1) and validation.
+//
+// A clustering assigns every node a cluster root; a cluster is valid when its
+// members induce a connected subgraph of the communication graph and all
+// pairwise feature distances are at most delta.  Validation here checks the
+// *pairwise* condition exhaustively — not just the distance-to-root
+// invariant the algorithms maintain — so tests catch any algorithmic slip.
+#ifndef ELINK_CLUSTER_CLUSTERING_H_
+#define ELINK_CLUSTER_CLUSTERING_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "metric/distance.h"
+#include "metric/feature.h"
+#include "sim/graph.h"
+
+namespace elink {
+
+/// \brief A partition of the network into rooted clusters.
+struct Clustering {
+  /// root_of[i] is the id of the cluster root (leader) of node i.  A root r
+  /// has root_of[r] == r.  -1 marks an unclustered node (never produced by a
+  /// complete run; checked by validation).
+  std::vector<int> root_of;
+
+  /// Number of distinct clusters.
+  int num_clusters() const;
+
+  /// Members of each cluster, keyed by root id (ascending), members sorted.
+  std::vector<std::pair<int, std::vector<int>>> Groups() const;
+
+  /// True when i and j are in the same cluster.
+  bool SameCluster(int i, int j) const {
+    return root_of[i] >= 0 && root_of[i] == root_of[j];
+  }
+};
+
+/// Verifies that `clustering` is a valid delta-clustering of the graph:
+/// every node assigned, every root a member of its own cluster, every
+/// cluster's induced subgraph connected, and every *pair* of cluster members
+/// within distance delta (Definition 1).  Returns FailedPrecondition with a
+/// description of the first violation.
+Status ValidateDeltaClustering(const Clustering& clustering,
+                               const AdjacencyList& adjacency,
+                               const std::vector<Feature>& features,
+                               const DistanceMetric& metric, double delta);
+
+/// Splits any cluster whose induced subgraph is disconnected into its
+/// connected components (the component containing the old root keeps it; the
+/// other components promote their smallest-id member).  Cluster switching
+/// during distributed expansion can strand such fragments (Section 3.2
+/// allows membership switches); this repair restores Definition 1's
+/// connectivity requirement without affecting delta-compactness, since each
+/// fragment's members were all within delta/2 of the old root feature.
+/// Returns the number of additional clusters created.
+int RepairDisconnectedClusters(Clustering* clustering,
+                               const AdjacencyList& adjacency);
+
+/// Builds per-cluster BFS trees rooted at each cluster root over the induced
+/// subgraphs: parent[i] is i's parent in its cluster tree (parent[root] ==
+/// root).  Used by the index layer (Section 7.1).  Requires a valid
+/// clustering (connected clusters).
+std::vector<int> BuildClusterTrees(const Clustering& clustering,
+                                   const AdjacencyList& adjacency);
+
+}  // namespace elink
+
+#endif  // ELINK_CLUSTER_CLUSTERING_H_

@@ -1,0 +1,388 @@
+#include "cluster/maintenance_protocol.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.h"
+
+namespace elink {
+
+namespace {
+
+enum MaintMsg : int {
+  kFetchUp = 1,      // Escalation request towards the root; ints = {origin}.
+  kRootFeature = 2,  // Root's live feature back to the origin.
+  kPush = 3,         // Root pushes its new feature down the tree.
+  kProbe = 4,        // Detached/orphaned node asks a neighbor for its root.
+  kProbeReply = 5,   // ints = {root id}; doubles = stored root feature.
+  kLeave = 6,        // Child tells its tree parent it departed.
+  kAttach = 7,       // New child announces itself to its adopted parent.
+  kOrphan = 8,       // Parent departed: the child must re-attach.
+  kRootChanged = 9,  // New root id + feature propagating down a subtree.
+};
+
+struct MaintContext {
+  const DistanceMetric* metric = nullptr;
+  MaintenanceConfig config;
+  int dim = 1;
+};
+
+class MaintNode : public Node {
+ public:
+  MaintNode(MaintContext* ctx) : ctx_(ctx) {}
+
+  // Deployment (driver, before any update).
+  void Deploy(Feature feature, int root, int parent,
+              std::vector<int> children) {
+    feature_ = feature;
+    verified_ = feature;
+    root_ = root;
+    parent_ = parent;
+    children_ = std::move(children);
+  }
+  void SetStoredRoot(Feature f) { stored_root_ = std::move(f); }
+  void SetAnnounced(Feature f) { announced_ = std::move(f); }
+
+  // State readout for the driver.
+  int root() const { return root_; }
+  const Feature& feature() const { return feature_; }
+  const Feature& announced() const { return announced_; }
+
+  /// Section 6 entry point: one local feature update.
+  void LocalUpdate(const Feature& updated) {
+    feature_ = updated;
+    if (root_ == id()) {
+      RootUpdate();
+      return;
+    }
+    const double slack = ctx_->config.slack;
+    const double d_new_root = Dist(feature_, stored_root_);
+    const bool a1 = Dist(verified_, feature_) <= slack + 1e-12;
+    const bool a2 =
+        d_new_root - Dist(verified_, stored_root_) <= slack + 1e-12;
+    const bool a3 = d_new_root <= ctx_->config.delta - slack + 1e-12;
+    if (a1 || a2 || a3) return;  // Absorbed locally: no messages.
+    // Escalate: fetch the live root feature over the cluster tree.
+    Message m;
+    m.type = kFetchUp;
+    m.category = "update_escalate";
+    m.ints = {id()};
+    network()->Send(id(), parent_, std::move(m));
+  }
+
+  void HandleMessage(int from, const Message& msg) override {
+    switch (msg.type) {
+      case kFetchUp:
+        if (root_ == id()) {
+          Message reply;
+          reply.type = kRootFeature;
+          reply.category = "update_escalate";
+          reply.doubles = feature_;
+          network()->SendRouted(id(), static_cast<int>(msg.ints[0]),
+                                std::move(reply));
+        } else {
+          Message m = msg;
+          network()->Send(id(), parent_, std::move(m));
+        }
+        break;
+      case kRootFeature: {
+        stored_root_ = msg.doubles;
+        if (Dist(feature_, stored_root_) <= ctx_->config.delta + 1e-12) {
+          verified_ = feature_;  // Still compatible: stay.
+        } else {
+          StartDetach();
+        }
+        break;
+      }
+      case kPush: {
+        stored_root_ = msg.doubles;
+        if (Dist(feature_, stored_root_) > ctx_->config.delta + 1e-12) {
+          // Evicted by the root's drift; children are pushed first so they
+          // hold the fresh root feature when the orphan notice arrives.
+          ForwardPushToChildren(msg);
+          StartDetach();
+        } else {
+          ForwardPushToChildren(msg);
+        }
+        break;
+      }
+      case kProbe: {
+        Message reply;
+        reply.type = kProbeReply;
+        reply.category = "update_merge_probe";
+        reply.ints = {root_, probing_ ? 0 : 1};  // root id, settled flag.
+        reply.doubles = stored_root_;
+        network()->Send(id(), from, std::move(reply));
+        break;
+      }
+      case kProbeReply:
+        OnProbeReply(from, static_cast<int>(msg.ints[0]),
+                     msg.ints[1] != 0, msg.doubles);
+        break;
+      case kLeave:
+        children_.erase(std::remove(children_.begin(), children_.end(), from),
+                        children_.end());
+        break;
+      case kAttach:
+        children_.push_back(from);
+        break;
+      case kOrphan:
+        if (!probing_) {
+          // The parent departed.  Flatten: orphan our own subtree too (every
+          // probing node is then a leaf, which keeps adoption acyclic), and
+          // look for a new home, preferring the old cluster.
+          for (int child : children_) {
+            Message orphan;
+            orphan.type = kOrphan;
+            orphan.category = "update_repair";
+            network()->Send(id(), child, std::move(orphan));
+          }
+          children_.clear();
+          reattach_mode_ = true;
+          old_root_ = root_;
+          StartProbing();
+        }
+        break;
+      case kRootChanged:
+        root_ = static_cast<int>(msg.ints[0]);
+        stored_root_ = msg.doubles;
+        for (int child : children_) {
+          Message m = msg;
+          m.category = "update_repair";
+          network()->Send(id(), child, std::move(m));
+        }
+        break;
+      default:
+        ELINK_CHECK(false);
+    }
+  }
+
+ private:
+  double Dist(const Feature& a, const Feature& b) const {
+    return ctx_->metric->Distance(a, b);
+  }
+
+  void RootUpdate() {
+    if (Dist(announced_, feature_) <= ctx_->config.slack + 1e-12) return;
+    announced_ = feature_;
+    verified_ = feature_;
+    stored_root_ = feature_;
+    Message m;
+    m.type = kPush;
+    m.category = "update_root_push";
+    m.doubles = feature_;
+    for (int child : children_) {
+      Message copy = m;
+      network()->Send(id(), child, std::move(copy));
+    }
+  }
+
+  void ForwardPushToChildren(const Message& push) {
+    for (int child : children_) {
+      Message copy = push;
+      network()->Send(id(), child, std::move(copy));
+    }
+  }
+
+  /// Leaves the current cluster and looks for a new home (Section 6's
+  /// detach-and-merge, plus the orphan notifications that realize the
+  /// connectivity repair in a distributed way).
+  void StartDetach() {
+    if (parent_ != id()) {
+      Message leave;
+      leave.type = kLeave;
+      leave.category = "update_repair";
+      network()->Send(id(), parent_, std::move(leave));
+    }
+    for (int child : children_) {
+      Message orphan;
+      orphan.type = kOrphan;
+      orphan.category = "update_repair";
+      network()->Send(id(), child, std::move(orphan));
+    }
+    children_.clear();
+    root_ = id();
+    parent_ = id();
+    reattach_mode_ = false;
+    StartProbing();
+  }
+
+  void StartProbing() {
+    probing_ = true;
+    probe_index_ = 0;
+    ProbeNext();
+  }
+
+  void ProbeNext() {
+    const auto& neighbors = network()->neighbors(id());
+    if (probe_index_ >= static_cast<int>(neighbors.size())) {
+      // No suitable neighbor: become (or stay) a cluster of our own and
+      // re-label any subtree still below us.
+      probing_ = false;
+      root_ = id();
+      parent_ = id();
+      announced_ = feature_;
+      stored_root_ = feature_;
+      verified_ = feature_;
+      BroadcastRootChanged();
+      return;
+    }
+    Message probe;
+    probe.type = kProbe;
+    probe.category = "update_merge_probe";
+    network()->Send(id(), neighbors[probe_index_], std::move(probe));
+  }
+
+  void OnProbeReply(int from, int nb_root, bool nb_settled,
+                    const Feature& nb_stored_root) {
+    if (!probing_) return;
+    ++probe_index_;
+    // Only settled neighbors can be adopted (an unsettled one is itself
+    // looking for a parent; mutual adoption would form a cycle).
+    if (nb_settled) {
+      if (reattach_mode_ && nb_root == old_root_ && from < id()) {
+        // Same-cluster re-attachment; the smaller-id rule makes the
+        // adoption order a strict partial order, so no cycles can form.
+        AdoptParent(from, nb_root, nb_stored_root, /*root_changed=*/false);
+        return;
+      }
+      const bool foreign = nb_root != (reattach_mode_ ? old_root_ : id());
+      if (foreign && Dist(feature_, nb_stored_root) <=
+                         ctx_->config.merge_fraction * ctx_->config.delta +
+                             1e-12) {
+        AdoptParent(from, nb_root, nb_stored_root, /*root_changed=*/true);
+        return;
+      }
+    }
+    ProbeNext();
+  }
+
+  void AdoptParent(int new_parent, int new_root, const Feature& root_feature,
+                   bool root_changed) {
+    probing_ = false;
+    parent_ = new_parent;
+    const bool changed = root_changed || new_root != root_;
+    root_ = new_root;
+    stored_root_ = root_feature;
+    verified_ = feature_;
+    Message attach;
+    attach.type = kAttach;
+    attach.category = "update_repair";
+    network()->Send(id(), new_parent, std::move(attach));
+    if (changed) BroadcastRootChanged();
+  }
+
+  void BroadcastRootChanged() {
+    for (int child : children_) {
+      Message m;
+      m.type = kRootChanged;
+      m.category = "update_repair";
+      m.ints = {root_};
+      m.doubles = stored_root_;
+      network()->Send(id(), child, std::move(m));
+    }
+  }
+
+  MaintContext* ctx_;
+
+  Feature feature_;
+  Feature verified_;
+  Feature stored_root_;
+  Feature announced_;  // Root only.
+  int root_ = -1;
+  int parent_ = -1;
+  std::vector<int> children_;
+
+  bool probing_ = false;
+  bool reattach_mode_ = false;
+  int old_root_ = -1;
+  int probe_index_ = 0;
+};
+
+}  // namespace
+
+struct DistributedMaintenance::Impl {
+  MaintContext ctx;
+  std::unique_ptr<Network> net;
+  int n = 0;
+};
+
+DistributedMaintenance::DistributedMaintenance(
+    const Topology& topology, const Clustering& clustering,
+    const std::vector<Feature>& features,
+    std::shared_ptr<const DistanceMetric> metric,
+    const MaintenanceConfig& config, bool synchronous, uint64_t seed)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->ctx.metric = metric.get();
+  metric_keepalive_ = std::move(metric);
+  impl_->ctx.config = config;
+  impl_->ctx.dim = features.empty() ? 1 : static_cast<int>(features[0].size());
+  impl_->n = topology.num_nodes();
+
+  Network::Config ncfg;
+  ncfg.synchronous = synchronous;
+  ncfg.seed = seed;
+  impl_->net = std::make_unique<Network>(topology, ncfg);
+  impl_->net->InstallNodes(
+      [&](int) { return std::make_unique<MaintNode>(&impl_->ctx); });
+
+  const std::vector<int> tree =
+      BuildClusterTrees(clustering, topology.adjacency);
+  std::vector<std::vector<int>> children(impl_->n);
+  for (int i = 0; i < impl_->n; ++i) {
+    if (tree[i] != i) children[tree[i]].push_back(i);
+  }
+  for (int i = 0; i < impl_->n; ++i) {
+    auto* node = static_cast<MaintNode*>(impl_->net->node(i));
+    node->Deploy(features[i], clustering.root_of[i], tree[i],
+                 std::move(children[i]));
+    node->SetStoredRoot(features[clustering.root_of[i]]);
+    if (clustering.root_of[i] == i) node->SetAnnounced(features[i]);
+  }
+}
+
+DistributedMaintenance::~DistributedMaintenance() = default;
+
+void DistributedMaintenance::ApplyUpdate(int node, const Feature& updated) {
+  static_cast<MaintNode*>(impl_->net->node(node))->LocalUpdate(updated);
+  impl_->net->Run();
+}
+
+Clustering DistributedMaintenance::CurrentClustering() const {
+  Clustering c;
+  c.root_of.resize(impl_->n);
+  for (int i = 0; i < impl_->n; ++i) {
+    c.root_of[i] = static_cast<MaintNode*>(impl_->net->node(i))->root();
+  }
+  return c;
+}
+
+std::vector<Feature> DistributedMaintenance::CurrentFeatures() const {
+  std::vector<Feature> out(impl_->n);
+  for (int i = 0; i < impl_->n; ++i) {
+    out[i] = static_cast<MaintNode*>(impl_->net->node(i))->feature();
+  }
+  return out;
+}
+
+const MessageStats& DistributedMaintenance::stats() const {
+  return impl_->net->stats();
+}
+
+Status DistributedMaintenance::ValidateRootDistanceInvariant(
+    double bound) const {
+  for (int i = 0; i < impl_->n; ++i) {
+    auto* node = static_cast<MaintNode*>(impl_->net->node(i));
+    auto* root = static_cast<MaintNode*>(impl_->net->node(node->root()));
+    const double d =
+        impl_->ctx.metric->Distance(node->feature(), root->feature());
+    if (d > bound + 1e-9) {
+      return Status::FailedPrecondition(
+          StringPrintf("node %d is %.6f from its root's feature (> %.6f)", i,
+                       d, bound));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace elink

@@ -1,0 +1,68 @@
+// A fully distributed, message-passing execution of the Section-6 cluster
+// maintenance protocol, run inside the discrete-event simulator.
+//
+// MaintenanceSession (maintenance.h) applies the A1-A3 logic centrally and
+// accounts the messages.  Here every step is a real protocol action: an
+// escalating node sends a fetch up its cluster tree hop by hop and the root
+// feature travels back down; a detaching node probes its radio neighbors
+// and joins over the link it probed; a drifting root pushes its new feature
+// down the tree, and nodes orphaned by a detach re-attach or promote
+// themselves (the distributed form of the connectivity repair).  Tests
+// replay identical update sequences through both implementations and check
+// that the outcomes and costs agree.
+#ifndef ELINK_CLUSTER_MAINTENANCE_PROTOCOL_H_
+#define ELINK_CLUSTER_MAINTENANCE_PROTOCOL_H_
+
+#include <memory>
+#include <vector>
+
+#include "cluster/clustering.h"
+#include "cluster/maintenance.h"
+#include "common/status.h"
+#include "metric/distance.h"
+#include "sim/network.h"
+
+namespace elink {
+
+/// \brief Long-lived maintenance protocol over a simulated network.
+///
+/// Construction deploys the per-node state (verified feature, stored root
+/// feature, cluster-tree links).  Each ApplyUpdate injects one feature
+/// update at a node and runs the network to quiescence.
+class DistributedMaintenance {
+ public:
+  DistributedMaintenance(const Topology& topology,
+                         const Clustering& clustering,
+                         const std::vector<Feature>& features,
+                         std::shared_ptr<const DistanceMetric> metric,
+                         const MaintenanceConfig& config,
+                         bool synchronous = true, uint64_t seed = 1);
+
+  ~DistributedMaintenance();
+
+  /// Applies one feature update and simulates until all induced protocol
+  /// activity (escalation, detach, probes, pushes, re-attachment) finishes.
+  void ApplyUpdate(int node, const Feature& updated);
+
+  /// Current clustering as held by the nodes themselves.
+  Clustering CurrentClustering() const;
+
+  /// Current feature per node.
+  std::vector<Feature> CurrentFeatures() const;
+
+  /// All protocol transmissions so far.
+  const MessageStats& stats() const;
+
+  /// The Section-6 invariant, evaluated over the nodes' live state:
+  /// every node within `bound` of its root's current feature.
+  Status ValidateRootDistanceInvariant(double bound) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  std::shared_ptr<const DistanceMetric> metric_keepalive_;
+};
+
+}  // namespace elink
+
+#endif  // ELINK_CLUSTER_MAINTENANCE_PROTOCOL_H_

@@ -1,0 +1,118 @@
+#include "cluster/quadtree.h"
+
+#include <algorithm>
+
+#include "sim/point.h"
+
+namespace elink {
+
+namespace {
+
+struct CellTask {
+  std::vector<int> nodes;  // Unassigned nodes inside this cell.
+  int level;
+  int parent_leader;  // Leader of the enclosing cell (-1 for the root cell).
+  double cx, cy;      // Cell center.
+  double half_w, half_h;
+};
+
+}  // namespace
+
+QuadtreeDecomposition QuadtreeDecomposition::Build(const Topology& topology,
+                                                   int max_levels) {
+  ELINK_CHECK(topology.num_nodes() > 0);
+  ELINK_CHECK(max_levels >= 1);
+  const int n = topology.num_nodes();
+
+  QuadtreeDecomposition out;
+  out.level_of_.assign(n, -1);
+  out.quad_parent_.assign(n, -1);
+  out.quad_children_.assign(n, {});
+
+  std::vector<CellTask> stack;
+  {
+    CellTask root;
+    root.nodes.resize(n);
+    for (int i = 0; i < n; ++i) root.nodes[i] = i;
+    root.level = 0;
+    root.parent_leader = -1;
+    root.cx = topology.width / 2.0;
+    root.cy = topology.height / 2.0;
+    // Guard against degenerate zero-extent deployments (single row/column).
+    root.half_w = std::max(topology.width / 2.0, 1e-9);
+    root.half_h = std::max(topology.height / 2.0, 1e-9);
+    stack.push_back(std::move(root));
+  }
+
+  while (!stack.empty()) {
+    CellTask cell = std::move(stack.back());
+    stack.pop_back();
+    if (cell.nodes.empty()) continue;
+
+    if (cell.level >= max_levels - 1) {
+      // Depth cap: everyone left becomes a leader of its own singleton cell.
+      std::sort(cell.nodes.begin(), cell.nodes.end());
+      for (int node : cell.nodes) {
+        out.level_of_[node] = cell.level;
+        out.quad_parent_[node] = cell.parent_leader;
+      }
+      continue;
+    }
+
+    // Elect the leader: unassigned node nearest the cell centroid (ties
+    // break to the smaller id for determinism).
+    const Point2D center{cell.cx, cell.cy};
+    int leader = cell.nodes[0];
+    double best = EuclideanDistance(topology.positions[leader], center);
+    for (int node : cell.nodes) {
+      const double d = EuclideanDistance(topology.positions[node], center);
+      if (d < best || (d == best && node < leader)) {
+        best = d;
+        leader = node;
+      }
+    }
+    out.level_of_[leader] = cell.level;
+    out.quad_parent_[leader] =
+        cell.parent_leader < 0 ? leader : cell.parent_leader;
+
+    // Partition the remaining nodes into the four child quadrants.
+    std::vector<int> quadrant_nodes[4];
+    for (int node : cell.nodes) {
+      if (node == leader) continue;
+      const Point2D& p = topology.positions[node];
+      const int qx = p.x >= cell.cx ? 1 : 0;
+      const int qy = p.y >= cell.cy ? 1 : 0;
+      quadrant_nodes[qy * 2 + qx].push_back(node);
+    }
+    for (int q = 0; q < 4; ++q) {
+      if (quadrant_nodes[q].empty()) continue;
+      CellTask child;
+      child.nodes = std::move(quadrant_nodes[q]);
+      child.level = cell.level + 1;
+      child.parent_leader = leader;
+      child.half_w = cell.half_w / 2.0;
+      child.half_h = cell.half_h / 2.0;
+      child.cx = cell.cx + (q % 2 == 1 ? child.half_w : -child.half_w);
+      child.cy = cell.cy + (q / 2 == 1 ? child.half_h : -child.half_h);
+      stack.push_back(std::move(child));
+    }
+  }
+
+  // Derive sentinel sets and quad-children lists.
+  int deepest = 0;
+  for (int i = 0; i < n; ++i) deepest = std::max(deepest, out.level_of_[i]);
+  out.sentinel_sets_.assign(deepest + 1, {});
+  for (int i = 0; i < n; ++i) {
+    ELINK_CHECK(out.level_of_[i] >= 0);
+    out.sentinel_sets_[out.level_of_[i]].push_back(i);
+    if (out.quad_parent_[i] != i) {
+      out.quad_children_[out.quad_parent_[i]].push_back(i);
+    }
+  }
+  for (auto& s : out.sentinel_sets_) std::sort(s.begin(), s.end());
+  for (auto& c : out.quad_children_) std::sort(c.begin(), c.end());
+  ELINK_CHECK(out.sentinel_sets_[0].size() == 1);
+  return out;
+}
+
+}  // namespace elink

@@ -1,0 +1,69 @@
+// Quadtree decomposition and sentinel sets (paper Section 3.2).
+//
+// The deployment region is split recursively into cells; every cell elects a
+// leader (the node nearest the cell centroid, per the paper's footnote 1),
+// and sentinel set S_l is the set of leaders of the level-l cells.  Each node
+// is a sentinel at exactly one level (sum |S_l| = N): once a node is elected
+// at some level it is excluded from elections in the cell's descendants, and
+// recursion continues until every node has been elected somewhere.
+//
+// The quadtree also defines the signalling hierarchy of the explicit
+// technique: a sentinel's quad parent is the leader of its enclosing
+// parent cell.
+#ifndef ELINK_CLUSTER_QUADTREE_H_
+#define ELINK_CLUSTER_QUADTREE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "sim/topology.h"
+
+namespace elink {
+
+/// \brief Sentinel-set decomposition of a deployment.
+class QuadtreeDecomposition {
+ public:
+  /// Builds the decomposition for `topology`.  `max_levels` caps recursion
+  /// depth on degenerate (coincident) placements; any nodes still unassigned
+  /// at the cap become leaders of singleton cells at the deepest level.
+  static QuadtreeDecomposition Build(const Topology& topology,
+                                     int max_levels = 24);
+
+  /// Number of levels used (alpha + 1); level 0 is the root sentinel.
+  int num_levels() const { return static_cast<int>(sentinel_sets_.size()); }
+
+  /// Node ids in sentinel set S_l, ascending.
+  const std::vector<int>& sentinel_set(int level) const {
+    return sentinel_sets_[level];
+  }
+
+  /// The sentinel level of a node (every node has exactly one).
+  int level_of(int node) const { return level_of_[node]; }
+
+  /// The node's parent sentinel in the quadtree (the leader of the enclosing
+  /// parent cell).  The level-0 root's parent is itself.
+  int quad_parent(int node) const { return quad_parent_[node]; }
+
+  /// The node's child sentinels in the quadtree (leaders of its cell's
+  /// non-empty child cells), ascending.
+  const std::vector<int>& quad_children(int node) const {
+    return quad_children_[node];
+  }
+
+  /// The single level-0 sentinel (root of the quadtree).
+  int root() const { return sentinel_sets_[0][0]; }
+
+  int num_nodes() const { return static_cast<int>(level_of_.size()); }
+
+ private:
+  QuadtreeDecomposition() = default;
+
+  std::vector<std::vector<int>> sentinel_sets_;
+  std::vector<int> level_of_;
+  std::vector<int> quad_parent_;
+  std::vector<std::vector<int>> quad_children_;
+};
+
+}  // namespace elink
+
+#endif  // ELINK_CLUSTER_QUADTREE_H_

@@ -1,0 +1,52 @@
+// Minimal leveled logging to stderr.
+//
+// The simulator and benchmark harnesses use this for progress and diagnostic
+// output; the default level is kWarning so test output stays quiet.
+#ifndef ELINK_COMMON_LOGGING_H_
+#define ELINK_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace elink {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+
+/// Returns the current global minimum level.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink; emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define ELINK_LOG(level)                                               \
+  ::elink::internal::LogMessage(::elink::LogLevel::k##level, __FILE__, \
+                                __LINE__)
+
+}  // namespace elink
+
+#endif  // ELINK_COMMON_LOGGING_H_

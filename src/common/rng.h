@@ -1,0 +1,59 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components of the simulator and the dataset generators draw
+// from Rng so that every experiment is reproducible from a single seed.  The
+// generator is xoshiro256** seeded through SplitMix64, which has good
+// statistical quality and is trivially portable (no libstdc++ distribution
+// implementation differences leak into the results).
+#ifndef ELINK_COMMON_RNG_H_
+#define ELINK_COMMON_RNG_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace elink {
+
+/// \brief Deterministic xoshiro256** PRNG with convenience distributions.
+class Rng {
+ public:
+  /// Seeds the generator; identical seeds yield identical streams.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit output.
+  uint64_t Next();
+
+  /// Uniform double in [0, 1).
+  double Uniform01();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n).  Requires n > 0.
+  uint64_t UniformInt(uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive.  Requires lo <= hi.
+  int64_t UniformIntRange(int64_t lo, int64_t hi);
+
+  /// Standard normal deviate (Box-Muller with caching).
+  double Normal();
+
+  /// Normal deviate with the given mean and standard deviation.
+  double Normal(double mean, double stddev);
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p);
+
+  /// Derives an independent generator for a named sub-stream.  Useful for
+  /// giving each node / each trial its own stream from one master seed.
+  Rng Fork(uint64_t stream_id);
+
+ private:
+  uint64_t state_[4];
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace elink
+
+#endif  // ELINK_COMMON_RNG_H_

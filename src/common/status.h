@@ -1,0 +1,131 @@
+// Status / Result error-handling primitives, in the style of RocksDB/Arrow.
+//
+// Library code in this project reports recoverable errors through Status (or
+// Result<T> for value-returning functions) rather than exceptions.  Fatal
+// programming errors (violated preconditions) use ELINK_CHECK, which aborts.
+#ifndef ELINK_COMMON_STATUS_H_
+#define ELINK_COMMON_STATUS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace elink {
+
+/// Error taxonomy for recoverable failures.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kFailedPrecondition,
+  kInternal,
+  kUnimplemented,
+};
+
+/// \brief A lightweight success-or-error value.
+///
+/// A default-constructed Status is OK.  Error statuses carry a code and a
+/// human-readable message.  Status is cheap to copy in the OK case.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders e.g. "InvalidArgument: delta must be non-negative".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// \brief Either a value of type T or an error Status.
+///
+/// Usage:
+///   Result<Matrix> r = Invert(m);
+///   if (!r.ok()) return r.status();
+///   Matrix inv = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+namespace internal {
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr);
+}  // namespace internal
+
+/// Aborts the process when a precondition does not hold.
+#define ELINK_CHECK(expr)                                         \
+  do {                                                            \
+    if (!(expr)) {                                                \
+      ::elink::internal::CheckFailed(__FILE__, __LINE__, #expr);  \
+    }                                                             \
+  } while (0)
+
+/// Propagates a non-OK Status to the caller.
+#define ELINK_RETURN_NOT_OK(expr)          \
+  do {                                     \
+    ::elink::Status _st = (expr);          \
+    if (!_st.ok()) return _st;             \
+  } while (0)
+
+}  // namespace elink
+
+#endif  // ELINK_COMMON_STATUS_H_

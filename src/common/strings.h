@@ -1,0 +1,27 @@
+// Small string utilities shared by the harnesses (CSV-style table output,
+// joining, formatting).  Nothing here is performance critical.
+#ifndef ELINK_COMMON_STRINGS_H_
+#define ELINK_COMMON_STRINGS_H_
+
+#include <string>
+#include <vector>
+
+namespace elink {
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> Split(const std::string& s, char sep);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// printf-style formatting into a std::string.
+std::string StringPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Renders a double compactly (up to `precision` significant decimals,
+/// trailing zeros trimmed) for table output.
+std::string FormatDouble(double v, int precision = 4);
+
+}  // namespace elink
+
+#endif  // ELINK_COMMON_STRINGS_H_

@@ -1,0 +1,115 @@
+#include "core/clustered_network.h"
+
+namespace elink {
+
+ClusteredSensorNetwork::ClusteredSensorNetwork(
+    Topology topology, std::shared_ptr<const DistanceMetric> metric,
+    Options options)
+    : topology_(std::move(topology)),
+      metric_(std::move(metric)),
+      options_(options) {}
+
+Result<std::unique_ptr<ClusteredSensorNetwork>> ClusteredSensorNetwork::Build(
+    const SensorDataset& dataset, const Options& options) {
+  if (dataset.metric == nullptr) {
+    return Status::InvalidArgument("dataset has no metric");
+  }
+
+  ElinkConfig cfg;
+  cfg.delta = options.delta;
+  cfg.slack = options.slack;
+  cfg.phi_fraction = options.phi_fraction;
+  cfg.max_switches = options.max_switches;
+  cfg.synchronous = options.synchronous;
+  cfg.seed = options.seed;
+  Result<ElinkResult> clustered =
+      RunElink(dataset.topology, dataset.features, *dataset.metric, cfg,
+               options.mode);
+  if (!clustered.ok()) return clustered.status();
+
+  auto net = std::unique_ptr<ClusteredSensorNetwork>(
+      new ClusteredSensorNetwork(dataset.topology, dataset.metric, options));
+  net->stats_.Merge(clustered.value().stats);
+  net->clustering_cost_units_ = clustered.value().stats.total_units();
+
+  MaintenanceConfig mcfg;
+  mcfg.delta = options.delta;
+  mcfg.slack = options.slack;
+  net->maintenance_ = std::make_unique<MaintenanceSession>(
+      net->topology_, clustered.value().clustering, dataset.features,
+      net->metric_, mcfg);
+  net->RebuildIndex();
+  return net;
+}
+
+const Clustering& ClusteredSensorNetwork::clustering() const {
+  return maintenance_->clustering();
+}
+
+const Feature& ClusteredSensorNetwork::feature(int node) const {
+  return maintenance_->current_features()[node];
+}
+
+void ClusteredSensorNetwork::UpdateFeature(int node, const Feature& updated) {
+  maintenance_->UpdateFeature(node, updated);
+  MarkDirty();
+}
+
+Status ClusteredSensorNetwork::ValidateInvariant() const {
+  return maintenance_->ValidateRootDistanceInvariant(options_.delta +
+                                                     2 * options_.slack);
+}
+
+void ClusteredSensorNetwork::RebuildIndex() {
+  const Clustering& clustering = maintenance_->clustering();
+  const std::vector<Feature>& features = maintenance_->current_features();
+  tree_parent_ = BuildClusterTrees(clustering, topology_.adjacency);
+  index_ = std::make_unique<ClusterIndex>(ClusterIndex::Build(
+      clustering, tree_parent_, features, *metric_, &stats_));
+  backbone_ = std::make_unique<Backbone>(
+      Backbone::Build(clustering, topology_.adjacency, &stats_, &features,
+                      metric_.get()));
+  range_engine_ = std::make_unique<RangeQueryEngine>(
+      clustering, *index_, *backbone_, features, *metric_, options_.delta);
+  path_engine_ = std::make_unique<PathQueryEngine>(
+      clustering, *index_, *backbone_, topology_.adjacency, features,
+      *metric_, options_.delta);
+  index_valid_ = true;
+}
+
+void ClusteredSensorNetwork::EnsureIndex() {
+  // Fold in maintenance messages recorded since the last sync.
+  const uint64_t seen = maintenance_->stats().total_units();
+  if (seen > maintenance_units_seen_) {
+    MessageStats delta_stats;
+    // Category detail is preserved by merging the whole ledger once at the
+    // end of a run; here we only need the totals to stay consistent, so we
+    // re-merge the difference under a single category.
+    delta_stats.Record("maintenance",
+                       static_cast<int>(seen - maintenance_units_seen_));
+    stats_.Merge(delta_stats);
+    maintenance_units_seen_ = seen;
+  }
+  if (!index_valid_) RebuildIndex();
+}
+
+RangeQueryResult ClusteredSensorNetwork::RangeQuery(int initiator,
+                                                    const Feature& q,
+                                                    double r) {
+  EnsureIndex();
+  RangeQueryResult result = range_engine_->Query(initiator, q, r);
+  stats_.Merge(result.stats);
+  return result;
+}
+
+PathQueryResult ClusteredSensorNetwork::SafePath(int source, int destination,
+                                                 const Feature& danger,
+                                                 double gamma) {
+  EnsureIndex();
+  PathQueryResult result =
+      path_engine_->Query(source, destination, danger, gamma);
+  stats_.Merge(result.stats);
+  return result;
+}
+
+}  // namespace elink

@@ -1,0 +1,47 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+
+namespace elink {
+
+double MaxNeighborDistance(const SensorDataset& ds) {
+  double m = 0.0;
+  const int n = ds.topology.num_nodes();
+  for (int i = 0; i < n; ++i) {
+    for (int j : ds.topology.adjacency[i]) {
+      if (j <= i) continue;
+      m = std::max(m, ds.metric->Distance(ds.features[i], ds.features[j]));
+    }
+  }
+  return m;
+}
+
+double FeatureDiameter(const SensorDataset& ds) {
+  double m = 0.0;
+  const int n = ds.topology.num_nodes();
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      m = std::max(m, ds.metric->Distance(ds.features[i], ds.features[j]));
+    }
+  }
+  return m;
+}
+
+std::vector<double> SuggestDeltaSweep(const SensorDataset& ds, int count,
+                                      double lo_frac, double hi_frac) {
+  const double diameter = FeatureDiameter(ds);
+  std::vector<double> out;
+  out.reserve(count);
+  if (count == 1) {
+    out.push_back(lo_frac * diameter);
+    return out;
+  }
+  for (int i = 0; i < count; ++i) {
+    const double f =
+        lo_frac + (hi_frac - lo_frac) * static_cast<double>(i) / (count - 1);
+    out.push_back(f * diameter);
+  }
+  return out;
+}
+
+}  // namespace elink

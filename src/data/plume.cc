@@ -1,0 +1,61 @@
+#include "data/plume.h"
+
+#include <cmath>
+
+namespace elink {
+
+double PlumeConcentration(const PlumeConfig& config, double x, double y,
+                          int step) {
+  const double cx = config.source_x + config.wind_x * step;
+  const double cy = config.source_y + config.wind_y * step;
+  const double sigma = config.sigma0 + config.sigma_growth * step;
+  const double dx = x - cx;
+  const double dy = y - cy;
+  // Mass-conserving 2-D Gaussian puff: the peak decays as sigma grows.
+  const double amplitude =
+      config.peak * (config.sigma0 * config.sigma0) / (sigma * sigma);
+  return amplitude * std::exp(-(dx * dx + dy * dy) / (2.0 * sigma * sigma));
+}
+
+Result<SensorDataset> MakePlumeDataset(const PlumeConfig& config) {
+  if (config.num_nodes <= 0) {
+    return Status::InvalidArgument("num_nodes must be positive");
+  }
+  if (config.sigma0 <= 0 || config.sigma_growth < 0) {
+    return Status::InvalidArgument("sigma parameters invalid");
+  }
+  if (config.snapshot_step < 0 || config.stream_steps < 0) {
+    return Status::InvalidArgument("step counts must be non-negative");
+  }
+  Rng rng(config.seed);
+  Result<Topology> topo = MakeRandomTopology(
+      config.num_nodes, config.side, config.side * config.radio_range_fraction,
+      &rng, /*force_connectivity=*/true);
+  if (!topo.ok()) return topo.status();
+
+  SensorDataset ds;
+  ds.name = "plume";
+  ds.topology = std::move(topo).value();
+  ds.metric =
+      std::make_shared<WeightedEuclidean>(WeightedEuclidean::Euclidean(1));
+  ds.features.resize(config.num_nodes);
+  ds.streams.resize(config.num_nodes);
+  for (int i = 0; i < config.num_nodes; ++i) {
+    Rng node_rng = rng.Fork(static_cast<uint64_t>(i) + 3000);
+    const Point2D& p = ds.topology.positions[i];
+    const double snapshot =
+        PlumeConcentration(config, p.x, p.y, config.snapshot_step) +
+        node_rng.Normal(0.0, config.noise);
+    ds.features[i] = {std::max(0.0, snapshot)};
+    ds.streams[i].reserve(config.stream_steps);
+    for (int s = 1; s <= config.stream_steps; ++s) {
+      const double c =
+          PlumeConcentration(config, p.x, p.y, config.snapshot_step + s) +
+          node_rng.Normal(0.0, config.noise);
+      ds.streams[i].push_back(std::max(0.0, c));
+    }
+  }
+  return ds;
+}
+
+}  // namespace elink

@@ -1,0 +1,155 @@
+#include "index/backbone.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+namespace elink {
+
+Backbone Backbone::Build(const Clustering& clustering,
+                         const AdjacencyList& adjacency,
+                         MessageStats* build_stats,
+                         const std::vector<Feature>* features,
+                         const DistanceMetric* metric) {
+  Backbone bb;
+  const int n = static_cast<int>(adjacency.size());
+
+  std::set<int> leader_set;
+  for (int i = 0; i < n; ++i) leader_set.insert(clustering.root_of[i]);
+  bb.leaders_.assign(leader_set.begin(), leader_set.end());
+
+  // Cluster-level adjacency from boundary edges, with discovery accounting:
+  // each boundary pair exchanges leader ids across the edge once.
+  std::map<int, std::set<int>> cluster_adj;
+  std::set<std::pair<int, int>> seen_pairs;
+  for (int u = 0; u < n; ++u) {
+    for (int v : adjacency[u]) {
+      if (u > v) continue;
+      const int ru = clustering.root_of[u];
+      const int rv = clustering.root_of[v];
+      if (ru == rv) continue;
+      cluster_adj[ru].insert(rv);
+      cluster_adj[rv].insert(ru);
+      if (build_stats != nullptr &&
+          seen_pairs.insert(std::minmax(ru, rv)).second) {
+        build_stats->Record("backbone_build", 1);
+        build_stats->Record("backbone_build", 1);
+      }
+    }
+  }
+
+  // Hop tables per leader (used for backbone link costs).
+  for (int leader : bb.leaders_) {
+    bb.hops_from_leader_[leader] = HopDistancesFrom(adjacency, leader);
+    bb.tree_children_[leader] = {};
+  }
+
+  if (features != nullptr && metric != nullptr && bb.leaders_.size() > 1) {
+    // Feature-aware tree: root at the leader medoid, then Prim's algorithm
+    // with leader feature distances as weights, so feature-similar clusters
+    // land in the same subtree.
+    int root = bb.leaders_.front();
+    double best_ecc = 1e300;
+    for (int cand : bb.leaders_) {
+      double ecc = 0.0;
+      for (int other : bb.leaders_) {
+        ecc = std::max(
+            ecc, metric->Distance((*features)[cand], (*features)[other]));
+      }
+      if (ecc < best_ecc) {
+        best_ecc = ecc;
+        root = cand;
+      }
+    }
+    bb.tree_root_ = root;
+    bb.tree_parent_[root] = root;
+    std::set<int> visited{root};
+    while (visited.size() < bb.leaders_.size()) {
+      // Cheapest cluster-graph edge from the tree to an unvisited leader.
+      double best_w = 1e300;
+      int best_from = -1, best_to = -1;
+      for (int in : visited) {
+        for (int out : cluster_adj[in]) {
+          if (visited.count(out)) continue;
+          const double w =
+              metric->Distance((*features)[in], (*features)[out]);
+          if (w < best_w || (w == best_w && out < best_to)) {
+            best_w = w;
+            best_from = in;
+            best_to = out;
+          }
+        }
+      }
+      ELINK_CHECK(best_to >= 0);  // Cluster graph is connected.
+      bb.tree_parent_[best_to] = best_from;
+      bb.tree_children_[best_from].push_back(best_to);
+      visited.insert(best_to);
+    }
+    for (auto& [leader, kids] : bb.tree_children_) {
+      (void)leader;
+      std::sort(kids.begin(), kids.end());
+    }
+  } else {
+    // BFS spanning tree over the cluster graph from the smallest leader id.
+    bb.tree_root_ = bb.leaders_.front();
+    bb.tree_parent_[bb.tree_root_] = bb.tree_root_;
+    std::deque<int> queue{bb.tree_root_};
+    std::set<int> visited{bb.tree_root_};
+    while (!queue.empty()) {
+      const int cur = queue.front();
+      queue.pop_front();
+      for (int nb : cluster_adj[cur]) {
+        if (visited.insert(nb).second) {
+          bb.tree_parent_[nb] = cur;
+          bb.tree_children_[cur].push_back(nb);
+          queue.push_back(nb);
+        }
+      }
+    }
+    // A connected communication graph yields a connected cluster graph.
+    ELINK_CHECK(visited.size() == bb.leaders_.size());
+  }
+
+  for (int leader : bb.leaders_) {
+    const int parent = bb.tree_parent_[leader];
+    if (parent != leader) {
+      const int hops = bb.route_hops(leader, parent);
+      bb.total_tree_hops_ += hops;
+      if (build_stats != nullptr) {
+        // Tree agreement: each leader notifies its chosen parent.
+        for (int h = 0; h < hops; ++h) {
+          build_stats->Record("backbone_build", 1);
+        }
+      }
+    }
+  }
+
+  // Steiner flood structure: the communication-graph BFS tree rooted at the
+  // backbone root, pruned to the union of root-to-leader paths.  Shared
+  // prefixes are a single branch, so one flood reaches every leader in
+  // (marked nodes - 1) transmissions.
+  {
+    const std::vector<int> parents =
+        BfsTreeParents(adjacency, bb.tree_root_);
+    std::set<int> marked;
+    for (int leader : bb.leaders_) {
+      for (int cur = leader; marked.insert(cur).second && cur != bb.tree_root_;
+           cur = parents[cur]) {
+      }
+    }
+    marked.insert(bb.tree_root_);
+    bb.flood_hops_ = static_cast<int>(marked.size()) - 1;
+  }
+  return bb;
+}
+
+int Backbone::route_hops(int leader_a, int leader_b) const {
+  if (leader_a == leader_b) return 0;
+  const auto it = hops_from_leader_.find(leader_a);
+  ELINK_CHECK(it != hops_from_leader_.end());
+  const int hops = it->second[leader_b];
+  ELINK_CHECK(hops > 0);
+  return hops;
+}
+
+}  // namespace elink

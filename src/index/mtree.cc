@@ -1,0 +1,70 @@
+#include "index/mtree.h"
+
+#include <algorithm>
+
+namespace elink {
+
+ClusterIndex ClusterIndex::Build(const Clustering& clustering,
+                                 const std::vector<int>& tree_parent,
+                                 const std::vector<Feature>& features,
+                                 const DistanceMetric& metric,
+                                 MessageStats* build_stats) {
+  const int n = static_cast<int>(tree_parent.size());
+  ClusterIndex index;
+  index.features_ = features;
+  index.parent_ = tree_parent;
+  index.radius_.assign(n, 0.0);
+  index.children_.assign(n, {});
+  index.subtree_.assign(n, {});
+  index.depth_.assign(n, 0);
+
+  for (int i = 0; i < n; ++i) {
+    ELINK_CHECK(clustering.root_of[i] >= 0);
+    if (tree_parent[i] != i) index.children_[tree_parent[i]].push_back(i);
+  }
+
+  // Depths, then process nodes deepest-first so children finish before
+  // parents (the bottom-up wave of Section 7.1).
+  std::vector<int> order(n);
+  for (int i = 0; i < n; ++i) {
+    int d = 0;
+    for (int cur = i; tree_parent[cur] != cur; cur = tree_parent[cur]) ++d;
+    index.depth_[i] = d;
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    if (index.depth_[a] != index.depth_[b]) {
+      return index.depth_[a] > index.depth_[b];
+    }
+    return a < b;
+  });
+
+  const int dim = n > 0 ? static_cast<int>(features[0].size()) : 0;
+  for (int i : order) {
+    index.subtree_[i].push_back(i);
+    for (int child : index.children_[i]) {
+      const double reach = metric.Distance(features[i], features[child]) +
+                           index.radius_[child];
+      index.radius_[i] = std::max(index.radius_[i], reach);
+      index.subtree_[i].insert(index.subtree_[i].end(),
+                               index.subtree_[child].begin(),
+                               index.subtree_[child].end());
+      if (build_stats != nullptr) {
+        // Child reports (routing feature, radius) to its parent.
+        build_stats->Record("mtree_build", dim + 1);
+      }
+    }
+    std::sort(index.subtree_[i].begin(), index.subtree_[i].end());
+  }
+
+  // Exact root-ball radii, one per cluster root.
+  index.root_ball_.assign(n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    const int root = clustering.root_of[i];
+    index.root_ball_[root] = std::max(
+        index.root_ball_[root], metric.Distance(features[root], features[i]));
+  }
+  return index;
+}
+
+}  // namespace elink

@@ -1,0 +1,76 @@
+// Distributed M-tree index over cluster trees (paper Section 7.1).
+//
+// Each node i in a cluster tree keeps a routing feature F_i^R (its own
+// feature) and a covering radius R_i such that every feature in the subtree
+// rooted at i lies within R_i of F_i^R.  Leaves have R = 0; a parent
+// aggregates max_j (d(F_p^R, F_j^R) + R_j) over its children.  The structure
+// is built by one bottom-up wave over the cluster trees (one message per
+// tree edge carrying the child's routing feature and radius).
+#ifndef ELINK_INDEX_MTREE_H_
+#define ELINK_INDEX_MTREE_H_
+
+#include <vector>
+
+#include "cluster/clustering.h"
+#include "common/status.h"
+#include "metric/distance.h"
+#include "sim/stats.h"
+
+namespace elink {
+
+/// \brief The per-node M-tree state for all clusters of a clustering.
+class ClusterIndex {
+ public:
+  /// Builds the index bottom-up over the given cluster trees.
+  /// `tree_parent` comes from BuildClusterTrees (parent[root] == root).
+  /// Build messages (one per tree edge, feature + radius units) are recorded
+  /// into `build_stats` when non-null, category "mtree_build".
+  static ClusterIndex Build(const Clustering& clustering,
+                            const std::vector<int>& tree_parent,
+                            const std::vector<Feature>& features,
+                            const DistanceMetric& metric,
+                            MessageStats* build_stats = nullptr);
+
+  /// Routing feature of node i (== the node's own feature).
+  const Feature& routing_feature(int i) const { return features_[i]; }
+
+  /// Covering radius of the subtree rooted at i.
+  double covering_radius(int i) const { return radius_[i]; }
+
+  /// i's children in its cluster tree, ascending.
+  const std::vector<int>& children(int i) const { return children_[i]; }
+
+  /// i's parent in its cluster tree (parent of a root is the root itself).
+  int parent(int i) const { return parent_[i]; }
+
+  /// All nodes in the subtree rooted at i (including i).
+  const std::vector<int>& subtree(int i) const { return subtree_[i]; }
+
+  /// Exact max feature distance from cluster root `leader` to any member of
+  /// its cluster — the ball radius the delta-compactness screens use.  For
+  /// an ELink cluster this is at most delta/2 (the paper's screen); for
+  /// repaired fragments and baseline clusterings it is the sound substitute.
+  /// Aggregated bottom-up alongside the covering radii (members know their
+  /// distance to the stored root feature), so it costs no extra messages.
+  double root_ball_radius(int leader) const { return root_ball_[leader]; }
+
+  /// Hop depth of i below its cluster root.
+  int depth(int i) const { return depth_[i]; }
+
+  int num_nodes() const { return static_cast<int>(parent_.size()); }
+
+ private:
+  ClusterIndex() = default;
+
+  std::vector<Feature> features_;
+  std::vector<double> radius_;
+  std::vector<int> parent_;
+  std::vector<std::vector<int>> children_;
+  std::vector<std::vector<int>> subtree_;
+  std::vector<int> depth_;
+  std::vector<double> root_ball_;
+};
+
+}  // namespace elink
+
+#endif  // ELINK_INDEX_MTREE_H_

@@ -1,0 +1,250 @@
+#include "index/path_query.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+namespace elink {
+
+PathQueryEngine::PathQueryEngine(const Clustering& clustering,
+                                 const ClusterIndex& index,
+                                 const Backbone& backbone,
+                                 const AdjacencyList& adjacency,
+                                 const std::vector<Feature>& features,
+                                 const DistanceMetric& metric, double delta)
+    : clustering_(clustering),
+      index_(index),
+      backbone_(backbone),
+      adjacency_(adjacency),
+      features_(features),
+      metric_(metric),
+      delta_(delta),
+      feature_dim_(features.empty() ? 0
+                                    : static_cast<int>(features[0].size())) {
+  // Upper-level covering radii over backbone subtrees (see
+  // RangeQueryEngine's constructor for the same aggregation).
+  std::vector<int> order = backbone_.leaders();
+  auto depth = [&](int leader) {
+    int d = 0;
+    for (int cur = leader; backbone_.tree_parent(cur) != cur;
+         cur = backbone_.tree_parent(cur)) {
+      ++d;
+    }
+    return d;
+  };
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const int da = depth(a), db = depth(b);
+    if (da != db) return da > db;
+    return a < b;
+  });
+  for (int leader : order) {
+    double radius = index_.root_ball_radius(leader);
+    std::vector<int> members = index_.subtree(leader);
+    for (int child : backbone_.tree_children(leader)) {
+      radius = std::max(
+          radius, metric_.Distance(features_[leader], features_[child]) +
+                      backbone_radius_.at(child));
+      const auto& sub = backbone_members_.at(child);
+      members.insert(members.end(), sub.begin(), sub.end());
+    }
+    backbone_radius_[leader] = radius;
+    backbone_members_[leader] = std::move(members);
+  }
+}
+
+void PathQueryEngine::VisitBackbone(int leader, const Feature& danger,
+                                    double gamma, std::vector<char>* safe,
+                                    PathQueryResult* result) const {
+  const int units = feature_dim_ + 1;
+  // Classify this leader's own cluster with the delta-compactness screen.
+  const double screen = index_.root_ball_radius(leader);
+  const double d = metric_.Distance(index_.routing_feature(leader), danger);
+  if (d > gamma + screen + 1e-12) {
+    ++result->clusters_safe;
+    for (int m : index_.subtree(leader)) (*safe)[m] = 1;
+  } else if (d < gamma - screen - 1e-12) {
+    ++result->clusters_unsafe;
+  } else {
+    ++result->clusters_drilled;
+    ClassifySubtree(leader, danger, gamma, safe, result);
+  }
+  // Decide per backbone child using the cached upper-level radii.
+  for (int child : backbone_.tree_children(leader)) {
+    const double child_radius = backbone_radius_.at(child);
+    const double d_child = metric_.Distance(features_[child], danger);
+    if (d_child - child_radius >= gamma - 1e-12) {
+      // Whole backbone subtree safe: no transmissions needed.
+      for (int m : backbone_members_.at(child)) (*safe)[m] = 1;
+      continue;
+    }
+    if (d_child + child_radius < gamma - 1e-12) {
+      continue;  // Whole backbone subtree unsafe.
+    }
+    const int hops = backbone_.route_hops(leader, child);
+    for (int h = 0; h < hops; ++h) {
+      result->stats.Record("path_backbone", units);
+    }
+    VisitBackbone(child, danger, gamma, safe, result);
+  }
+}
+
+bool PathQueryEngine::IsSafe(int node, const Feature& danger,
+                             double gamma) const {
+  return metric_.Distance(features_[node], danger) >= gamma - 1e-12;
+}
+
+void PathQueryEngine::ClassifySubtree(int node, const Feature& danger,
+                                      double gamma, std::vector<char>* safe,
+                                      PathQueryResult* result) const {
+  const double d = metric_.Distance(index_.routing_feature(node), danger);
+  const double radius = index_.covering_radius(node);
+  if (d - radius >= gamma - 1e-12) {
+    // Every feature in the subtree is at least gamma from the danger.
+    for (int m : index_.subtree(node)) (*safe)[m] = 1;
+    return;
+  }
+  if (d + radius < gamma - 1e-12) {
+    // Every feature in the subtree is unsafe; nothing to mark.
+    return;
+  }
+  // Inconclusive: classify this node exactly and drill into each child.
+  (*safe)[node] = IsSafe(node, danger, gamma) ? 1 : 0;
+  for (int child : index_.children(node)) {
+    // Forwarding the danger feature one level down the cluster tree.
+    result->stats.Record("path_drilldown", feature_dim_ + 1);
+    ClassifySubtree(child, danger, gamma, safe, result);
+  }
+}
+
+PathQueryResult PathQueryEngine::Query(int source, int destination,
+                                       const Feature& danger,
+                                       double gamma) const {
+  PathQueryResult result;
+  const int n = static_cast<int>(adjacency_.size());
+  const int units = feature_dim_ + 1;  // Danger feature + gamma.
+
+  // Source -> its cluster root.
+  for (int d = 0; d < index_.depth(source); ++d) {
+    result.stats.Record("path_route", units);
+  }
+  // If the source's own cluster is conclusively unsafe, the root suppresses
+  // the query immediately (Section 7.3).
+  {
+    const int src_root = clustering_.root_of[source];
+    const double d =
+        metric_.Distance(index_.routing_feature(src_root), danger);
+    if (d + index_.covering_radius(src_root) < gamma - 1e-12) {
+      result.found = false;
+      return result;
+    }
+  }
+
+  // Disseminate the query selectively down the backbone tree: the
+  // upper-level covering radii let whole backbone subtrees be classified
+  // safe/unsafe without visiting their leaders.  The root leg from the
+  // source's leader to the backbone root is charged first.
+  for (int cur = clustering_.root_of[source];
+       backbone_.tree_parent(cur) != cur; cur = backbone_.tree_parent(cur)) {
+    const int hops = backbone_.route_hops(cur, backbone_.tree_parent(cur));
+    for (int h = 0; h < hops; ++h) result.stats.Record("path_route", units);
+  }
+  std::vector<char> safe(n, 0);
+  VisitBackbone(backbone_.tree_root(), danger, gamma, &safe, &result);
+
+  if (!safe[source] || !safe[destination]) {
+    result.found = false;
+    return result;
+  }
+
+  // Safe backbone trees: BFS over the safe subgraph from the source.  The
+  // search is charged at cluster granularity — one message per safe-region
+  // link plus the final path trace — reflecting that contiguous safe
+  // clusters are linked by their backbone trees rather than flooded.
+  std::vector<int> parent(n, -1);
+  std::deque<int> queue{source};
+  parent[source] = source;
+  while (!queue.empty()) {
+    const int u = queue.front();
+    queue.pop_front();
+    if (u == destination) break;
+    for (int v : adjacency_[u]) {
+      if (safe[v] && parent[v] < 0) {
+        parent[v] = u;
+        queue.push_back(v);
+      }
+    }
+  }
+  if (parent[destination] < 0) {
+    result.found = false;
+    return result;
+  }
+  result.found = true;
+  for (int cur = destination; cur != source; cur = parent[cur]) {
+    result.path.push_back(cur);
+  }
+  result.path.push_back(source);
+  std::reverse(result.path.begin(), result.path.end());
+  // Safe-region search cost: one probe per safe cluster (over its backbone
+  // link) + the path trace back to the source.
+  std::set<int> safe_clusters;
+  for (int i = 0; i < n; ++i) {
+    if (safe[i]) safe_clusters.insert(clustering_.root_of[i]);
+  }
+  for (int leader : safe_clusters) {
+    const int p = backbone_.tree_parent(leader);
+    if (p != leader) {
+      const int hops = backbone_.route_hops(leader, p);
+      for (int h = 0; h < hops; ++h) {
+        result.stats.Record("path_search", 1);
+      }
+    }
+  }
+  for (size_t h = 0; h + 1 < result.path.size(); ++h) {
+    result.stats.Record("path_trace", 1);
+  }
+  return result;
+}
+
+PathQueryResult PathQueryEngine::BfsBaseline(int source, int destination,
+                                             const Feature& danger,
+                                             double gamma) const {
+  PathQueryResult result;
+  const int n = static_cast<int>(adjacency_.size());
+  if (!IsSafe(source, danger, gamma) || !IsSafe(destination, danger, gamma)) {
+    result.found = false;
+    return result;
+  }
+  // Flooding: every reached safe node broadcasts once to all its neighbors.
+  std::vector<int> parent(n, -1);
+  std::deque<int> queue{source};
+  parent[source] = source;
+  while (!queue.empty()) {
+    const int u = queue.front();
+    queue.pop_front();
+    for (size_t nb = 0; nb < adjacency_[u].size(); ++nb) {
+      result.stats.Record("bfs_flood", feature_dim_ + 1);
+    }
+    for (int v : adjacency_[u]) {
+      if (parent[v] < 0 && IsSafe(v, danger, gamma)) {
+        parent[v] = u;
+        queue.push_back(v);
+      }
+    }
+  }
+  if (parent[destination] < 0) {
+    result.found = false;
+    return result;
+  }
+  result.found = true;
+  for (int cur = destination; cur != source; cur = parent[cur]) {
+    result.path.push_back(cur);
+  }
+  result.path.push_back(source);
+  std::reverse(result.path.begin(), result.path.end());
+  for (size_t h = 0; h + 1 < result.path.size(); ++h) {
+    result.stats.Record("path_trace", 1);
+  }
+  return result;
+}
+
+}  // namespace elink

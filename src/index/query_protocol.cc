@@ -1,0 +1,436 @@
+#include "index/query_protocol.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace elink {
+
+namespace {
+
+enum QueryMsg : int {
+  kUp = 1,               // Initiator -> cluster root, over the cluster tree.
+  kToBackboneRoot = 2,   // Leader -> backbone root, up the leader chain.
+  kVisit = 3,            // Backbone parent -> child: process your subtree.
+  kBackboneInclude = 4,  // Whole backbone subtree matches: report population.
+  kBackboneReply = 5,    // Aggregated count back to the backbone parent.
+  kDescend = 6,          // M-tree descent into a cluster-tree child.
+  kDescendInclude = 7,   // Whole M-tree subtree matches: report population.
+  kDescendReply = 8,     // Aggregated count back to the descent parent.
+  kAnswer = 9,           // Backbone root -> initiator root -> initiator.
+};
+
+/// Immutable per-node protocol state (what Section 7 says each node holds).
+struct NodeState {
+  // Cluster membership / tree.
+  int cluster_root = -1;
+  int tree_parent = -1;
+  // M-tree summaries of the node's cluster-tree children.
+  struct ChildInfo {
+    int id;
+    Feature routing_feature;
+    double covering_radius;
+    long long population;
+  };
+  std::vector<ChildInfo> mtree_children;
+  // Leader-only: backbone links and upper-level child summaries.
+  bool is_leader = false;
+  bool is_backbone_root = false;
+  int backbone_parent = -1;
+  double root_ball = 0.0;      // Exact root-ball radius of the own cluster.
+  long long population = 0;    // Own cluster size (leaders only).
+  struct BackboneChildInfo {
+    int id;
+    Feature feature;
+    double subtree_radius;
+    long long subtree_population;
+  };
+  std::vector<BackboneChildInfo> backbone_children;
+};
+
+/// Shared run context.
+struct QueryContext {
+  Feature q;
+  double r = 0.0;
+  int query_units = 1;
+  const DistanceMetric* metric = nullptr;
+  int initiator = -1;
+  int initiator_root = -1;
+  // Filled on completion.
+  bool done = false;
+  long long answer = -1;
+  double finish_time = 0.0;
+};
+
+class QueryNode : public Node {
+ public:
+  QueryNode(const NodeState* state, QueryContext* ctx)
+      : state_(state), ctx_(ctx) {}
+
+  /// Injects the query at the initiator (driver call, before Run()).
+  void Inject() {
+    if (id() == state_->cluster_root) {
+      ArrivedAtOwnRoot();
+    } else {
+      Message m;
+      m.type = kUp;
+      m.category = "query_route";
+      m.doubles = ctx_->q;
+      m.doubles.push_back(ctx_->r);
+      network()->Send(id(), state_->tree_parent, std::move(m));
+    }
+  }
+
+  void HandleMessage(int from, const Message& msg) override {
+    if (getenv("ELINK_QP_TRACE")) std::fprintf(stderr, "t=%.1f node %d <- %d type %d\n", network()->Now(), id(), from, msg.type);
+    switch (msg.type) {
+      case kUp:
+        if (id() == state_->cluster_root) {
+          ArrivedAtOwnRoot();
+        } else {
+          Message m = msg;
+          network()->Send(id(), state_->tree_parent, std::move(m));
+        }
+        break;
+      case kToBackboneRoot:
+        if (state_->is_backbone_root) {
+          StartVisit(/*reply_to=*/-1);
+        } else {
+          Forward(kToBackboneRoot, "query_route", state_->backbone_parent,
+                  ctx_->query_units);
+        }
+        break;
+      case kVisit:
+        // Routed messages deliver with `from` = the last relay hop; the
+        // logical sender rides in ints[0].
+        StartVisit(/*reply_to=*/static_cast<int>(msg.ints[0]));
+        break;
+      case kBackboneInclude: {
+        // Whole backbone subtree matches; answer with the cached population.
+        Message reply;
+        reply.type = kBackboneReply;
+        reply.category = "query_collect";
+        reply.ints = {SubtreePopulation()};
+        network()->SendRouted(id(), static_cast<int>(msg.ints[0]),
+                              std::move(reply));
+        break;
+      }
+      case kBackboneReply:
+        count_ += msg.ints[0];
+        --pending_;
+        CheckDone();
+        break;
+      case kDescend:
+        OnDescend(from);
+        break;
+      case kDescendInclude: {
+        Message reply;
+        reply.type = kDescendReply;
+        reply.category = "query_collect";
+        reply.ints = {MTreePopulation()};
+        network()->Send(id(), from, std::move(reply));
+        break;
+      }
+      case kDescendReply:
+        count_ += msg.ints[0];
+        --pending_;
+        CheckDone();
+        break;
+      case kAnswer:
+        if (id() == ctx_->initiator) {
+          ctx_->done = true;
+          ctx_->answer = msg.ints[0];
+          ctx_->finish_time = network()->Now();
+        } else {
+          // The initiator's root relays the answer down to the initiator.
+          Message m = msg;
+          network()->SendRouted(id(), ctx_->initiator, std::move(m));
+        }
+        break;
+      default:
+        ELINK_CHECK(false);
+    }
+  }
+
+ private:
+  double Dist(const Feature& a, const Feature& b) const {
+    return ctx_->metric->Distance(a, b);
+  }
+
+ public:
+  void set_feature(Feature f) { feature_ = std::move(f); }
+
+ private:
+  long long MTreePopulation() const {
+    long long pop = 1;
+    for (const auto& c : state_->mtree_children) pop += c.population;
+    return pop;
+  }
+  long long SubtreePopulation() const {
+    long long pop = state_->population;
+    for (const auto& c : state_->backbone_children) {
+      pop += c.subtree_population;
+    }
+    return pop;
+  }
+
+  void Forward(int type, const char* category, int to, int units) {
+    Message m;
+    m.type = type;
+    m.category = category;
+    m.ints = {id()};  // Logical sender (routed `from` is just the relay).
+    if (units > 1) {
+      m.doubles = ctx_->q;
+      m.doubles.push_back(ctx_->r);
+    }
+    network()->SendRouted(id(), to, std::move(m));
+  }
+
+  /// The query reached the initiator's own cluster root: route it to the
+  /// backbone root (possibly ourselves).
+  void ArrivedAtOwnRoot() {
+    if (state_->is_backbone_root) {
+      StartVisit(/*reply_to=*/-1);
+    } else {
+      Forward(kToBackboneRoot, "query_route", state_->backbone_parent,
+              ctx_->query_units);
+    }
+  }
+
+  /// Leader processing: screen own cluster, decide per backbone child.
+  void StartVisit(int reply_to) {
+    reply_to_ = reply_to;
+    active_ = true;
+    count_ = 0;
+    pending_ = 0;
+
+    // Own cluster screen (Section 7.2) with the exact root-ball radius.
+    const double d_root = Dist(ctx_->q, feature_);
+    if (d_root > ctx_->r + state_->root_ball + 1e-12) {
+      // Excluded: contributes nothing.
+    } else if (d_root <= ctx_->r - state_->root_ball + 1e-12) {
+      count_ += state_->population;  // Whole cluster matches.
+    } else {
+      // M-tree descent rooted here.
+      StartLocalDescent();
+    }
+
+    // Backbone children via the cached upper-level summaries.
+    for (const auto& child : state_->backbone_children) {
+      const double d_child = Dist(ctx_->q, child.feature);
+      if (d_child > ctx_->r + child.subtree_radius + 1e-12) {
+        continue;  // Whole subtree excluded, no transmission.
+      }
+      if (d_child <= ctx_->r - child.subtree_radius + 1e-12) {
+        Forward(kBackboneInclude, "query_backbone", child.id,
+                ctx_->query_units);
+        ++pending_;
+        continue;
+      }
+      Forward(kVisit, "query_backbone", child.id, ctx_->query_units);
+      ++pending_;
+    }
+    CheckDone();
+  }
+
+  /// Self-test plus M-tree child decisions (both for leaders starting a
+  /// descent and for interior nodes receiving kDescend).
+  void DescendBody() {
+    if (Dist(ctx_->q, feature_) <= ctx_->r + 1e-12) ++count_;
+    for (const auto& child : state_->mtree_children) {
+      const double d_link = Dist(feature_, child.routing_feature);
+      const double d_self = Dist(ctx_->q, feature_);
+      if (std::fabs(d_self - d_link) >
+          ctx_->r + child.covering_radius + 1e-12) {
+        continue;  // Subtree excluded via the parent-side bound.
+      }
+      if (d_self + d_link <= ctx_->r - child.covering_radius + 1e-12) {
+        Message m;
+        m.type = kDescendInclude;
+        m.category = "query_descend";
+        m.doubles = ctx_->q;
+        m.doubles.push_back(ctx_->r);
+        network()->Send(id(), child.id, std::move(m));
+        ++pending_;
+        continue;
+      }
+      Message m;
+      m.type = kDescend;
+      m.category = "query_descend";
+      m.doubles = ctx_->q;
+      m.doubles.push_back(ctx_->r);
+      network()->Send(id(), child.id, std::move(m));
+      ++pending_;
+    }
+  }
+
+  void StartLocalDescent() { DescendBody(); }
+
+  void OnDescend(int from) {
+    descent_parent_ = from;
+    active_ = true;
+    count_ = 0;
+    pending_ = 0;
+    DescendBody();
+    CheckDone();
+  }
+
+  /// All outstanding replies arrived: report upward.
+  void CheckDone() {
+    if (!active_ || pending_ > 0) return;
+    active_ = false;
+    if (descent_parent_ >= 0) {
+      // Interior descent node: aggregate to the descent parent.
+      Message m;
+      m.type = kDescendReply;
+      m.category = "query_collect";
+      m.ints = {count_};
+      network()->Send(id(), descent_parent_, std::move(m));
+      descent_parent_ = -1;
+      return;
+    }
+    // Leader: report to the backbone parent, or deliver the answer.
+    if (reply_to_ >= 0) {
+      Message m;
+      m.type = kBackboneReply;
+      m.category = "query_collect";
+      m.ints = {count_};
+      network()->SendRouted(id(), reply_to_, std::move(m));
+      reply_to_ = -1;
+      return;
+    }
+    // Backbone root: answer travels to the initiator's root, then down.
+    Message m;
+    m.type = kAnswer;
+    m.category = "query_collect";
+    m.ints = {count_};
+    if (id() == ctx_->initiator) {
+      ctx_->done = true;
+      ctx_->answer = count_;
+      ctx_->finish_time = network()->Now();
+    } else {
+      network()->SendRouted(id(), ctx_->initiator_root, std::move(m));
+    }
+  }
+
+  const NodeState* state_;
+  QueryContext* ctx_;
+  Feature feature_;
+
+  bool active_ = false;
+  long long count_ = 0;
+  int pending_ = 0;
+  int reply_to_ = -1;
+  int descent_parent_ = -1;
+};
+
+}  // namespace
+
+DistributedRangeQuery::DistributedRangeQuery(
+    const Topology& topology, const Clustering& clustering,
+    const ClusterIndex& index, const Backbone& backbone,
+    const std::vector<Feature>& features,
+    std::shared_ptr<const DistanceMetric> metric, bool synchronous,
+    uint64_t seed)
+    : topology_(topology),
+      clustering_(clustering),
+      index_(index),
+      backbone_(backbone),
+      features_(features),
+      metric_(std::move(metric)),
+      synchronous_(synchronous),
+      seed_(seed) {
+  // Upper-level summaries, children before parents.
+  std::vector<int> order = backbone_.leaders();
+  auto depth = [&](int leader) {
+    int d = 0;
+    for (int cur = leader; backbone_.tree_parent(cur) != cur;
+         cur = backbone_.tree_parent(cur)) {
+      ++d;
+    }
+    return d;
+  };
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const int da = depth(a), db = depth(b);
+    if (da != db) return da > db;
+    return a < b;
+  });
+  for (int leader : order) {
+    double radius = index_.root_ball_radius(leader);
+    long long pop = static_cast<long long>(index_.subtree(leader).size());
+    for (int child : backbone_.tree_children(leader)) {
+      radius = std::max(
+          radius, metric_->Distance(features_[leader], features_[child]) +
+                      backbone_radius_.at(child));
+      pop += backbone_population_.at(child);
+    }
+    backbone_radius_[leader] = radius;
+    backbone_population_[leader] = pop;
+  }
+}
+
+Result<DistributedQueryOutcome> DistributedRangeQuery::Run(int initiator,
+                                                           const Feature& q,
+                                                           double r) {
+  if (initiator < 0 || initiator >= topology_.num_nodes()) {
+    return Status::InvalidArgument("initiator out of range");
+  }
+  if (r < 0) return Status::InvalidArgument("radius must be non-negative");
+
+  // Per-node protocol state.
+  const int n = topology_.num_nodes();
+  std::vector<NodeState> states(n);
+  for (int i = 0; i < n; ++i) {
+    NodeState& s = states[i];
+    s.cluster_root = clustering_.root_of[i];
+    s.tree_parent = index_.parent(i);
+    for (int child : index_.children(i)) {
+      s.mtree_children.push_back(
+          {child, index_.routing_feature(child), index_.covering_radius(child),
+           static_cast<long long>(index_.subtree(child).size())});
+    }
+    if (s.cluster_root == i) {
+      s.is_leader = true;
+      s.is_backbone_root = backbone_.tree_root() == i;
+      s.backbone_parent = backbone_.tree_parent(i);
+      s.root_ball = index_.root_ball_radius(i);
+      s.population = static_cast<long long>(index_.subtree(i).size());
+      for (int child : backbone_.tree_children(i)) {
+        s.backbone_children.push_back({child, features_[child],
+                                       backbone_radius_.at(child),
+                                       backbone_population_.at(child)});
+      }
+    }
+  }
+
+  QueryContext ctx;
+  ctx.q = q;
+  ctx.r = r;
+  ctx.query_units = static_cast<int>(q.size()) + 1;
+  ctx.metric = metric_.get();
+  ctx.initiator = initiator;
+  ctx.initiator_root = clustering_.root_of[initiator];
+
+  Network::Config ncfg;
+  ncfg.synchronous = synchronous_;
+  ncfg.seed = seed_;
+  Network net(topology_, ncfg);
+  net.InstallNodes([&](int id) {
+    auto node = std::make_unique<QueryNode>(&states[id], &ctx);
+    node->set_feature(features_[id]);
+    return node;
+  });
+  static_cast<QueryNode*>(net.node(initiator))->Inject();
+  net.Run();
+
+  if (!ctx.done) {
+    return Status::Internal("distributed range query did not terminate");
+  }
+  DistributedQueryOutcome outcome;
+  outcome.match_count = ctx.answer;
+  outcome.latency = ctx.finish_time;
+  outcome.stats = net.stats();
+  return outcome;
+}
+
+}  // namespace elink

@@ -1,0 +1,183 @@
+#include "index/range_query.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace elink {
+
+RangeQueryEngine::RangeQueryEngine(const Clustering& clustering,
+                                   const ClusterIndex& index,
+                                   const Backbone& backbone,
+                                   const std::vector<Feature>& features,
+                                   const DistanceMetric& metric, double delta)
+    : clustering_(clustering),
+      index_(index),
+      backbone_(backbone),
+      features_(features),
+      metric_(metric),
+      delta_(delta),
+      feature_dim_(features.empty() ? 0
+                                    : static_cast<int>(features[0].size())) {
+  // Upper level of the hierarchical index (Section 7.1): every leader
+  // maintains a covering radius over its *backbone subtree* — its own
+  // cluster plus all clusters below it in the backbone tree — aggregated
+  // bottom-up exactly like the in-cluster M-tree radii.  Query dissemination
+  // then prunes whole backbone subtrees without visiting them.
+  std::vector<int> order = backbone_.leaders();
+  // Children before parents: sort by decreasing depth in the backbone tree.
+  auto depth = [&](int leader) {
+    int d = 0;
+    for (int cur = leader; backbone_.tree_parent(cur) != cur;
+         cur = backbone_.tree_parent(cur)) {
+      ++d;
+    }
+    return d;
+  };
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const int da = depth(a), db = depth(b);
+    if (da != db) return da > db;
+    return a < b;
+  });
+  for (int leader : order) {
+    double radius = index_.root_ball_radius(leader);
+    std::vector<int> members = index_.subtree(leader);
+    for (int child : backbone_.tree_children(leader)) {
+      radius = std::max(
+          radius, metric_.Distance(features_[leader], features_[child]) +
+                      backbone_radius_.at(child));
+      const auto& sub = backbone_members_.at(child);
+      members.insert(members.end(), sub.begin(), sub.end());
+    }
+    backbone_radius_[leader] = radius;
+    std::sort(members.begin(), members.end());
+    backbone_members_[leader] = std::move(members);
+  }
+}
+
+std::vector<int> RangeQueryEngine::LinearScan(const Feature& q,
+                                              double r) const {
+  std::vector<int> out;
+  for (size_t i = 0; i < features_.size(); ++i) {
+    if (metric_.Distance(q, features_[i]) <= r + 1e-12) {
+      out.push_back(static_cast<int>(i));
+    }
+  }
+  return out;
+}
+
+RangeQueryResult RangeQueryEngine::Query(int initiator, const Feature& q,
+                                         double r) const {
+  RangeQueryResult result;
+  const int query_units = feature_dim_ + 1;  // Query feature + radius.
+
+  // 1. Initiator -> its cluster root (over the cluster tree).
+  const int init_root = clustering_.root_of[initiator];
+  for (int d = 0; d < index_.depth(initiator); ++d) {
+    result.stats.Record("query_route", query_units);
+  }
+  // 2. Initiator's root -> the backbone tree root along the backbone.
+  for (int cur = init_root; backbone_.tree_parent(cur) != cur;
+       cur = backbone_.tree_parent(cur)) {
+    const int hops = backbone_.route_hops(cur, backbone_.tree_parent(cur));
+    for (int h = 0; h < hops; ++h) {
+      result.stats.Record("query_route", query_units);
+      result.stats.Record("query_collect", 1);  // Final aggregate back.
+    }
+  }
+
+  // 3. Selective dissemination down the backbone tree with upper-level
+  //    pruning, then per-cluster screening / M-tree descent at each visited
+  //    leader.
+  VisitBackbone(backbone_.tree_root(), q, r, &result);
+  std::sort(result.matches.begin(), result.matches.end());
+
+  // 4. Initiator receives the aggregate from its root.
+  for (int d = 0; d < index_.depth(initiator); ++d) {
+    result.stats.Record("query_collect", 1);
+  }
+  return result;
+}
+
+void RangeQueryEngine::VisitBackbone(int leader, const Feature& q, double r,
+                                     RangeQueryResult* result) const {
+  const int query_units = feature_dim_ + 1;
+  // Screen this leader's own cluster (Section 7.2).
+  const double screen = index_.root_ball_radius(leader);
+  const double d_root = metric_.Distance(q, index_.routing_feature(leader));
+  if (d_root > r + screen + 1e-12) {
+    ++result->clusters_excluded;
+  } else if (d_root <= r - screen + 1e-12) {
+    ++result->clusters_included;
+    const auto& all = index_.subtree(leader);
+    result->matches.insert(result->matches.end(), all.begin(), all.end());
+  } else {
+    ++result->clusters_descended;
+    DescendMTree(leader, q, r, result);
+  }
+  // Decide per backbone child using the upper-level covering radii the
+  // parent caches for its children.
+  for (int child : backbone_.tree_children(leader)) {
+    const double child_radius = backbone_radius_.at(child);
+    const double d_child = metric_.Distance(q, features_[child]);
+    if (d_child > r + child_radius + 1e-12) {
+      // Entire backbone subtree excluded without any transmission.
+      result->backbone_subtrees_pruned += 1;
+      continue;
+    }
+    if (d_child <= r - child_radius + 1e-12) {
+      // Entire backbone subtree matches; one aggregate exchange.
+      const auto& all = backbone_members_.at(child);
+      result->matches.insert(result->matches.end(), all.begin(), all.end());
+      const int hops = backbone_.route_hops(leader, child);
+      for (int h = 0; h < hops; ++h) {
+        result->stats.Record("query_backbone", query_units);
+        result->stats.Record("query_collect", 1);
+      }
+      result->backbone_subtrees_included += 1;
+      continue;
+    }
+    // Inconclusive: forward the query over this backbone link and recurse.
+    const int hops = backbone_.route_hops(leader, child);
+    for (int h = 0; h < hops; ++h) {
+      result->stats.Record("query_backbone", query_units);
+      result->stats.Record("query_collect", 1);
+    }
+    VisitBackbone(child, q, r, result);
+  }
+}
+
+void RangeQueryEngine::DescendMTree(int node, const Feature& q, double r,
+                                    RangeQueryResult* result) const {
+  // Node `node` holds the query: test itself, then decide per child.
+  const Feature& f_node = index_.routing_feature(node);
+  const double d_node = metric_.Distance(q, f_node);
+  if (d_node <= r + 1e-12) {
+    result->matches.push_back(node);
+    // One aggregation unit for reporting the hit back up.
+    result->stats.Record("query_collect", 1);
+  }
+  for (int child : index_.children(node)) {
+    const double d_link =
+        metric_.Distance(f_node, index_.routing_feature(child));
+    const double r_child = index_.covering_radius(child);
+    // Parent-side pruning (Section 7.1): the child's subtree lies within
+    // r_child of its routing feature, whose distance to q is within
+    // [d_node - d_link, d_node + d_link].
+    if (std::fabs(d_node - d_link) > r + r_child + 1e-12) {
+      continue;  // Entire subtree excluded without visiting it.
+    }
+    if (d_node + d_link <= r - r_child + 1e-12) {
+      // Entire subtree matches; child answers with an aggregate.
+      const auto& all = index_.subtree(child);
+      result->matches.insert(result->matches.end(), all.begin(), all.end());
+      result->stats.Record("query_descend", feature_dim_ + 1);
+      result->stats.Record("query_collect", 1);
+      continue;
+    }
+    // Inconclusive: forward the query into the child.
+    result->stats.Record("query_descend", feature_dim_ + 1);
+    DescendMTree(child, q, r, result);
+  }
+}
+
+}  // namespace elink

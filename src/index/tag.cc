@@ -1,0 +1,37 @@
+#include "index/tag.h"
+
+namespace elink {
+
+TagAggregator::TagAggregator(const AdjacencyList& adjacency, int base_station,
+                             const std::vector<Feature>& features,
+                             const DistanceMetric& metric)
+    : features_(features), metric_(metric), base_station_(base_station) {
+  const std::vector<int> parents = BfsTreeParents(adjacency, base_station);
+  int edges = 0;
+  for (size_t i = 0; i < parents.size(); ++i) {
+    ELINK_CHECK(parents[i] >= 0);  // Connected networks only.
+    if (parents[i] != static_cast<int>(i)) ++edges;
+  }
+  num_tree_edges_ = edges;
+  feature_dim_ =
+      features_.empty() ? 0 : static_cast<int>(features_[0].size());
+}
+
+std::vector<int> TagAggregator::RangeQuery(const Feature& q, double r,
+                                           MessageStats* stats) const {
+  if (stats != nullptr) {
+    for (int e = 0; e < num_tree_edges_; ++e) {
+      stats->Record("tag_distribute", feature_dim_ + 1);
+      stats->Record("tag_collect", 1);
+    }
+  }
+  std::vector<int> matches;
+  for (size_t i = 0; i < features_.size(); ++i) {
+    if (metric_.Distance(q, features_[i]) <= r + 1e-12) {
+      matches.push_back(static_cast<int>(i));
+    }
+  }
+  return matches;
+}
+
+}  // namespace elink

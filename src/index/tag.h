@@ -1,0 +1,51 @@
+// TAG-style aggregation baseline (paper Section 8.3, [20]).
+//
+// TAG maintains an overlay spanning tree over the whole network rooted at
+// the base station.  Every query is pushed down the full tree (distribution
+// phase) and results are aggregated back up (collection phase), so the
+// per-query cost is fixed: twice the number of spanning-tree edges,
+// regardless of selectivity.  This is the no-pruning comparison point for
+// the range-query experiments (Figs. 14-15).
+#ifndef ELINK_INDEX_TAG_H_
+#define ELINK_INDEX_TAG_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "metric/distance.h"
+#include "sim/graph.h"
+#include "sim/stats.h"
+
+namespace elink {
+
+/// \brief TAG overlay tree with per-query cost accounting.
+class TagAggregator {
+ public:
+  /// Builds the overlay as the BFS spanning tree rooted at `base_station`.
+  TagAggregator(const AdjacencyList& adjacency, int base_station,
+                const std::vector<Feature>& features,
+                const DistanceMetric& metric);
+
+  /// Runs a range query: distribution down every tree edge (query feature +
+  /// radius per hop), collection up every tree edge (one aggregate unit).
+  /// Returns the exact matches; `stats` receives categories tag_distribute
+  /// and tag_collect.
+  std::vector<int> RangeQuery(const Feature& q, double r,
+                              MessageStats* stats) const;
+
+  /// Number of overlay tree edges (N - 1 on a connected network).
+  int num_tree_edges() const { return num_tree_edges_; }
+
+  int base_station() const { return base_station_; }
+
+ private:
+  const std::vector<Feature>& features_;
+  const DistanceMetric& metric_;
+  int base_station_;
+  int num_tree_edges_;
+  int feature_dim_;
+};
+
+}  // namespace elink
+
+#endif  // ELINK_INDEX_TAG_H_

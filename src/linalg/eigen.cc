@@ -1,0 +1,87 @@
+#include "linalg/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace elink {
+
+Result<EigenDecomposition> SymmetricEigen(const Matrix& a, double tol,
+                                          int max_sweeps) {
+  const size_t n = a.rows();
+  if (a.cols() != n) {
+    return Status::InvalidArgument("SymmetricEigen: matrix must be square");
+  }
+  if (!a.IsSymmetric(1e-8)) {
+    return Status::InvalidArgument("SymmetricEigen: matrix must be symmetric");
+  }
+  Matrix d = a;                    // Will converge to diagonal.
+  Matrix v = Matrix::Identity(n);  // Accumulated rotations.
+
+  auto off_diagonal_norm = [&]() {
+    double s = 0.0;
+    for (size_t i = 0; i < n; ++i)
+      for (size_t j = i + 1; j < n; ++j) s += d(i, j) * d(i, j);
+    return std::sqrt(s);
+  };
+
+  bool converged = n <= 1 || off_diagonal_norm() <= tol;
+  for (int sweep = 0; sweep < max_sweeps && !converged; ++sweep) {
+    for (size_t p = 0; p + 1 < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        const double apq = d(p, q);
+        if (std::fabs(apq) < 1e-300) continue;
+        const double app = d(p, p);
+        const double aqq = d(q, q);
+        // Rotation angle that annihilates d(p, q).
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // Apply the rotation to rows/columns p and q of d.
+        for (size_t k = 0; k < n; ++k) {
+          const double dkp = d(k, p);
+          const double dkq = d(k, q);
+          d(k, p) = c * dkp - s * dkq;
+          d(k, q) = s * dkp + c * dkq;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double dpk = d(p, k);
+          const double dqk = d(q, k);
+          d(p, k) = c * dpk - s * dqk;
+          d(q, k) = s * dpk + c * dqk;
+        }
+        // Accumulate eigenvectors.
+        for (size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+    converged = off_diagonal_norm() <= tol;
+  }
+  if (!converged) {
+    return Status::Internal("SymmetricEigen: Jacobi failed to converge");
+  }
+
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t i, size_t j) { return d(i, i) > d(j, j); });
+
+  EigenDecomposition out;
+  out.values.resize(n);
+  out.vectors = Matrix(n, n);
+  for (size_t c = 0; c < n; ++c) {
+    out.values[c] = d(order[c], order[c]);
+    for (size_t r = 0; r < n; ++r) out.vectors(r, c) = v(r, order[c]);
+  }
+  return out;
+}
+
+}  // namespace elink

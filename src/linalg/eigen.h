@@ -1,0 +1,31 @@
+// Symmetric eigendecomposition via the cyclic Jacobi method.
+//
+// Used by the centralized spectral-clustering baseline (Ng-Jordan-Weiss): the
+// normalized graph Laplacian of the affinity matrix is symmetric, and Jacobi
+// is robust and dependency-free for the network sizes in the paper (<= 2500).
+#ifndef ELINK_LINALG_EIGEN_H_
+#define ELINK_LINALG_EIGEN_H_
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace elink {
+
+/// Full eigendecomposition of a symmetric matrix.
+struct EigenDecomposition {
+  /// Eigenvalues in descending order.
+  Vector values;
+  /// Column i of `vectors` is the unit eigenvector for values[i].
+  Matrix vectors;
+};
+
+/// Computes all eigenpairs of symmetric matrix `a` by cyclic Jacobi sweeps.
+/// Returns InvalidArgument when `a` is not square/symmetric, Internal when
+/// the iteration fails to converge within the sweep budget.
+Result<EigenDecomposition> SymmetricEigen(const Matrix& a,
+                                          double tol = 1e-10,
+                                          int max_sweeps = 100);
+
+}  // namespace elink
+
+#endif  // ELINK_LINALG_EIGEN_H_

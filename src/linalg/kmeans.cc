@@ -1,0 +1,125 @@
+#include "linalg/kmeans.h"
+
+#include <cmath>
+#include <limits>
+
+namespace elink {
+
+namespace {
+
+double SquaredDistance(const Vector& a, const Vector& b) {
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+// k-means++ seeding: first center uniform, subsequent centers proportional
+// to squared distance from the nearest chosen center.
+std::vector<Vector> SeedPlusPlus(const std::vector<Vector>& points, int k,
+                                 Rng* rng) {
+  std::vector<Vector> centers;
+  centers.reserve(k);
+  centers.push_back(points[rng->UniformInt(points.size())]);
+  std::vector<double> d2(points.size(),
+                         std::numeric_limits<double>::infinity());
+  while (static_cast<int>(centers.size()) < k) {
+    double total = 0.0;
+    for (size_t i = 0; i < points.size(); ++i) {
+      d2[i] = std::min(d2[i], SquaredDistance(points[i], centers.back()));
+      total += d2[i];
+    }
+    if (total <= 0.0) {
+      // All remaining points coincide with chosen centers; duplicate one.
+      centers.push_back(points[rng->UniformInt(points.size())]);
+      continue;
+    }
+    double target = rng->Uniform01() * total;
+    size_t pick = points.size() - 1;
+    for (size_t i = 0; i < points.size(); ++i) {
+      target -= d2[i];
+      if (target <= 0.0) {
+        pick = i;
+        break;
+      }
+    }
+    centers.push_back(points[pick]);
+  }
+  return centers;
+}
+
+KMeansResult RunOnce(const std::vector<Vector>& points, int k, Rng* rng,
+                     int max_iters) {
+  const size_t n = points.size();
+  const size_t dim = points[0].size();
+  KMeansResult res;
+  res.centers = SeedPlusPlus(points, k, rng);
+  res.assignment.assign(n, -1);
+
+  for (int iter = 0; iter < max_iters; ++iter) {
+    bool changed = false;
+    // Assignment step.
+    for (size_t i = 0; i < n; ++i) {
+      int best = 0;
+      double best_d = SquaredDistance(points[i], res.centers[0]);
+      for (int c = 1; c < k; ++c) {
+        const double d = SquaredDistance(points[i], res.centers[c]);
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      if (res.assignment[i] != best) {
+        res.assignment[i] = best;
+        changed = true;
+      }
+    }
+    res.iterations = iter + 1;
+    if (!changed && iter > 0) break;
+    // Update step.
+    std::vector<Vector> sums(k, Vector(dim, 0.0));
+    std::vector<int> counts(k, 0);
+    for (size_t i = 0; i < n; ++i) {
+      const int c = res.assignment[i];
+      counts[c]++;
+      for (size_t d = 0; d < dim; ++d) sums[c][d] += points[i][d];
+    }
+    for (int c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster at a random point.
+        res.centers[c] = points[rng->UniformInt(n)];
+      } else {
+        for (size_t d = 0; d < dim; ++d)
+          res.centers[c][d] = sums[c][d] / counts[c];
+      }
+    }
+  }
+
+  res.inertia = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    res.inertia += SquaredDistance(points[i], res.centers[res.assignment[i]]);
+  }
+  return res;
+}
+
+}  // namespace
+
+Result<KMeansResult> KMeans(const std::vector<Vector>& points, int k, Rng* rng,
+                            int max_iters, int restarts) {
+  if (k <= 0) return Status::InvalidArgument("KMeans: k must be positive");
+  if (points.empty() || static_cast<size_t>(k) > points.size()) {
+    return Status::InvalidArgument("KMeans: k exceeds number of points");
+  }
+  ELINK_CHECK(rng != nullptr);
+  KMeansResult best;
+  best.inertia = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < std::max(1, restarts); ++r) {
+    KMeansResult cur = RunOnce(points, k, rng, max_iters);
+    if (cur.inertia < best.inertia) best = std::move(cur);
+  }
+  return best;
+}
+
+}  // namespace elink

@@ -1,0 +1,36 @@
+// Lloyd's k-means with k-means++ seeding.
+//
+// The spectral-clustering baseline (Ng-Jordan-Weiss) clusters the
+// row-normalized eigenvector embedding with k-means; this is that k-means.
+#ifndef ELINK_LINALG_KMEANS_H_
+#define ELINK_LINALG_KMEANS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace elink {
+
+/// Result of a k-means run.
+struct KMeansResult {
+  /// assignment[i] in [0, k) is the cluster of point i.
+  std::vector<int> assignment;
+  /// Final cluster centers (k rows).
+  std::vector<Vector> centers;
+  /// Sum of squared distances of points to their centers.
+  double inertia = 0.0;
+  /// Lloyd iterations executed.
+  int iterations = 0;
+};
+
+/// Runs k-means on `points` (each a d-dimensional vector) with k-means++
+/// seeding and `restarts` independent restarts, keeping the best inertia.
+/// Returns InvalidArgument when k is 0 or exceeds the number of points.
+Result<KMeansResult> KMeans(const std::vector<Vector>& points, int k, Rng* rng,
+                            int max_iters = 100, int restarts = 4);
+
+}  // namespace elink
+
+#endif  // ELINK_LINALG_KMEANS_H_

@@ -1,0 +1,141 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace elink {
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::FromRows(const std::vector<Vector>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix m(rows.size(), rows[0].size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    ELINK_CHECK(rows[r].size() == m.cols());
+    for (size_t c = 0; c < m.cols(); ++c) m(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+Matrix Matrix::Multiply(const Matrix& other) const {
+  ELINK_CHECK(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(i, k);
+      if (a == 0.0) continue;
+      for (size_t j = 0; j < other.cols_; ++j) {
+        out(i, j) += a * other(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+Vector Matrix::Multiply(const Vector& v) const {
+  ELINK_CHECK(v.size() == cols_);
+  Vector out(rows_, 0.0);
+  for (size_t i = 0; i < rows_; ++i) {
+    double s = 0.0;
+    for (size_t j = 0; j < cols_; ++j) s += (*this)(i, j) * v[j];
+    out[i] = s;
+  }
+  return out;
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix out(cols_, rows_);
+  for (size_t i = 0; i < rows_; ++i)
+    for (size_t j = 0; j < cols_; ++j) out(j, i) = (*this)(i, j);
+  return out;
+}
+
+Matrix Matrix::Add(const Matrix& other) const {
+  ELINK_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  Matrix out = *this;
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] += other.data_[i];
+  return out;
+}
+
+Matrix Matrix::Subtract(const Matrix& other) const {
+  ELINK_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  Matrix out = *this;
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] -= other.data_[i];
+  return out;
+}
+
+Matrix Matrix::Scale(double s) const {
+  Matrix out = *this;
+  for (double& v : out.data_) v *= s;
+  return out;
+}
+
+double Matrix::MaxAbs() const {
+  double m = 0.0;
+  for (double v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+bool Matrix::IsSymmetric(double tol) const {
+  if (rows_ != cols_) return false;
+  for (size_t i = 0; i < rows_; ++i)
+    for (size_t j = i + 1; j < cols_; ++j)
+      if (std::fabs((*this)(i, j) - (*this)(j, i)) > tol) return false;
+  return true;
+}
+
+std::string Matrix::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < rows_; ++i) {
+    out += "[";
+    for (size_t j = 0; j < cols_; ++j) {
+      if (j) out += ", ";
+      out += FormatDouble((*this)(i, j), 6);
+    }
+    out += "]\n";
+  }
+  return out;
+}
+
+double Dot(const Vector& a, const Vector& b) {
+  ELINK_CHECK(a.size() == b.size());
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double Norm(const Vector& v) { return std::sqrt(Dot(v, v)); }
+
+Vector Add(const Vector& a, const Vector& b) {
+  ELINK_CHECK(a.size() == b.size());
+  Vector out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+Vector Subtract(const Vector& a, const Vector& b) {
+  ELINK_CHECK(a.size() == b.size());
+  Vector out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+Vector Scale(const Vector& v, double s) {
+  Vector out(v.size());
+  for (size_t i = 0; i < v.size(); ++i) out[i] = v[i] * s;
+  return out;
+}
+
+Matrix Outer(const Vector& a, const Vector& b) {
+  Matrix out(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i)
+    for (size_t j = 0; j < b.size(); ++j) out(i, j) = a[i] * b[j];
+  return out;
+}
+
+}  // namespace elink

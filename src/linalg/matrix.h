@@ -1,0 +1,93 @@
+// Small dense linear algebra used by the AR regression (normal equations),
+// the RLS online update, and the spectral-clustering baseline.
+//
+// Matrices here are at most a few thousand rows (the affinity matrix of the
+// whole network, for the centralized baseline), so a straightforward
+// row-major implementation is appropriate; no BLAS dependency.
+#ifndef ELINK_LINALG_MATRIX_H_
+#define ELINK_LINALG_MATRIX_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace elink {
+
+/// Dense column vector of doubles.
+using Vector = std::vector<double>;
+
+/// \brief Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  /// Creates a rows x cols matrix filled with `fill`.
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Identity matrix of order n.
+  static Matrix Identity(size_t n);
+
+  /// Builds a matrix from nested initializer-style data (row major).
+  static Matrix FromRows(const std::vector<Vector>& rows);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double operator()(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Matrix product this * other.  Dimensions must agree.
+  Matrix Multiply(const Matrix& other) const;
+
+  /// Matrix-vector product this * v.  v.size() must equal cols().
+  Vector Multiply(const Vector& v) const;
+
+  /// Transposed copy.
+  Matrix Transpose() const;
+
+  /// Elementwise sum; dimensions must agree.
+  Matrix Add(const Matrix& other) const;
+
+  /// Elementwise difference; dimensions must agree.
+  Matrix Subtract(const Matrix& other) const;
+
+  /// Copy scaled by s.
+  Matrix Scale(double s) const;
+
+  /// Maximum absolute entry (0 for an empty matrix).
+  double MaxAbs() const;
+
+  /// True if the matrix equals its transpose within `tol`.
+  bool IsSymmetric(double tol = 1e-9) const;
+
+  /// Multi-line human-readable rendering (debugging/tests).
+  std::string ToString() const;
+
+ private:
+  size_t rows_, cols_;
+  std::vector<double> data_;
+};
+
+/// Dot product; sizes must agree.
+double Dot(const Vector& a, const Vector& b);
+
+/// Euclidean norm.
+double Norm(const Vector& v);
+
+/// a + b elementwise; sizes must agree.
+Vector Add(const Vector& a, const Vector& b);
+
+/// a - b elementwise; sizes must agree.
+Vector Subtract(const Vector& a, const Vector& b);
+
+/// v scaled by s.
+Vector Scale(const Vector& v, double s);
+
+/// Outer product a b^T as an (a.size() x b.size()) matrix.
+Matrix Outer(const Vector& a, const Vector& b);
+
+}  // namespace elink
+
+#endif  // ELINK_LINALG_MATRIX_H_

@@ -1,0 +1,152 @@
+#include "linalg/solve.h"
+
+#include <cmath>
+#include <vector>
+
+namespace elink {
+
+Result<Vector> SolveLu(const Matrix& a, const Vector& b) {
+  const size_t n = a.rows();
+  if (a.cols() != n) {
+    return Status::InvalidArgument("SolveLu: matrix must be square");
+  }
+  if (b.size() != n) {
+    return Status::InvalidArgument("SolveLu: rhs size mismatch");
+  }
+  // Working copies: in-place Doolittle LU with partial pivoting.
+  Matrix lu = a;
+  std::vector<size_t> perm(n);
+  for (size_t i = 0; i < n; ++i) perm[i] = i;
+
+  for (size_t col = 0; col < n; ++col) {
+    // Pivot selection.
+    size_t pivot = col;
+    double best = std::fabs(lu(col, col));
+    for (size_t r = col + 1; r < n; ++r) {
+      const double v = std::fabs(lu(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-12) {
+      return Status::FailedPrecondition("SolveLu: singular matrix");
+    }
+    if (pivot != col) {
+      for (size_t c = 0; c < n; ++c) std::swap(lu(pivot, c), lu(col, c));
+      std::swap(perm[pivot], perm[col]);
+    }
+    for (size_t r = col + 1; r < n; ++r) {
+      const double f = lu(r, col) / lu(col, col);
+      lu(r, col) = f;
+      for (size_t c = col + 1; c < n; ++c) lu(r, c) -= f * lu(col, c);
+    }
+  }
+
+  // Forward substitution with permuted rhs (L has unit diagonal).
+  Vector y(n);
+  for (size_t i = 0; i < n; ++i) {
+    double s = b[perm[i]];
+    for (size_t j = 0; j < i; ++j) s -= lu(i, j) * y[j];
+    y[i] = s;
+  }
+  // Back substitution.
+  Vector x(n);
+  for (size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (size_t j = ii + 1; j < n; ++j) s -= lu(ii, j) * x[j];
+    x[ii] = s / lu(ii, ii);
+  }
+  return x;
+}
+
+Result<Matrix> Invert(const Matrix& a) {
+  const size_t n = a.rows();
+  if (a.cols() != n) {
+    return Status::InvalidArgument("Invert: matrix must be square");
+  }
+  Matrix inv(n, n);
+  Vector e(n, 0.0);
+  for (size_t c = 0; c < n; ++c) {
+    e[c] = 1.0;
+    Result<Vector> col = SolveLu(a, e);
+    e[c] = 0.0;
+    if (!col.ok()) return col.status();
+    for (size_t r = 0; r < n; ++r) inv(r, c) = col.value()[r];
+  }
+  return inv;
+}
+
+Result<Matrix> CholeskyFactor(const Matrix& a) {
+  const size_t n = a.rows();
+  if (a.cols() != n) {
+    return Status::InvalidArgument("Cholesky: matrix must be square");
+  }
+  Matrix l(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double s = a(i, j);
+      for (size_t k = 0; k < j; ++k) s -= l(i, k) * l(j, k);
+      if (i == j) {
+        if (s <= 0.0) {
+          return Status::FailedPrecondition("Cholesky: matrix not SPD");
+        }
+        l(i, j) = std::sqrt(s);
+      } else {
+        l(i, j) = s / l(j, j);
+      }
+    }
+  }
+  return l;
+}
+
+Result<Vector> SolveCholesky(const Matrix& a, const Vector& b) {
+  if (b.size() != a.rows()) {
+    return Status::InvalidArgument("SolveCholesky: rhs size mismatch");
+  }
+  Result<Matrix> lr = CholeskyFactor(a);
+  if (!lr.ok()) return lr.status();
+  const Matrix& l = lr.value();
+  const size_t n = a.rows();
+  Vector y(n);
+  for (size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (size_t j = 0; j < i; ++j) s -= l(i, j) * y[j];
+    y[i] = s / l(i, i);
+  }
+  Vector x(n);
+  for (size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (size_t j = ii + 1; j < n; ++j) s -= l(j, ii) * x[j];
+    x[ii] = s / l(ii, ii);
+  }
+  return x;
+}
+
+Result<Vector> SolveNormalEquations(const Matrix& x, const Vector& y,
+                                    double ridge) {
+  if (y.size() != x.cols()) {
+    return Status::InvalidArgument(
+        "SolveNormalEquations: observation count mismatch");
+  }
+  const size_t k = x.rows();
+  Matrix xxt(k, k);
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = i; j < k; ++j) {
+      double s = 0.0;
+      for (size_t m = 0; m < x.cols(); ++m) s += x(i, m) * x(j, m);
+      xxt(i, j) = s;
+      xxt(j, i) = s;
+    }
+    xxt(i, i) += ridge;
+  }
+  Vector xy(k, 0.0);
+  for (size_t i = 0; i < k; ++i) {
+    double s = 0.0;
+    for (size_t m = 0; m < x.cols(); ++m) s += x(i, m) * y[m];
+    xy[i] = s;
+  }
+  return SolveLu(xxt, xy);
+}
+
+}  // namespace elink

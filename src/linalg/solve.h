@@ -1,0 +1,36 @@
+// Dense linear solvers: LU with partial pivoting (general square systems,
+// used to invert XX^T in the AR normal equations) and Cholesky (SPD systems).
+#ifndef ELINK_LINALG_SOLVE_H_
+#define ELINK_LINALG_SOLVE_H_
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace elink {
+
+/// Solves A x = b via LU decomposition with partial pivoting.
+/// Returns InvalidArgument on dimension mismatch and FailedPrecondition when
+/// A is (numerically) singular.
+Result<Vector> SolveLu(const Matrix& a, const Vector& b);
+
+/// Inverse of a square matrix via LU; errors as SolveLu.
+Result<Matrix> Invert(const Matrix& a);
+
+/// Cholesky factor L (lower triangular, A = L L^T) of a symmetric positive
+/// definite matrix.  FailedPrecondition when A is not SPD.
+Result<Matrix> CholeskyFactor(const Matrix& a);
+
+/// Solves A x = b for SPD A via Cholesky.
+Result<Vector> SolveCholesky(const Matrix& a, const Vector& b);
+
+/// Solves the least-squares problem min ||X^T alpha - y|| through the normal
+/// equations (X X^T) alpha = X y, where X is k x m (one observation per
+/// column) and y has m entries.  This is exactly the estimator of paper
+/// Section 2.2 / Appendix A.  A small ridge term `ridge` stabilizes nearly
+/// collinear regressors (0 reproduces plain least squares).
+Result<Vector> SolveNormalEquations(const Matrix& x, const Vector& y,
+                                    double ridge = 0.0);
+
+}  // namespace elink
+
+#endif  // ELINK_LINALG_SOLVE_H_

@@ -1,0 +1,102 @@
+#include "metric/distance.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace elink {
+
+std::string FeatureToString(const Feature& f) {
+  std::string out = "(";
+  for (size_t i = 0; i < f.size(); ++i) {
+    if (i) out += ", ";
+    out += FormatDouble(f[i]);
+  }
+  out += ")";
+  return out;
+}
+
+WeightedEuclidean::WeightedEuclidean(std::vector<double> weights)
+    : weights_(std::move(weights)) {
+  ELINK_CHECK(!weights_.empty());
+  for (double w : weights_) ELINK_CHECK(w > 0.0);
+}
+
+WeightedEuclidean WeightedEuclidean::Euclidean(int dim) {
+  return WeightedEuclidean(std::vector<double>(dim, 1.0));
+}
+
+double WeightedEuclidean::Distance(const Feature& a, const Feature& b) const {
+  ELINK_CHECK(a.size() == weights_.size() && b.size() == weights_.size());
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += weights_[i] * d * d;
+  }
+  return std::sqrt(s);
+}
+
+double ManhattanDistance::Distance(const Feature& a, const Feature& b) const {
+  ELINK_CHECK(a.size() == b.size());
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += std::fabs(a[i] - b[i]);
+  return s;
+}
+
+Result<TableMetric> TableMetric::Create(
+    std::vector<std::vector<double>> table) {
+  const size_t n = table.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (table[i].size() != n) {
+      return Status::InvalidArgument("TableMetric: table must be square");
+    }
+    if (table[i][i] != 0.0) {
+      return Status::InvalidArgument("TableMetric: diagonal must be zero");
+    }
+    for (size_t j = 0; j < n; ++j) {
+      if (table[i][j] < 0.0) {
+        return Status::InvalidArgument("TableMetric: negative distance");
+      }
+      if (table[i][j] != table[j][i]) {
+        return Status::InvalidArgument("TableMetric: table must be symmetric");
+      }
+    }
+  }
+  return TableMetric(std::move(table));
+}
+
+double TableMetric::Distance(const Feature& a, const Feature& b) const {
+  ELINK_CHECK(a.size() == 1 && b.size() == 1);
+  const int i = static_cast<int>(a[0]);
+  const int j = static_cast<int>(b[0]);
+  ELINK_CHECK(i >= 0 && i < size() && j >= 0 && j < size());
+  return table_[i][j];
+}
+
+Status CheckMetricAxioms(const DistanceMetric& metric,
+                         const std::vector<Feature>& samples, double tol) {
+  const size_t n = samples.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (std::fabs(metric.Distance(samples[i], samples[i])) > tol) {
+      return Status::FailedPrecondition("d(x, x) != 0");
+    }
+    for (size_t j = i + 1; j < n; ++j) {
+      const double dij = metric.Distance(samples[i], samples[j]);
+      const double dji = metric.Distance(samples[j], samples[i]);
+      if (dij < -tol) return Status::FailedPrecondition("negative distance");
+      if (std::fabs(dij - dji) > tol) {
+        return Status::FailedPrecondition("distance not symmetric");
+      }
+      for (size_t k = 0; k < n; ++k) {
+        const double dik = metric.Distance(samples[i], samples[k]);
+        const double dkj = metric.Distance(samples[k], samples[j]);
+        if (dij > dik + dkj + tol) {
+          return Status::FailedPrecondition("triangle inequality violated");
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace elink

@@ -1,0 +1,84 @@
+// Metric distances between features (paper Section 2.2).
+//
+// The paper motivates a *weighted* Euclidean distance on model coefficients
+// (higher-order coefficients matter more) and formulates clustering in a
+// general metric space; every algorithm in this repository accesses distances
+// only through the DistanceMetric interface so alternative metrics drop in.
+#ifndef ELINK_METRIC_DISTANCE_H_
+#define ELINK_METRIC_DISTANCE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "metric/feature.h"
+
+namespace elink {
+
+/// \brief Abstract metric on features.
+///
+/// Implementations must satisfy the metric axioms (positivity, symmetry,
+/// triangle inequality); CheckMetricAxioms verifies them empirically.
+class DistanceMetric {
+ public:
+  virtual ~DistanceMetric() = default;
+
+  /// Distance between two features.  Must be symmetric and non-negative.
+  virtual double Distance(const Feature& a, const Feature& b) const = 0;
+};
+
+/// \brief Weighted Euclidean distance: sqrt(sum_i w_i (a_i - b_i)^2).
+///
+/// With all weights 1 this is plain Euclidean distance.  Weights must be
+/// positive for the triangle inequality to hold.
+class WeightedEuclidean : public DistanceMetric {
+ public:
+  /// Per-coordinate weights; e.g. (0.5, 0.3, 0.2, 0.1) for the Tao model.
+  explicit WeightedEuclidean(std::vector<double> weights);
+
+  /// Unweighted Euclidean in `dim` dimensions.
+  static WeightedEuclidean Euclidean(int dim);
+
+  double Distance(const Feature& a, const Feature& b) const override;
+
+  const std::vector<double>& weights() const { return weights_; }
+
+ private:
+  std::vector<double> weights_;
+};
+
+/// \brief Manhattan (L1) distance, provided as an alternative metric.
+class ManhattanDistance : public DistanceMetric {
+ public:
+  double Distance(const Feature& a, const Feature& b) const override;
+};
+
+/// \brief A metric given by an explicit symmetric matrix over n items,
+/// addressed by 1-dimensional features holding the item index.  This is how
+/// the NP-hardness gadget of Theorem 1 (d = 1 on graph edges, 2 otherwise)
+/// and the worked examples from the paper's figures are expressed in tests.
+class TableMetric : public DistanceMetric {
+ public:
+  /// `table` must be square and symmetric with a zero diagonal.
+  static Result<TableMetric> Create(std::vector<std::vector<double>> table);
+
+  double Distance(const Feature& a, const Feature& b) const override;
+
+  int size() const { return static_cast<int>(table_.size()); }
+
+ private:
+  explicit TableMetric(std::vector<std::vector<double>> table)
+      : table_(std::move(table)) {}
+
+  std::vector<std::vector<double>> table_;
+};
+
+/// Empirically verifies the metric axioms of `metric` on every pair/triple of
+/// `samples` (within tolerance `tol`).  Intended for tests.
+Status CheckMetricAxioms(const DistanceMetric& metric,
+                         const std::vector<Feature>& samples,
+                         double tol = 1e-9);
+
+}  // namespace elink
+
+#endif  // ELINK_METRIC_DISTANCE_H_

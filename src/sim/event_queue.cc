@@ -1,0 +1,38 @@
+#include "sim/event_queue.h"
+
+namespace elink {
+
+void EventQueue::ScheduleAt(double time, Callback cb) {
+  ELINK_CHECK(time >= now_);
+  heap_.push(Event{time, next_seq_++, std::move(cb)});
+}
+
+void EventQueue::ScheduleAfter(double delay, Callback cb) {
+  ELINK_CHECK(delay >= 0.0);
+  ScheduleAt(now_ + delay, std::move(cb));
+}
+
+bool EventQueue::RunOne() {
+  if (heap_.empty()) return false;
+  // priority_queue::top returns const&; move out via const_cast is UB-adjacent,
+  // so copy the callback handle (std::function copy) before popping.
+  Event ev = heap_.top();
+  heap_.pop();
+  now_ = ev.time;
+  ev.cb();
+  return true;
+}
+
+uint64_t EventQueue::RunAll(uint64_t max_events) {
+  uint64_t n = 0;
+  while (n < max_events && RunOne()) ++n;
+  return n;
+}
+
+uint64_t EventQueue::RunUntil(double until) {
+  uint64_t n = 0;
+  while (!heap_.empty() && heap_.top().time <= until && RunOne()) ++n;
+  return n;
+}
+
+}  // namespace elink

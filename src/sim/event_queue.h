@@ -1,0 +1,65 @@
+// Deterministic discrete-event queue.
+//
+// Events fire in (time, sequence) order: ties in simulated time are broken by
+// insertion order, which makes every simulation run bit-reproducible for a
+// given seed regardless of container iteration quirks.
+#ifndef ELINK_SIM_EVENT_QUEUE_H_
+#define ELINK_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/status.h"
+
+namespace elink {
+
+/// \brief Priority queue of timestamped callbacks.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `cb` to run at absolute time `time` (must be >= Now()).
+  void ScheduleAt(double time, Callback cb);
+
+  /// Schedules `cb` to run `delay` from now (delay >= 0).
+  void ScheduleAfter(double delay, Callback cb);
+
+  /// Current simulated time (the time of the last dispatched event).
+  double Now() const { return now_; }
+
+  bool Empty() const { return heap_.empty(); }
+  size_t Size() const { return heap_.size(); }
+
+  /// Dispatches the next event; returns false when the queue is empty.
+  bool RunOne();
+
+  /// Runs events until the queue empties or `max_events` dispatches.
+  /// Returns the number of events dispatched.
+  uint64_t RunAll(uint64_t max_events = UINT64_MAX);
+
+  /// Runs all events with time <= `until`.  Returns dispatched count.
+  uint64_t RunUntil(double until);
+
+ private:
+  struct Event {
+    double time;
+    uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  double now_ = 0.0;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace elink
+
+#endif  // ELINK_SIM_EVENT_QUEUE_H_

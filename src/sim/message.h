@@ -1,0 +1,34 @@
+// Messages exchanged between simulated sensor nodes.
+#ifndef ELINK_SIM_MESSAGE_H_
+#define ELINK_SIM_MESSAGE_H_
+
+#include <string>
+#include <vector>
+
+namespace elink {
+
+/// \brief A protocol message.
+///
+/// `type` dispatches inside a protocol's message handler; `category` labels
+/// the message for cost accounting (MessageStats) so experiments can break
+/// down communication by expand/ack/phase/query/... as Section 8.2 does.
+/// `doubles` carries feature coefficients or data values; `ints` carries ids
+/// and levels.
+struct Message {
+  int type = 0;
+  std::string category;
+  std::vector<double> doubles;
+  std::vector<long long> ints;
+
+  /// Number of "paper messages" one hop of this message costs.  The paper
+  /// charges one message per coefficient or data value (Section 8.2); id and
+  /// level fields ride along for free.  Control messages with no payload
+  /// still cost one message.
+  int CostUnits() const {
+    return doubles.empty() ? 1 : static_cast<int>(doubles.size());
+  }
+};
+
+}  // namespace elink
+
+#endif  // ELINK_SIM_MESSAGE_H_

@@ -1,0 +1,115 @@
+#include "sim/network.h"
+
+#include <utility>
+
+namespace elink {
+
+Network::Network(Topology topology, Config config)
+    : topology_(std::move(topology)),
+      config_(config),
+      rng_(config.seed),
+      nodes_(topology_.num_nodes()) {
+  ELINK_CHECK(config_.async_delay_min > 0.0);
+  ELINK_CHECK(config_.async_delay_max >= config_.async_delay_min);
+}
+
+void Network::InstallNode(int id, std::unique_ptr<Node> node) {
+  ELINK_CHECK(id >= 0 && id < num_nodes());
+  ELINK_CHECK(node != nullptr);
+  node->network_ = this;
+  node->id_ = id;
+  nodes_[id] = std::move(node);
+}
+
+void Network::InstallNodes(
+    const std::function<std::unique_ptr<Node>(int)>& factory) {
+  for (int id = 0; id < num_nodes(); ++id) InstallNode(id, factory(id));
+}
+
+double Network::NextHopDelay() {
+  if (config_.synchronous) return 1.0;
+  return rng_.Uniform(config_.async_delay_min, config_.async_delay_max);
+}
+
+void Network::Send(int from, int to, Message msg) {
+  ELINK_CHECK(topology_.HasEdge(from, to));
+  ELINK_CHECK(nodes_[to] != nullptr);
+  stats_.Record(msg.category, msg.CostUnits());
+  const double delay = NextHopDelay();
+  queue_.ScheduleAfter(delay, [this, from, to, m = std::move(msg)]() {
+    nodes_[to]->HandleMessage(from, m);
+  });
+}
+
+void Network::Broadcast(int from, Message msg) {
+  for (int nb : topology_.adjacency[from]) {
+    Send(from, nb, msg);
+  }
+}
+
+const RoutingTable& Network::TableFor(int root) {
+  auto it = routing_tables_.find(root);
+  if (it == routing_tables_.end()) {
+    it = routing_tables_
+             .emplace(root, RoutingTable(topology_.adjacency, root))
+             .first;
+  }
+  return it->second;
+}
+
+int Network::SendRouted(int from, int to, Message msg) {
+  ELINK_CHECK(nodes_[to] != nullptr);
+  if (from == to) {
+    queue_.ScheduleAfter(0.0, [this, from, to, m = std::move(msg)]() {
+      nodes_[to]->HandleMessage(from, m);
+    });
+    return 0;
+  }
+  const RoutingTable& table = TableFor(to);
+  const int hops = table.HopsToRoot(from);
+  ELINK_CHECK(hops > 0);  // Connected networks only.
+  // Charge every hop and accumulate the end-to-end delay.
+  double delay = 0.0;
+  for (int h = 0; h < hops; ++h) {
+    stats_.Record(msg.category, msg.CostUnits());
+    delay += NextHopDelay();
+  }
+  // The penultimate node on the path is the sender seen by `to`.
+  int penultimate = to == from ? from : [&] {
+    // Walk from `from` towards `to`; the node whose next hop is `to`.
+    int cur = from;
+    while (table.NextHopToRoot(cur) != to) cur = table.NextHopToRoot(cur);
+    return cur;
+  }();
+  queue_.ScheduleAfter(delay,
+                       [this, penultimate, to, m = std::move(msg)]() {
+                         nodes_[to]->HandleMessage(penultimate, m);
+                       });
+  return hops;
+}
+
+int Network::HopDistance(int from, int to) {
+  if (from == to) return 0;
+  return TableFor(to).HopsToRoot(from);
+}
+
+void Network::SetTimer(int id, double delay, int timer_id) {
+  ELINK_CHECK(nodes_[id] != nullptr);
+  queue_.ScheduleAfter(delay,
+                       [this, id, timer_id]() { nodes_[id]->HandleTimer(timer_id); });
+}
+
+void Network::ScheduleAfter(double delay, std::function<void()> cb) {
+  queue_.ScheduleAfter(delay, std::move(cb));
+}
+
+uint64_t Network::Run(uint64_t max_events) {
+  for (int id = 0; id < num_nodes(); ++id) {
+    ELINK_CHECK(nodes_[id] != nullptr);
+  }
+  const uint64_t dispatched = queue_.RunAll(max_events);
+  ELINK_CHECK(dispatched < max_events);  // Cap hit => runaway protocol.
+  return dispatched;
+}
+
+}  // namespace elink

@@ -1,0 +1,136 @@
+// The simulated sensor network: nodes, message delivery, timers, and cost
+// accounting over a Topology, driven by a deterministic event queue.
+//
+// Two delay regimes model the paper's two settings:
+//  * synchronous  — every hop takes exactly one time unit (Section 4);
+//  * asynchronous — per-hop delays are drawn uniformly from a configured
+//    interval (Section 5), so message orderings can interleave arbitrarily.
+#ifndef ELINK_SIM_NETWORK_H_
+#define ELINK_SIM_NETWORK_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "sim/event_queue.h"
+#include "sim/graph.h"
+#include "sim/message.h"
+#include "sim/stats.h"
+#include "sim/topology.h"
+
+namespace elink {
+
+class Network;
+
+/// \brief Base class for protocol logic running on one sensor node.
+///
+/// Subclasses implement HandleMessage / HandleTimer; they send messages and
+/// set timers through the owning Network.
+class Node {
+ public:
+  virtual ~Node() = default;
+
+  /// Delivery of a single-hop (or routed) message from `from`.
+  virtual void HandleMessage(int from, const Message& msg) = 0;
+
+  /// Expiry of a timer set via Network::SetTimer.
+  virtual void HandleTimer(int timer_id) { (void)timer_id; }
+
+  int id() const { return id_; }
+
+ protected:
+  Network* network() const { return network_; }
+
+ private:
+  friend class Network;
+  Network* network_ = nullptr;
+  int id_ = -1;
+};
+
+/// \brief The simulated network.
+class Network {
+ public:
+  struct Config {
+    /// Synchronous: one time unit per hop.  Asynchronous: U(min, max).
+    bool synchronous = true;
+    double async_delay_min = 0.5;
+    double async_delay_max = 1.5;
+    uint64_t seed = 1;
+  };
+
+  Network(Topology topology, Config config);
+
+  // Nodes hold back-pointers to their Network, so it must never move.
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Installs the protocol object for node `id`.  All nodes must be
+  /// installed before the first Send/SetTimer/Run.
+  void InstallNode(int id, std::unique_ptr<Node> node);
+
+  /// Convenience: installs `factory(id)` for every node id.
+  void InstallNodes(
+      const std::function<std::unique_ptr<Node>(int)>& factory);
+
+  int num_nodes() const { return topology_.num_nodes(); }
+  const Topology& topology() const { return topology_; }
+  const std::vector<int>& neighbors(int id) const {
+    return topology_.adjacency[id];
+  }
+
+  /// Sends `msg` over the single radio hop from `from` to neighbor `to`.
+  /// Cost: msg.CostUnits() units in msg.category.
+  void Send(int from, int to, Message msg);
+
+  /// Sends `msg` to every neighbor of `from` (independent transmissions).
+  void Broadcast(int from, Message msg);
+
+  /// Sends `msg` from `from` to an arbitrary node `to` along a shortest hop
+  /// path; intermediate nodes relay without processing.  Each hop is charged
+  /// like a Send.  Used for quadtree parent/child signalling and query
+  /// routing, whose endpoints need not be radio neighbors.
+  /// Returns the number of hops traveled (0 for from == to, in which case
+  /// the message is delivered locally after zero delay).
+  int SendRouted(int from, int to, Message msg);
+
+  /// Hop distance between two nodes (shortest path; -1 if disconnected).
+  int HopDistance(int from, int to);
+
+  /// Schedules HandleTimer(timer_id) on node `id` after `delay`.
+  void SetTimer(int id, double delay, int timer_id);
+
+  /// Schedules an arbitrary callback (driver code, not charged).
+  void ScheduleAfter(double delay, std::function<void()> cb);
+
+  double Now() const { return queue_.Now(); }
+
+  /// Runs until the event queue drains (or the safety cap on dispatched
+  /// events is hit, which indicates a protocol bug).  Returns the number of
+  /// events dispatched.
+  uint64_t Run(uint64_t max_events = 200'000'000ULL);
+
+  Node* node(int id) { return nodes_[id].get(); }
+  MessageStats& stats() { return stats_; }
+  const MessageStats& stats() const { return stats_; }
+  Rng& rng() { return rng_; }
+
+ private:
+  double NextHopDelay();
+  const RoutingTable& TableFor(int root);
+
+  Topology topology_;
+  Config config_;
+  EventQueue queue_;
+  Rng rng_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  MessageStats stats_;
+  // Lazily built per-destination routing tables for SendRouted/HopDistance.
+  std::map<int, RoutingTable> routing_tables_;
+};
+
+}  // namespace elink
+
+#endif  // ELINK_SIM_NETWORK_H_

@@ -1,0 +1,24 @@
+// 2-D geometry for sensor deployments.
+#ifndef ELINK_SIM_POINT_H_
+#define ELINK_SIM_POINT_H_
+
+#include <cmath>
+
+namespace elink {
+
+/// A point (or sensor position) on the deployment plane.
+struct Point2D {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Euclidean distance between two points.
+inline double EuclideanDistance(const Point2D& a, const Point2D& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace elink
+
+#endif  // ELINK_SIM_POINT_H_

@@ -1,0 +1,59 @@
+#include "sim/stats.h"
+
+#include "common/strings.h"
+
+namespace elink {
+
+void MessageStats::Record(const std::string& category, int units) {
+  total_sends_ += 1;
+  total_units_ += static_cast<uint64_t>(units);
+  units_by_category_[category] += static_cast<uint64_t>(units);
+  sends_by_category_[category] += 1;
+}
+
+uint64_t MessageStats::units(const std::string& category) const {
+  auto it = units_by_category_.find(category);
+  return it == units_by_category_.end() ? 0 : it->second;
+}
+
+uint64_t MessageStats::sends(const std::string& category) const {
+  auto it = sends_by_category_.find(category);
+  return it == sends_by_category_.end() ? 0 : it->second;
+}
+
+void MessageStats::Reset() {
+  total_sends_ = 0;
+  total_units_ = 0;
+  units_by_category_.clear();
+  sends_by_category_.clear();
+}
+
+void MessageStats::Merge(const MessageStats& other) {
+  total_sends_ += other.total_sends_;
+  total_units_ += other.total_units_;
+  for (const auto& [k, v] : other.units_by_category_) {
+    units_by_category_[k] += v;
+  }
+  for (const auto& [k, v] : other.sends_by_category_) {
+    sends_by_category_[k] += v;
+  }
+}
+
+std::string MessageStats::ToString() const {
+  std::string out = StringPrintf("sends=%llu units=%llu",
+                                 static_cast<unsigned long long>(total_sends_),
+                                 static_cast<unsigned long long>(total_units_));
+  if (!units_by_category_.empty()) {
+    out += " (";
+    bool first = true;
+    for (const auto& [k, v] : units_by_category_) {
+      if (!first) out += ", ";
+      first = false;
+      out += k + "=" + StringPrintf("%llu", static_cast<unsigned long long>(v));
+    }
+    out += ")";
+  }
+  return out;
+}
+
+}  // namespace elink

@@ -1,0 +1,57 @@
+// Communication accounting (paper Section 8.2).
+//
+// Every single-hop transmission is tallied here, both as a raw send count and
+// as "units" (one per coefficient/data value carried, the paper's definition
+// of a message), broken down by protocol category.
+#ifndef ELINK_SIM_STATS_H_
+#define ELINK_SIM_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace elink {
+
+/// \brief Ledger of message costs by category.
+class MessageStats {
+ public:
+  /// Records one single-hop transmission of `units` payload units under
+  /// `category`.
+  void Record(const std::string& category, int units);
+
+  /// Raw transmissions (sends over one hop).
+  uint64_t total_sends() const { return total_sends_; }
+
+  /// Paper-style message units (coefficients/data values, >= sends).
+  uint64_t total_units() const { return total_units_; }
+
+  /// Units recorded under one category (0 when absent).
+  uint64_t units(const std::string& category) const;
+
+  /// Sends recorded under one category (0 when absent).
+  uint64_t sends(const std::string& category) const;
+
+  /// All categories and their unit counts.
+  const std::map<std::string, uint64_t>& units_by_category() const {
+    return units_by_category_;
+  }
+
+  /// Zeroes all counters.
+  void Reset();
+
+  /// Adds another ledger into this one.
+  void Merge(const MessageStats& other);
+
+  /// One-line rendering "total=... (cat1=..., cat2=...)".
+  std::string ToString() const;
+
+ private:
+  uint64_t total_sends_ = 0;
+  uint64_t total_units_ = 0;
+  std::map<std::string, uint64_t> units_by_category_;
+  std::map<std::string, uint64_t> sends_by_category_;
+};
+
+}  // namespace elink
+
+#endif  // ELINK_SIM_STATS_H_

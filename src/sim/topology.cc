@@ -1,0 +1,117 @@
+#include "sim/topology.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/graph.h"
+
+namespace elink {
+
+bool Topology::HasEdge(int u, int v) const {
+  const auto& nb = adjacency[u];
+  return std::binary_search(nb.begin(), nb.end(), v);
+}
+
+int Topology::num_edges() const {
+  size_t twice = 0;
+  for (const auto& nb : adjacency) twice += nb.size();
+  return static_cast<int>(twice / 2);
+}
+
+double Topology::average_degree() const {
+  if (positions.empty()) return 0.0;
+  return 2.0 * num_edges() / static_cast<double>(positions.size());
+}
+
+int Topology::max_degree() const {
+  size_t d = 0;
+  for (const auto& nb : adjacency) d = std::max(d, nb.size());
+  return static_cast<int>(d);
+}
+
+Topology MakeGridTopology(int rows, int cols, double spacing) {
+  ELINK_CHECK(rows > 0 && cols > 0 && spacing > 0);
+  Topology t;
+  t.width = (cols - 1) * spacing;
+  t.height = (rows - 1) * spacing;
+  t.positions.resize(static_cast<size_t>(rows) * cols);
+  t.adjacency.resize(t.positions.size());
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const int id = r * cols + c;
+      t.positions[id] = {c * spacing, r * spacing};
+      if (r > 0) t.adjacency[id].push_back(id - cols);
+      if (c > 0) t.adjacency[id].push_back(id - 1);
+      if (c + 1 < cols) t.adjacency[id].push_back(id + 1);
+      if (r + 1 < rows) t.adjacency[id].push_back(id + cols);
+    }
+  }
+  for (auto& nb : t.adjacency) std::sort(nb.begin(), nb.end());
+  return t;
+}
+
+namespace {
+
+// Builds unit-disk adjacency for the given positions and range.
+void BuildDiskAdjacency(Topology* t, double range) {
+  const int n = t->num_nodes();
+  t->adjacency.assign(n, {});
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (EuclideanDistance(t->positions[i], t->positions[j]) <= range) {
+        t->adjacency[i].push_back(j);
+        t->adjacency[j].push_back(i);
+      }
+    }
+  }
+  for (auto& nb : t->adjacency) std::sort(nb.begin(), nb.end());
+}
+
+}  // namespace
+
+Result<Topology> MakeRandomTopology(int n, double side, double radio_range,
+                                    Rng* rng, bool force_connectivity) {
+  if (n <= 0) return Status::InvalidArgument("n must be positive");
+  if (side <= 0 || radio_range <= 0) {
+    return Status::InvalidArgument("side and radio_range must be positive");
+  }
+  ELINK_CHECK(rng != nullptr);
+  Topology t;
+  t.width = side;
+  t.height = side;
+  t.positions.resize(n);
+  for (auto& p : t.positions) {
+    p = {rng->Uniform(0, side), rng->Uniform(0, side)};
+  }
+  double range = radio_range;
+  BuildDiskAdjacency(&t, range);
+  if (force_connectivity) {
+    // Grow the range until the unit-disk graph is connected.  The diagonal
+    // of the region is a hard upper bound, so this always terminates.
+    const double max_range = std::sqrt(2.0) * side + 1.0;
+    while (!IsConnected(t.adjacency) && range < max_range) {
+      range *= 1.1;
+      BuildDiskAdjacency(&t, range);
+    }
+    if (!IsConnected(t.adjacency)) {
+      return Status::Internal("failed to connect random topology");
+    }
+  }
+  return t;
+}
+
+Result<Topology> MakeRandomTopologyWithDegree(int n, double density,
+                                              double target_avg_degree,
+                                              Rng* rng) {
+  if (density <= 0 || target_avg_degree <= 0) {
+    return Status::InvalidArgument("density and degree must be positive");
+  }
+  const double side = std::sqrt(n / density);
+  // For a Poisson process of intensity `density`, the expected number of
+  // neighbors within radius r is density * pi * r^2; invert for r.
+  const double range =
+      std::sqrt(target_avg_degree / (density * M_PI));
+  return MakeRandomTopology(n, side, range, rng, /*force_connectivity=*/true);
+}
+
+}  // namespace elink

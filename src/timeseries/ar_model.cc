@@ -1,0 +1,59 @@
+#include "timeseries/ar_model.h"
+
+#include "linalg/solve.h"
+
+namespace elink {
+
+double ArModel::Predict(const Vector& recent) const {
+  ELINK_CHECK(recent.size() >= coefficients.size());
+  double s = 0.0;
+  for (size_t j = 0; j < coefficients.size(); ++j) {
+    s += coefficients[j] * recent[j];
+  }
+  return s;
+}
+
+Status BuildLagRegression(const Vector& series, int k, Matrix* x, Vector* y) {
+  if (k <= 0) return Status::InvalidArgument("AR order must be positive");
+  const int n = static_cast<int>(series.size());
+  if (n <= k) {
+    return Status::InvalidArgument("series shorter than AR order");
+  }
+  const int m = n - k;  // Number of usable observations.
+  *x = Matrix(k, m);
+  y->assign(m, 0.0);
+  for (int t = 0; t < m; ++t) {
+    // Observation t predicts series[k + t] from the k preceding values.
+    (*y)[t] = series[k + t];
+    for (int j = 0; j < k; ++j) {
+      (*x)(j, t) = series[k + t - 1 - j];
+    }
+  }
+  return Status::OK();
+}
+
+Result<ArModel> FitAr(const Vector& series, int k, double ridge) {
+  if (static_cast<int>(series.size()) < 2 * k + 1) {
+    return Status::InvalidArgument("FitAr: series too short for order");
+  }
+  Matrix x;
+  Vector y;
+  ELINK_RETURN_NOT_OK(BuildLagRegression(series, k, &x, &y));
+  Result<Vector> alpha = SolveNormalEquations(x, y, ridge);
+  if (!alpha.ok()) return alpha.status();
+
+  ArModel model;
+  model.coefficients = std::move(alpha).value();
+  // Residual variance.
+  double ss = 0.0;
+  for (size_t t = 0; t < y.size(); ++t) {
+    double pred = 0.0;
+    for (int j = 0; j < k; ++j) pred += model.coefficients[j] * x(j, t);
+    const double r = y[t] - pred;
+    ss += r * r;
+  }
+  model.noise_variance = y.empty() ? 0.0 : ss / static_cast<double>(y.size());
+  return model;
+}
+
+}  // namespace elink

@@ -1,0 +1,45 @@
+// Auto-regressive data models (paper Section 2.2).
+//
+// Each sensor node regresses its local time series with an AR(k) model
+//   X_t = a_1 X_{t-1} + ... + a_k X_{t-k} + e_t
+// and the coefficient vector (a_1..a_k) is the node's clustering feature.
+// Batch fitting solves the least-squares normal equations
+//   alpha = (X X^T)^{-1} X Y  (Section 2.2);
+// online maintenance uses the recursive update in rls.h.
+#ifndef ELINK_TIMESERIES_AR_MODEL_H_
+#define ELINK_TIMESERIES_AR_MODEL_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace elink {
+
+/// \brief A fitted AR(k) model.
+struct ArModel {
+  /// coefficients[j] multiplies X_{t-1-j}; size is the model order k.
+  Vector coefficients;
+  /// Residual (innovation) variance estimate.
+  double noise_variance = 0.0;
+
+  int order() const { return static_cast<int>(coefficients.size()); }
+
+  /// One-step-ahead prediction from the k most recent values,
+  /// `recent[0]` being X_{t-1}, `recent[1]` being X_{t-2}, etc.
+  double Predict(const Vector& recent) const;
+};
+
+/// Builds the AR lag regression (X, y) for `series` and order k:
+/// column t of X holds (X_{t-1}, ..., X_{t-k}) and y[t] = X_t.
+/// Requires series.size() > k.
+Status BuildLagRegression(const Vector& series, int k, Matrix* x, Vector* y);
+
+/// Fits AR(k) to `series` by least squares.  `ridge` adds Tikhonov
+/// regularization for nearly constant series.  Errors when the series is too
+/// short (needs at least 2k + 1 points for a meaningful fit).
+Result<ArModel> FitAr(const Vector& series, int k, double ridge = 1e-9);
+
+}  // namespace elink
+
+#endif  // ELINK_TIMESERIES_AR_MODEL_H_

@@ -1,0 +1,57 @@
+#include "timeseries/order_selection.h"
+
+#include <cmath>
+#include <limits>
+
+#include "linalg/solve.h"
+
+namespace elink {
+
+Result<OrderSelection> SelectArOrder(const Vector& series, int max_order,
+                                     double ridge) {
+  if (max_order < 1) {
+    return Status::InvalidArgument("max_order must be at least 1");
+  }
+  const int n = static_cast<int>(series.size());
+  if (n < 2 * max_order + 1) {
+    return Status::InvalidArgument("series too short for max_order");
+  }
+  // All candidates are scored on the same m = n - max_order observations so
+  // their likelihoods are comparable.
+  const int m = n - max_order;
+
+  OrderSelection best;
+  best.aic = std::numeric_limits<double>::infinity();
+  best.candidate_aic.reserve(max_order);
+
+  for (int k = 1; k <= max_order; ++k) {
+    // Lag regression restricted to the common evaluation window.
+    Matrix x(k, m);
+    Vector y(m);
+    for (int t = 0; t < m; ++t) {
+      y[t] = series[max_order + t];
+      for (int j = 0; j < k; ++j) x(j, t) = series[max_order + t - 1 - j];
+    }
+    Result<Vector> alpha = SolveNormalEquations(x, y, ridge);
+    if (!alpha.ok()) return alpha.status();
+    double ss = 0.0;
+    for (int t = 0; t < m; ++t) {
+      double pred = 0.0;
+      for (int j = 0; j < k; ++j) pred += alpha.value()[j] * x(j, t);
+      const double r = y[t] - pred;
+      ss += r * r;
+    }
+    const double sigma2 = std::max(ss / m, 1e-300);
+    const double aic = m * std::log(sigma2) + 2.0 * k;
+    best.candidate_aic.push_back(aic);
+    if (aic < best.aic) {
+      best.aic = aic;
+      best.order = k;
+      best.model.coefficients = alpha.value();
+      best.model.noise_variance = sigma2;
+    }
+  }
+  return best;
+}
+
+}  // namespace elink

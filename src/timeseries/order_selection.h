@@ -1,0 +1,35 @@
+// AR model-order selection.
+//
+// The paper fixes the model orders per dataset (AR(1) within a day, AR(3) on
+// daily means, AR(1) for the synthetic streams).  A deployment on new data
+// needs to *choose* the order; this utility selects it by the Akaike
+// information criterion over candidate orders, the standard approach for
+// autoregressive fitting [26].
+#ifndef ELINK_TIMESERIES_ORDER_SELECTION_H_
+#define ELINK_TIMESERIES_ORDER_SELECTION_H_
+
+#include "common/status.h"
+#include "timeseries/ar_model.h"
+
+namespace elink {
+
+/// Outcome of an order search.
+struct OrderSelection {
+  int order = 0;
+  ArModel model;
+  /// AIC score of the winner (lower is better).
+  double aic = 0.0;
+  /// AIC per candidate order 1..max_order (index 0 holds order 1).
+  std::vector<double> candidate_aic;
+};
+
+/// Fits AR(k) for k = 1..max_order and picks the minimum-AIC model, with
+/// AIC = m ln(sigma^2) + 2k evaluated over the m observations the largest
+/// candidate can use (so scores are comparable across orders).
+/// Errors when the series is too short for max_order.
+Result<OrderSelection> SelectArOrder(const Vector& series, int max_order,
+                                     double ridge = 1e-9);
+
+}  // namespace elink
+
+#endif  // ELINK_TIMESERIES_ORDER_SELECTION_H_

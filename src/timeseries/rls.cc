@@ -1,0 +1,62 @@
+#include "timeseries/rls.h"
+
+#include "linalg/solve.h"
+
+namespace elink {
+
+RlsEstimator::RlsEstimator(int num_regressors, double initial_p_scale) {
+  ELINK_CHECK(num_regressors > 0);
+  ELINK_CHECK(initial_p_scale > 0);
+  p_ = Matrix::Identity(num_regressors).Scale(initial_p_scale);
+  alpha_.assign(num_regressors, 0.0);
+}
+
+Result<RlsEstimator> RlsEstimator::FromBatch(const Matrix& x, const Vector& y,
+                                             double ridge) {
+  const size_t k = x.rows();
+  if (y.size() != x.cols()) {
+    return Status::InvalidArgument("RlsEstimator::FromBatch: size mismatch");
+  }
+  Matrix xxt(k, k);
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = i; j < k; ++j) {
+      double s = 0.0;
+      for (size_t m = 0; m < x.cols(); ++m) s += x(i, m) * x(j, m);
+      xxt(i, j) = s;
+      xxt(j, i) = s;
+    }
+    xxt(i, i) += ridge;
+  }
+  Result<Matrix> inv = Invert(xxt);
+  if (!inv.ok()) return inv.status();
+  Result<Vector> alpha = SolveNormalEquations(x, y, ridge);
+  if (!alpha.ok()) return alpha.status();
+
+  RlsEstimator est;
+  est.p_ = std::move(inv).value();
+  est.alpha_ = std::move(alpha).value();
+  est.count_ = static_cast<long long>(y.size());
+  return est;
+}
+
+void RlsEstimator::Observe(const Vector& x, double y) {
+  ELINK_CHECK(static_cast<int>(x.size()) == num_regressors());
+  // g = P_{k-1} x
+  const Vector g = p_.Multiply(x);
+  // denom = 1 + x^T P_{k-1} x
+  const double denom = 1.0 + Dot(x, g);
+  // P_k = P_{k-1} - g g^T / denom   (equation 7)
+  const size_t k = x.size();
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = 0; j < k; ++j) {
+      p_(i, j) -= g[i] * g[j] / denom;
+    }
+  }
+  // alpha_k = alpha_{k-1} - P_k (x x^T alpha_{k-1} - x y)   (equation 8)
+  const double innovation = Dot(x, alpha_) - y;  // x^T alpha - y
+  const Vector correction = p_.Multiply(Scale(x, innovation));
+  for (size_t i = 0; i < k; ++i) alpha_[i] -= correction[i];
+  ++count_;
+}
+
+}  // namespace elink

@@ -1,0 +1,63 @@
+// The seasonal model used for the Tao workload (paper Section 8.1):
+//
+//   x_t = a1 * x_{t-1} + b1 * mu_{T-1} + b2 * mu_{T-2} + b3 * mu_{T-3} + e_t
+//
+// where x_t are the 10-minute-resolution measurements of day T and mu_{T-j}
+// are the mean temperatures of the three preceding days.  Within a day the
+// data follows AR(1) (the a1 term); day-to-day variation of the mean follows
+// AR(3) (the b terms).  The node feature is the 4-vector (a1, b1, b2, b3).
+// Following the paper, a1 is refreshed on every measurement while the b's
+// are refreshed once per day, at the day boundary.
+#ifndef ELINK_TIMESERIES_SEASONAL_H_
+#define ELINK_TIMESERIES_SEASONAL_H_
+
+#include <deque>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+#include "timeseries/rls.h"
+
+namespace elink {
+
+/// \brief Streaming estimator of the seasonal (a1, b1, b2, b3) model.
+class SeasonalArModel {
+ public:
+  /// `measurements_per_day` is the number of samples in one day (144 for the
+  /// paper's 10-minute resolution).
+  explicit SeasonalArModel(int measurements_per_day);
+
+  /// Trains on a full history (e.g. the previous month, per the paper) and
+  /// returns a warm-started model.  The history length must cover at least
+  /// five days so that three lagged daily means exist.
+  static Result<SeasonalArModel> Train(const Vector& history,
+                                       int measurements_per_day);
+
+  /// Feeds one new measurement.  Updates a1 immediately; at each day
+  /// boundary, recomputes the daily mean and refreshes b1..b3.
+  void Observe(double x);
+
+  /// Current feature (a1, b1, b2, b3).
+  Vector Feature() const;
+
+  /// Number of complete days consumed so far.
+  int completed_days() const { return completed_days_; }
+
+ private:
+  void FinishDay();
+
+  int per_day_;
+  RlsEstimator intra_day_rls_;   // 1 regressor: x_{t-1}.
+  RlsEstimator daily_mean_rls_;  // 3 regressors: mu_{T-1..T-3}.
+  Vector beta_snapshot_;         // b's exposed in Feature(); day-boundary copy.
+
+  bool have_prev_x_ = false;
+  double prev_x_ = 0.0;  // Previous deviation from the running daily mean.
+  double day_sum_ = 0.0;
+  int day_count_ = 0;
+  int completed_days_ = 0;
+  std::deque<double> recent_daily_means_;  // Most recent first; size <= 3.
+};
+
+}  // namespace elink
+
+#endif  // ELINK_TIMESERIES_SEASONAL_H_

@@ -1,0 +1,408 @@
+// Tests for src/baselines: spectral clustering (NJW + smallest-k search),
+// spanning-forest, hierarchical, the exact optimum, and the centralized cost
+// models — including cross-algorithm quality relations on small instances.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "baselines/centralized_cost.h"
+#include "baselines/exact.h"
+#include "baselines/hierarchical.h"
+#include "baselines/kmedoids.h"
+#include "baselines/spanning_forest.h"
+#include "baselines/spectral.h"
+#include "cluster/elink.h"
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "data/terrain.h"
+#include "linalg/eigen.h"
+#include "sim/topology.h"
+
+namespace elink {
+namespace {
+
+WeightedEuclidean OneDim() { return WeightedEuclidean::Euclidean(1); }
+
+// Two 1-D feature bands on a path graph: the canonical 2-cluster instance.
+struct BandFixture {
+  Topology topology = MakeGridTopology(1, 6);
+  std::vector<Feature> features = {{0.0}, {1.0}, {2.0},
+                                   {50.0}, {51.0}, {52.0}};
+  double delta = 5.0;
+};
+
+TEST(SpectralTest, FindsTwoBands) {
+  BandFixture fx;
+  SpectralConfig cfg;
+  cfg.delta = fx.delta;
+  Result<SpectralResult> r = SpectralDeltaClustering(
+      fx.topology.adjacency, fx.features, OneDim(), cfg);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().clustering.num_clusters(), 2);
+  EXPECT_TRUE(ValidateDeltaClustering(r.value().clustering,
+                                      fx.topology.adjacency, fx.features,
+                                      OneDim(), fx.delta)
+                  .ok());
+}
+
+TEST(SpectralTest, SingleClusterWhenDeltaLarge) {
+  BandFixture fx;
+  SpectralConfig cfg;
+  cfg.delta = 100.0;
+  Result<SpectralResult> r = SpectralDeltaClustering(
+      fx.topology.adjacency, fx.features, OneDim(), cfg);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().clustering.num_clusters(), 1);
+  EXPECT_EQ(r.value().chosen_k, 1);
+}
+
+TEST(SpectralTest, SingletonsWhenDeltaZeroAndFeaturesDistinct) {
+  BandFixture fx;
+  SpectralConfig cfg;
+  cfg.delta = 0.0;
+  Result<SpectralResult> r = SpectralDeltaClustering(
+      fx.topology.adjacency, fx.features, OneDim(), cfg);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().clustering.num_clusters(), 6);
+}
+
+TEST(SpectralTest, PaperLiteralAffinityStillValid) {
+  BandFixture fx;
+  SpectralConfig cfg;
+  cfg.delta = fx.delta;
+  cfg.paper_literal_affinity = true;
+  Result<SpectralResult> r = SpectralDeltaClustering(
+      fx.topology.adjacency, fx.features, OneDim(), cfg);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(ValidateDeltaClustering(r.value().clustering,
+                                      fx.topology.adjacency, fx.features,
+                                      OneDim(), fx.delta)
+                  .ok());
+}
+
+TEST(SpectralTest, SubspaceIterationMatchesJacobiOnSmallGraph) {
+  // Cross-check the sparse eigenvector path against the dense Jacobi solver
+  // on the same normalized affinity operator.
+  Rng rng(3);
+  Result<Topology> t = MakeRandomTopology(24, 5.0, 2.0, &rng);
+  ASSERT_TRUE(t.ok());
+  std::vector<Feature> f;
+  for (int i = 0; i < 24; ++i) f.push_back({rng.Uniform(0, 1)});
+  WeightedEuclidean metric = OneDim();
+  auto affinity = [&](int i, int j) {
+    const double d = metric.Distance(f[i], f[j]);
+    return std::exp(-d * d / 2.0);
+  };
+  const int n = 24;
+  // Dense operator I + D^-1/2 A D^-1/2.
+  std::vector<double> degree(n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j : t.value().adjacency[i]) degree[i] += affinity(i, j);
+    if (degree[i] <= 0) degree[i] = 1.0;
+  }
+  Matrix dense = Matrix::Identity(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j : t.value().adjacency[i]) {
+      dense(i, j) += affinity(i, j) / std::sqrt(degree[i] * degree[j]);
+    }
+  }
+  Result<EigenDecomposition> jac = SymmetricEigen(dense);
+  ASSERT_TRUE(jac.ok());
+  Rng rng2(5);
+  Result<Matrix> sub = TopEigenvectorsOfNormalizedAffinity(
+      t.value().adjacency, affinity, 4, &rng2, 600);
+  ASSERT_TRUE(sub.ok());
+  // Rayleigh quotients of the subspace columns match the top-4 eigenvalues.
+  for (int c = 0; c < 4; ++c) {
+    Vector v(n);
+    for (int i = 0; i < n; ++i) v[i] = sub.value()(i, c);
+    const Vector av = dense.Multiply(v);
+    const double rayleigh = Dot(v, av) / Dot(v, v);
+    EXPECT_NEAR(rayleigh, jac.value().values[c], 1e-4) << "column " << c;
+  }
+}
+
+// -- Spanning forest -----------------------------------------------------------
+
+TEST(SpanningForestTest, FindsTwoBands) {
+  BandFixture fx;
+  Result<SpanningForestResult> r = SpanningForestClustering(
+      fx.topology.adjacency, fx.features, OneDim(), fx.delta);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(ValidateDeltaClustering(r.value().clustering,
+                                      fx.topology.adjacency, fx.features,
+                                      OneDim(), fx.delta)
+                  .ok());
+  EXPECT_EQ(r.value().clustering.num_clusters(), 2);
+}
+
+TEST(SpanningForestTest, ForestParentsRespectPartialOrder) {
+  BandFixture fx;
+  Result<SpanningForestResult> r = SpanningForestClustering(
+      fx.topology.adjacency, fx.features, OneDim(), fx.delta);
+  ASSERT_TRUE(r.ok());
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_LE(r.value().forest_parent[i], i);  // Parent has smaller id.
+  }
+}
+
+TEST(SpanningForestTest, LinearMessageComplexity) {
+  Rng rng(11);
+  std::vector<double> per_node;
+  for (int n : {100, 400}) {
+    SyntheticConfig cfg;
+    cfg.num_nodes = n;
+    cfg.seed = 2000 + n;
+    Result<SensorDataset> ds = MakeSyntheticDataset(cfg);
+    ASSERT_TRUE(ds.ok());
+    const double delta = 0.3 * FeatureDiameter(ds.value());
+    Result<SpanningForestResult> r = SpanningForestClustering(
+        ds.value().topology.adjacency, ds.value().features,
+        *ds.value().metric, delta);
+    ASSERT_TRUE(r.ok());
+    per_node.push_back(static_cast<double>(r.value().stats.total_units()) / n);
+  }
+  EXPECT_LT(per_node.back(), per_node.front() * 2.5);
+}
+
+TEST(SpanningForestTest, ValidOnTerrainSweep) {
+  TerrainConfig cfg;
+  cfg.num_nodes = 250;
+  cfg.radio_range_fraction = 0.1;
+  Result<SensorDataset> ds = MakeTerrainDataset(cfg);
+  ASSERT_TRUE(ds.ok());
+  for (double frac : {0.1, 0.3, 0.6}) {
+    const double delta = frac * FeatureDiameter(ds.value());
+    Result<SpanningForestResult> r = SpanningForestClustering(
+        ds.value().topology.adjacency, ds.value().features,
+        *ds.value().metric, delta);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(ValidateDeltaClustering(
+                    r.value().clustering, ds.value().topology.adjacency,
+                    ds.value().features, *ds.value().metric, delta)
+                    .ok())
+        << "delta fraction " << frac;
+  }
+}
+
+// -- Hierarchical ----------------------------------------------------------------
+
+TEST(HierarchicalTest, FindsTwoBands) {
+  BandFixture fx;
+  Result<HierarchicalResult> r = HierarchicalClustering(
+      fx.topology.adjacency, fx.features, OneDim(), fx.delta);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().clustering.num_clusters(), 2);
+  EXPECT_TRUE(ValidateDeltaClustering(r.value().clustering,
+                                      fx.topology.adjacency, fx.features,
+                                      OneDim(), fx.delta)
+                  .ok());
+}
+
+TEST(HierarchicalTest, MergesEverythingUnderLargeDelta) {
+  BandFixture fx;
+  Result<HierarchicalResult> r = HierarchicalClustering(
+      fx.topology.adjacency, fx.features, OneDim(), 1000.0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().clustering.num_clusters(), 1);
+  EXPECT_EQ(r.value().merges, 5);
+}
+
+TEST(HierarchicalTest, NoMergesUnderZeroDeltaWithDistinctFeatures) {
+  BandFixture fx;
+  Result<HierarchicalResult> r = HierarchicalClustering(
+      fx.topology.adjacency, fx.features, OneDim(), 0.0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().clustering.num_clusters(), 6);
+  EXPECT_EQ(r.value().merges, 0);
+}
+
+TEST(HierarchicalTest, ValidOnRandomSweep) {
+  SyntheticConfig cfg;
+  cfg.num_nodes = 120;
+  cfg.seed = 71;
+  Result<SensorDataset> ds = MakeSyntheticDataset(cfg);
+  ASSERT_TRUE(ds.ok());
+  for (double frac : {0.15, 0.35, 0.6}) {
+    const double delta = frac * FeatureDiameter(ds.value());
+    Result<HierarchicalResult> r = HierarchicalClustering(
+        ds.value().topology.adjacency, ds.value().features,
+        *ds.value().metric, delta);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(ValidateDeltaClustering(
+                    r.value().clustering, ds.value().topology.adjacency,
+                    ds.value().features, *ds.value().metric, delta)
+                    .ok());
+  }
+}
+
+// -- Exact optimum ---------------------------------------------------------------
+
+TEST(ExactTest, TwoBandsOptimal) {
+  BandFixture fx;
+  Result<Clustering> r = ExactOptimalClustering(fx.topology.adjacency,
+                                                fx.features, OneDim(),
+                                                fx.delta);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().num_clusters(), 2);
+  EXPECT_TRUE(ValidateDeltaClustering(r.value(), fx.topology.adjacency,
+                                      fx.features, OneDim(), fx.delta)
+                  .ok());
+}
+
+TEST(ExactTest, ConnectivityForcesExtraClusters) {
+  // Path 0-1-2 with features 0, 100, 0 and delta 1: nodes 0 and 2 are
+  // compatible but not connected without 1 -> optimum is 3, not 2.
+  Topology t = MakeGridTopology(1, 3);
+  std::vector<Feature> f = {{0.0}, {100.0}, {0.0}};
+  Result<Clustering> r =
+      ExactOptimalClustering(t.adjacency, f, OneDim(), 1.0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().num_clusters(), 3);
+}
+
+TEST(ExactTest, PaperFigure3Example) {
+  // Fig. 3: 5 nodes, delta = 5, minimum clustering has 2 clusters.
+  // Distances: d(c,e) = 6 and d(c,d) = 6 exceed delta; everything else <= 5.
+  // Communication graph: a-b, a-c, b-c, b-d, c-e, d-e (as drawn).
+  Result<TableMetric> metric = TableMetric::Create({
+      {0, 2, 4, 4, 5},   // a
+      {2, 0, 3, 5, 4},   // b
+      {4, 3, 0, 6, 6},   // c  (d(c,d)=6, d(c,e)=6)
+      {4, 5, 6, 0, 3},   // d
+      {5, 4, 6, 3, 0},   // e
+  });
+  ASSERT_TRUE(metric.ok());
+  AdjacencyList adj = {{1, 2}, {0, 2, 3}, {0, 1, 4}, {1, 4}, {2, 3}};
+  std::vector<Feature> ids = {{0.0}, {1.0}, {2.0}, {3.0}, {4.0}};
+  Result<Clustering> r =
+      ExactOptimalClustering(adj, ids, metric.value(), 5.0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().num_clusters(), 2);
+  // c cannot share a cluster with d or e.
+  EXPECT_FALSE(r.value().SameCluster(2, 3));
+  EXPECT_FALSE(r.value().SameCluster(2, 4));
+}
+
+TEST(ExactTest, RejectsLargeInstance) {
+  Topology t = MakeGridTopology(4, 4);
+  std::vector<Feature> f(16, Feature{0.0});
+  EXPECT_FALSE(
+      ExactOptimalClustering(t.adjacency, f, OneDim(), 1.0, 14).ok());
+}
+
+TEST(ExactTest, LowerBoundsAllAlgorithms) {
+  Rng rng(91);
+  for (int trial = 0; trial < 4; ++trial) {
+    Result<Topology> t = MakeRandomTopology(10, 3.0, 1.4, &rng);
+    ASSERT_TRUE(t.ok());
+    std::vector<Feature> f;
+    for (int i = 0; i < 10; ++i) f.push_back({rng.Uniform(0, 8)});
+    const double delta = 3.0;
+    Result<Clustering> opt =
+        ExactOptimalClustering(t.value().adjacency, f, OneDim(), delta);
+    ASSERT_TRUE(opt.ok());
+    Result<SpanningForestResult> sf =
+        SpanningForestClustering(t.value().adjacency, f, OneDim(), delta);
+    ASSERT_TRUE(sf.ok());
+    EXPECT_GE(sf.value().clustering.num_clusters(),
+              opt.value().num_clusters());
+    Result<HierarchicalResult> hc =
+        HierarchicalClustering(t.value().adjacency, f, OneDim(), delta);
+    ASSERT_TRUE(hc.ok());
+    EXPECT_GE(hc.value().clustering.num_clusters(),
+              opt.value().num_clusters());
+    SpectralConfig scfg;
+    scfg.delta = delta;
+    Result<SpectralResult> sp =
+        SpectralDeltaClustering(t.value().adjacency, f, OneDim(), scfg);
+    ASSERT_TRUE(sp.ok());
+    EXPECT_GE(sp.value().clustering.num_clusters(),
+              opt.value().num_clusters());
+  }
+}
+
+// -- Centralized cost models -----------------------------------------------------
+
+TEST(CentralizedCostTest, BaseStationNearCenter) {
+  Topology t = MakeGridTopology(5, 5);
+  EXPECT_EQ(PickBaseStation(t), 12);  // Center of a 5x5 grid.
+}
+
+TEST(CentralizedCostTest, RawUpdaterChargesHops) {
+  Topology t = MakeGridTopology(1, 5);
+  CentralizedRawUpdater raw(t, /*base_station=*/0);
+  raw.Measurement(4);  // 4 hops away.
+  raw.Measurement(0);  // At the base: free.
+  EXPECT_EQ(raw.stats().total_units(), 4u);
+}
+
+TEST(CentralizedCostTest, ModelUpdaterRespectsSlack) {
+  Topology t = MakeGridTopology(1, 3);
+  auto metric = std::make_shared<WeightedEuclidean>(OneDim());
+  CentralizedModelUpdater upd(t, 0, metric, /*slack=*/1.0,
+                              {{0.0}, {0.0}, {0.0}});
+  EXPECT_FALSE(upd.UpdateFeature(2, {0.5}));  // Within slack.
+  EXPECT_EQ(upd.stats().total_units(), 0u);
+  EXPECT_TRUE(upd.UpdateFeature(2, {2.0}));  // Violation: 2 hops x 1 coeff.
+  EXPECT_EQ(upd.stats().total_units(), 2u);
+  // The sent value becomes the new reference.
+  EXPECT_FALSE(upd.UpdateFeature(2, {2.5}));
+  EXPECT_DOUBLE_EQ(upd.base_station_view()[2][0], 2.0);
+}
+
+
+// -- k-medoids (Section 9 alternative) ------------------------------------------
+
+TEST(KMedoidsTest, FindsTwoBands) {
+  BandFixture fx;
+  KMedoidsConfig cfg;
+  cfg.delta = fx.delta;
+  Result<KMedoidsResult> r = KMedoidsDeltaClustering(
+      fx.topology.adjacency, fx.features, OneDim(), cfg);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().clustering.num_clusters(), 2);
+  EXPECT_TRUE(ValidateDeltaClustering(r.value().clustering,
+                                      fx.topology.adjacency, fx.features,
+                                      OneDim(), fx.delta)
+                  .ok());
+}
+
+TEST(KMedoidsTest, HypotheticalDistributedCostIsHuge) {
+  // Section 9's argument: every PAM iteration broadcasts all medoids
+  // network-wide, so the distributed cost dwarfs ELink's O(N).
+  BandFixture fx;
+  KMedoidsConfig cfg;
+  cfg.delta = fx.delta;
+  Result<KMedoidsResult> r = KMedoidsDeltaClustering(
+      fx.topology.adjacency, fx.features, OneDim(), cfg);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r.value().total_iterations, 0);
+  EXPECT_GT(r.value().hypothetical_stats.total_units(),
+            static_cast<uint64_t>(fx.topology.num_nodes()));
+}
+
+TEST(KMedoidsTest, ValidAcrossDeltaSweep) {
+  SyntheticConfig cfg;
+  cfg.num_nodes = 100;
+  cfg.seed = 97;
+  Result<SensorDataset> ds = MakeSyntheticDataset(cfg);
+  ASSERT_TRUE(ds.ok());
+  for (double frac : {0.2, 0.4}) {
+    const double delta = frac * FeatureDiameter(ds.value());
+    KMedoidsConfig kcfg;
+    kcfg.delta = delta;
+    Result<KMedoidsResult> r = KMedoidsDeltaClustering(
+        ds.value().topology.adjacency, ds.value().features,
+        *ds.value().metric, kcfg);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(ValidateDeltaClustering(
+                    r.value().clustering, ds.value().topology.adjacency,
+                    ds.value().features, *ds.value().metric, delta)
+                    .ok());
+  }
+}
+
+}  // namespace
+}  // namespace elink

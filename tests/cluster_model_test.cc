@@ -1,0 +1,243 @@
+// Tests for src/cluster: the clustering model (validation, repair, cluster
+// trees) and the quadtree sentinel decomposition.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "cluster/clustering.h"
+#include "cluster/quadtree.h"
+#include "common/rng.h"
+#include "metric/distance.h"
+#include "sim/topology.h"
+
+namespace elink {
+namespace {
+
+WeightedEuclidean OneDim() { return WeightedEuclidean::Euclidean(1); }
+
+TEST(ClusteringTest, NumClustersAndGroups) {
+  Clustering c;
+  c.root_of = {0, 0, 2, 2, 2};
+  EXPECT_EQ(c.num_clusters(), 2);
+  const auto groups = c.Groups();
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].first, 0);
+  EXPECT_EQ(groups[0].second, (std::vector<int>{0, 1}));
+  EXPECT_EQ(groups[1].second, (std::vector<int>{2, 3, 4}));
+  EXPECT_TRUE(c.SameCluster(0, 1));
+  EXPECT_FALSE(c.SameCluster(1, 2));
+}
+
+TEST(ValidateTest, AcceptsValidClustering) {
+  // Path 0-1-2-3 with features 0, 1, 5, 6 and delta 2: {0,1}, {2,3}.
+  Topology t = MakeGridTopology(1, 4);
+  std::vector<Feature> f = {{0.0}, {1.0}, {5.0}, {6.0}};
+  Clustering c;
+  c.root_of = {0, 0, 2, 2};
+  EXPECT_TRUE(
+      ValidateDeltaClustering(c, t.adjacency, f, OneDim(), 2.0).ok());
+}
+
+TEST(ValidateTest, RejectsCompactnessViolation) {
+  Topology t = MakeGridTopology(1, 3);
+  std::vector<Feature> f = {{0.0}, {1.0}, {9.0}};
+  Clustering c;
+  c.root_of = {0, 0, 0};
+  Status st = ValidateDeltaClustering(c, t.adjacency, f, OneDim(), 2.0);
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(ValidateTest, RejectsDisconnectedCluster) {
+  // Path 0-1-2: cluster {0, 2} is disconnected without 1.
+  Topology t = MakeGridTopology(1, 3);
+  std::vector<Feature> f = {{0.0}, {0.0}, {0.0}};
+  Clustering c;
+  c.root_of = {0, 1, 0};
+  EXPECT_FALSE(
+      ValidateDeltaClustering(c, t.adjacency, f, OneDim(), 5.0).ok());
+}
+
+TEST(ValidateTest, RejectsUnclusteredNode) {
+  Topology t = MakeGridTopology(1, 2);
+  std::vector<Feature> f = {{0.0}, {0.0}};
+  Clustering c;
+  c.root_of = {0, -1};
+  EXPECT_FALSE(
+      ValidateDeltaClustering(c, t.adjacency, f, OneDim(), 5.0).ok());
+}
+
+TEST(ValidateTest, RejectsRootOutsideOwnCluster) {
+  Topology t = MakeGridTopology(1, 2);
+  std::vector<Feature> f = {{0.0}, {0.0}};
+  Clustering c;
+  c.root_of = {1, 0};  // Each points at the other: no root is its own.
+  EXPECT_FALSE(
+      ValidateDeltaClustering(c, t.adjacency, f, OneDim(), 5.0).ok());
+}
+
+TEST(RepairTest, SplitsStrandedFragment) {
+  // Path 0-1-2-3-4; cluster A = {0,1,3,4} (1 and 3 not adjacent), B = {2}.
+  Topology t = MakeGridTopology(1, 5);
+  Clustering c;
+  c.root_of = {0, 0, 2, 0, 0};
+  const int created = RepairDisconnectedClusters(&c, t.adjacency);
+  EXPECT_EQ(created, 1);
+  // Component containing root 0 keeps it; {3,4} promotes 3.
+  EXPECT_EQ(c.root_of[0], 0);
+  EXPECT_EQ(c.root_of[1], 0);
+  EXPECT_EQ(c.root_of[2], 2);
+  EXPECT_EQ(c.root_of[3], 3);
+  EXPECT_EQ(c.root_of[4], 3);
+  std::vector<Feature> f(5, Feature{0.0});
+  EXPECT_TRUE(
+      ValidateDeltaClustering(c, t.adjacency, f, OneDim(), 1.0).ok());
+}
+
+TEST(RepairTest, NoOpOnConnectedClusters) {
+  Topology t = MakeGridTopology(2, 3);
+  Clustering c;
+  c.root_of = {0, 0, 2, 0, 0, 2};
+  Clustering before = c;
+  EXPECT_EQ(RepairDisconnectedClusters(&c, t.adjacency), 0);
+  EXPECT_EQ(c.root_of, before.root_of);
+}
+
+TEST(ClusterTreesTest, TreesSpanClustersAndRespectEdges) {
+  Topology t = MakeGridTopology(3, 3);
+  Clustering c;
+  // Left 2 columns one cluster rooted at 4, right column rooted at 2.
+  c.root_of = {4, 4, 2, 4, 4, 2, 4, 4, 2};
+  const auto parent = BuildClusterTrees(c, t.adjacency);
+  for (int i = 0; i < 9; ++i) {
+    if (i == c.root_of[i]) {
+      EXPECT_EQ(parent[i], i);
+    } else {
+      // Parent is a communication neighbor in the same cluster.
+      EXPECT_TRUE(t.HasEdge(i, parent[i]));
+      EXPECT_EQ(c.root_of[parent[i]], c.root_of[i]);
+      // Walking parents reaches the root.
+      int cur = i, steps = 0;
+      while (cur != c.root_of[i] && steps < 10) {
+        cur = parent[cur];
+        ++steps;
+      }
+      EXPECT_EQ(cur, c.root_of[i]);
+    }
+  }
+}
+
+// -- Quadtree -----------------------------------------------------------------
+
+TEST(QuadtreeTest, EveryNodeExactlyOneSentinelLevel) {
+  Topology t = MakeGridTopology(8, 8);
+  const auto q = QuadtreeDecomposition::Build(t);
+  int total = 0;
+  for (int l = 0; l < q.num_levels(); ++l) {
+    total += static_cast<int>(q.sentinel_set(l).size());
+    for (int node : q.sentinel_set(l)) EXPECT_EQ(q.level_of(node), l);
+  }
+  EXPECT_EQ(total, 64);
+  EXPECT_EQ(q.sentinel_set(0).size(), 1u);
+}
+
+TEST(QuadtreeTest, SentinelSetSizesBoundedByPowersOfFour) {
+  Topology t = MakeGridTopology(8, 8);
+  const auto q = QuadtreeDecomposition::Build(t);
+  long long cap = 1;
+  for (int l = 0; l < q.num_levels(); ++l) {
+    EXPECT_LE(static_cast<long long>(q.sentinel_set(l).size()), cap);
+    cap *= 4;
+  }
+}
+
+TEST(QuadtreeTest, QuadParentIsOneLevelUp) {
+  Topology t = MakeGridTopology(8, 8);
+  const auto q = QuadtreeDecomposition::Build(t);
+  for (int i = 0; i < t.num_nodes(); ++i) {
+    if (i == q.root()) {
+      EXPECT_EQ(q.quad_parent(i), i);
+      EXPECT_EQ(q.level_of(i), 0);
+    } else {
+      EXPECT_EQ(q.level_of(q.quad_parent(i)), q.level_of(i) - 1);
+    }
+  }
+}
+
+TEST(QuadtreeTest, QuadChildrenInverseOfParent) {
+  Topology t = MakeGridTopology(6, 9);
+  const auto q = QuadtreeDecomposition::Build(t);
+  for (int i = 0; i < t.num_nodes(); ++i) {
+    for (int child : q.quad_children(i)) {
+      EXPECT_EQ(q.quad_parent(child), i);
+    }
+    if (i != q.root()) {
+      const auto& siblings = q.quad_children(q.quad_parent(i));
+      EXPECT_NE(std::find(siblings.begin(), siblings.end(), i),
+                siblings.end());
+    }
+  }
+}
+
+TEST(QuadtreeTest, RootNearCenter) {
+  Topology t = MakeGridTopology(9, 9);  // Center node exists: (4,4) = 40.
+  const auto q = QuadtreeDecomposition::Build(t);
+  EXPECT_EQ(q.root(), 40);
+}
+
+TEST(QuadtreeTest, DepthLogarithmicOnGrids) {
+  // The paper: alpha ~ log4(3N + 1) - 1 for grids; allow the +k slack of
+  // footnote 2.
+  for (int side : {4, 8, 16}) {
+    Topology t = MakeGridTopology(side, side);
+    const auto q = QuadtreeDecomposition::Build(t);
+    const double alpha_paper =
+        std::log(3.0 * t.num_nodes() + 1) / std::log(4.0) - 1.0;
+    EXPECT_LE(q.num_levels() - 1, static_cast<int>(alpha_paper) + 3);
+  }
+}
+
+TEST(QuadtreeTest, HandlesRandomTopology) {
+  Rng rng(91);
+  Result<Topology> t = MakeRandomTopology(200, 10.0, 1.2, &rng);
+  ASSERT_TRUE(t.ok());
+  const auto q = QuadtreeDecomposition::Build(t.value());
+  int total = 0;
+  for (int l = 0; l < q.num_levels(); ++l) {
+    total += static_cast<int>(q.sentinel_set(l).size());
+  }
+  EXPECT_EQ(total, 200);
+}
+
+TEST(QuadtreeTest, HandlesCoincidentPositions) {
+  // All nodes at the same position: the depth cap must assign everyone.
+  Topology t;
+  t.width = 1.0;
+  t.height = 1.0;
+  t.positions.assign(10, Point2D{0.5, 0.5});
+  t.adjacency.assign(10, {});
+  for (int i = 0; i < 10; ++i) {
+    for (int j = 0; j < 10; ++j) {
+      if (i != j) t.adjacency[i].push_back(j);
+    }
+  }
+  const auto q = QuadtreeDecomposition::Build(t, /*max_levels=*/4);
+  int total = 0;
+  for (int l = 0; l < q.num_levels(); ++l) {
+    total += static_cast<int>(q.sentinel_set(l).size());
+  }
+  EXPECT_EQ(total, 10);
+  EXPECT_LE(q.num_levels(), 4);
+}
+
+TEST(QuadtreeTest, SingleNode) {
+  Topology t = MakeGridTopology(1, 1);
+  const auto q = QuadtreeDecomposition::Build(t);
+  EXPECT_EQ(q.num_levels(), 1);
+  EXPECT_EQ(q.root(), 0);
+  EXPECT_TRUE(q.quad_children(0).empty());
+}
+
+}  // namespace
+}  // namespace elink

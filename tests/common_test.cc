@@ -1,0 +1,181 @@
+// Tests for src/common: Status/Result, Rng, strings, logging.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace elink {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad delta");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad delta");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad delta");
+}
+
+TEST(StatusTest, AllErrorConstructors) {
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  ASSERT_TRUE(r.ok());
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, Uniform01InRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanApproximatelyCentered) {
+  Rng rng(9);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Uniform(2.0, 4.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.02);
+}
+
+TEST(RngTest, UniformIntCoversRangeWithoutBias) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) counts[rng.UniformInt(10)]++;
+  for (int c : counts) EXPECT_NEAR(c, n / 10, n / 100);
+}
+
+TEST(RngTest, UniformIntRangeInclusive) {
+  Rng rng(13);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformIntRange(-2, 2));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_TRUE(seen.count(-2));
+  EXPECT_TRUE(seen.count(2));
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng(17);
+  double sum = 0.0, sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, NormalWithParams) {
+  Rng rng(19);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Normal(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(23);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, ForkGivesIndependentStreams) {
+  Rng base(29);
+  Rng f1 = base.Fork(1);
+  Rng f2 = base.Fork(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (f1.Next() == f2.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  const auto parts = Split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringsTest, JoinRoundTrips) {
+  EXPECT_EQ(Join({"x", "y", "z"}, "-"), "x-y-z");
+  EXPECT_EQ(Join({}, "-"), "");
+  EXPECT_EQ(Join({"solo"}, "-"), "solo");
+}
+
+TEST(StringsTest, StringPrintfFormats) {
+  EXPECT_EQ(StringPrintf("%d/%s", 7, "seven"), "7/seven");
+  EXPECT_EQ(StringPrintf("%.2f", 3.14159), "3.14");
+}
+
+TEST(StringsTest, FormatDoubleTrimsZeros) {
+  EXPECT_EQ(FormatDouble(1.5), "1.5");
+  EXPECT_EQ(FormatDouble(2.0), "2.0");
+  EXPECT_EQ(FormatDouble(0.12345, 3), "0.123");
+}
+
+TEST(LoggingTest, LevelFilterRoundTrip) {
+  const LogLevel old_level = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  ELINK_LOG(Info) << "suppressed message";  // Must not crash.
+  SetLogLevel(old_level);
+}
+
+}  // namespace
+}  // namespace elink

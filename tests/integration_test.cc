@@ -1,0 +1,228 @@
+// End-to-end integration tests: dataset generation -> ELink clustering ->
+// maintenance under the live stream -> index construction -> queries,
+// exercising the full pipeline the paper's system runs.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/centralized_cost.h"
+#include "baselines/spanning_forest.h"
+#include "cluster/elink.h"
+#include "cluster/maintenance.h"
+#include "common/rng.h"
+#include "data/tao.h"
+#include "data/terrain.h"
+#include "index/backbone.h"
+#include "index/mtree.h"
+#include "index/path_query.h"
+#include "index/range_query.h"
+#include "timeseries/seasonal.h"
+
+namespace elink {
+namespace {
+
+TEST(IntegrationTest, TaoPipelineClusterMaintainQuery) {
+  // A scaled-down Tao month: cluster on trained features, stream a few days
+  // of measurements through the seasonal models with maintenance, then
+  // answer range queries against the final state.
+  TaoConfig tcfg;
+  tcfg.measurements_per_day = 48;
+  tcfg.train_days = 10;
+  tcfg.eval_days = 3;
+  Result<SensorDataset> ds_r = MakeTaoDataset(tcfg);
+  ASSERT_TRUE(ds_r.ok());
+  SensorDataset& ds = ds_r.value();
+  const int n = ds.topology.num_nodes();
+  const double delta = 0.35 * FeatureDiameter(ds);
+  const double slack = 0.1 * delta;
+
+  // 1. Initial clustering with slack headroom.
+  ElinkConfig ecfg;
+  ecfg.delta = delta;
+  ecfg.slack = slack;
+  ecfg.seed = 3;
+  Result<ElinkResult> clustered = RunElink(ds, ecfg, ElinkMode::kExplicit);
+  ASSERT_TRUE(clustered.ok());
+  ASSERT_TRUE(ValidateDeltaClustering(clustered.value().clustering,
+                                      ds.topology.adjacency, ds.features,
+                                      *ds.metric, delta)
+                  .ok());
+
+  // 2. Stream the evaluation days through per-node models + maintenance.
+  MaintenanceConfig mcfg;
+  mcfg.delta = delta;
+  mcfg.slack = slack;
+  MaintenanceSession session(ds.topology, clustered.value().clustering,
+                             ds.features, ds.metric, mcfg);
+  std::vector<SeasonalArModel> models;
+  models.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    // Warm-start each node's model state from its training prefix.
+    Result<SeasonalArModel> m = SeasonalArModel::Train(
+        ds.train_streams[i], tcfg.measurements_per_day);
+    ASSERT_TRUE(m.ok());
+    models.push_back(std::move(m).value());
+  }
+  const int steps = tcfg.eval_days * tcfg.measurements_per_day;
+  for (int t = 0; t < steps; ++t) {
+    for (int i = 0; i < n; ++i) {
+      models[i].Observe(ds.streams[i][t]);
+      if (t % 16 == 15) {  // Periodic feature refresh.
+        session.UpdateFeature(i, models[i].Feature());
+      }
+    }
+  }
+  EXPECT_TRUE(
+      session.ValidateRootDistanceInvariant(delta + 2 * slack).ok());
+
+  // 3. Index the final state and answer range queries exactly.
+  const Clustering& final_clustering = session.clustering();
+  const std::vector<Feature>& final_features = session.current_features();
+  const auto tree = BuildClusterTrees(final_clustering, ds.topology.adjacency);
+  const ClusterIndex index = ClusterIndex::Build(final_clustering, tree,
+                                                 final_features, *ds.metric);
+  const Backbone backbone =
+      Backbone::Build(final_clustering, ds.topology.adjacency, nullptr,
+                      &final_features, ds.metric.get());
+  RangeQueryEngine engine(final_clustering, index, backbone, final_features,
+                          *ds.metric, delta);
+  Rng rng(11);
+  for (int trial = 0; trial < 15; ++trial) {
+    const Feature q = final_features[rng.UniformInt(n)];
+    const double r = rng.Uniform(0.3, 1.0) * delta;
+    RangeQueryResult res =
+        engine.Query(static_cast<int>(rng.UniformInt(n)), q, r);
+    EXPECT_EQ(res.matches, engine.LinearScan(q, r));
+  }
+}
+
+TEST(IntegrationTest, TerrainHazardNavigation) {
+  // Death-Valley-style hazard routing: cluster the terrain, then route
+  // around an elevation band treated as dangerous.
+  TerrainConfig tcfg;
+  tcfg.num_nodes = 300;
+  tcfg.radio_range_fraction = 0.09;
+  tcfg.seed = 21;
+  Result<SensorDataset> ds_r = MakeTerrainDataset(tcfg);
+  ASSERT_TRUE(ds_r.ok());
+  SensorDataset& ds = ds_r.value();
+  const double delta = 0.2 * FeatureDiameter(ds);
+
+  ElinkConfig ecfg;
+  ecfg.delta = delta;
+  ecfg.seed = 9;
+  Result<ElinkResult> clustered = RunElink(ds, ecfg, ElinkMode::kImplicit);
+  ASSERT_TRUE(clustered.ok());
+
+  const auto tree =
+      BuildClusterTrees(clustered.value().clustering, ds.topology.adjacency);
+  const ClusterIndex index = ClusterIndex::Build(
+      clustered.value().clustering, tree, ds.features, *ds.metric);
+  const Backbone backbone =
+      Backbone::Build(clustered.value().clustering, ds.topology.adjacency,
+                      nullptr, &ds.features, ds.metric.get());
+  PathQueryEngine engine(clustered.value().clustering, index, backbone,
+                         ds.topology.adjacency, ds.features, *ds.metric,
+                         delta);
+
+  Rng rng(33);
+  int agreements = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const int src = static_cast<int>(rng.UniformInt(300));
+    const int dst = static_cast<int>(rng.UniformInt(300));
+    const Feature danger = {rng.Uniform(300.0, 1800.0)};
+    const double gamma = rng.Uniform(0.05, 0.35) * FeatureDiameter(ds);
+    const PathQueryResult ours = engine.Query(src, dst, danger, gamma);
+    const PathQueryResult bfs = engine.BfsBaseline(src, dst, danger, gamma);
+    ASSERT_EQ(ours.found, bfs.found);
+    ++agreements;
+    if (ours.found) {
+      for (int node : ours.path) EXPECT_TRUE(engine.IsSafe(node, danger, gamma));
+    }
+  }
+  EXPECT_EQ(agreements, 20);
+}
+
+TEST(IntegrationTest, ElinkBeatsCentralizedOnUpdateTraffic) {
+  // The headline Fig. 10 relation, end to end on Tao-like streams: the
+  // in-network update protocol transmits far less than centralized
+  // coefficient shipping under the same slack.
+  TaoConfig tcfg;
+  tcfg.measurements_per_day = 48;
+  tcfg.train_days = 10;
+  tcfg.eval_days = 2;
+  Result<SensorDataset> ds_r = MakeTaoDataset(tcfg);
+  ASSERT_TRUE(ds_r.ok());
+  SensorDataset& ds = ds_r.value();
+  const int n = ds.topology.num_nodes();
+  const double delta = 0.35 * FeatureDiameter(ds);
+  const double slack = 0.1 * delta;
+
+  ElinkConfig ecfg;
+  ecfg.delta = delta;
+  ecfg.slack = slack;
+  ecfg.seed = 4;
+  Result<ElinkResult> clustered = RunElink(ds, ecfg, ElinkMode::kImplicit);
+  ASSERT_TRUE(clustered.ok());
+  MaintenanceConfig mcfg;
+  mcfg.delta = delta;
+  mcfg.slack = slack;
+  MaintenanceSession elink_session(ds.topology, clustered.value().clustering,
+                                   ds.features, ds.metric, mcfg);
+  CentralizedModelUpdater central(ds.topology, PickBaseStation(ds.topology),
+                                  ds.metric, slack, ds.features);
+
+  std::vector<SeasonalArModel> models;
+  models.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    Result<SeasonalArModel> m = SeasonalArModel::Train(
+        ds.train_streams[i], tcfg.measurements_per_day);
+    ASSERT_TRUE(m.ok());
+    models.push_back(std::move(m).value());
+  }
+  const int steps = tcfg.eval_days * tcfg.measurements_per_day;
+  for (int t = 0; t < steps; ++t) {
+    for (int i = 0; i < n; ++i) {
+      models[i].Observe(ds.streams[i][t]);
+      if (t % 8 == 7) {
+        const Feature f = models[i].Feature();
+        elink_session.UpdateFeature(i, f);
+        central.UpdateFeature(i, f);
+      }
+    }
+  }
+  EXPECT_LT(elink_session.stats().total_units(),
+            central.stats().total_units());
+}
+
+TEST(IntegrationTest, QualityOrderingOnCorrelatedData) {
+  // Figs. 8-9's qualitative ordering on spatially correlated data: ELink
+  // produces no more clusters than the greedy spanning forest.
+  TerrainConfig tcfg;
+  tcfg.num_nodes = 250;
+  tcfg.radio_range_fraction = 0.1;
+  Result<SensorDataset> ds_r = MakeTerrainDataset(tcfg);
+  ASSERT_TRUE(ds_r.ok());
+  SensorDataset& ds = ds_r.value();
+  int elink_wins = 0, comparisons = 0;
+  for (double frac : {0.15, 0.25, 0.4}) {
+    const double delta = frac * FeatureDiameter(ds);
+    ElinkConfig ecfg;
+    ecfg.delta = delta;
+    ecfg.seed = 6;
+    Result<ElinkResult> el = RunElink(ds, ecfg, ElinkMode::kImplicit);
+    ASSERT_TRUE(el.ok());
+    Result<SpanningForestResult> sf = SpanningForestClustering(
+        ds.topology.adjacency, ds.features, *ds.metric, delta);
+    ASSERT_TRUE(sf.ok());
+    ++comparisons;
+    if (el.value().clustering.num_clusters() <=
+        sf.value().clustering.num_clusters()) {
+      ++elink_wins;
+    }
+  }
+  EXPECT_EQ(elink_wins, comparisons);
+}
+
+}  // namespace
+}  // namespace elink

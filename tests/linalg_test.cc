@@ -1,0 +1,279 @@
+// Tests for src/linalg: matrix ops, LU/Cholesky solvers, Jacobi
+// eigendecomposition, k-means.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "linalg/eigen.h"
+#include "linalg/kmeans.h"
+#include "linalg/matrix.h"
+#include "linalg/solve.h"
+
+namespace elink {
+namespace {
+
+TEST(MatrixTest, IdentityAndIndexing) {
+  Matrix m = Matrix::Identity(3);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 0.0);
+  m(0, 1) = 5.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), 5.0);
+}
+
+TEST(MatrixTest, MultiplyMatchesHandComputation) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix b = Matrix::FromRows({{5, 6}, {7, 8}});
+  Matrix c = a.Multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(MatrixTest, MatrixVectorProduct) {
+  Matrix a = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  Vector v = {1, 0, -1};
+  Vector r = a.Multiply(v);
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_DOUBLE_EQ(r[0], -2.0);
+  EXPECT_DOUBLE_EQ(r[1], -2.0);
+}
+
+TEST(MatrixTest, TransposeAddSubtractScale) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix t = a.Transpose();
+  EXPECT_DOUBLE_EQ(t(0, 1), 3.0);
+  Matrix s = a.Add(a).Subtract(a).Scale(2.0);
+  EXPECT_DOUBLE_EQ(s(1, 1), 8.0);
+  EXPECT_DOUBLE_EQ(a.MaxAbs(), 4.0);
+}
+
+TEST(MatrixTest, SymmetryCheck) {
+  Matrix sym = Matrix::FromRows({{1, 2}, {2, 1}});
+  Matrix asym = Matrix::FromRows({{1, 2}, {3, 1}});
+  EXPECT_TRUE(sym.IsSymmetric());
+  EXPECT_FALSE(asym.IsSymmetric());
+  EXPECT_FALSE(Matrix(2, 3).IsSymmetric());
+}
+
+TEST(VectorOpsTest, DotNormAddSubtractScaleOuter) {
+  Vector a = {1, 2, 2};
+  Vector b = {2, 0, 1};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 4.0);
+  EXPECT_DOUBLE_EQ(Norm(a), 3.0);
+  EXPECT_DOUBLE_EQ(Add(a, b)[0], 3.0);
+  EXPECT_DOUBLE_EQ(Subtract(a, b)[2], 1.0);
+  EXPECT_DOUBLE_EQ(Scale(a, 0.5)[1], 1.0);
+  Matrix o = Outer(a, b);
+  EXPECT_DOUBLE_EQ(o(2, 0), 4.0);
+}
+
+TEST(SolveTest, LuSolvesKnownSystem) {
+  Matrix a = Matrix::FromRows({{2, 1}, {1, 3}});
+  Vector b = {3, 5};
+  Result<Vector> x = SolveLu(a, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR(x.value()[0], 0.8, 1e-12);
+  EXPECT_NEAR(x.value()[1], 1.4, 1e-12);
+}
+
+TEST(SolveTest, LuRequiresPivoting) {
+  // Leading zero forces a row swap.
+  Matrix a = Matrix::FromRows({{0, 1}, {1, 0}});
+  Vector b = {2, 3};
+  Result<Vector> x = SolveLu(a, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR(x.value()[0], 3.0, 1e-12);
+  EXPECT_NEAR(x.value()[1], 2.0, 1e-12);
+}
+
+TEST(SolveTest, LuRejectsSingular) {
+  Matrix a = Matrix::FromRows({{1, 2}, {2, 4}});
+  Result<Vector> x = SolveLu(a, {1, 2});
+  EXPECT_FALSE(x.ok());
+  EXPECT_EQ(x.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SolveTest, LuRejectsBadShapes) {
+  EXPECT_FALSE(SolveLu(Matrix(2, 3), {1, 2}).ok());
+  EXPECT_FALSE(SolveLu(Matrix::Identity(2), {1, 2, 3}).ok());
+}
+
+TEST(SolveTest, InvertRoundTrips) {
+  Rng rng(5);
+  Matrix a(4, 4);
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 4; ++j) a(i, j) = rng.Uniform(-1, 1);
+    a(i, i) += 4.0;  // Diagonal dominance keeps it well conditioned.
+  }
+  Result<Matrix> inv = Invert(a);
+  ASSERT_TRUE(inv.ok());
+  Matrix prod = a.Multiply(inv.value());
+  EXPECT_LT(prod.Subtract(Matrix::Identity(4)).MaxAbs(), 1e-10);
+}
+
+TEST(SolveTest, CholeskySolvesSpdSystem) {
+  Matrix a = Matrix::FromRows({{4, 2}, {2, 3}});
+  Result<Vector> x = SolveCholesky(a, {2, 1});
+  ASSERT_TRUE(x.ok());
+  // Verify A x = b.
+  EXPECT_NEAR(4 * x.value()[0] + 2 * x.value()[1], 2.0, 1e-12);
+  EXPECT_NEAR(2 * x.value()[0] + 3 * x.value()[1], 1.0, 1e-12);
+}
+
+TEST(SolveTest, CholeskyRejectsNonSpd) {
+  Matrix a = Matrix::FromRows({{1, 2}, {2, 1}});  // Indefinite.
+  EXPECT_FALSE(CholeskyFactor(a).ok());
+}
+
+TEST(SolveTest, CholeskyFactorReconstructs) {
+  Matrix a = Matrix::FromRows({{9, 3, 0}, {3, 5, 1}, {0, 1, 2}});
+  Result<Matrix> l = CholeskyFactor(a);
+  ASSERT_TRUE(l.ok());
+  Matrix rebuilt = l.value().Multiply(l.value().Transpose());
+  EXPECT_LT(rebuilt.Subtract(a).MaxAbs(), 1e-12);
+}
+
+TEST(SolveTest, NormalEquationsRecoverExactCoefficients) {
+  // y = 2 x1 - 3 x2, noiseless: least squares must recover (2, -3).
+  Rng rng(31);
+  const int m = 50;
+  Matrix x(2, m);
+  Vector y(m);
+  for (int t = 0; t < m; ++t) {
+    x(0, t) = rng.Uniform(-1, 1);
+    x(1, t) = rng.Uniform(-1, 1);
+    y[t] = 2.0 * x(0, t) - 3.0 * x(1, t);
+  }
+  Result<Vector> alpha = SolveNormalEquations(x, y);
+  ASSERT_TRUE(alpha.ok());
+  EXPECT_NEAR(alpha.value()[0], 2.0, 1e-9);
+  EXPECT_NEAR(alpha.value()[1], -3.0, 1e-9);
+}
+
+TEST(EigenTest, DiagonalMatrix) {
+  Matrix a = Matrix::FromRows({{3, 0}, {0, 1}});
+  Result<EigenDecomposition> e = SymmetricEigen(a);
+  ASSERT_TRUE(e.ok());
+  EXPECT_NEAR(e.value().values[0], 3.0, 1e-10);
+  EXPECT_NEAR(e.value().values[1], 1.0, 1e-10);
+}
+
+TEST(EigenTest, KnownTwoByTwo) {
+  // Eigenvalues of [[2,1],[1,2]] are 3 and 1.
+  Matrix a = Matrix::FromRows({{2, 1}, {1, 2}});
+  Result<EigenDecomposition> e = SymmetricEigen(a);
+  ASSERT_TRUE(e.ok());
+  EXPECT_NEAR(e.value().values[0], 3.0, 1e-10);
+  EXPECT_NEAR(e.value().values[1], 1.0, 1e-10);
+  // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+  const double v0 = e.value().vectors(0, 0);
+  const double v1 = e.value().vectors(1, 0);
+  EXPECT_NEAR(std::fabs(v0), std::sqrt(0.5), 1e-8);
+  EXPECT_NEAR(v0, v1, 1e-8);
+}
+
+TEST(EigenTest, ReconstructsRandomSymmetric) {
+  Rng rng(41);
+  const size_t n = 8;
+  Matrix a(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      a(i, j) = rng.Uniform(-1, 1);
+      a(j, i) = a(i, j);
+    }
+  }
+  Result<EigenDecomposition> e = SymmetricEigen(a);
+  ASSERT_TRUE(e.ok());
+  // Rebuild A = V diag(w) V^T.
+  Matrix vdw(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      vdw(i, j) = e.value().vectors(i, j) * e.value().values[j];
+    }
+  }
+  Matrix rebuilt = vdw.Multiply(e.value().vectors.Transpose());
+  EXPECT_LT(rebuilt.Subtract(a).MaxAbs(), 1e-8);
+  // Eigenvalues sorted descending.
+  for (size_t i = 0; i + 1 < n; ++i) {
+    EXPECT_GE(e.value().values[i], e.value().values[i + 1]);
+  }
+}
+
+TEST(EigenTest, VectorsAreOrthonormal) {
+  Rng rng(43);
+  const size_t n = 6;
+  Matrix a(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      a(i, j) = rng.Uniform(-1, 1);
+      a(j, i) = a(i, j);
+    }
+  }
+  Result<EigenDecomposition> e = SymmetricEigen(a);
+  ASSERT_TRUE(e.ok());
+  Matrix vtv =
+      e.value().vectors.Transpose().Multiply(e.value().vectors);
+  EXPECT_LT(vtv.Subtract(Matrix::Identity(n)).MaxAbs(), 1e-8);
+}
+
+TEST(EigenTest, RejectsAsymmetric) {
+  Matrix a = Matrix::FromRows({{1, 2}, {0, 1}});
+  EXPECT_FALSE(SymmetricEigen(a).ok());
+}
+
+TEST(KMeansTest, SeparatesObviousClusters) {
+  Rng rng(51);
+  std::vector<Vector> points;
+  for (int i = 0; i < 30; ++i) {
+    points.push_back({rng.Normal(0.0, 0.1), rng.Normal(0.0, 0.1)});
+  }
+  for (int i = 0; i < 30; ++i) {
+    points.push_back({rng.Normal(10.0, 0.1), rng.Normal(10.0, 0.1)});
+  }
+  Result<KMeansResult> r = KMeans(points, 2, &rng);
+  ASSERT_TRUE(r.ok());
+  // All of the first 30 points share a label, all of the last 30 the other.
+  const int label_a = r.value().assignment[0];
+  const int label_b = r.value().assignment[30];
+  EXPECT_NE(label_a, label_b);
+  for (int i = 0; i < 30; ++i) EXPECT_EQ(r.value().assignment[i], label_a);
+  for (int i = 30; i < 60; ++i) EXPECT_EQ(r.value().assignment[i], label_b);
+}
+
+TEST(KMeansTest, KEqualsOneGivesCentroid) {
+  Rng rng(53);
+  std::vector<Vector> points = {{0, 0}, {2, 0}, {0, 2}, {2, 2}};
+  Result<KMeansResult> r = KMeans(points, 1, &rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value().centers[0][0], 1.0, 1e-12);
+  EXPECT_NEAR(r.value().centers[0][1], 1.0, 1e-12);
+}
+
+TEST(KMeansTest, RejectsBadK) {
+  Rng rng(55);
+  std::vector<Vector> points = {{0.0}, {1.0}};
+  EXPECT_FALSE(KMeans(points, 0, &rng).ok());
+  EXPECT_FALSE(KMeans(points, 3, &rng).ok());
+}
+
+TEST(KMeansTest, InertiaNonIncreasingInK) {
+  Rng rng(57);
+  std::vector<Vector> points;
+  for (int i = 0; i < 40; ++i) {
+    points.push_back({rng.Uniform(0, 10), rng.Uniform(0, 10)});
+  }
+  double prev = 1e300;
+  for (int k = 1; k <= 5; ++k) {
+    Result<KMeansResult> r = KMeans(points, k, &rng, 200, 8);
+    ASSERT_TRUE(r.ok());
+    EXPECT_LE(r.value().inertia, prev + 1e-9);
+    prev = r.value().inertia;
+  }
+}
+
+}  // namespace
+}  // namespace elink

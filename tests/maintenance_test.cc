@@ -1,0 +1,248 @@
+// Tests for the Section-6 dynamic cluster maintenance: the A1-A3 conditions,
+// escalation, detach/merge, root pushes, and the communication-vs-quality
+// trade-off.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cluster/elink.h"
+#include "cluster/maintenance.h"
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "sim/topology.h"
+
+namespace elink {
+namespace {
+
+std::shared_ptr<const DistanceMetric> OneDim() {
+  return std::make_shared<WeightedEuclidean>(WeightedEuclidean::Euclidean(1));
+}
+
+/// A 1x4 path clustered as {0,1} (root 0, features 0) and {2,3} (root 2,
+/// features 10).
+struct PathFixture {
+  Topology topology = MakeGridTopology(1, 4);
+  Clustering clustering;
+  std::vector<Feature> features = {{0.0}, {0.0}, {10.0}, {10.0}};
+
+  PathFixture() { clustering.root_of = {0, 0, 2, 2}; }
+
+  MaintenanceSession MakeSession(double delta, double slack) {
+    MaintenanceConfig cfg;
+    cfg.delta = delta;
+    cfg.slack = slack;
+    return MaintenanceSession(topology, clustering, features, OneDim(), cfg);
+  }
+};
+
+TEST(MaintenanceTest, A1AbsorbsSmallDrift) {
+  PathFixture fx;
+  MaintenanceSession s = fx.MakeSession(/*delta=*/4.0, /*slack=*/1.0);
+  s.UpdateFeature(1, {0.5});  // d(F, F') = 0.5 <= slack.
+  EXPECT_EQ(s.stats().total_units(), 0u);
+  EXPECT_EQ(s.silent_updates(), 1);
+  EXPECT_EQ(s.detaches(), 0);
+}
+
+TEST(MaintenanceTest, A3AbsorbsWhenFarFromRootButUnderDeltaMinusSlack) {
+  PathFixture fx;
+  MaintenanceSession s = fx.MakeSession(/*delta=*/4.0, /*slack=*/1.0);
+  // Jump by 2.5 (violates A1 and A2) but distance to root 2.5 <= 4 - 1.
+  s.UpdateFeature(1, {2.5});
+  EXPECT_EQ(s.stats().total_units(), 0u);
+  EXPECT_EQ(s.silent_updates(), 1);
+}
+
+TEST(MaintenanceTest, A2AbsorbsWhenDistanceToRootShrinks) {
+  PathFixture fx;
+  // Start node 1 at distance 3.8 from its root, then move it closer: A3
+  // fails (3.0 > delta - slack = 2.6) and A1 fails (move of 0.8 > 0.5), but
+  // A2 holds because the distance decreased.
+  fx.features[1] = {3.8};
+  MaintenanceSession s = fx.MakeSession(/*delta=*/3.1, /*slack=*/0.5);
+  s.UpdateFeature(1, {3.0});
+  EXPECT_EQ(s.stats().total_units(), 0u);
+  EXPECT_EQ(s.silent_updates(), 1);
+}
+
+TEST(MaintenanceTest, EscalationStaysWhenWithinDeltaOfLiveRoot) {
+  PathFixture fx;
+  MaintenanceSession s = fx.MakeSession(/*delta=*/4.0, /*slack=*/1.0);
+  // 3.5 violates A1 (3.5 > 1), A2 (increase), A3 (3.5 > 3): escalate; live
+  // root is still 0, d = 3.5 <= 4: stay in cluster.
+  s.UpdateFeature(1, {3.5});
+  EXPECT_GT(s.stats().units("update_escalate"), 0u);
+  EXPECT_EQ(s.detaches(), 0);
+  EXPECT_EQ(s.clustering().root_of[1], 0);
+}
+
+TEST(MaintenanceTest, DetachMergesWithNeighborCluster) {
+  PathFixture fx;
+  MaintenanceSession s = fx.MakeSession(/*delta=*/4.0, /*slack=*/1.0);
+  // Node 1 jumps to 9: beyond delta of root 0, but neighbor 2's cluster
+  // (root feature 10) is within delta.
+  s.UpdateFeature(1, {9.0});
+  EXPECT_EQ(s.detaches(), 1);
+  EXPECT_EQ(s.clustering().root_of[1], 2);
+  EXPECT_GT(s.stats().units("update_merge_probe"), 0u);
+  EXPECT_TRUE(s.ValidateRootDistanceInvariant(4.0 + 2.0).ok());
+}
+
+TEST(MaintenanceTest, DetachBecomesSingletonWhenNoNeighborFits) {
+  PathFixture fx;
+  MaintenanceSession s = fx.MakeSession(/*delta=*/4.0, /*slack=*/1.0);
+  // Node 1 jumps to 100: no cluster fits.
+  s.UpdateFeature(1, {100.0});
+  EXPECT_EQ(s.detaches(), 1);
+  EXPECT_EQ(s.clustering().root_of[1], 1);
+  EXPECT_EQ(s.clustering().num_clusters(), 3);
+}
+
+TEST(MaintenanceTest, RootDriftWithinSlackIsSilent) {
+  PathFixture fx;
+  MaintenanceSession s = fx.MakeSession(/*delta=*/4.0, /*slack=*/1.0);
+  s.UpdateFeature(0, {0.9});
+  EXPECT_EQ(s.stats().total_units(), 0u);
+  EXPECT_EQ(s.silent_updates(), 1);
+}
+
+TEST(MaintenanceTest, RootDriftBeyondSlackPushesDownTree) {
+  PathFixture fx;
+  MaintenanceSession s = fx.MakeSession(/*delta=*/4.0, /*slack=*/1.0);
+  s.UpdateFeature(0, {2.0});
+  EXPECT_GT(s.stats().units("update_root_push"), 0u);
+  // Member 1 (feature 0) is within delta of the new root feature: stays.
+  EXPECT_EQ(s.clustering().root_of[1], 0);
+}
+
+TEST(MaintenanceTest, RootDriftEvictsFarMembers) {
+  PathFixture fx;
+  MaintenanceSession s = fx.MakeSession(/*delta=*/4.0, /*slack=*/1.0);
+  // Root 0 jumps to 6: member 1 (feature 0) is now 6 > delta away; node 1's
+  // neighbor 2 has root feature 10, also too far (d = 10): singleton.
+  s.UpdateFeature(0, {6.0});
+  EXPECT_EQ(s.detaches(), 1);
+  EXPECT_EQ(s.clustering().root_of[1], 1);
+}
+
+TEST(MaintenanceTest, ArticulationDetachRepairsOldCluster) {
+  // Path 0-1-2 all one cluster rooted at 0; node 1 (the middle) detaches,
+  // stranding node 2 from root 0.
+  Topology t = MakeGridTopology(1, 3);
+  Clustering c;
+  c.root_of = {0, 0, 0};
+  std::vector<Feature> f = {{0.0}, {0.0}, {0.0}};
+  MaintenanceConfig cfg;
+  cfg.delta = 2.0;
+  cfg.slack = 0.5;
+  MaintenanceSession s(t, c, f, OneDim(), cfg);
+  s.UpdateFeature(1, {50.0});
+  EXPECT_EQ(s.detaches(), 1);
+  // Node 2 must have been promoted to its own cluster (connectivity repair).
+  EXPECT_EQ(s.clustering().root_of[1], 1);
+  EXPECT_EQ(s.clustering().root_of[2], 2);
+  EXPECT_GT(s.stats().units("update_repair"), 0u);
+}
+
+TEST(MaintenanceTest, ZeroSlackEscalatesEveryRealChange) {
+  PathFixture fx;
+  MaintenanceSession s = fx.MakeSession(/*delta=*/4.0, /*slack=*/0.0);
+  s.UpdateFeature(1, {1.0});  // A1 fails (1 > 0), A2 fails, A3: 1 <= 4: holds.
+  EXPECT_EQ(s.stats().total_units(), 0u);
+  s.UpdateFeature(1, {4.5});  // All fail: escalate; 4.5 > 4: detach.
+  EXPECT_EQ(s.detaches(), 1);
+}
+
+TEST(MaintenanceTest, RejectsOverlargeSlack) {
+  PathFixture fx;
+  MaintenanceConfig cfg;
+  cfg.delta = 1.0;
+  cfg.slack = 0.8;  // > delta / 2.
+  EXPECT_DEATH(
+      MaintenanceSession(fx.topology, fx.clustering, fx.features, OneDim(),
+                         cfg),
+      "slack");
+}
+
+// -- Property: replay on a real clustering keeps the invariant and larger
+//    slack means fewer messages (the Fig. 10 trade-off). ---------------------
+
+class MaintenanceSlackSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(MaintenanceSlackSweep, InvariantHoldsUnderReplay) {
+  const double slack_frac = GetParam();
+  SyntheticConfig scfg;
+  scfg.num_nodes = 100;
+  scfg.seed = 404;
+  Result<SensorDataset> ds = MakeSyntheticDataset(scfg);
+  ASSERT_TRUE(ds.ok());
+  const double delta = 0.35 * FeatureDiameter(ds.value());
+  const double slack = slack_frac * delta;
+
+  ElinkConfig ecfg;
+  ecfg.delta = delta;
+  ecfg.slack = slack;
+  ecfg.seed = 12;
+  Result<ElinkResult> base = RunElink(ds.value(), ecfg, ElinkMode::kImplicit);
+  ASSERT_TRUE(base.ok());
+
+  MaintenanceConfig mcfg;
+  mcfg.delta = delta;
+  mcfg.slack = slack;
+  MaintenanceSession session(ds.value().topology, base.value().clustering,
+                             ds.value().features, ds.value().metric, mcfg);
+  // Replay feature perturbations: random walks around the initial features.
+  Rng rng(777);
+  std::vector<Feature> current = ds.value().features;
+  for (int round = 0; round < 30; ++round) {
+    for (int i = 0; i < 100; ++i) {
+      current[i][0] += rng.Normal(0.0, 0.02 * delta);
+      session.UpdateFeature(i, current[i]);
+    }
+  }
+  EXPECT_TRUE(
+      session.ValidateRootDistanceInvariant(delta + 2 * slack).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Slacks, MaintenanceSlackSweep,
+                         ::testing::Values(0.0, 0.1, 0.25, 0.4));
+
+TEST(MaintenanceTest, LargerSlackReducesCommunication) {
+  SyntheticConfig scfg;
+  scfg.num_nodes = 100;
+  scfg.seed = 405;
+  Result<SensorDataset> ds = MakeSyntheticDataset(scfg);
+  ASSERT_TRUE(ds.ok());
+  const double delta = 0.4 * FeatureDiameter(ds.value());
+
+  auto run_with_slack = [&](double slack) {
+    ElinkConfig ecfg;
+    ecfg.delta = delta;
+    ecfg.slack = slack;
+    ecfg.seed = 13;
+    Result<ElinkResult> base =
+        RunElink(ds.value(), ecfg, ElinkMode::kImplicit);
+    EXPECT_TRUE(base.ok());
+    MaintenanceConfig mcfg;
+    mcfg.delta = delta;
+    mcfg.slack = slack;
+    MaintenanceSession session(ds.value().topology, base.value().clustering,
+                               ds.value().features, ds.value().metric, mcfg);
+    Rng rng(888);
+    std::vector<Feature> current = ds.value().features;
+    for (int round = 0; round < 20; ++round) {
+      for (int i = 0; i < 100; ++i) {
+        current[i][0] += rng.Normal(0.0, 0.03 * delta);
+        session.UpdateFeature(i, current[i]);
+      }
+    }
+    return session.stats().total_units();
+  };
+
+  const uint64_t tight = run_with_slack(0.02 * delta);
+  const uint64_t loose = run_with_slack(0.4 * delta);
+  EXPECT_LT(loose, tight);
+}
+
+}  // namespace
+}  // namespace elink

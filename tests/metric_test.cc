@@ -1,0 +1,105 @@
+// Tests for src/metric: weighted Euclidean / Manhattan / table metrics and
+// the axiom checker.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "metric/distance.h"
+
+namespace elink {
+namespace {
+
+TEST(WeightedEuclideanTest, UnweightedMatchesEuclidean) {
+  WeightedEuclidean d = WeightedEuclidean::Euclidean(2);
+  EXPECT_DOUBLE_EQ(d.Distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(d.Distance({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(WeightedEuclideanTest, WeightsScaleCoordinates) {
+  WeightedEuclidean d({4.0, 1.0});
+  // sqrt(4 * 1 + 1 * 0) = 2.
+  EXPECT_DOUBLE_EQ(d.Distance({0, 0}, {1, 0}), 2.0);
+  EXPECT_DOUBLE_EQ(d.Distance({0, 0}, {0, 1}), 1.0);
+}
+
+TEST(WeightedEuclideanTest, PaperExampleOrdering) {
+  // Section 2.2: with weights emphasizing the first (higher-order)
+  // coefficient, N1 = (0.5, 0.4) must be closer to N2 = (0.5, 0.3) than to
+  // N3 = (0.4, 0.4).
+  WeightedEuclidean d({0.5, 0.3});
+  const double d12 = d.Distance({0.5, 0.4}, {0.5, 0.3});
+  const double d13 = d.Distance({0.5, 0.4}, {0.4, 0.4});
+  EXPECT_LT(d12, d13);
+}
+
+TEST(WeightedEuclideanTest, SatisfiesMetricAxiomsOnRandomSamples) {
+  Rng rng(61);
+  WeightedEuclidean d({0.5, 0.3, 0.2, 0.1});
+  std::vector<Feature> samples;
+  for (int i = 0; i < 12; ++i) {
+    samples.push_back({rng.Uniform(-1, 1), rng.Uniform(-1, 1),
+                       rng.Uniform(-1, 1), rng.Uniform(-1, 1)});
+  }
+  EXPECT_TRUE(CheckMetricAxioms(d, samples).ok());
+}
+
+TEST(ManhattanTest, BasicsAndAxioms) {
+  ManhattanDistance d;
+  EXPECT_DOUBLE_EQ(d.Distance({1, 2}, {4, 0}), 5.0);
+  Rng rng(67);
+  std::vector<Feature> samples;
+  for (int i = 0; i < 10; ++i) {
+    samples.push_back({rng.Uniform(-5, 5), rng.Uniform(-5, 5)});
+  }
+  EXPECT_TRUE(CheckMetricAxioms(d, samples).ok());
+}
+
+TEST(TableMetricTest, LooksUpEntries) {
+  Result<TableMetric> t =
+      TableMetric::Create({{0, 1, 2}, {1, 0, 1}, {2, 1, 0}});
+  ASSERT_TRUE(t.ok());
+  EXPECT_DOUBLE_EQ(t.value().Distance({0.0}, {2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(t.value().Distance({1.0}, {1.0}), 0.0);
+}
+
+TEST(TableMetricTest, RejectsInvalidTables) {
+  EXPECT_FALSE(TableMetric::Create({{0, 1}, {2, 0}}).ok());      // Asymmetric.
+  EXPECT_FALSE(TableMetric::Create({{1, 1}, {1, 0}}).ok());      // Diagonal.
+  EXPECT_FALSE(TableMetric::Create({{0, -1}, {-1, 0}}).ok());    // Negative.
+  EXPECT_FALSE(TableMetric::Create({{0, 1, 2}, {1, 0, 1}}).ok());  // Ragged.
+}
+
+TEST(TableMetricTest, Theorem1GadgetIsAMetric) {
+  // The NP-hardness reduction uses d = 1 on graph edges and 2 otherwise —
+  // the proof asserts this satisfies the metric axioms; verify.
+  // Graph: a path 0-1-2 (edge 0-2 absent).
+  Result<TableMetric> t =
+      TableMetric::Create({{0, 1, 2}, {1, 0, 1}, {2, 1, 0}});
+  ASSERT_TRUE(t.ok());
+  std::vector<Feature> items = {{0.0}, {1.0}, {2.0}};
+  EXPECT_TRUE(CheckMetricAxioms(t.value(), items).ok());
+}
+
+TEST(CheckMetricAxiomsTest, DetectsTriangleViolation) {
+  // d(0,2) = 5 > d(0,1) + d(1,2) = 2: not a metric.
+  class Broken : public DistanceMetric {
+   public:
+    double Distance(const Feature& a, const Feature& b) const override {
+      const double diff = std::fabs(a[0] - b[0]);
+      return diff >= 2.0 ? 5.0 : diff;
+    }
+  };
+  Broken d;
+  std::vector<Feature> samples = {{0.0}, {1.0}, {2.0}};
+  Status st = CheckMetricAxioms(d, samples);
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(FeatureToStringTest, Renders) {
+  EXPECT_EQ(FeatureToString({1.5, 2.0}), "(1.5, 2.0)");
+  EXPECT_EQ(FeatureToString({}), "()");
+}
+
+}  // namespace
+}  // namespace elink

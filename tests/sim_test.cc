@@ -1,0 +1,349 @@
+// Tests for src/sim: event queue, topologies, graph utilities, network
+// message delivery / routing / timers / accounting.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/event_queue.h"
+#include "sim/graph.h"
+#include "sim/network.h"
+#include "sim/topology.h"
+
+namespace elink {
+namespace {
+
+TEST(EventQueueTest, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(3.0, [&] { order.push_back(3); });
+  q.ScheduleAt(1.0, [&] { order.push_back(1); });
+  q.ScheduleAt(2.0, [&] { order.push_back(2); });
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.Now(), 3.0);
+}
+
+TEST(EventQueueTest, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.ScheduleAt(1.0, [&order, i] { order.push_back(i); });
+  }
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, EventsCanScheduleEvents) {
+  EventQueue q;
+  int fired = 0;
+  q.ScheduleAt(1.0, [&] {
+    ++fired;
+    q.ScheduleAfter(1.0, [&] { ++fired; });
+  });
+  EXPECT_EQ(q.RunAll(), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(q.Now(), 2.0);
+}
+
+TEST(EventQueueTest, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  int fired = 0;
+  q.ScheduleAt(1.0, [&] { ++fired; });
+  q.ScheduleAt(2.0, [&] { ++fired; });
+  q.ScheduleAt(3.0, [&] { ++fired; });
+  EXPECT_EQ(q.RunUntil(2.0), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(q.Size(), 1u);
+}
+
+TEST(TopologyTest, GridStructure) {
+  Topology t = MakeGridTopology(3, 4);
+  EXPECT_EQ(t.num_nodes(), 12);
+  // Interior node 5 = (row 1, col 1) has 4 neighbors.
+  EXPECT_EQ(t.adjacency[5].size(), 4u);
+  // Corner 0 has 2.
+  EXPECT_EQ(t.adjacency[0].size(), 2u);
+  EXPECT_TRUE(t.HasEdge(0, 1));
+  EXPECT_TRUE(t.HasEdge(0, 4));
+  EXPECT_FALSE(t.HasEdge(0, 5));
+  // Grid edges: 3*3 horizontal + 2*4 vertical = 17.
+  EXPECT_EQ(t.num_edges(), 17);
+  EXPECT_EQ(t.max_degree(), 4);
+  EXPECT_TRUE(IsConnected(t.adjacency));
+}
+
+TEST(TopologyTest, RandomTopologyIsConnectedAndInBounds) {
+  Rng rng(71);
+  Result<Topology> t = MakeRandomTopology(60, 10.0, 1.6, &rng);
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(IsConnected(t.value().adjacency));
+  for (const auto& p : t.value().positions) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 10.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, 10.0);
+  }
+}
+
+TEST(TopologyTest, RandomTopologyAdjacencySymmetric) {
+  Rng rng(73);
+  Result<Topology> t = MakeRandomTopology(40, 8.0, 1.5, &rng);
+  ASSERT_TRUE(t.ok());
+  for (int i = 0; i < t.value().num_nodes(); ++i) {
+    for (int j : t.value().adjacency[i]) {
+      EXPECT_TRUE(t.value().HasEdge(j, i));
+    }
+  }
+}
+
+TEST(TopologyTest, DegreeCalibrationIsReasonable) {
+  Rng rng(79);
+  Result<Topology> t = MakeRandomTopologyWithDegree(300, 0.8, 4.0, &rng);
+  ASSERT_TRUE(t.ok());
+  // Forced connectivity can raise the degree above the target; it must at
+  // least reach it and stay within a sane band.
+  EXPECT_GE(t.value().average_degree(), 3.0);
+  EXPECT_LE(t.value().average_degree(), 10.0);
+}
+
+TEST(TopologyTest, RejectsBadArguments) {
+  Rng rng(83);
+  EXPECT_FALSE(MakeRandomTopology(0, 1.0, 0.5, &rng).ok());
+  EXPECT_FALSE(MakeRandomTopology(5, -1.0, 0.5, &rng).ok());
+  EXPECT_FALSE(MakeRandomTopologyWithDegree(5, 0.0, 4.0, &rng).ok());
+}
+
+TEST(GraphTest, HopDistancesOnGrid) {
+  Topology t = MakeGridTopology(3, 3);
+  const auto dist = HopDistancesFrom(t.adjacency, 0);
+  EXPECT_EQ(dist[0], 0);
+  EXPECT_EQ(dist[8], 4);  // Opposite corner: Manhattan distance.
+  EXPECT_EQ(dist[4], 2);
+}
+
+TEST(GraphTest, BfsTreeParentsRootAndReachability) {
+  Topology t = MakeGridTopology(2, 3);
+  const auto parent = BfsTreeParents(t.adjacency, 0);
+  EXPECT_EQ(parent[0], 0);
+  for (int i = 1; i < 6; ++i) {
+    EXPECT_GE(parent[i], 0);
+    EXPECT_NE(parent[i], i);
+  }
+}
+
+TEST(GraphTest, ComponentsOfDisconnectedGraph) {
+  AdjacencyList adj = {{1}, {0}, {3}, {2}, {}};
+  EXPECT_FALSE(IsConnected(adj));
+  const auto comp = ConnectedComponents(adj);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[2], comp[3]);
+  EXPECT_NE(comp[0], comp[2]);
+  EXPECT_NE(comp[4], comp[0]);
+  EXPECT_NE(comp[4], comp[2]);
+}
+
+TEST(GraphTest, InducedComponentsRespectMask) {
+  // Path 0-1-2-3; removing node 1 splits {0} from {2,3}.
+  AdjacencyList adj = {{1}, {0, 2}, {1, 3}, {2}};
+  std::vector<char> mask = {1, 0, 1, 1};
+  const auto comp = InducedComponents(adj, mask);
+  EXPECT_EQ(comp[1], -1);
+  EXPECT_NE(comp[0], comp[2]);
+  EXPECT_EQ(comp[2], comp[3]);
+  EXPECT_FALSE(IsInducedConnected(adj, mask));
+  mask[1] = 1;
+  EXPECT_TRUE(IsInducedConnected(adj, mask));
+}
+
+TEST(GraphTest, ShortestHopPathEndpointsAndLength) {
+  Topology t = MakeGridTopology(3, 3);
+  const auto path = ShortestHopPath(t.adjacency, 0, 8);
+  ASSERT_EQ(path.size(), 5u);
+  EXPECT_EQ(path.front(), 0);
+  EXPECT_EQ(path.back(), 8);
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    EXPECT_TRUE(t.HasEdge(path[i], path[i + 1]));
+  }
+}
+
+TEST(GraphTest, RoutingTableMatchesBfs) {
+  Topology t = MakeGridTopology(4, 4);
+  RoutingTable rt(t.adjacency, 5);
+  const auto dist = HopDistancesFrom(t.adjacency, 5);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(rt.HopsToRoot(i), dist[i]);
+  }
+  EXPECT_EQ(rt.NextHopToRoot(5), -1);
+  // Following next hops from any node reaches the root in HopsToRoot steps.
+  int cur = 15, steps = 0;
+  while (cur != 5) {
+    cur = rt.NextHopToRoot(cur);
+    ++steps;
+  }
+  EXPECT_EQ(steps, rt.HopsToRoot(15));
+}
+
+// -- Network ------------------------------------------------------------------
+
+/// Node that counts received messages and echoes on request.
+class RecorderNode : public Node {
+ public:
+  void HandleMessage(int from, const Message& msg) override {
+    received.push_back({from, msg});
+    if (msg.type == 99) {  // Echo request.
+      Message reply;
+      reply.type = 100;
+      reply.category = "echo";
+      network()->Send(id(), from, reply);
+    }
+  }
+  void HandleTimer(int timer_id) override { timers.push_back(timer_id); }
+
+  std::vector<std::pair<int, Message>> received;
+  std::vector<int> timers;
+};
+
+std::unique_ptr<Network> MakeTestNetwork(bool synchronous = true) {
+  Network::Config cfg;
+  cfg.synchronous = synchronous;
+  cfg.seed = 5;
+  auto net = std::make_unique<Network>(MakeGridTopology(3, 3), cfg);
+  net->InstallNodes([](int) { return std::make_unique<RecorderNode>(); });
+  return net;
+}
+
+TEST(NetworkTest, SendDeliversToNeighborWithUnitDelay) {
+  auto net_ptr = MakeTestNetwork();
+  Network& net = *net_ptr;
+  Message m;
+  m.type = 7;
+  m.category = "test";
+  m.doubles = {1.0, 2.0};
+  net.Send(0, 1, m);
+  net.Run();
+  auto* n1 = static_cast<RecorderNode*>(net.node(1));
+  ASSERT_EQ(n1->received.size(), 1u);
+  EXPECT_EQ(n1->received[0].first, 0);
+  EXPECT_EQ(n1->received[0].second.type, 7);
+  EXPECT_DOUBLE_EQ(net.Now(), 1.0);
+  EXPECT_EQ(net.stats().total_sends(), 1u);
+  EXPECT_EQ(net.stats().total_units(), 2u);  // Two coefficients.
+  EXPECT_EQ(net.stats().units("test"), 2u);
+}
+
+TEST(NetworkTest, BroadcastReachesAllNeighbors) {
+  auto net_ptr = MakeTestNetwork();
+  Network& net = *net_ptr;
+  Message m;
+  m.type = 1;
+  m.category = "bc";
+  net.Broadcast(4, m);  // Center of the 3x3 grid: 4 neighbors.
+  net.Run();
+  EXPECT_EQ(net.stats().sends("bc"), 4u);
+  for (int nb : {1, 3, 5, 7}) {
+    EXPECT_EQ(static_cast<RecorderNode*>(net.node(nb))->received.size(), 1u);
+  }
+}
+
+TEST(NetworkTest, SendRoutedChargesPerHop) {
+  auto net_ptr = MakeTestNetwork();
+  Network& net = *net_ptr;
+  Message m;
+  m.type = 2;
+  m.category = "routed";
+  const int hops = net.SendRouted(0, 8, m);
+  EXPECT_EQ(hops, 4);
+  net.Run();
+  EXPECT_EQ(net.stats().sends("routed"), 4u);
+  auto* n8 = static_cast<RecorderNode*>(net.node(8));
+  ASSERT_EQ(n8->received.size(), 1u);
+  // Sender seen by the destination is the penultimate node on the route.
+  EXPECT_TRUE(net.topology().HasEdge(n8->received[0].first, 8));
+  EXPECT_DOUBLE_EQ(net.Now(), 4.0);
+}
+
+TEST(NetworkTest, SendRoutedToSelfIsLocal) {
+  auto net_ptr = MakeTestNetwork();
+  Network& net = *net_ptr;
+  Message m;
+  m.type = 3;
+  m.category = "self";
+  EXPECT_EQ(net.SendRouted(4, 4, m), 0);
+  net.Run();
+  EXPECT_EQ(net.stats().total_sends(), 0u);
+  EXPECT_EQ(static_cast<RecorderNode*>(net.node(4))->received.size(), 1u);
+}
+
+TEST(NetworkTest, HopDistanceMatchesGraph) {
+  auto net_ptr = MakeTestNetwork();
+  Network& net = *net_ptr;
+  EXPECT_EQ(net.HopDistance(0, 8), 4);
+  EXPECT_EQ(net.HopDistance(3, 3), 0);
+}
+
+TEST(NetworkTest, TimersFire) {
+  auto net_ptr = MakeTestNetwork();
+  Network& net = *net_ptr;
+  net.SetTimer(2, 5.0, 42);
+  net.SetTimer(2, 1.0, 43);
+  net.Run();
+  auto* n2 = static_cast<RecorderNode*>(net.node(2));
+  EXPECT_EQ(n2->timers, (std::vector<int>{43, 42}));
+  EXPECT_DOUBLE_EQ(net.Now(), 5.0);
+}
+
+TEST(NetworkTest, EchoRoundTrip) {
+  auto net_ptr = MakeTestNetwork();
+  Network& net = *net_ptr;
+  Message m;
+  m.type = 99;
+  m.category = "ping";
+  net.Send(3, 4, m);
+  net.Run();
+  auto* n3 = static_cast<RecorderNode*>(net.node(3));
+  ASSERT_EQ(n3->received.size(), 1u);
+  EXPECT_EQ(n3->received[0].second.type, 100);
+  EXPECT_DOUBLE_EQ(net.Now(), 2.0);
+}
+
+TEST(NetworkTest, AsynchronousDelaysVaryButDeliver) {
+  auto net_ptr = MakeTestNetwork(/*synchronous=*/false);
+  Network& net = *net_ptr;
+  Message m;
+  m.type = 1;
+  m.category = "a";
+  net.Send(0, 1, m);
+  net.Send(0, 3, m);
+  net.Run();
+  EXPECT_EQ(static_cast<RecorderNode*>(net.node(1))->received.size(), 1u);
+  EXPECT_EQ(static_cast<RecorderNode*>(net.node(3))->received.size(), 1u);
+  EXPECT_GT(net.Now(), 0.0);
+  EXPECT_LT(net.Now(), 1.5 + 1e-9);
+}
+
+TEST(MessageStatsTest, MergeAndReset) {
+  MessageStats a, b;
+  a.Record("x", 2);
+  b.Record("x", 3);
+  b.Record("y", 1);
+  a.Merge(b);
+  EXPECT_EQ(a.total_units(), 6u);
+  EXPECT_EQ(a.units("x"), 5u);
+  EXPECT_EQ(a.units("y"), 1u);
+  EXPECT_EQ(a.total_sends(), 3u);
+  a.Reset();
+  EXPECT_EQ(a.total_units(), 0u);
+  EXPECT_EQ(a.units("x"), 0u);
+}
+
+TEST(MessageTest, CostUnitsRules) {
+  Message empty;
+  EXPECT_EQ(empty.CostUnits(), 1);
+  Message with_payload;
+  with_payload.doubles = {1, 2, 3, 4};
+  EXPECT_EQ(with_payload.CostUnits(), 4);
+}
+
+}  // namespace
+}  // namespace elink

@@ -1,0 +1,166 @@
+// Experimental validation of Theorem 1's reduction: clique cover ->
+// delta-clustering.
+//
+// The proof maps a clique-cover instance (G = (V, E), c) to delta-clustering
+// by taking CG = complete graph on V, delta = 1, and d(i, j) = 1 for edges
+// of G, 2 otherwise.  A partition into m delta-clusters then corresponds
+// one-to-one with a partition of G into m cliques.  These tests build both
+// sides of the reduction on small graphs and confirm the optimal counts
+// coincide (using the exact solvers on each side).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "baselines/exact.h"
+#include "common/rng.h"
+#include "metric/distance.h"
+#include "sim/graph.h"
+
+namespace elink {
+namespace {
+
+/// Exact minimum clique cover by branch and bound (reference solver for the
+/// "left side" of the reduction).
+class CliqueCoverSolver {
+ public:
+  explicit CliqueCoverSolver(const std::vector<std::vector<char>>& adj)
+      : adj_(adj), n_(static_cast<int>(adj.size())), assignment_(n_, -1),
+        best_(n_ + 1) {}
+
+  int MinCliques() {
+    Recurse(0, 0);
+    return best_;
+  }
+
+ private:
+  void Recurse(int v, int used) {
+    if (used >= best_) return;
+    if (v == n_) {
+      best_ = used;
+      return;
+    }
+    for (int c = 0; c < used; ++c) {
+      bool ok = true;
+      for (int u = 0; u < v && ok; ++u) {
+        if (assignment_[u] == c && !adj_[u][v]) ok = false;
+      }
+      if (ok) {
+        assignment_[v] = c;
+        Recurse(v + 1, used);
+      }
+    }
+    assignment_[v] = used;
+    Recurse(v + 1, used + 1);
+    assignment_[v] = -1;
+  }
+
+  const std::vector<std::vector<char>>& adj_;
+  int n_;
+  std::vector<int> assignment_;
+  int best_;
+};
+
+/// Builds the Theorem-1 gadget for graph `adj` and returns the optimal
+/// delta-clustering count from the exact solver.
+int GadgetOptimal(const std::vector<std::vector<char>>& adj) {
+  const int n = static_cast<int>(adj.size());
+  std::vector<std::vector<double>> table(n, std::vector<double>(n, 0.0));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i != j) table[i][j] = adj[i][j] ? 1.0 : 2.0;
+    }
+  }
+  Result<TableMetric> metric = TableMetric::Create(table);
+  EXPECT_TRUE(metric.ok());
+  // CG is the complete graph, per the reduction.
+  AdjacencyList cg(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i != j) cg[i].push_back(j);
+    }
+  }
+  std::vector<Feature> ids(n);
+  for (int i = 0; i < n; ++i) ids[i] = {static_cast<double>(i)};
+  Result<Clustering> opt =
+      ExactOptimalClustering(cg, ids, metric.value(), /*delta=*/1.0);
+  EXPECT_TRUE(opt.ok());
+  return opt.value().num_clusters();
+}
+
+std::vector<std::vector<char>> EmptyGraph(int n) {
+  return std::vector<std::vector<char>>(n, std::vector<char>(n, 0));
+}
+
+TEST(Theorem1Test, TriangleIsOneClique) {
+  auto g = EmptyGraph(3);
+  g[0][1] = g[1][0] = g[1][2] = g[2][1] = g[0][2] = g[2][0] = 1;
+  EXPECT_EQ(CliqueCoverSolver(g).MinCliques(), 1);
+  EXPECT_EQ(GadgetOptimal(g), 1);
+}
+
+TEST(Theorem1Test, PathNeedsTwoCliques) {
+  // Path 0-1-2: cliques {0,1}, {2} (or {0},{1,2}).
+  auto g = EmptyGraph(3);
+  g[0][1] = g[1][0] = g[1][2] = g[2][1] = 1;
+  EXPECT_EQ(CliqueCoverSolver(g).MinCliques(), 2);
+  EXPECT_EQ(GadgetOptimal(g), 2);
+}
+
+TEST(Theorem1Test, FiveCycleNeedsThreeCliques) {
+  // C5 has clique cover number 3 (edges only).
+  auto g = EmptyGraph(5);
+  for (int i = 0; i < 5; ++i) {
+    g[i][(i + 1) % 5] = 1;
+    g[(i + 1) % 5][i] = 1;
+  }
+  EXPECT_EQ(CliqueCoverSolver(g).MinCliques(), 3);
+  EXPECT_EQ(GadgetOptimal(g), 3);
+}
+
+TEST(Theorem1Test, IndependentSetNeedsNCliques) {
+  auto g = EmptyGraph(4);
+  EXPECT_EQ(CliqueCoverSolver(g).MinCliques(), 4);
+  EXPECT_EQ(GadgetOptimal(g), 4);
+}
+
+TEST(Theorem1Test, GadgetDistancesSatisfyMetricAxioms) {
+  // The proof asserts d() with values {1, 2} is a metric; check it on a
+  // random graph (triangle inequality holds since 2 <= 1 + 1).
+  Rng rng(3);
+  const int n = 7;
+  auto g = EmptyGraph(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (rng.Bernoulli(0.5)) g[i][j] = g[j][i] = 1;
+    }
+  }
+  std::vector<std::vector<double>> table(n, std::vector<double>(n, 0.0));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i != j) table[i][j] = g[i][j] ? 1.0 : 2.0;
+    }
+  }
+  Result<TableMetric> metric = TableMetric::Create(table);
+  ASSERT_TRUE(metric.ok());
+  std::vector<Feature> ids(n);
+  for (int i = 0; i < n; ++i) ids[i] = {static_cast<double>(i)};
+  EXPECT_TRUE(CheckMetricAxioms(metric.value(), ids).ok());
+}
+
+TEST(Theorem1Test, ReductionAgreesOnRandomGraphs) {
+  Rng rng(41);
+  for (int trial = 0; trial < 8; ++trial) {
+    const int n = 5 + static_cast<int>(rng.UniformInt(3));  // 5..7 nodes.
+    auto g = EmptyGraph(n);
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        if (rng.Bernoulli(0.45)) g[i][j] = g[j][i] = 1;
+      }
+    }
+    EXPECT_EQ(CliqueCoverSolver(g).MinCliques(), GadgetOptimal(g))
+        << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace elink

@@ -1,0 +1,271 @@
+// Tests for src/timeseries: AR fitting, the Appendix-A RLS update, and the
+// seasonal Tao model.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "linalg/solve.h"
+#include "timeseries/ar_model.h"
+#include "timeseries/order_selection.h"
+#include "timeseries/rls.h"
+#include "timeseries/seasonal.h"
+
+namespace elink {
+namespace {
+
+Vector SimulateAr(const Vector& coeffs, int length, double noise_sigma,
+                  Rng* rng) {
+  const int k = static_cast<int>(coeffs.size());
+  Vector series(length, 0.0);
+  for (int t = 0; t < length; ++t) {
+    double x = rng->Normal(0.0, noise_sigma);
+    for (int j = 0; j < k; ++j) {
+      if (t - 1 - j >= 0) x += coeffs[j] * series[t - 1 - j];
+    }
+    series[t] = x;
+  }
+  return series;
+}
+
+TEST(ArModelTest, RecoversCoefficientsOfNoiselessProcess) {
+  // Deterministic AR(2) (after a noise-driven warmup) is fit exactly.
+  Rng rng(3);
+  Vector series = SimulateAr({0.5, 0.3}, 50, 1.0, &rng);
+  // Continue deterministically so the regression is exactly consistent.
+  // (Kept short: with coefficient sum < 1 the deterministic tail decays, and
+  // a long tail would underflow into ill-conditioning.)
+  for (int t = 0; t < 40; ++t) {
+    const size_t n = series.size();
+    series.push_back(0.5 * series[n - 1] + 0.3 * series[n - 2]);
+  }
+  // Fit only on the deterministic tail.
+  Vector tail(series.end() - 40, series.end());
+  Result<ArModel> fit = FitAr(tail, 2);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit.value().coefficients[0], 0.5, 1e-6);
+  EXPECT_NEAR(fit.value().coefficients[1], 0.3, 1e-6);
+  EXPECT_NEAR(fit.value().noise_variance, 0.0, 1e-9);
+}
+
+TEST(ArModelTest, RecoversCoefficientsUnderNoise) {
+  Rng rng(7);
+  Vector series = SimulateAr({0.6, 0.2}, 20000, 0.5, &rng);
+  Result<ArModel> fit = FitAr(series, 2);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit.value().coefficients[0], 0.6, 0.03);
+  EXPECT_NEAR(fit.value().coefficients[1], 0.2, 0.03);
+  EXPECT_NEAR(fit.value().noise_variance, 0.25, 0.02);
+}
+
+TEST(ArModelTest, PredictUsesCoefficients) {
+  ArModel m;
+  m.coefficients = {0.5, 0.25};
+  EXPECT_DOUBLE_EQ(m.Predict({2.0, 4.0}), 2.0);
+  EXPECT_EQ(m.order(), 2);
+}
+
+TEST(ArModelTest, RejectsShortSeries) {
+  EXPECT_FALSE(FitAr({1.0, 2.0, 3.0}, 2).ok());
+  EXPECT_FALSE(FitAr({1.0, 2.0, 3.0, 4.0}, 0).ok());
+}
+
+TEST(ArModelTest, BuildLagRegressionShape) {
+  Matrix x;
+  Vector y;
+  ASSERT_TRUE(BuildLagRegression({1, 2, 3, 4, 5}, 2, &x, &y).ok());
+  ASSERT_EQ(x.rows(), 2u);
+  ASSERT_EQ(x.cols(), 3u);
+  ASSERT_EQ(y.size(), 3u);
+  // y[0] = series[2] = 3, regressors (series[1], series[0]) = (2, 1).
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(x(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(x(1, 0), 1.0);
+}
+
+// -- RLS (Appendix A) --------------------------------------------------------
+
+TEST(RlsTest, MatchesBatchSolutionAfterWarmStart) {
+  // Property (Appendix A): warm-starting from a batch fit over m points and
+  // observing t more reproduces the batch fit over all m + t points.
+  Rng rng(11);
+  const int k = 3, m = 40, extra = 25;
+  Matrix x_all(k, m + extra);
+  Vector y_all(m + extra);
+  for (int t = 0; t < m + extra; ++t) {
+    for (int j = 0; j < k; ++j) x_all(j, t) = rng.Uniform(-1, 1);
+    y_all[t] = 1.5 * x_all(0, t) - 0.7 * x_all(1, t) + 0.2 * x_all(2, t) +
+               rng.Normal(0, 0.1);
+  }
+  Matrix x_head(k, m);
+  Vector y_head(m);
+  for (int t = 0; t < m; ++t) {
+    for (int j = 0; j < k; ++j) x_head(j, t) = x_all(j, t);
+    y_head[t] = y_all[t];
+  }
+  Result<RlsEstimator> est = RlsEstimator::FromBatch(x_head, y_head);
+  ASSERT_TRUE(est.ok());
+  for (int t = m; t < m + extra; ++t) {
+    Vector xt(k);
+    for (int j = 0; j < k; ++j) xt[j] = x_all(j, t);
+    est.value().Observe(xt, y_all[t]);
+  }
+  Result<Vector> batch = SolveNormalEquations(x_all, y_all);
+  ASSERT_TRUE(batch.ok());
+  for (int j = 0; j < k; ++j) {
+    EXPECT_NEAR(est.value().coefficients()[j], batch.value()[j], 1e-8);
+  }
+  EXPECT_EQ(est.value().observation_count(), m + extra);
+}
+
+TEST(RlsTest, ColdStartConvergesToBatch) {
+  Rng rng(13);
+  const int k = 2, m = 500;
+  RlsEstimator est(k, 1e8);
+  Matrix x(k, m);
+  Vector y(m);
+  for (int t = 0; t < m; ++t) {
+    Vector xt = {rng.Uniform(-1, 1), rng.Uniform(-1, 1)};
+    const double yt = 0.9 * xt[0] + 0.4 * xt[1] + rng.Normal(0, 0.05);
+    x(0, t) = xt[0];
+    x(1, t) = xt[1];
+    y[t] = yt;
+    est.Observe(xt, yt);
+  }
+  Result<Vector> batch = SolveNormalEquations(x, y);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_NEAR(est.coefficients()[0], batch.value()[0], 1e-5);
+  EXPECT_NEAR(est.coefficients()[1], batch.value()[1], 1e-5);
+}
+
+TEST(RlsTest, PMatrixStaysSymmetric) {
+  Rng rng(17);
+  RlsEstimator est(3);
+  for (int t = 0; t < 100; ++t) {
+    est.Observe({rng.Uniform(-1, 1), rng.Uniform(-1, 1), rng.Uniform(-1, 1)},
+                rng.Uniform(-1, 1));
+  }
+  EXPECT_TRUE(est.p().IsSymmetric(1e-6));
+}
+
+TEST(RlsTest, FromBatchRejectsSingular) {
+  // Two identical regressor rows: X X^T singular.
+  Matrix x = Matrix::FromRows({{1, 2, 3}, {1, 2, 3}});
+  EXPECT_FALSE(RlsEstimator::FromBatch(x, {1, 2, 3}).ok());
+}
+
+// -- Seasonal Tao model ------------------------------------------------------
+
+TEST(SeasonalTest, TrainRequiresFiveDays) {
+  Vector short_history(4 * 10, 20.0);
+  EXPECT_FALSE(SeasonalArModel::Train(short_history, 10).ok());
+}
+
+TEST(SeasonalTest, FeatureHasFourCoefficients) {
+  Vector history(6 * 12, 0.0);
+  Rng rng(19);
+  for (auto& v : history) v = 20.0 + rng.Normal(0, 0.1);
+  Result<SeasonalArModel> m = SeasonalArModel::Train(history, 12);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m.value().Feature().size(), 4u);
+  EXPECT_EQ(m.value().completed_days(), 6);
+}
+
+TEST(SeasonalTest, RecoversIntraDayPersistence) {
+  // Generate a process with known AR(1) persistence around a constant mean.
+  Rng rng(23);
+  const int per_day = 48, days = 40;
+  const double a1 = 0.65;
+  Vector history;
+  double fluct = 0.0;
+  for (int d = 0; d < days; ++d) {
+    for (int t = 0; t < per_day; ++t) {
+      fluct = a1 * fluct + rng.Normal(0, 0.1);
+      history.push_back(fluct);
+    }
+  }
+  Result<SeasonalArModel> m = SeasonalArModel::Train(history, per_day);
+  ASSERT_TRUE(m.ok());
+  // Feature[0] is the intra-day AR(1) coefficient.
+  EXPECT_NEAR(m.value().Feature()[0], a1, 0.07);
+}
+
+TEST(SeasonalTest, RecoversDailyMeanDynamics) {
+  // Daily means follow mu_T = 0.8 mu_{T-1}; within-day values sit exactly at
+  // the mean, so the daily regression sees a noiseless AR(1) in the means and
+  // must put its weight on b1.
+  const int per_day = 24, days = 60;
+  Vector history;
+  double mu = 4.0;
+  for (int d = 0; d < days; ++d) {
+    for (int t = 0; t < per_day; ++t) history.push_back(mu);
+    mu = 0.8 * mu;
+  }
+  Result<SeasonalArModel> m = SeasonalArModel::Train(history, per_day);
+  ASSERT_TRUE(m.ok());
+  const Vector f = m.value().Feature();
+  // Predicted mean from the three lags should reproduce the AR(1) decay:
+  // b1 * mu + b2 * mu/0.8 + b3 * mu/0.64 = 0.8 mu.
+  const double combo = f[1] + f[2] / 0.8 + f[3] / 0.64;
+  EXPECT_NEAR(combo, 0.8, 1e-6);
+}
+
+TEST(SeasonalTest, StreamingMatchesTrainOnSameData) {
+  Rng rng(29);
+  const int per_day = 24;
+  Vector history;
+  for (int i = 0; i < per_day * 10; ++i) {
+    history.push_back(25.0 + rng.Normal(0, 0.3));
+  }
+  Result<SeasonalArModel> trained = SeasonalArModel::Train(history, per_day);
+  ASSERT_TRUE(trained.ok());
+  SeasonalArModel streamed(per_day);
+  for (double x : history) streamed.Observe(x);
+  const Vector a = trained.value().Feature();
+  const Vector b = streamed.Feature();
+  for (int j = 0; j < 4; ++j) EXPECT_DOUBLE_EQ(a[j], b[j]);
+}
+
+
+// -- Order selection (AIC) -----------------------------------------------------
+
+TEST(OrderSelectionTest, PicksTrueOrderOfAr2Process) {
+  Rng rng(101);
+  Vector series = SimulateAr({0.6, 0.25}, 8000, 0.4, &rng);
+  Result<OrderSelection> sel = SelectArOrder(series, 6);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel.value().order, 2);
+  EXPECT_NEAR(sel.value().model.coefficients[0], 0.6, 0.05);
+  EXPECT_NEAR(sel.value().model.coefficients[1], 0.25, 0.05);
+  EXPECT_EQ(sel.value().candidate_aic.size(), 6u);
+}
+
+TEST(OrderSelectionTest, WhiteNoisePrefersSmallOrder) {
+  Rng rng(103);
+  Vector series;
+  for (int t = 0; t < 4000; ++t) series.push_back(rng.Normal());
+  Result<OrderSelection> sel = SelectArOrder(series, 5);
+  ASSERT_TRUE(sel.ok());
+  // AIC's 2k penalty keeps spurious higher orders out.
+  EXPECT_LE(sel.value().order, 2);
+}
+
+TEST(OrderSelectionTest, CandidateScoresCoverAllOrders) {
+  Rng rng(107);
+  Vector series = SimulateAr({0.5}, 2000, 0.3, &rng);
+  Result<OrderSelection> sel = SelectArOrder(series, 4);
+  ASSERT_TRUE(sel.ok());
+  // The winner's AIC is the minimum of the candidates.
+  double min_aic = sel.value().candidate_aic[0];
+  for (double a : sel.value().candidate_aic) min_aic = std::min(min_aic, a);
+  EXPECT_DOUBLE_EQ(sel.value().aic, min_aic);
+}
+
+TEST(OrderSelectionTest, RejectsBadArguments) {
+  EXPECT_FALSE(SelectArOrder({1, 2, 3}, 0).ok());
+  EXPECT_FALSE(SelectArOrder({1, 2, 3}, 5).ok());
+}
+
+}  // namespace
+}  // namespace elink
