@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_alternatives"
+  "../bench/ablation_alternatives.pdb"
+  "CMakeFiles/ablation_alternatives.dir/ablation_alternatives.cc.o"
+  "CMakeFiles/ablation_alternatives.dir/ablation_alternatives.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_alternatives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

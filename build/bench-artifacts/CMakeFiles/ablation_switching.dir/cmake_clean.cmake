@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_switching"
+  "../bench/ablation_switching.pdb"
+  "CMakeFiles/ablation_switching.dir/ablation_switching.cc.o"
+  "CMakeFiles/ablation_switching.dir/ablation_switching.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_switching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

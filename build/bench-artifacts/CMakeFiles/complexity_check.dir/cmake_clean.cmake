@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/complexity_check"
+  "../bench/complexity_check.pdb"
+  "CMakeFiles/complexity_check.dir/complexity_check.cc.o"
+  "CMakeFiles/complexity_check.dir/complexity_check.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/complexity_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_quality_tao"
+  "../bench/fig08_quality_tao.pdb"
+  "CMakeFiles/fig08_quality_tao.dir/fig08_quality_tao.cc.o"
+  "CMakeFiles/fig08_quality_tao.dir/fig08_quality_tao.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_quality_tao.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_quality_tao.
+# This may be replaced when dependencies are built.

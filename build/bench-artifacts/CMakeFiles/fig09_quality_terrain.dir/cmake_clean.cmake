@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_quality_terrain"
+  "../bench/fig09_quality_terrain.pdb"
+  "CMakeFiles/fig09_quality_terrain.dir/fig09_quality_terrain.cc.o"
+  "CMakeFiles/fig09_quality_terrain.dir/fig09_quality_terrain.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_quality_terrain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_update_cost"
+  "../bench/fig10_update_cost.pdb"
+  "CMakeFiles/fig10_update_cost.dir/fig10_update_cost.cc.o"
+  "CMakeFiles/fig10_update_cost.dir/fig10_update_cost.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_update_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

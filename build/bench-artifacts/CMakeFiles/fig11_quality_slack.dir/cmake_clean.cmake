@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_quality_slack"
+  "../bench/fig11_quality_slack.pdb"
+  "CMakeFiles/fig11_quality_slack.dir/fig11_quality_slack.cc.o"
+  "CMakeFiles/fig11_quality_slack.dir/fig11_quality_slack.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_quality_slack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

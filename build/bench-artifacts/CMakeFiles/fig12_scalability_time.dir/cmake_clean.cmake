@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_scalability_time"
+  "../bench/fig12_scalability_time.pdb"
+  "CMakeFiles/fig12_scalability_time.dir/fig12_scalability_time.cc.o"
+  "CMakeFiles/fig12_scalability_time.dir/fig12_scalability_time.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_scalability_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_scalability_size"
+  "../bench/fig13_scalability_size.pdb"
+  "CMakeFiles/fig13_scalability_size.dir/fig13_scalability_size.cc.o"
+  "CMakeFiles/fig13_scalability_size.dir/fig13_scalability_size.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_scalability_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

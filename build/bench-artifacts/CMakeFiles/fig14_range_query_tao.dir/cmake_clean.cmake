@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_range_query_tao"
+  "../bench/fig14_range_query_tao.pdb"
+  "CMakeFiles/fig14_range_query_tao.dir/fig14_range_query_tao.cc.o"
+  "CMakeFiles/fig14_range_query_tao.dir/fig14_range_query_tao.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_range_query_tao.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig14_range_query_tao.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_range_query_synth"
+  "../bench/fig15_range_query_synth.pdb"
+  "CMakeFiles/fig15_range_query_synth.dir/fig15_range_query_synth.cc.o"
+  "CMakeFiles/fig15_range_query_synth.dir/fig15_range_query_synth.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_range_query_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/pathquery_cost"
+  "../bench/pathquery_cost.pdb"
+  "CMakeFiles/pathquery_cost.dir/pathquery_cost.cc.o"
+  "CMakeFiles/pathquery_cost.dir/pathquery_cost.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pathquery_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

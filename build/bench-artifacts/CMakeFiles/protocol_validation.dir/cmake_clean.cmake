@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/protocol_validation"
+  "../bench/protocol_validation.pdb"
+  "CMakeFiles/protocol_validation.dir/protocol_validation.cc.o"
+  "CMakeFiles/protocol_validation.dir/protocol_validation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contaminant_tracking.dir/contaminant_tracking.cpp.o"
+  "CMakeFiles/contaminant_tracking.dir/contaminant_tracking.cpp.o.d"
+  "contaminant_tracking"
+  "contaminant_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contaminant_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/environmental_monitoring.dir/environmental_monitoring.cpp.o"
+  "CMakeFiles/environmental_monitoring.dir/environmental_monitoring.cpp.o.d"
+  "environmental_monitoring"
+  "environmental_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/environmental_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

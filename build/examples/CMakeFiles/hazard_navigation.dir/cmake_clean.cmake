@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hazard_navigation.dir/hazard_navigation.cpp.o"
+  "CMakeFiles/hazard_navigation.dir/hazard_navigation.cpp.o.d"
+  "hazard_navigation"
+  "hazard_navigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hazard_navigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_scaling.dir/network_scaling.cpp.o"
+  "CMakeFiles/network_scaling.dir/network_scaling.cpp.o.d"
+  "network_scaling"
+  "network_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/elink_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/elink_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/elink_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/elink_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/elink_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/timeseries/CMakeFiles/elink_timeseries.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/elink_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/metric/CMakeFiles/elink_metric.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/elink_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/elink_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

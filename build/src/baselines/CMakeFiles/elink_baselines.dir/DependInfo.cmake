@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/centralized_cost.cc" "src/baselines/CMakeFiles/elink_baselines.dir/centralized_cost.cc.o" "gcc" "src/baselines/CMakeFiles/elink_baselines.dir/centralized_cost.cc.o.d"
+  "/root/repo/src/baselines/exact.cc" "src/baselines/CMakeFiles/elink_baselines.dir/exact.cc.o" "gcc" "src/baselines/CMakeFiles/elink_baselines.dir/exact.cc.o.d"
+  "/root/repo/src/baselines/hierarchical.cc" "src/baselines/CMakeFiles/elink_baselines.dir/hierarchical.cc.o" "gcc" "src/baselines/CMakeFiles/elink_baselines.dir/hierarchical.cc.o.d"
+  "/root/repo/src/baselines/kmedoids.cc" "src/baselines/CMakeFiles/elink_baselines.dir/kmedoids.cc.o" "gcc" "src/baselines/CMakeFiles/elink_baselines.dir/kmedoids.cc.o.d"
+  "/root/repo/src/baselines/spanning_forest.cc" "src/baselines/CMakeFiles/elink_baselines.dir/spanning_forest.cc.o" "gcc" "src/baselines/CMakeFiles/elink_baselines.dir/spanning_forest.cc.o.d"
+  "/root/repo/src/baselines/spectral.cc" "src/baselines/CMakeFiles/elink_baselines.dir/spectral.cc.o" "gcc" "src/baselines/CMakeFiles/elink_baselines.dir/spectral.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/elink_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/elink_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/elink_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/metric/CMakeFiles/elink_metric.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/elink_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/elink_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/timeseries/CMakeFiles/elink_timeseries.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elink_baselines.dir/centralized_cost.cc.o"
+  "CMakeFiles/elink_baselines.dir/centralized_cost.cc.o.d"
+  "CMakeFiles/elink_baselines.dir/exact.cc.o"
+  "CMakeFiles/elink_baselines.dir/exact.cc.o.d"
+  "CMakeFiles/elink_baselines.dir/hierarchical.cc.o"
+  "CMakeFiles/elink_baselines.dir/hierarchical.cc.o.d"
+  "CMakeFiles/elink_baselines.dir/kmedoids.cc.o"
+  "CMakeFiles/elink_baselines.dir/kmedoids.cc.o.d"
+  "CMakeFiles/elink_baselines.dir/spanning_forest.cc.o"
+  "CMakeFiles/elink_baselines.dir/spanning_forest.cc.o.d"
+  "CMakeFiles/elink_baselines.dir/spectral.cc.o"
+  "CMakeFiles/elink_baselines.dir/spectral.cc.o.d"
+  "libelink_baselines.a"
+  "libelink_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elink_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

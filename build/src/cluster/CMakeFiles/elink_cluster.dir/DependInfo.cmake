@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/clustering.cc" "src/cluster/CMakeFiles/elink_cluster.dir/clustering.cc.o" "gcc" "src/cluster/CMakeFiles/elink_cluster.dir/clustering.cc.o.d"
+  "/root/repo/src/cluster/elink.cc" "src/cluster/CMakeFiles/elink_cluster.dir/elink.cc.o" "gcc" "src/cluster/CMakeFiles/elink_cluster.dir/elink.cc.o.d"
+  "/root/repo/src/cluster/maintenance.cc" "src/cluster/CMakeFiles/elink_cluster.dir/maintenance.cc.o" "gcc" "src/cluster/CMakeFiles/elink_cluster.dir/maintenance.cc.o.d"
+  "/root/repo/src/cluster/maintenance_protocol.cc" "src/cluster/CMakeFiles/elink_cluster.dir/maintenance_protocol.cc.o" "gcc" "src/cluster/CMakeFiles/elink_cluster.dir/maintenance_protocol.cc.o.d"
+  "/root/repo/src/cluster/quadtree.cc" "src/cluster/CMakeFiles/elink_cluster.dir/quadtree.cc.o" "gcc" "src/cluster/CMakeFiles/elink_cluster.dir/quadtree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/elink_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/metric/CMakeFiles/elink_metric.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/elink_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/elink_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/timeseries/CMakeFiles/elink_timeseries.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/elink_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

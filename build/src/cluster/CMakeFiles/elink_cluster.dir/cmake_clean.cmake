@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elink_cluster.dir/clustering.cc.o"
+  "CMakeFiles/elink_cluster.dir/clustering.cc.o.d"
+  "CMakeFiles/elink_cluster.dir/elink.cc.o"
+  "CMakeFiles/elink_cluster.dir/elink.cc.o.d"
+  "CMakeFiles/elink_cluster.dir/maintenance.cc.o"
+  "CMakeFiles/elink_cluster.dir/maintenance.cc.o.d"
+  "CMakeFiles/elink_cluster.dir/maintenance_protocol.cc.o"
+  "CMakeFiles/elink_cluster.dir/maintenance_protocol.cc.o.d"
+  "CMakeFiles/elink_cluster.dir/quadtree.cc.o"
+  "CMakeFiles/elink_cluster.dir/quadtree.cc.o.d"
+  "libelink_cluster.a"
+  "libelink_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elink_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elink_common.dir/logging.cc.o"
+  "CMakeFiles/elink_common.dir/logging.cc.o.d"
+  "CMakeFiles/elink_common.dir/rng.cc.o"
+  "CMakeFiles/elink_common.dir/rng.cc.o.d"
+  "CMakeFiles/elink_common.dir/status.cc.o"
+  "CMakeFiles/elink_common.dir/status.cc.o.d"
+  "CMakeFiles/elink_common.dir/strings.cc.o"
+  "CMakeFiles/elink_common.dir/strings.cc.o.d"
+  "libelink_common.a"
+  "libelink_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elink_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

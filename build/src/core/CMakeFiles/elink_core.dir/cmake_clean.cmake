@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elink_core.dir/clustered_network.cc.o"
+  "CMakeFiles/elink_core.dir/clustered_network.cc.o.d"
+  "libelink_core.a"
+  "libelink_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elink_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/dataset.cc" "src/data/CMakeFiles/elink_data.dir/dataset.cc.o" "gcc" "src/data/CMakeFiles/elink_data.dir/dataset.cc.o.d"
+  "/root/repo/src/data/plume.cc" "src/data/CMakeFiles/elink_data.dir/plume.cc.o" "gcc" "src/data/CMakeFiles/elink_data.dir/plume.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/data/CMakeFiles/elink_data.dir/synthetic.cc.o" "gcc" "src/data/CMakeFiles/elink_data.dir/synthetic.cc.o.d"
+  "/root/repo/src/data/tao.cc" "src/data/CMakeFiles/elink_data.dir/tao.cc.o" "gcc" "src/data/CMakeFiles/elink_data.dir/tao.cc.o.d"
+  "/root/repo/src/data/terrain.cc" "src/data/CMakeFiles/elink_data.dir/terrain.cc.o" "gcc" "src/data/CMakeFiles/elink_data.dir/terrain.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/metric/CMakeFiles/elink_metric.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/elink_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/timeseries/CMakeFiles/elink_timeseries.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/elink_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/elink_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elink_data.dir/dataset.cc.o"
+  "CMakeFiles/elink_data.dir/dataset.cc.o.d"
+  "CMakeFiles/elink_data.dir/plume.cc.o"
+  "CMakeFiles/elink_data.dir/plume.cc.o.d"
+  "CMakeFiles/elink_data.dir/synthetic.cc.o"
+  "CMakeFiles/elink_data.dir/synthetic.cc.o.d"
+  "CMakeFiles/elink_data.dir/tao.cc.o"
+  "CMakeFiles/elink_data.dir/tao.cc.o.d"
+  "CMakeFiles/elink_data.dir/terrain.cc.o"
+  "CMakeFiles/elink_data.dir/terrain.cc.o.d"
+  "libelink_data.a"
+  "libelink_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elink_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

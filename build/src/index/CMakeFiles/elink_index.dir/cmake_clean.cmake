@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elink_index.dir/backbone.cc.o"
+  "CMakeFiles/elink_index.dir/backbone.cc.o.d"
+  "CMakeFiles/elink_index.dir/mtree.cc.o"
+  "CMakeFiles/elink_index.dir/mtree.cc.o.d"
+  "CMakeFiles/elink_index.dir/path_query.cc.o"
+  "CMakeFiles/elink_index.dir/path_query.cc.o.d"
+  "CMakeFiles/elink_index.dir/query_protocol.cc.o"
+  "CMakeFiles/elink_index.dir/query_protocol.cc.o.d"
+  "CMakeFiles/elink_index.dir/range_query.cc.o"
+  "CMakeFiles/elink_index.dir/range_query.cc.o.d"
+  "CMakeFiles/elink_index.dir/tag.cc.o"
+  "CMakeFiles/elink_index.dir/tag.cc.o.d"
+  "libelink_index.a"
+  "libelink_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elink_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/eigen.cc" "src/linalg/CMakeFiles/elink_linalg.dir/eigen.cc.o" "gcc" "src/linalg/CMakeFiles/elink_linalg.dir/eigen.cc.o.d"
+  "/root/repo/src/linalg/kmeans.cc" "src/linalg/CMakeFiles/elink_linalg.dir/kmeans.cc.o" "gcc" "src/linalg/CMakeFiles/elink_linalg.dir/kmeans.cc.o.d"
+  "/root/repo/src/linalg/matrix.cc" "src/linalg/CMakeFiles/elink_linalg.dir/matrix.cc.o" "gcc" "src/linalg/CMakeFiles/elink_linalg.dir/matrix.cc.o.d"
+  "/root/repo/src/linalg/solve.cc" "src/linalg/CMakeFiles/elink_linalg.dir/solve.cc.o" "gcc" "src/linalg/CMakeFiles/elink_linalg.dir/solve.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/elink_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

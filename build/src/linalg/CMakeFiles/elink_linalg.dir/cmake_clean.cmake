@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elink_linalg.dir/eigen.cc.o"
+  "CMakeFiles/elink_linalg.dir/eigen.cc.o.d"
+  "CMakeFiles/elink_linalg.dir/kmeans.cc.o"
+  "CMakeFiles/elink_linalg.dir/kmeans.cc.o.d"
+  "CMakeFiles/elink_linalg.dir/matrix.cc.o"
+  "CMakeFiles/elink_linalg.dir/matrix.cc.o.d"
+  "CMakeFiles/elink_linalg.dir/solve.cc.o"
+  "CMakeFiles/elink_linalg.dir/solve.cc.o.d"
+  "libelink_linalg.a"
+  "libelink_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elink_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elink_metric.dir/distance.cc.o"
+  "CMakeFiles/elink_metric.dir/distance.cc.o.d"
+  "libelink_metric.a"
+  "libelink_metric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elink_metric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

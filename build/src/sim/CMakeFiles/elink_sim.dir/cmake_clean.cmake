@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elink_sim.dir/event_queue.cc.o"
+  "CMakeFiles/elink_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/elink_sim.dir/graph.cc.o"
+  "CMakeFiles/elink_sim.dir/graph.cc.o.d"
+  "CMakeFiles/elink_sim.dir/network.cc.o"
+  "CMakeFiles/elink_sim.dir/network.cc.o.d"
+  "CMakeFiles/elink_sim.dir/stats.cc.o"
+  "CMakeFiles/elink_sim.dir/stats.cc.o.d"
+  "CMakeFiles/elink_sim.dir/topology.cc.o"
+  "CMakeFiles/elink_sim.dir/topology.cc.o.d"
+  "libelink_sim.a"
+  "libelink_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elink_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/timeseries/ar_model.cc" "src/timeseries/CMakeFiles/elink_timeseries.dir/ar_model.cc.o" "gcc" "src/timeseries/CMakeFiles/elink_timeseries.dir/ar_model.cc.o.d"
+  "/root/repo/src/timeseries/order_selection.cc" "src/timeseries/CMakeFiles/elink_timeseries.dir/order_selection.cc.o" "gcc" "src/timeseries/CMakeFiles/elink_timeseries.dir/order_selection.cc.o.d"
+  "/root/repo/src/timeseries/rls.cc" "src/timeseries/CMakeFiles/elink_timeseries.dir/rls.cc.o" "gcc" "src/timeseries/CMakeFiles/elink_timeseries.dir/rls.cc.o.d"
+  "/root/repo/src/timeseries/seasonal.cc" "src/timeseries/CMakeFiles/elink_timeseries.dir/seasonal.cc.o" "gcc" "src/timeseries/CMakeFiles/elink_timeseries.dir/seasonal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/elink_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/elink_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

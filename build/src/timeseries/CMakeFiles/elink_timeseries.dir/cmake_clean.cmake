@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elink_timeseries.dir/ar_model.cc.o"
+  "CMakeFiles/elink_timeseries.dir/ar_model.cc.o.d"
+  "CMakeFiles/elink_timeseries.dir/order_selection.cc.o"
+  "CMakeFiles/elink_timeseries.dir/order_selection.cc.o.d"
+  "CMakeFiles/elink_timeseries.dir/rls.cc.o"
+  "CMakeFiles/elink_timeseries.dir/rls.cc.o.d"
+  "CMakeFiles/elink_timeseries.dir/seasonal.cc.o"
+  "CMakeFiles/elink_timeseries.dir/seasonal.cc.o.d"
+  "libelink_timeseries.a"
+  "libelink_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elink_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

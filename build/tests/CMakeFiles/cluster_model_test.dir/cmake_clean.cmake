@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_model_test.dir/cluster_model_test.cc.o"
+  "CMakeFiles/cluster_model_test.dir/cluster_model_test.cc.o.d"
+  "cluster_model_test"
+  "cluster_model_test.pdb"
+  "cluster_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

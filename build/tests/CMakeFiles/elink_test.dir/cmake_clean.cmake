@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elink_test.dir/elink_test.cc.o"
+  "CMakeFiles/elink_test.dir/elink_test.cc.o.d"
+  "elink_test"
+  "elink_test.pdb"
+  "elink_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elink_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

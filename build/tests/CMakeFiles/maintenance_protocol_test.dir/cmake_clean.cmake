@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maintenance_protocol_test.dir/maintenance_protocol_test.cc.o"
+  "CMakeFiles/maintenance_protocol_test.dir/maintenance_protocol_test.cc.o.d"
+  "maintenance_protocol_test"
+  "maintenance_protocol_test.pdb"
+  "maintenance_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maintenance_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_protocol_test.dir/query_protocol_test.cc.o"
+  "CMakeFiles/query_protocol_test.dir/query_protocol_test.cc.o.d"
+  "query_protocol_test"
+  "query_protocol_test.pdb"
+  "query_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
