@@ -1,0 +1,194 @@
+// Robustness sweep: ELink and the distributed range query under message
+// loss and node crashes (fault model of sim/fault.h).
+//
+// For each (drop probability, crashed-node fraction) cell the harness runs
+// explicit-mode ELink over ReliableChannel with the completion watchdog
+// armed, and compares the resulting clustering against the fault-free run of
+// the same seed (pairwise Rand index).  It then replays a fixed batch of
+// range queries through the distributed protocol under the same fault plan
+// with aggregation deadlines, reporting how much of the true answer
+// survives.  Output is CSV, one row per cell.
+#include <algorithm>
+#include <set>
+
+#include "bench/bench_util.h"
+#include "cluster/quadtree.h"
+#include "common/rng.h"
+#include "data/terrain.h"
+#include "index/query_protocol.h"
+
+using namespace elink;
+using namespace elink::bench;
+
+namespace {
+
+// Fraction of node pairs on which the two partitions agree (same cluster in
+// both or different cluster in both).  1.0 = identical partitions.
+double RandIndex(const Clustering& a, const Clustering& b) {
+  const int n = static_cast<int>(a.root_of.size());
+  long long agree = 0, pairs = 0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      ++pairs;
+      if (a.SameCluster(i, j) == b.SameCluster(i, j)) ++agree;
+    }
+  }
+  return pairs == 0 ? 1.0 : static_cast<double>(agree) / pairs;
+}
+
+uint64_t UnitsWithSuffix(const MessageStats& stats, const std::string& sfx) {
+  uint64_t total = 0;
+  for (const auto& [cat, units] : stats.units_by_category()) {
+    if (cat.size() >= sfx.size() &&
+        cat.compare(cat.size() - sfx.size(), sfx.size(), sfx) == 0) {
+      total += units;
+    }
+  }
+  return total;
+}
+
+// Picks `count` crash victims, sparing the nodes whose loss makes every run
+// degenerate in the same uninteresting way (the quadtree coordinator, the
+// backbone root, and the query initiators).
+FaultPlan MakePlan(double drop_p, int count, int n,
+                   const std::set<int>& spared, Rng* rng) {
+  FaultPlan plan;
+  plan.drop_probability = drop_p;
+  std::set<int> chosen;
+  while (static_cast<int>(chosen.size()) < count) {
+    const int v = static_cast<int>(rng->UniformInt(n));
+    if (spared.count(v)) continue;
+    if (!chosen.insert(v).second) continue;
+    plan.node_crashes.push_back({v, rng->Uniform(10.0, 60.0)});
+  }
+  return plan;
+}
+
+}  // namespace
+
+int main() {
+  TerrainConfig tcfg;
+  tcfg.num_nodes = 200;
+  tcfg.radio_range_fraction = 0.1;
+  const SensorDataset ds = Unwrap(MakeTerrainDataset(tcfg), "terrain");
+  const int n = ds.topology.num_nodes();
+  const double delta = 0.3 * FeatureDiameter(ds);
+
+  ElinkConfig base_cfg;
+  base_cfg.delta = delta;
+  base_cfg.seed = 9;
+  const ElinkResult baseline =
+      Unwrap(RunElink(ds, base_cfg, ElinkMode::kExplicit), "elink baseline");
+
+  // Query-side fixtures are built from the fault-free clustering: the sweep
+  // measures query-time robustness, not index construction under faults.
+  const auto tree =
+      BuildClusterTrees(baseline.clustering, ds.topology.adjacency);
+  const ClusterIndex index = ClusterIndex::Build(baseline.clustering, tree,
+                                                 ds.features, *ds.metric);
+  const Backbone backbone =
+      Backbone::Build(baseline.clustering, ds.topology.adjacency, nullptr,
+                      &ds.features, ds.metric.get());
+
+  const QuadtreeDecomposition quad = QuadtreeDecomposition::Build(ds.topology);
+  std::set<int> spared = {quad.root(), backbone.tree_root()};
+
+  // A fixed trial batch shared by every cell (and by the fault-free truth).
+  struct Trial {
+    int initiator;
+    Feature q;
+    double r;
+    long long truth;
+  };
+  const int kTrials = 10;
+  std::vector<Trial> trials;
+  {
+    Rng qrng(17);
+    for (int t = 0; t < kTrials; ++t) {
+      Trial tr;
+      tr.initiator = static_cast<int>(qrng.UniformInt(n));
+      tr.q = ds.features[qrng.UniformInt(n)];
+      tr.r = qrng.Uniform(0.4, 1.0) * delta;
+      tr.truth = 0;
+      for (int i = 0; i < n; ++i) {
+        if (ds.metric->Distance(ds.features[i], tr.q) <= tr.r) ++tr.truth;
+      }
+      trials.push_back(tr);
+      spared.insert(tr.initiator);
+    }
+  }
+
+  std::printf(
+      "drop_p,crash_frac,crashed,elink_completed,rand_index,unclustered,"
+      "completion_time,retx_units,ack_units,dropped_units,"
+      "query_recall,query_complete_frac,query_answered_frac\n");
+
+  Rng crash_rng(4242);
+  for (double drop_p : {0.0, 0.05, 0.10, 0.20, 0.30}) {
+    for (double crash_frac : {0.0, 0.05, 0.10}) {
+      const int crashed = static_cast<int>(crash_frac * n);
+      const FaultPlan plan =
+          MakePlan(drop_p, crashed, n, spared, &crash_rng);
+
+      // -- ELink under faults -------------------------------------------
+      ElinkConfig cfg = base_cfg;
+      cfg.fault = plan;
+      if (plan.enabled()) {
+        cfg.reliable_transport = true;
+        cfg.reliable.rto = 8.0;
+        cfg.reliable.backoff = 1.5;
+        cfg.reliable.max_retries = 8;
+        // Larger than the full retransmit span (~rto * sum of backoffs).
+        cfg.completion_timeout = 450.0;
+      }
+      const ElinkResult run =
+          Unwrap(RunElink(ds, cfg, ElinkMode::kExplicit), "elink faulted");
+
+      // -- Queries under the same plan ----------------------------------
+      DistributedRangeQuery::ProtocolOptions qopt;
+      qopt.seed = 9;
+      qopt.fault = plan;
+      if (plan.enabled()) {
+        qopt.reliable_transport = true;
+        // rto must exceed a round trip of the longest routed leg (tens of
+        // hops between far leaders and the backbone root on this layout).
+        qopt.reliable.rto = 40.0;
+        qopt.reliable.backoff = 1.5;
+        qopt.reliable.max_retries = 10;
+        // Well above the fault-free end-to-end latency (~70 time units on
+        // this layout) plus the full retransmit span, so a flush means a
+        // subtree genuinely went dark — deadlines must not race healthy
+        // aggregation or in-flight retransmissions.
+        qopt.node_deadline = 2500.0;
+        qopt.query_deadline = 30000.0;
+      }
+      DistributedRangeQuery protocol(ds.topology, baseline.clustering, index,
+                                     backbone, ds.features, ds.metric, qopt);
+      double recall = 0.0;
+      int complete = 0, answered = 0;
+      for (const Trial& tr : trials) {
+        const DistributedQueryOutcome out =
+            Unwrap(protocol.Run(tr.initiator, tr.q, tr.r), "query");
+        if (out.answer_received) ++answered;
+        if (out.complete) ++complete;
+        recall += tr.truth == 0
+                      ? 1.0
+                      : std::min<double>(out.match_count, tr.truth) /
+                            static_cast<double>(tr.truth);
+      }
+
+      std::printf("%.2f,%.2f,%d,%d,%.4f,%d,%.1f,%llu,%llu,%llu,%.3f,"
+                  "%.2f,%.2f\n",
+                  drop_p, crash_frac, crashed, run.completed ? 1 : 0,
+                  RandIndex(baseline.clustering, run.clustering),
+                  run.unclustered_nodes, run.completion_time,
+                  (unsigned long long)UnitsWithSuffix(run.stats, ".retx"),
+                  (unsigned long long)UnitsWithSuffix(run.stats, ".ack"),
+                  (unsigned long long)run.stats.dropped_units(),
+                  recall / kTrials,
+                  static_cast<double>(complete) / kTrials,
+                  static_cast<double>(answered) / kTrials);
+    }
+  }
+  return 0;
+}

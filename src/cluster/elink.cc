@@ -32,10 +32,16 @@ struct RunContext {
   ElinkMode mode = ElinkMode::kImplicit;
   double effective_delta = 0.0;
   double phi = 0.0;
+  // Explicit mode: wrap protocol waves in ReliableChannel.
+  bool reliable = false;
   // Aggregated outputs.
   int total_switches = 0;
   bool terminated = false;       // Explicit mode: root declared all rounds done.
   double termination_time = 0.0;
+  // Watchdog bookkeeping: protocol handler invocations (any node), and the
+  // verdict when the run went quiet without terminating.
+  uint64_t handled_events = 0;
+  bool timed_out = false;
 };
 
 /// One sensor node running ELink.  See elink.h for the protocol overview.
@@ -47,12 +53,31 @@ class ElinkNode : public Node {
   bool clustered() const { return clustered_; }
   int root() const { return root_; }
 
+  void OnInstall() override {
+    if (!ctx_->reliable) return;
+    channel_.Attach(network(), id(), ctx_->config.reliable);
+    channel_.set_give_up([this](int /*to*/, const Message& m) {
+      // An expand that exhausted its retries behaves like a nack (the
+      // neighbor is dead or unreachable).  Abandoned acks and phase/start
+      // waves leave no local obligation; a stalled round is the completion
+      // watchdog's job.
+      if (m.type == kExpand) {
+        --pending_;
+        CheckExpansionComplete();
+      }
+    });
+  }
+
   void HandleTimer(int timer_id) override {
+    ++ctx_->handled_events;
+    if (channel_.attached() && channel_.OnTimer(timer_id)) return;
     ELINK_CHECK(timer_id == kSentinelTimer);
     Activate();
   }
 
   void HandleMessage(int from, const Message& msg) override {
+    ++ctx_->handled_events;
+    if (channel_.attached() && channel_.OnMessage(from, msg)) return;
     switch (msg.type) {
       case kExpand:
         OnExpand(from, msg);
@@ -106,6 +131,22 @@ class ElinkNode : public Node {
     CheckExpansionComplete();
   }
 
+  // Single-hop / routed sends, over the reliable channel when enabled.
+  void SendNeighbor(int to, Message m) {
+    if (channel_.attached()) {
+      channel_.Send(to, std::move(m));
+    } else {
+      network()->Send(id(), to, std::move(m));
+    }
+  }
+  void SendOverRoute(int to, Message m) {
+    if (channel_.attached()) {
+      channel_.SendRouted(to, std::move(m));
+    } else {
+      network()->SendRouted(id(), to, std::move(m));
+    }
+  }
+
   void ExpandToNeighbors(int exclude) {
     settled_ = false;
     for (int nb : network()->neighbors(id())) {
@@ -115,7 +156,7 @@ class ElinkNode : public Node {
       m.category = "expand";
       m.doubles = root_feature_;
       m.ints = {root_, member_level_};
-      network()->Send(id(), nb, std::move(m));
+      SendNeighbor(nb, std::move(m));
       if (explicit_mode()) ++pending_;
     }
   }
@@ -206,7 +247,7 @@ class ElinkNode : public Node {
     m.type = kPhase1;
     m.category = "phase1";
     m.ints = {round};
-    network()->SendRouted(id(), qp, std::move(m));
+    SendOverRoute(qp, std::move(m));
   }
 
   void OnPhase1(int round) {
@@ -252,7 +293,7 @@ class ElinkNode : public Node {
         m.category = "phase2";
         m.ints = {round};
       }
-      network()->SendRouted(id(), kid, std::move(m));
+      SendOverRoute(kid, std::move(m));
     }
   }
 
@@ -262,10 +303,11 @@ class ElinkNode : public Node {
     Message m;
     m.type = type;
     m.category = category;
-    network()->Send(id(), to, std::move(m));
+    SendNeighbor(to, std::move(m));
   }
 
   RunContext* ctx_;
+  ReliableChannel channel_;  // Attached only when ctx_->reliable.
 
   // Cluster membership (Fig. 16's <r_i, F_ri, p> plus bookkeeping).
   bool clustered_ = false;
@@ -340,10 +382,12 @@ Result<ElinkResult> RunElink(const Topology& topology,
   ctx.mode = mode;
   ctx.effective_delta = config.delta - 2.0 * config.slack;
   ctx.phi = config.phi_fraction * ctx.effective_delta;
+  ctx.reliable = mode == ElinkMode::kExplicit && config.reliable_transport;
 
   Network::Config net_config;
   net_config.synchronous = config.synchronous;
   net_config.seed = config.seed;
+  net_config.fault = config.fault;
   Network net(topology, net_config);
   net.InstallNodes(
       [&](int) { return std::make_unique<ElinkNode>(&ctx); });
@@ -373,24 +417,56 @@ Result<ElinkResult> RunElink(const Topology& topology,
     }
   }
 
+  // Completion watchdog (explicit mode): if the run goes quiet for a full
+  // timeout window without the root declaring termination — lost waves, a
+  // crashed sentinel or coordinator — declare it degraded instead of letting
+  // the drained queue turn into an opaque protocol error.
+  uint64_t watchdog_last_seen = 0;
+  std::function<void()> watchdog = [&]() {
+    if (ctx.terminated || ctx.timed_out) return;
+    if (ctx.handled_events == watchdog_last_seen) {
+      ctx.timed_out = true;
+      return;
+    }
+    watchdog_last_seen = ctx.handled_events;
+    net.ScheduleAfter(config.completion_timeout, watchdog);
+  };
+  if (mode == ElinkMode::kExplicit && config.completion_timeout > 0) {
+    net.ScheduleAfter(config.completion_timeout, watchdog);
+  }
+
   net.Run();
 
-  if (mode == ElinkMode::kExplicit && !ctx.terminated) {
+  if (net.hit_event_cap()) {
+    return Status::Internal("ELink hit the event cap: protocol runaway");
+  }
+  if (mode == ElinkMode::kExplicit && !ctx.terminated && !ctx.timed_out) {
     return Status::Internal("explicit ELink did not reach termination");
   }
 
   ElinkResult result;
   result.num_levels = quadtree.num_levels();
   result.total_switches = ctx.total_switches;
-  result.completion_time = mode == ElinkMode::kExplicit
+  result.completion_time = mode == ElinkMode::kExplicit && ctx.terminated
                                ? ctx.termination_time
                                : net.Now();
+  result.completed = mode != ElinkMode::kExplicit || ctx.terminated;
   result.stats = net.stats();
   result.clustering.root_of.resize(n);
   for (int i = 0; i < n; ++i) {
     auto* node = static_cast<ElinkNode*>(net.node(i));
-    ELINK_CHECK(node->clustered());
-    result.clustering.root_of[i] = node->root();
+    if (!config.fault.enabled()) {
+      // Fault-free runs must cluster everyone; anything else is a bug.
+      ELINK_CHECK(node->clustered());
+    }
+    if (node->clustered()) {
+      result.clustering.root_of[i] = node->root();
+    } else {
+      // Crashed or unreached under fault injection: emit as a singleton so
+      // the output is still a valid (degraded) delta-clustering.
+      result.clustering.root_of[i] = i;
+      ++result.unclustered_nodes;
+    }
   }
   result.repaired_fragments =
       RepairDisconnectedClusters(&result.clustering, topology.adjacency);

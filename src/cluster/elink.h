@@ -30,6 +30,8 @@
 #include "common/status.h"
 #include "data/dataset.h"
 #include "metric/distance.h"
+#include "sim/fault.h"
+#include "sim/reliable.h"
 #include "sim/stats.h"
 #include "sim/topology.h"
 
@@ -62,6 +64,25 @@ struct ElinkConfig {
   /// network.  The implicit technique's guarantees hold only when true.
   bool synchronous = true;
   uint64_t seed = 1;
+
+  // -- Robustness (all strictly opt-in; defaults reproduce the fault-free
+  //    paper protocol byte for byte). ------------------------------------
+  /// Fault model of the run: message loss, link outages, node crashes.
+  FaultPlan fault;
+  /// Explicit mode only: carry the expand/ack/nack/ack2 waves and the
+  /// phase/start quadtree waves over ReliableChannel (ack + retransmit with
+  /// bounded retries).  Retransmissions are charged under "<cat>.retx" and
+  /// transport acks under "<cat>.ack".
+  bool reliable_transport = false;
+  /// Retransmission tuning when reliable_transport is set.
+  ReliableChannel::Config reliable;
+  /// Explicit mode only: when > 0, a watchdog declares the run *degraded*
+  /// (instead of failing it) once no protocol event has fired for this many
+  /// time units without global termination — e.g. because a sentinel or the
+  /// quadtree coordinator crashed.  Pick a value larger than the full
+  /// retransmit span (rto * backoff^max_retries) so in-flight recovery is
+  /// never cut short.
+  double completion_timeout = 0.0;
 };
 
 /// Outcome of one ELink run.
@@ -78,6 +99,13 @@ struct ElinkResult {
   int repaired_fragments = 0;
   /// Number of quadtree levels (alpha + 1).
   int num_levels = 0;
+  /// False when the run was cut short by the completion watchdog under fault
+  /// injection; the clustering is then best-effort (crashed or unreached
+  /// nodes come back as singletons).
+  bool completed = true;
+  /// Nodes that never obtained a cluster assignment and were emitted as
+  /// singletons (0 on fault-free runs).
+  int unclustered_nodes = 0;
 };
 
 /// Runs ELink over `topology` with per-node `features` under `metric`.

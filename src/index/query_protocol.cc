@@ -1,8 +1,7 @@
 #include "index/query_protocol.h"
 
 #include <algorithm>
-#include <cstdio>
-#include <cstdlib>
+#include <cmath>
 
 namespace elink {
 
@@ -19,6 +18,28 @@ enum QueryMsg : int {
   kDescendReply = 8,     // Aggregated count back to the descent parent.
   kAnswer = 9,           // Backbone root -> initiator root -> initiator.
 };
+
+// Aggregation points arm this timer when a node deadline is configured; on
+// expiry they flush a partial reply instead of waiting forever for children
+// that are dead or whose replies were lost.
+enum QueryTimer : int { kDeadlineTimer = 1 };
+
+// Deadline budgets ride in the (cost-free) ints of visit/descend messages,
+// fixed-point encoded.  Each hop hands its children its own remaining budget
+// minus the round trip of the leg plus this slack, so the deepest nodes
+// flush *first* and partial counts roll up before any ancestor's deadline —
+// a uniform per-node deadline would make the root flush before its children
+// and write off their (late but healthy) partial replies.
+constexpr double kBudgetScale = 1e6;
+constexpr double kBudgetSlack = 10.0;
+constexpr double kMinBudget = 5.0;
+
+long long EncodeBudget(double b) {
+  return static_cast<long long>(std::llround(b * kBudgetScale));
+}
+double DecodeBudget(long long b) {
+  return static_cast<double>(b) / kBudgetScale;
+}
 
 /// Immutable per-node protocol state (what Section 7 says each node holds).
 struct NodeState {
@@ -56,9 +77,15 @@ struct QueryContext {
   const DistanceMetric* metric = nullptr;
   int initiator = -1;
   int initiator_root = -1;
+  // Per-aggregation-point flush deadline (0 = wait for everything).
+  double node_deadline = 0.0;
+  // Ack/retransmit transport (ProtocolOptions::reliable_transport).
+  bool reliable = false;
+  ReliableChannel::Config reliable_cfg;
   // Filled on completion.
   bool done = false;
   long long answer = -1;
+  long long answer_incomplete = 0;  // Unreachable subtrees behind the answer.
   double finish_time = 0.0;
 };
 
@@ -66,6 +93,15 @@ class QueryNode : public Node {
  public:
   QueryNode(const NodeState* state, QueryContext* ctx)
       : state_(state), ctx_(ctx) {}
+
+  void OnInstall() override {
+    if (ctx_->reliable) {
+      channel_.Attach(network(), id(), ctx_->reliable_cfg);
+      // An exhausted retry budget needs no callback here: the destination
+      // (or a relay to it) is dead, and the waiting aggregation point
+      // writes the subtree off at its deadline.
+    }
+  }
 
   /// Injects the query at the initiator (driver call, before Run()).
   void Inject() {
@@ -77,24 +113,24 @@ class QueryNode : public Node {
       m.category = "query_route";
       m.doubles = ctx_->q;
       m.doubles.push_back(ctx_->r);
-      network()->Send(id(), state_->tree_parent, std::move(m));
+      SendHop(state_->tree_parent, std::move(m));
     }
   }
 
   void HandleMessage(int from, const Message& msg) override {
-    if (getenv("ELINK_QP_TRACE")) std::fprintf(stderr, "t=%.1f node %d <- %d type %d\n", network()->Now(), id(), from, msg.type);
+    if (channel_.attached() && channel_.OnMessage(from, msg)) return;
     switch (msg.type) {
       case kUp:
         if (id() == state_->cluster_root) {
           ArrivedAtOwnRoot();
         } else {
           Message m = msg;
-          network()->Send(id(), state_->tree_parent, std::move(m));
+          SendHop(state_->tree_parent, std::move(m));
         }
         break;
       case kToBackboneRoot:
         if (state_->is_backbone_root) {
-          StartVisit(/*reply_to=*/-1);
+          StartVisit(/*reply_to=*/-1, ctx_->node_deadline);
         } else {
           Forward(kToBackboneRoot, "query_route", state_->backbone_parent,
                   ctx_->query_units);
@@ -102,37 +138,41 @@ class QueryNode : public Node {
         break;
       case kVisit:
         // Routed messages deliver with `from` = the last relay hop; the
-        // logical sender rides in ints[0].
-        StartVisit(/*reply_to=*/static_cast<int>(msg.ints[0]));
+        // logical sender rides in ints[0] (and its deadline budget in
+        // ints[1] when deadlines are configured).
+        StartVisit(/*reply_to=*/static_cast<int>(msg.ints[0]),
+                   msg.ints.size() > 1 ? DecodeBudget(msg.ints[1]) : 0.0);
         break;
       case kBackboneInclude: {
         // Whole backbone subtree matches; answer with the cached population.
         Message reply;
         reply.type = kBackboneReply;
         reply.category = "query_collect";
-        reply.ints = {SubtreePopulation()};
-        network()->SendRouted(id(), static_cast<int>(msg.ints[0]),
-                              std::move(reply));
+        reply.ints = {SubtreePopulation(), 0};
+        SendFar(static_cast<int>(msg.ints[0]), std::move(reply));
         break;
       }
       case kBackboneReply:
         count_ += msg.ints[0];
+        incomplete_ += msg.ints[1];
         --pending_;
         CheckDone();
         break;
       case kDescend:
-        OnDescend(from);
+        OnDescend(from,
+                  msg.ints.empty() ? 0.0 : DecodeBudget(msg.ints[0]));
         break;
       case kDescendInclude: {
         Message reply;
         reply.type = kDescendReply;
         reply.category = "query_collect";
-        reply.ints = {MTreePopulation()};
-        network()->Send(id(), from, std::move(reply));
+        reply.ints = {MTreePopulation(), 0};
+        SendHop(from, std::move(reply));
         break;
       }
       case kDescendReply:
         count_ += msg.ints[0];
+        incomplete_ += msg.ints[1];
         --pending_;
         CheckDone();
         break;
@@ -140,16 +180,29 @@ class QueryNode : public Node {
         if (id() == ctx_->initiator) {
           ctx_->done = true;
           ctx_->answer = msg.ints[0];
+          ctx_->answer_incomplete = msg.ints[1];
           ctx_->finish_time = network()->Now();
         } else {
           // The initiator's root relays the answer down to the initiator.
           Message m = msg;
-          network()->SendRouted(id(), ctx_->initiator, std::move(m));
+          SendFar(ctx_->initiator, std::move(m));
         }
         break;
       default:
         ELINK_CHECK(false);
     }
+  }
+
+  void HandleTimer(int timer_id) override {
+    if (channel_.attached() && channel_.OnTimer(timer_id)) return;
+    ELINK_CHECK(timer_id == kDeadlineTimer);
+    // Deadline reached with replies still outstanding: write the missing
+    // subtrees off as unreachable and flush a partial aggregate upward.  A
+    // stale deadline (the node already reported) is a no-op.
+    if (!active_ || pending_ <= 0) return;
+    incomplete_ += pending_;
+    pending_ = 0;
+    CheckDone();
   }
 
  private:
@@ -174,35 +227,71 @@ class QueryNode : public Node {
     return pop;
   }
 
-  void Forward(int type, const char* category, int to, int units) {
+  void Forward(int type, const char* category, int to, int units,
+               double budget = -1.0) {
     Message m;
     m.type = type;
     m.category = category;
     m.ints = {id()};  // Logical sender (routed `from` is just the relay).
+    if (budget >= 0.0) m.ints.push_back(EncodeBudget(budget));
     if (units > 1) {
       m.doubles = ctx_->q;
       m.doubles.push_back(ctx_->r);
     }
-    network()->SendRouted(id(), to, std::move(m));
+    SendFar(to, std::move(m));
+  }
+
+  /// Single-hop send, over the reliable channel when one is attached.
+  void SendHop(int to, Message m) {
+    if (channel_.attached()) {
+      channel_.Send(to, std::move(m));
+    } else {
+      network()->Send(id(), to, std::move(m));
+    }
+  }
+
+  /// Routed send, over the reliable channel when one is attached.
+  void SendFar(int to, Message m) {
+    if (channel_.attached()) {
+      channel_.SendRouted(to, std::move(m));
+    } else {
+      network()->SendRouted(id(), to, std::move(m));
+    }
   }
 
   /// The query reached the initiator's own cluster root: route it to the
   /// backbone root (possibly ourselves).
   void ArrivedAtOwnRoot() {
     if (state_->is_backbone_root) {
-      StartVisit(/*reply_to=*/-1);
+      StartVisit(/*reply_to=*/-1, ctx_->node_deadline);
     } else {
       Forward(kToBackboneRoot, "query_route", state_->backbone_parent,
               ctx_->query_units);
     }
   }
 
+  void ArmDeadline(double budget) {
+    budget_ = budget;
+    if (ctx_->node_deadline > 0.0) {
+      network()->SetTimer(id(), budget, kDeadlineTimer);
+    }
+  }
+
+  /// The flush budget handed to a child `hops` hops away: our own remaining
+  /// budget minus the leg's round trip and slack, so the child reports (even
+  /// partially) before *our* deadline fires.
+  double ChildBudget(int hops) const {
+    return std::max(kMinBudget, budget_ - (2.0 * hops + kBudgetSlack));
+  }
+
   /// Leader processing: screen own cluster, decide per backbone child.
-  void StartVisit(int reply_to) {
+  void StartVisit(int reply_to, double budget) {
     reply_to_ = reply_to;
     active_ = true;
     count_ = 0;
     pending_ = 0;
+    incomplete_ = 0;
+    ArmDeadline(budget);
 
     // Own cluster screen (Section 7.2) with the exact root-ball radius.
     const double d_root = Dist(ctx_->q, feature_);
@@ -227,7 +316,8 @@ class QueryNode : public Node {
         ++pending_;
         continue;
       }
-      Forward(kVisit, "query_backbone", child.id, ctx_->query_units);
+      Forward(kVisit, "query_backbone", child.id, ctx_->query_units,
+              ChildBudget(network()->HopDistance(id(), child.id)));
       ++pending_;
     }
     CheckDone();
@@ -250,27 +340,32 @@ class QueryNode : public Node {
         m.category = "query_descend";
         m.doubles = ctx_->q;
         m.doubles.push_back(ctx_->r);
-        network()->Send(id(), child.id, std::move(m));
+        SendHop(child.id, std::move(m));
         ++pending_;
         continue;
       }
       Message m;
       m.type = kDescend;
       m.category = "query_descend";
+      if (ctx_->node_deadline > 0.0) {
+        m.ints = {EncodeBudget(ChildBudget(1))};
+      }
       m.doubles = ctx_->q;
       m.doubles.push_back(ctx_->r);
-      network()->Send(id(), child.id, std::move(m));
+      SendHop(child.id, std::move(m));
       ++pending_;
     }
   }
 
   void StartLocalDescent() { DescendBody(); }
 
-  void OnDescend(int from) {
+  void OnDescend(int from, double budget) {
     descent_parent_ = from;
     active_ = true;
     count_ = 0;
     pending_ = 0;
+    incomplete_ = 0;
+    ArmDeadline(budget);
     DescendBody();
     CheckDone();
   }
@@ -284,8 +379,8 @@ class QueryNode : public Node {
       Message m;
       m.type = kDescendReply;
       m.category = "query_collect";
-      m.ints = {count_};
-      network()->Send(id(), descent_parent_, std::move(m));
+      m.ints = {count_, incomplete_};
+      SendHop(descent_parent_, std::move(m));
       descent_parent_ = -1;
       return;
     }
@@ -294,8 +389,8 @@ class QueryNode : public Node {
       Message m;
       m.type = kBackboneReply;
       m.category = "query_collect";
-      m.ints = {count_};
-      network()->SendRouted(id(), reply_to_, std::move(m));
+      m.ints = {count_, incomplete_};
+      SendFar(reply_to_, std::move(m));
       reply_to_ = -1;
       return;
     }
@@ -303,13 +398,14 @@ class QueryNode : public Node {
     Message m;
     m.type = kAnswer;
     m.category = "query_collect";
-    m.ints = {count_};
+    m.ints = {count_, incomplete_};
     if (id() == ctx_->initiator) {
       ctx_->done = true;
       ctx_->answer = count_;
+      ctx_->answer_incomplete = incomplete_;
       ctx_->finish_time = network()->Now();
     } else {
-      network()->SendRouted(id(), ctx_->initiator_root, std::move(m));
+      SendFar(ctx_->initiator_root, std::move(m));
     }
   }
 
@@ -319,9 +415,12 @@ class QueryNode : public Node {
 
   bool active_ = false;
   long long count_ = 0;
+  long long incomplete_ = 0;  // Subtrees written off at the deadline.
   int pending_ = 0;
   int reply_to_ = -1;
   int descent_parent_ = -1;
+  double budget_ = 0.0;  // Remaining flush budget of the current visit.
+  ReliableChannel channel_;
 };
 
 }  // namespace
@@ -332,14 +431,26 @@ DistributedRangeQuery::DistributedRangeQuery(
     const std::vector<Feature>& features,
     std::shared_ptr<const DistanceMetric> metric, bool synchronous,
     uint64_t seed)
+    : DistributedRangeQuery(topology, clustering, index, backbone, features,
+                            std::move(metric), [&] {
+                              ProtocolOptions o;
+                              o.synchronous = synchronous;
+                              o.seed = seed;
+                              return o;
+                            }()) {}
+
+DistributedRangeQuery::DistributedRangeQuery(
+    const Topology& topology, const Clustering& clustering,
+    const ClusterIndex& index, const Backbone& backbone,
+    const std::vector<Feature>& features,
+    std::shared_ptr<const DistanceMetric> metric, ProtocolOptions options)
     : topology_(topology),
       clustering_(clustering),
       index_(index),
       backbone_(backbone),
       features_(features),
       metric_(std::move(metric)),
-      synchronous_(synchronous),
-      seed_(seed) {
+      options_(std::move(options)) {
   // Upper-level summaries, children before parents.
   std::vector<int> order = backbone_.leaders();
   auto depth = [&](int leader) {
@@ -410,10 +521,14 @@ Result<DistributedQueryOutcome> DistributedRangeQuery::Run(int initiator,
   ctx.metric = metric_.get();
   ctx.initiator = initiator;
   ctx.initiator_root = clustering_.root_of[initiator];
+  ctx.node_deadline = options_.node_deadline;
+  ctx.reliable = options_.reliable_transport;
+  ctx.reliable_cfg = options_.reliable;
 
   Network::Config ncfg;
-  ncfg.synchronous = synchronous_;
-  ncfg.seed = seed_;
+  ncfg.synchronous = options_.synchronous;
+  ncfg.seed = options_.seed;
+  ncfg.fault = options_.fault;
   Network net(topology_, ncfg);
   net.InstallNodes([&](int id) {
     auto node = std::make_unique<QueryNode>(&states[id], &ctx);
@@ -421,15 +536,35 @@ Result<DistributedQueryOutcome> DistributedRangeQuery::Run(int initiator,
     return node;
   });
   static_cast<QueryNode*>(net.node(initiator))->Inject();
+  if (options_.query_deadline > 0.0) {
+    // Keeps the clock honest when the query dies en route: the initiator
+    // gives up at this time, which is what the reported latency shows.
+    net.ScheduleAfter(options_.query_deadline, [] {});
+  }
   net.Run();
 
+  if (net.hit_event_cap()) {
+    return Status::Internal("distributed range query hit the event cap");
+  }
   if (!ctx.done) {
-    return Status::Internal("distributed range query did not terminate");
+    if (!options_.fault.enabled()) {
+      // No faults were injected, so this is a protocol bug, not degradation.
+      return Status::Internal("distributed range query did not terminate");
+    }
+    DistributedQueryOutcome lost;
+    lost.match_count = 0;
+    lost.latency = net.Now();
+    lost.stats = net.stats();
+    lost.complete = false;
+    lost.answer_received = false;
+    return lost;
   }
   DistributedQueryOutcome outcome;
   outcome.match_count = ctx.answer;
   outcome.latency = ctx.finish_time;
   outcome.stats = net.stats();
+  outcome.unreachable_subtrees = ctx.answer_incomplete;
+  outcome.complete = ctx.answer_incomplete == 0;
   return outcome;
 }
 

@@ -26,18 +26,30 @@
 #include "index/mtree.h"
 #include "metric/distance.h"
 #include "sim/network.h"
+#include "sim/reliable.h"
 
 namespace elink {
 
 /// Outcome of one distributed range query.
 struct DistributedQueryOutcome {
-  /// Number of nodes whose features match (within r of q).
+  /// Number of nodes whose features match (within r of q).  A lower bound
+  /// when `complete` is false.
   long long match_count = 0;
   /// Simulated time from injection to the initiator holding the answer.
   double latency = 0.0;
   /// All transmissions of the run (categories query_route, query_backbone,
   /// query_descend, query_collect).
   MessageStats stats;
+  /// True when every probed subtree contributed before its deadline; false
+  /// when the answer is partial (replies lost, subtree leaders crashed).
+  bool complete = true;
+  /// Subtrees (backbone children or M-tree descents) whose replies never
+  /// arrived and were written off at an aggregation deadline.
+  long long unreachable_subtrees = 0;
+  /// False when not even a partial answer reached the initiator (e.g. the
+  /// backbone root or the initiator's own cluster root is dead);
+  /// match_count and latency are then meaningless.
+  bool answer_received = true;
 };
 
 /// \brief Executes range queries as an actual protocol over a Network.
@@ -47,6 +59,31 @@ struct DistributedQueryOutcome {
 /// initiator and simulates until the answer returns.
 class DistributedRangeQuery {
  public:
+  /// Execution environment of the queries: delay regime, faults, deadlines.
+  struct ProtocolOptions {
+    bool synchronous = true;
+    uint64_t seed = 1;
+    /// Fault model applied to every Run (sim/fault.h).  Inert by default.
+    FaultPlan fault;
+    /// When > 0, every aggregation point (leader or M-tree descent node)
+    /// flushes a *partial* reply after waiting this long for its children,
+    /// counting the missing subtrees as unreachable.  Pick a value larger
+    /// than a couple of network traversals.  0 keeps the fault-free
+    /// wait-for-everything behavior.
+    double node_deadline = 0.0;
+    /// When > 0, Run gives up entirely at this simulated time if no answer
+    /// (not even a partial one) reached the initiator.  0 disables.
+    double query_deadline = 0.0;
+    /// Carry every protocol message over ReliableChannel (ack + retransmit
+    /// with bounded retries; see sim/reliable.h).  Lets queries survive
+    /// probabilistic loss; messages routed through *crashed* relays still
+    /// give up and are written off at the deadlines.
+    bool reliable_transport = false;
+    /// Retransmission tuning when reliable_transport is set.  rto should
+    /// exceed a round trip of the longest routed leg.
+    ReliableChannel::Config reliable;
+  };
+
   /// `clustering`, `index`, and `backbone` describe the clustered network;
   /// their per-node slices are copied into the protocol nodes.
   DistributedRangeQuery(const Topology& topology,
@@ -54,10 +91,20 @@ class DistributedRangeQuery {
                         const ClusterIndex& index, const Backbone& backbone,
                         const std::vector<Feature>& features,
                         std::shared_ptr<const DistanceMetric> metric,
+                        ProtocolOptions options);
+
+  /// Back-compat convenience: fault-free options.
+  DistributedRangeQuery(const Topology& topology,
+                        const Clustering& clustering,
+                        const ClusterIndex& index, const Backbone& backbone,
+                        const std::vector<Feature>& features,
+                        std::shared_ptr<const DistanceMetric> metric,
                         bool synchronous = true, uint64_t seed = 1);
 
-  /// Runs one query to completion.  Returns Internal if the protocol fails
-  /// to terminate (a protocol bug; never expected).
+  /// Runs one query to completion.  Under fault injection with deadlines
+  /// configured the outcome may be flagged partial (`complete == false`)
+  /// instead of an error; returns Internal only for genuine protocol bugs
+  /// (non-termination without a fault plan, event-cap runaway).
   Result<DistributedQueryOutcome> Run(int initiator, const Feature& q,
                                       double r);
 
@@ -68,8 +115,7 @@ class DistributedRangeQuery {
   const Backbone& backbone_;
   const std::vector<Feature>& features_;
   std::shared_ptr<const DistanceMetric> metric_;
-  bool synchronous_;
-  uint64_t seed_;
+  ProtocolOptions options_;
 
   // Upper-level summaries, precomputed once (leaders would learn these
   // during backbone construction).

@@ -1,0 +1,52 @@
+#include "sim/fault.h"
+
+namespace elink {
+
+namespace {
+// Stream id for the injector's private RNG fork; any fixed constant works,
+// it only has to differ from the forks other components use.
+constexpr uint64_t kFaultStream = 0xFA17B0D5ULL;
+}  // namespace
+
+FaultInjector::FaultInjector(const FaultPlan& plan, uint64_t seed)
+    : enabled_(plan.enabled()), plan_(plan), rng_(Rng(seed).Fork(kFaultStream)) {
+  for (const auto& o : plan_.link_overrides) {
+    override_p_[{o.from, o.to}] = o.drop_probability;
+    if (!o.directed) override_p_[{o.to, o.from}] = o.drop_probability;
+  }
+  for (const auto& c : plan_.node_crashes) {
+    crash_intervals_[c.node].emplace_back(c.crash_at, c.recover_at);
+  }
+}
+
+bool FaultInjector::IsCrashed(int node, double now) const {
+  auto it = crash_intervals_.find(node);
+  if (it == crash_intervals_.end()) return false;
+  for (const auto& [crash_at, recover_at] : it->second) {
+    if (now >= crash_at && now < recover_at) return true;
+  }
+  return false;
+}
+
+bool FaultInjector::LinkDown(int from, int to, double now) const {
+  for (const auto& o : plan_.link_outages) {
+    const bool matches = (o.from == from && o.to == to) ||
+                         (!o.directed && o.from == to && o.to == from);
+    if (matches && now >= o.down_at && now < o.up_at) return true;
+  }
+  return false;
+}
+
+double FaultInjector::LinkDropProbability(int from, int to) const {
+  auto it = override_p_.find({from, to});
+  return it == override_p_.end() ? plan_.drop_probability : it->second;
+}
+
+bool FaultInjector::DropTransmission(int from, int to, double now) {
+  if (LinkDown(from, to, now)) return true;
+  const double p = LinkDropProbability(from, to);
+  if (p <= 0.0) return false;
+  return rng_.Bernoulli(p);
+}
+
+}  // namespace elink

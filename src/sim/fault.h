@@ -1,0 +1,102 @@
+// Deterministic fault injection for the simulated network.
+//
+// A FaultPlan describes, per run, everything that can go wrong: i.i.d.
+// message loss, per-link loss overrides, scheduled link outages, and node
+// crashes (with optional recovery).  The FaultInjector evaluates the plan at
+// simulation time; it draws all randomness from a private RNG stream forked
+// from the network seed, so enabling faults never perturbs the delay stream
+// and identical (seed, plan) pairs reproduce bit-identical runs.  A
+// default-constructed plan is inert: the Network skips the injector entirely
+// and behaves byte-identically to a fault-free build.
+#ifndef ELINK_SIM_FAULT_H_
+#define ELINK_SIM_FAULT_H_
+
+#include <limits>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace elink {
+
+/// \brief Declarative description of the faults of one run.
+struct FaultPlan {
+  /// Probability that any single-hop transmission is lost (i.i.d.).
+  double drop_probability = 0.0;
+
+  /// Per-link loss probability overriding `drop_probability`.  Undirected by
+  /// default; set `directed` to affect only the from->to direction (useful
+  /// for, e.g., losing acks but not data).
+  struct LinkOverride {
+    int from = -1;
+    int to = -1;
+    double drop_probability = 0.0;
+    bool directed = false;
+  };
+  std::vector<LinkOverride> link_overrides;
+
+  /// Scheduled outage: the link delivers nothing during [down_at, up_at).
+  struct LinkOutage {
+    int from = -1;
+    int to = -1;
+    double down_at = 0.0;
+    double up_at = std::numeric_limits<double>::infinity();
+    bool directed = false;
+  };
+  std::vector<LinkOutage> link_outages;
+
+  /// The node is dead during [crash_at, recover_at): it neither sends nor
+  /// receives, and its timers are suppressed.  Omit recover_at for a
+  /// permanent crash.
+  struct NodeCrash {
+    int node = -1;
+    double crash_at = 0.0;
+    double recover_at = std::numeric_limits<double>::infinity();
+  };
+  std::vector<NodeCrash> node_crashes;
+
+  /// True when the plan can affect any run at all.
+  bool enabled() const {
+    return drop_probability > 0.0 || !link_overrides.empty() ||
+           !link_outages.empty() || !node_crashes.empty();
+  }
+};
+
+/// \brief Evaluates a FaultPlan during a simulation run.
+class FaultInjector {
+ public:
+  /// `seed` is the owning network's seed; the injector forks a private
+  /// sub-stream from it for the probabilistic drops.
+  FaultInjector(const FaultPlan& plan, uint64_t seed);
+
+  /// False for an inert plan; callers skip all other queries then.
+  bool enabled() const { return enabled_; }
+
+  /// True when node `id` is crashed at time `now`.
+  bool IsCrashed(int node, double now) const;
+
+  /// True when the from->to transmission starting at `now` is lost to a link
+  /// outage or a (seeded) random drop.  Advances the private RNG stream when
+  /// a probabilistic decision is needed, so call exactly once per attempt.
+  bool DropTransmission(int from, int to, double now);
+
+  /// True when the from->to direction is inside a scheduled outage at `now`.
+  bool LinkDown(int from, int to, double now) const;
+
+  /// Loss probability in effect for the from->to direction.
+  double LinkDropProbability(int from, int to) const;
+
+ private:
+  bool enabled_ = false;
+  FaultPlan plan_;
+  Rng rng_;
+  // Directed (from, to) -> override probability; undirected overrides are
+  // materialized in both directions.
+  std::map<std::pair<int, int>, double> override_p_;
+  std::map<int, std::vector<std::pair<double, double>>> crash_intervals_;
+};
+
+}  // namespace elink
+
+#endif  // ELINK_SIM_FAULT_H_

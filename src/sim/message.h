@@ -20,6 +20,13 @@ struct Message {
   std::vector<double> doubles;
   std::vector<long long> ints;
 
+  // Reliable-transport envelope (sim/reliable.h).  rel_seq < 0 marks a plain
+  // unacknowledged message; the fields ride along for free (paper Section 8.2
+  // charges only data payload).
+  long long rel_seq = -1;  // Sender-local sequence number.
+  int rel_from = -1;       // Logical originator (routed acks go back here).
+  bool rel_ack = false;    // True for the transport-level acknowledgment.
+
   /// Number of "paper messages" one hop of this message costs.  The paper
   /// charges one message per coefficient or data value (Section 8.2); id and
   /// level fields ride along for free.  Control messages with no payload

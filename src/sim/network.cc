@@ -2,12 +2,15 @@
 
 #include <utility>
 
+#include "common/logging.h"
+
 namespace elink {
 
 Network::Network(Topology topology, Config config)
     : topology_(std::move(topology)),
       config_(config),
       rng_(config.seed),
+      fault_(config.fault, config.seed),
       nodes_(topology_.num_nodes()) {
   ELINK_CHECK(config_.async_delay_min > 0.0);
   ELINK_CHECK(config_.async_delay_max >= config_.async_delay_min);
@@ -19,6 +22,7 @@ void Network::InstallNode(int id, std::unique_ptr<Node> node) {
   node->network_ = this;
   node->id_ = id;
   nodes_[id] = std::move(node);
+  nodes_[id]->OnInstall();
 }
 
 void Network::InstallNodes(
@@ -34,8 +38,18 @@ double Network::NextHopDelay() {
 void Network::Send(int from, int to, Message msg) {
   ELINK_CHECK(topology_.HasEdge(from, to));
   ELINK_CHECK(nodes_[to] != nullptr);
-  stats_.Record(msg.category, msg.CostUnits());
   const double delay = NextHopDelay();
+  // All fault decisions are made at send time (the receiver's crash state is
+  // evaluated at the arrival instant), so runs stay deterministic and the
+  // drop is charged to the ledger exactly once.
+  if (fault_.enabled() &&
+      (fault_.IsCrashed(from, Now()) ||
+       fault_.DropTransmission(from, to, Now()) ||
+       fault_.IsCrashed(to, Now() + delay))) {
+    stats_.RecordDropped(msg.category, msg.CostUnits());
+    return;
+  }
+  stats_.Record(msg.category, msg.CostUnits());
   queue_.ScheduleAfter(delay, [this, from, to, m = std::move(msg)]() {
     nodes_[to]->HandleMessage(from, m);
   });
@@ -60,6 +74,7 @@ const RoutingTable& Network::TableFor(int root) {
 int Network::SendRouted(int from, int to, Message msg) {
   ELINK_CHECK(nodes_[to] != nullptr);
   if (from == to) {
+    if (fault_.enabled() && fault_.IsCrashed(to, Now())) return 0;
     queue_.ScheduleAfter(0.0, [this, from, to, m = std::move(msg)]() {
       nodes_[to]->HandleMessage(from, m);
     });
@@ -68,23 +83,32 @@ int Network::SendRouted(int from, int to, Message msg) {
   const RoutingTable& table = TableFor(to);
   const int hops = table.HopsToRoot(from);
   ELINK_CHECK(hops > 0);  // Connected networks only.
-  // Charge every hop and accumulate the end-to-end delay.
+  // Walk the path hop by hop: each relay transmission is charged when it
+  // happens and any hop can lose the message (relay crashed, link down or
+  // lossy, next relay dead on arrival).  Fault-free, this performs exactly
+  // the per-hop charges and single end-delivery of the original code.
   double delay = 0.0;
-  for (int h = 0; h < hops; ++h) {
+  int cur = from;
+  int prev = from;
+  while (cur != to) {
+    const int next = table.NextHopToRoot(cur);
+    const double hop_delay = NextHopDelay();
+    if (fault_.enabled() &&
+        (fault_.IsCrashed(cur, Now() + delay) ||
+         fault_.DropTransmission(cur, next, Now() + delay) ||
+         fault_.IsCrashed(next, Now() + delay + hop_delay))) {
+      stats_.RecordDropped(msg.category, msg.CostUnits());
+      return hops;
+    }
     stats_.Record(msg.category, msg.CostUnits());
-    delay += NextHopDelay();
+    delay += hop_delay;
+    prev = cur;
+    cur = next;
   }
   // The penultimate node on the path is the sender seen by `to`.
-  int penultimate = to == from ? from : [&] {
-    // Walk from `from` towards `to`; the node whose next hop is `to`.
-    int cur = from;
-    while (table.NextHopToRoot(cur) != to) cur = table.NextHopToRoot(cur);
-    return cur;
-  }();
-  queue_.ScheduleAfter(delay,
-                       [this, penultimate, to, m = std::move(msg)]() {
-                         nodes_[to]->HandleMessage(penultimate, m);
-                       });
+  queue_.ScheduleAfter(delay, [this, prev, to, m = std::move(msg)]() {
+    nodes_[to]->HandleMessage(prev, m);
+  });
   return hops;
 }
 
@@ -95,8 +119,12 @@ int Network::HopDistance(int from, int to) {
 
 void Network::SetTimer(int id, double delay, int timer_id) {
   ELINK_CHECK(nodes_[id] != nullptr);
-  queue_.ScheduleAfter(delay,
-                       [this, id, timer_id]() { nodes_[id]->HandleTimer(timer_id); });
+  queue_.ScheduleAfter(delay, [this, id, timer_id]() {
+    // A crashed node's timers are suppressed (it recovers with no pending
+    // timers; protocols re-arm on recovery if they support it).
+    if (fault_.enabled() && fault_.IsCrashed(id, queue_.Now())) return;
+    nodes_[id]->HandleTimer(timer_id);
+  });
 }
 
 void Network::ScheduleAfter(double delay, std::function<void()> cb) {
@@ -107,8 +135,14 @@ uint64_t Network::Run(uint64_t max_events) {
   for (int id = 0; id < num_nodes(); ++id) {
     ELINK_CHECK(nodes_[id] != nullptr);
   }
+  hit_event_cap_ = false;
   const uint64_t dispatched = queue_.RunAll(max_events);
-  ELINK_CHECK(dispatched < max_events);  // Cap hit => runaway protocol.
+  if (dispatched >= max_events && !queue_.Empty()) {
+    hit_event_cap_ = true;
+    ELINK_LOG(Warning) << "Network::Run hit the event cap (" << max_events
+                       << " dispatched, " << queue_.Size()
+                       << " pending); protocol is livelocked or runaway";
+  }
   return dispatched;
 }
 

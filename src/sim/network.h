@@ -16,6 +16,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "sim/event_queue.h"
+#include "sim/fault.h"
 #include "sim/graph.h"
 #include "sim/message.h"
 #include "sim/stats.h"
@@ -39,6 +40,11 @@ class Node {
   /// Expiry of a timer set via Network::SetTimer.
   virtual void HandleTimer(int timer_id) { (void)timer_id; }
 
+  /// Called once by InstallNode after network()/id() are wired; protocols
+  /// that own helper objects needing the back-pointers (e.g. a
+  /// ReliableChannel) attach them here.
+  virtual void OnInstall() {}
+
   int id() const { return id_; }
 
  protected:
@@ -59,6 +65,10 @@ class Network {
     double async_delay_min = 0.5;
     double async_delay_max = 1.5;
     uint64_t seed = 1;
+    /// Fault model of the run (message loss, link outages, node crashes).
+    /// The default plan is inert: delivery is perfectly reliable and the run
+    /// is byte-identical to a build without the fault layer.
+    FaultPlan fault;
   };
 
   Network(Topology topology, Config config);
@@ -107,15 +117,21 @@ class Network {
 
   double Now() const { return queue_.Now(); }
 
-  /// Runs until the event queue drains (or the safety cap on dispatched
-  /// events is hit, which indicates a protocol bug).  Returns the number of
-  /// events dispatched.
+  /// Runs until the event queue drains or `max_events` dispatches.  Returns
+  /// the number of events dispatched; when the cap was hit with work still
+  /// queued (a runaway/livelocked protocol), hit_event_cap() reports it and
+  /// a warning is logged — callers turn that into a Status instead of the
+  /// process aborting.
   uint64_t Run(uint64_t max_events = 200'000'000ULL);
+
+  /// True when the last Run() stopped at the event cap with events pending.
+  bool hit_event_cap() const { return hit_event_cap_; }
 
   Node* node(int id) { return nodes_[id].get(); }
   MessageStats& stats() { return stats_; }
   const MessageStats& stats() const { return stats_; }
   Rng& rng() { return rng_; }
+  const FaultInjector& fault() const { return fault_; }
 
  private:
   double NextHopDelay();
@@ -125,8 +141,10 @@ class Network {
   Config config_;
   EventQueue queue_;
   Rng rng_;
+  FaultInjector fault_;
   std::vector<std::unique_ptr<Node>> nodes_;
   MessageStats stats_;
+  bool hit_event_cap_ = false;
   // Lazily built per-destination routing tables for SendRouted/HopDistance.
   std::map<int, RoutingTable> routing_tables_;
 };

@@ -1,0 +1,115 @@
+#include "sim/reliable.h"
+
+#include <utility>
+
+namespace elink {
+
+namespace {
+
+/// Ack/retx categories derive from the data category with the ".retx"
+/// marker stripped, so a retransmitted "expand" still acks as "expand.ack".
+std::string BaseCategory(const std::string& category) {
+  constexpr const char kRetxSuffix[] = ".retx";
+  const size_t n = sizeof(kRetxSuffix) - 1;
+  if (category.size() > n &&
+      category.compare(category.size() - n, n, kRetxSuffix) == 0) {
+    return category.substr(0, category.size() - n);
+  }
+  return category;
+}
+
+}  // namespace
+
+void ReliableChannel::Attach(Network* network, int self, Config config) {
+  ELINK_CHECK(network != nullptr);
+  ELINK_CHECK(config.rto > 0.0);
+  ELINK_CHECK(config.backoff >= 1.0);
+  ELINK_CHECK(config.max_retries >= 0);
+  network_ = network;
+  self_ = self;
+  config_ = config;
+}
+
+void ReliableChannel::Dispatch(int to, bool routed, const Message& msg) {
+  if (routed) {
+    network_->SendRouted(self_, to, msg);
+  } else {
+    network_->Send(self_, to, msg);
+  }
+}
+
+void ReliableChannel::Enqueue(int to, bool routed, Message msg) {
+  ELINK_CHECK(attached());
+  const long long seq = next_seq_++;
+  msg.rel_seq = seq;
+  msg.rel_from = self_;
+  msg.rel_ack = false;
+  Pending p;
+  p.to = to;
+  p.routed = routed;
+  p.timeout = config_.rto;
+  p.retx_category = msg.category + ".retx";
+  p.msg = msg;
+  Dispatch(to, routed, p.msg);
+  pending_.emplace(seq, std::move(p));
+  network_->SetTimer(self_, config_.rto,
+                     config_.timer_id_base + static_cast<int>(seq));
+}
+
+void ReliableChannel::Send(int to, Message msg) {
+  Enqueue(to, /*routed=*/false, std::move(msg));
+}
+
+void ReliableChannel::SendRouted(int to, Message msg) {
+  Enqueue(to, /*routed=*/true, std::move(msg));
+}
+
+bool ReliableChannel::OnMessage(int from, const Message& msg) {
+  if (msg.rel_ack) {
+    pending_.erase(msg.rel_seq);  // Stale retransmit timers find no entry.
+    return true;
+  }
+  if (msg.rel_seq < 0) return false;  // Plain message, not ours.
+  // Acknowledge every delivered copy: the originator keeps retransmitting
+  // until an ack survives the return path.
+  Message ack;
+  ack.rel_ack = true;
+  ack.rel_seq = msg.rel_seq;
+  ack.rel_from = self_;
+  ack.category = BaseCategory(msg.category) + ".ack";
+  if (msg.rel_from == from) {
+    network_->Send(self_, from, std::move(ack));
+  } else {
+    // Data arrived over a multi-hop route (`from` is just the last relay);
+    // the ack routes back to the logical originator.
+    network_->SendRouted(self_, msg.rel_from, std::move(ack));
+  }
+  auto [it, first_delivery] = delivered_[msg.rel_from].insert(msg.rel_seq);
+  (void)it;
+  return !first_delivery;
+}
+
+bool ReliableChannel::OnTimer(int timer_id) {
+  if (timer_id < config_.timer_id_base) return false;
+  const long long seq = timer_id - config_.timer_id_base;
+  auto it = pending_.find(seq);
+  if (it == pending_.end()) return true;  // Acked; deadline is stale.
+  Pending& p = it->second;
+  if (p.attempts >= config_.max_retries) {
+    ++gave_up_count_;
+    Pending abandoned = std::move(p);
+    pending_.erase(it);
+    if (give_up_) give_up_(abandoned.to, abandoned.msg);
+    return true;
+  }
+  ++p.attempts;
+  ++retransmissions_;
+  p.timeout *= config_.backoff;
+  Message copy = p.msg;
+  copy.category = p.retx_category;
+  Dispatch(p.to, p.routed, copy);
+  network_->SetTimer(self_, p.timeout, timer_id);
+  return true;
+}
+
+}  // namespace elink

@@ -11,6 +11,17 @@ void MessageStats::Record(const std::string& category, int units) {
   sends_by_category_[category] += 1;
 }
 
+void MessageStats::RecordDropped(const std::string& category, int units) {
+  dropped_sends_ += 1;
+  dropped_units_ += static_cast<uint64_t>(units);
+  dropped_by_category_[category] += static_cast<uint64_t>(units);
+}
+
+uint64_t MessageStats::dropped(const std::string& category) const {
+  auto it = dropped_by_category_.find(category);
+  return it == dropped_by_category_.end() ? 0 : it->second;
+}
+
 uint64_t MessageStats::units(const std::string& category) const {
   auto it = units_by_category_.find(category);
   return it == units_by_category_.end() ? 0 : it->second;
@@ -24,8 +35,11 @@ uint64_t MessageStats::sends(const std::string& category) const {
 void MessageStats::Reset() {
   total_sends_ = 0;
   total_units_ = 0;
+  dropped_sends_ = 0;
+  dropped_units_ = 0;
   units_by_category_.clear();
   sends_by_category_.clear();
+  dropped_by_category_.clear();
 }
 
 void MessageStats::Merge(const MessageStats& other) {
@@ -36,6 +50,11 @@ void MessageStats::Merge(const MessageStats& other) {
   }
   for (const auto& [k, v] : other.sends_by_category_) {
     sends_by_category_[k] += v;
+  }
+  dropped_sends_ += other.dropped_sends_;
+  dropped_units_ += other.dropped_units_;
+  for (const auto& [k, v] : other.dropped_by_category_) {
+    dropped_by_category_[k] += v;
   }
 }
 
@@ -52,6 +71,12 @@ std::string MessageStats::ToString() const {
       out += k + "=" + StringPrintf("%llu", static_cast<unsigned long long>(v));
     }
     out += ")";
+  }
+  // Fault-free runs render exactly as before; losses append a suffix.
+  if (dropped_sends_ > 0) {
+    out += StringPrintf(" dropped=%llu/%llu",
+                        static_cast<unsigned long long>(dropped_sends_),
+                        static_cast<unsigned long long>(dropped_units_));
   }
   return out;
 }

@@ -19,6 +19,11 @@ class MessageStats {
   /// `category`.
   void Record(const std::string& category, int units);
 
+  /// Records one transmission of `units` under `category` that was lost to
+  /// fault injection (link loss, outage, or a crashed endpoint).  Dropped
+  /// sends are tallied separately and never enter the delivered totals.
+  void RecordDropped(const std::string& category, int units);
+
   /// Raw transmissions (sends over one hop).
   uint64_t total_sends() const { return total_sends_; }
 
@@ -36,6 +41,20 @@ class MessageStats {
     return units_by_category_;
   }
 
+  /// Transmissions lost to fault injection (not counted in total_sends()).
+  uint64_t dropped_sends() const { return dropped_sends_; }
+
+  /// Units lost to fault injection (not counted in total_units()).
+  uint64_t dropped_units() const { return dropped_units_; }
+
+  /// Dropped units recorded under one category (0 when absent).
+  uint64_t dropped(const std::string& category) const;
+
+  /// All categories with losses and their dropped unit counts.
+  const std::map<std::string, uint64_t>& dropped_by_category() const {
+    return dropped_by_category_;
+  }
+
   /// Zeroes all counters.
   void Reset();
 
@@ -48,8 +67,11 @@ class MessageStats {
  private:
   uint64_t total_sends_ = 0;
   uint64_t total_units_ = 0;
+  uint64_t dropped_sends_ = 0;
+  uint64_t dropped_units_ = 0;
   std::map<std::string, uint64_t> units_by_category_;
   std::map<std::string, uint64_t> sends_by_category_;
+  std::map<std::string, uint64_t> dropped_by_category_;
 };
 
 }  // namespace elink

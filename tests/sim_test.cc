@@ -337,6 +337,65 @@ TEST(MessageStatsTest, MergeAndReset) {
   EXPECT_EQ(a.units("x"), 0u);
 }
 
+TEST(MessageStatsTest, DroppedSendsStayOutOfDeliveredTotals) {
+  MessageStats s;
+  s.Record("x", 2);
+  s.RecordDropped("x", 3);
+  s.RecordDropped("y", 1);
+  EXPECT_EQ(s.total_sends(), 1u);
+  EXPECT_EQ(s.total_units(), 2u);
+  EXPECT_EQ(s.dropped_sends(), 2u);
+  EXPECT_EQ(s.dropped_units(), 4u);
+  EXPECT_EQ(s.dropped("x"), 3u);
+  EXPECT_EQ(s.dropped("y"), 1u);
+  EXPECT_EQ(s.dropped("z"), 0u);
+
+  MessageStats other;
+  other.RecordDropped("x", 2);
+  s.Merge(other);
+  EXPECT_EQ(s.dropped_units(), 6u);
+  EXPECT_EQ(s.dropped("x"), 5u);
+  EXPECT_EQ(s.total_units(), 2u);  // Merge does not mix the ledgers.
+
+  s.Reset();
+  EXPECT_EQ(s.dropped_sends(), 0u);
+  EXPECT_EQ(s.dropped_units(), 0u);
+  EXPECT_TRUE(s.dropped_by_category().empty());
+}
+
+TEST(MessageStatsTest, ToStringMentionsDropsOnlyWhenPresent) {
+  MessageStats s;
+  s.Record("x", 1);
+  EXPECT_EQ(s.ToString().find("dropped"), std::string::npos);
+  s.RecordDropped("x", 1);
+  EXPECT_NE(s.ToString().find("dropped"), std::string::npos);
+}
+
+/// A protocol that re-arms its own timer forever: the event queue never
+/// drains, so Run must stop at the cap and flag it instead of aborting.
+class LivelockNode : public Node {
+ public:
+  void HandleMessage(int, const Message&) override {}
+  void HandleTimer(int timer_id) override {
+    network()->SetTimer(id(), 1.0, timer_id);
+  }
+};
+
+TEST(NetworkTest, EventCapIsRecoverable) {
+  Network::Config cfg;
+  auto net = std::make_unique<Network>(MakeGridTopology(2, 2), cfg);
+  net->InstallNodes([](int) { return std::make_unique<LivelockNode>(); });
+  net->SetTimer(0, 1.0, 1);
+  EXPECT_FALSE(net->hit_event_cap());
+  EXPECT_EQ(net->Run(/*max_events=*/100), 100u);
+  EXPECT_TRUE(net->hit_event_cap());
+  // A later run that drains resets the flag.
+  auto quiet = std::make_unique<Network>(MakeGridTopology(2, 2), cfg);
+  quiet->InstallNodes([](int) { return std::make_unique<LivelockNode>(); });
+  quiet->Run();
+  EXPECT_FALSE(quiet->hit_event_cap());
+}
+
 TEST(MessageTest, CostUnitsRules) {
   Message empty;
   EXPECT_EQ(empty.CostUnits(), 1);
