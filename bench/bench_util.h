@@ -7,8 +7,13 @@
 #ifndef ELINK_BENCH_BENCH_UTIL_H_
 #define ELINK_BENCH_BENCH_UTIL_H_
 
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "baselines/hierarchical.h"
@@ -47,6 +52,63 @@ inline std::string Cell(double v, int precision = 1) {
 
 inline std::string Cell(uint64_t v) { return std::to_string(v); }
 inline std::string Cell(int v) { return std::to_string(v); }
+
+/// Runs independent trials across a small thread pool.
+///
+/// Trials are identified by index and must be self-contained: each writes
+/// its outcome into a per-index slot the caller owns, and the caller merges
+/// slots in index order after Run returns.  Because the merge order is the
+/// submission order — never the completion order — the output is identical
+/// for any thread count, including 1; `--threads` changes wall-clock only.
+class ParallelTrialRunner {
+ public:
+  /// `threads` < 1 is clamped to 1 (serial).
+  explicit ParallelTrialRunner(int threads)
+      : threads_(threads < 1 ? 1 : threads) {}
+
+  /// Invokes fn(0) .. fn(count-1), each exactly once, and blocks until all
+  /// have returned.  With one thread (or one trial) this degenerates to a
+  /// plain loop on the calling thread.
+  void Run(int count, const std::function<void(int)>& fn) const {
+    if (count <= 0) return;
+    const int workers = threads_ < count ? threads_ : count;
+    if (workers == 1) {
+      for (int i = 0; i < count; ++i) fn(i);
+      return;
+    }
+    std::atomic<int> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (int w = 0; w < workers; ++w) {
+      pool.emplace_back([&next, count, &fn] {
+        for (int i = next.fetch_add(1); i < count; i = next.fetch_add(1)) {
+          fn(i);
+        }
+      });
+    }
+    for (auto& t : pool) t.join();
+  }
+
+  int threads() const { return threads_; }
+
+ private:
+  int threads_;
+};
+
+/// Parses `--threads N` / `--threads=N` from a harness command line.
+/// Defaults to 1: the serial and parallel paths print identical bytes, so
+/// parallelism is strictly an opt-in for wall-clock.
+inline int ThreadsFromArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      return std::atoi(argv[i] + 10);
+    }
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      return std::atoi(argv[i + 1]);
+    }
+  }
+  return 1;
+}
 
 /// The four Section-8.3 clustering algorithms run on one dataset at one
 /// delta: cluster counts and total clustering communication (paper message

@@ -66,7 +66,7 @@ FaultPlan MakePlan(double drop_p, int count, int n,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   TerrainConfig tcfg;
   tcfg.num_nodes = 200;
   tcfg.radio_range_fraction = 0.1;
@@ -123,63 +123,91 @@ int main() {
       "completion_time,retx_units,ack_units,dropped_units,"
       "query_recall,query_complete_frac,query_answered_frac\n");
 
+  // Every cell's fault plan is drawn serially from one RNG up front, so the
+  // plans (and hence every number below) are independent of how many threads
+  // later run the cells.
+  struct SweepCell {
+    double drop_p;
+    double crash_frac;
+    int crashed;
+    FaultPlan plan;
+    std::string row;
+  };
+  std::vector<SweepCell> cells;
   Rng crash_rng(4242);
   for (double drop_p : {0.0, 0.05, 0.10, 0.20, 0.30}) {
     for (double crash_frac : {0.0, 0.05, 0.10}) {
-      const int crashed = static_cast<int>(crash_frac * n);
-      const FaultPlan plan =
-          MakePlan(drop_p, crashed, n, spared, &crash_rng);
+      SweepCell cell;
+      cell.drop_p = drop_p;
+      cell.crash_frac = crash_frac;
+      cell.crashed = static_cast<int>(crash_frac * n);
+      cell.plan = MakePlan(drop_p, cell.crashed, n, spared, &crash_rng);
+      cells.push_back(std::move(cell));
+    }
+  }
 
-      // -- ELink under faults -------------------------------------------
-      ElinkConfig cfg = base_cfg;
-      cfg.fault = plan;
-      if (plan.enabled()) {
-        cfg.reliable_transport = true;
-        cfg.reliable.rto = 8.0;
-        cfg.reliable.backoff = 1.5;
-        cfg.reliable.max_retries = 8;
-        // Larger than the full retransmit span (~rto * sum of backoffs).
-        cfg.completion_timeout = 450.0;
-      }
-      const ElinkResult run =
-          Unwrap(RunElink(ds, cfg, ElinkMode::kExplicit), "elink faulted");
+  // Cells share only read-only state (dataset, baseline clustering, index,
+  // backbone, trial batch); each owns its simulations, so they parallelize
+  // freely.  Rows are formatted into per-cell slots and printed in sweep
+  // order after the join.
+  ParallelTrialRunner runner(ThreadsFromArgs(argc, argv));
+  runner.Run(static_cast<int>(cells.size()), [&](int c) {
+    SweepCell& cell = cells[c];
+    const FaultPlan& plan = cell.plan;
 
-      // -- Queries under the same plan ----------------------------------
-      DistributedRangeQuery::ProtocolOptions qopt;
-      qopt.seed = 9;
-      qopt.fault = plan;
-      if (plan.enabled()) {
-        qopt.reliable_transport = true;
-        // rto must exceed a round trip of the longest routed leg (tens of
-        // hops between far leaders and the backbone root on this layout).
-        qopt.reliable.rto = 40.0;
-        qopt.reliable.backoff = 1.5;
-        qopt.reliable.max_retries = 10;
-        // Well above the fault-free end-to-end latency (~70 time units on
-        // this layout) plus the full retransmit span, so a flush means a
-        // subtree genuinely went dark — deadlines must not race healthy
-        // aggregation or in-flight retransmissions.
-        qopt.node_deadline = 2500.0;
-        qopt.query_deadline = 30000.0;
-      }
-      DistributedRangeQuery protocol(ds.topology, baseline.clustering, index,
-                                     backbone, ds.features, ds.metric, qopt);
-      double recall = 0.0;
-      int complete = 0, answered = 0;
-      for (const Trial& tr : trials) {
-        const DistributedQueryOutcome out =
-            Unwrap(protocol.Run(tr.initiator, tr.q, tr.r), "query");
-        if (out.answer_received) ++answered;
-        if (out.complete) ++complete;
-        recall += tr.truth == 0
-                      ? 1.0
-                      : std::min<double>(out.match_count, tr.truth) /
-                            static_cast<double>(tr.truth);
-      }
+    // -- ELink under faults ---------------------------------------------
+    ElinkConfig cfg = base_cfg;
+    cfg.fault = plan;
+    if (plan.enabled()) {
+      cfg.reliable_transport = true;
+      cfg.reliable.rto = 8.0;
+      cfg.reliable.backoff = 1.5;
+      cfg.reliable.max_retries = 8;
+      // Larger than the full retransmit span (~rto * sum of backoffs).
+      cfg.completion_timeout = 450.0;
+    }
+    const ElinkResult run =
+        Unwrap(RunElink(ds, cfg, ElinkMode::kExplicit), "elink faulted");
 
-      std::printf("%.2f,%.2f,%d,%d,%.4f,%d,%.1f,%llu,%llu,%llu,%.3f,"
+    // -- Queries under the same plan ------------------------------------
+    DistributedRangeQuery::ProtocolOptions qopt;
+    qopt.seed = 9;
+    qopt.fault = plan;
+    if (plan.enabled()) {
+      qopt.reliable_transport = true;
+      // rto must exceed a round trip of the longest routed leg (tens of
+      // hops between far leaders and the backbone root on this layout).
+      qopt.reliable.rto = 40.0;
+      qopt.reliable.backoff = 1.5;
+      qopt.reliable.max_retries = 10;
+      // Well above the fault-free end-to-end latency (~70 time units on
+      // this layout) plus the full retransmit span, so a flush means a
+      // subtree genuinely went dark — deadlines must not race healthy
+      // aggregation or in-flight retransmissions.
+      qopt.node_deadline = 2500.0;
+      qopt.query_deadline = 30000.0;
+    }
+    DistributedRangeQuery protocol(ds.topology, baseline.clustering, index,
+                                   backbone, ds.features, ds.metric, qopt);
+    double recall = 0.0;
+    int complete = 0, answered = 0;
+    for (const Trial& tr : trials) {
+      const DistributedQueryOutcome out =
+          Unwrap(protocol.Run(tr.initiator, tr.q, tr.r), "query");
+      if (out.answer_received) ++answered;
+      if (out.complete) ++complete;
+      recall += tr.truth == 0
+                    ? 1.0
+                    : std::min<double>(out.match_count, tr.truth) /
+                          static_cast<double>(tr.truth);
+    }
+
+    char row[256];
+    std::snprintf(row, sizeof(row),
+                  "%.2f,%.2f,%d,%d,%.4f,%d,%.1f,%llu,%llu,%llu,%.3f,"
                   "%.2f,%.2f\n",
-                  drop_p, crash_frac, crashed, run.completed ? 1 : 0,
+                  cell.drop_p, cell.crash_frac, cell.crashed,
+                  run.completed ? 1 : 0,
                   RandIndex(baseline.clustering, run.clustering),
                   run.unclustered_nodes, run.completion_time,
                   (unsigned long long)UnitsWithSuffix(run.stats, ".retx"),
@@ -188,7 +216,11 @@ int main() {
                   recall / kTrials,
                   static_cast<double>(complete) / kTrials,
                   static_cast<double>(answered) / kTrials);
-    }
+    cell.row = row;
+  });
+
+  for (const SweepCell& cell : cells) {
+    std::fputs(cell.row.c_str(), stdout);
   }
   return 0;
 }

@@ -21,16 +21,46 @@ using namespace elink::bench;
 
 namespace {
 
-/// One distributed algorithm's replay state.
-struct DistributedTrack {
-  const char* name;
-  uint64_t initial_units;
-  MaintenanceSession session;
-};
+/// Days at which the table reports a row (day 1, then every 4th).
+std::vector<int> ReportDays(int eval_days) {
+  std::vector<int> days;
+  for (int day = 1; day <= eval_days; ++day) {
+    if (day % 4 == 0 || day == 1) days.push_back(day);
+  }
+  return days;
+}
+
+/// Replays the full eval stream, feeding each 6th-step feature refresh to
+/// `update` and every raw measurement to `raw_measurement` (may be null),
+/// snapshotting `units` after each report day.  Every series replays with
+/// its own copy of the trained models, so series are independent tasks: the
+/// model updates are deterministic, hence each series sees bit-identical
+/// features whether the replays run in one thread or six.
+std::vector<uint64_t> ReplaySeries(
+    const SensorDataset& ds, const TaoConfig& tao,
+    std::vector<SeasonalArModel> models,
+    const std::function<void(int, const Feature&)>& update,
+    const std::function<void(int)>& raw_measurement,
+    const std::function<uint64_t()>& units) {
+  const int n = ds.topology.num_nodes();
+  const int per_day = tao.measurements_per_day;
+  std::vector<uint64_t> snapshots;
+  for (int day = 1; day <= tao.eval_days; ++day) {
+    for (int t = (day - 1) * per_day; t < day * per_day; ++t) {
+      for (int i = 0; i < n; ++i) {
+        models[i].Observe(ds.streams[i][t]);
+        if (raw_measurement) raw_measurement(i);
+        if (t % 6 == 5) update(i, models[i].Feature());
+      }
+    }
+    if (day % 4 == 0 || day == 1) snapshots.push_back(units());
+  }
+  return snapshots;
+}
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   TaoConfig tao;
   tao.eval_days = 28;
   const SensorDataset ds = Unwrap(MakeTaoDataset(tao), "tao");
@@ -48,24 +78,7 @@ int main() {
   MaintenanceConfig mcfg;
   mcfg.delta = delta;
   mcfg.slack = slack;
-  std::vector<DistributedTrack> tracks;
-  tracks.push_back({"ELink-imp", algos.elink_implicit_units,
-                    MaintenanceSession(ds.topology, algos.elink_clustering,
-                                       ds.features, ds.metric, mcfg)});
-  tracks.push_back({"ELink-exp", algos.elink_explicit_units,
-                    MaintenanceSession(ds.topology, algos.elink_clustering,
-                                       ds.features, ds.metric, mcfg)});
-  tracks.push_back({"Hierarch", algos.hierarchical_units,
-                    MaintenanceSession(ds.topology,
-                                       algos.hierarchical_clustering,
-                                       ds.features, ds.metric, mcfg)});
-  tracks.push_back({"SpanForest", algos.forest_units,
-                    MaintenanceSession(ds.topology, algos.forest_clustering,
-                                       ds.features, ds.metric, mcfg)});
 
-  CentralizedRawUpdater raw(ds.topology, PickBaseStation(ds.topology));
-  CentralizedModelUpdater central(ds.topology, PickBaseStation(ds.topology),
-                                  ds.metric, slack, ds.features);
   std::vector<SeasonalArModel> models;
   models.reserve(n);
   for (int i = 0; i < n; ++i) {
@@ -74,33 +87,62 @@ int main() {
         "train"));
   }
 
+  // Six series, each an independent replay task: the two centralized
+  // updaters and four maintenance sessions (one per clustering).  Per-day
+  // unit snapshots land in per-series slots; rows are printed after the
+  // join, so the table is byte-identical for any --threads value.
+  struct Series {
+    const char* name;
+    uint64_t initial_units;
+    std::vector<uint64_t> snapshots;
+  };
+  std::vector<Series> series = {
+      {"Central-raw", 0, {}},
+      {"Central-mdl", 0, {}},
+      {"ELink-imp", algos.elink_implicit_units, {}},
+      {"ELink-exp", algos.elink_explicit_units, {}},
+      {"Hierarch", algos.hierarchical_units, {}},
+      {"SpanForest", algos.forest_units, {}},
+  };
+  const Clustering* clusterings[4] = {
+      &algos.elink_clustering, &algos.elink_clustering,
+      &algos.hierarchical_clustering, &algos.forest_clustering};
+
+  ParallelTrialRunner runner(ThreadsFromArgs(argc, argv));
+  runner.Run(static_cast<int>(series.size()), [&](int task) {
+    if (task == 0) {
+      CentralizedRawUpdater raw(ds.topology, PickBaseStation(ds.topology));
+      series[0].snapshots = ReplaySeries(
+          ds, tao, models, [](int, const Feature&) {},
+          [&raw](int i) { raw.Measurement(i); },
+          [&raw] { return raw.stats().total_units(); });
+    } else if (task == 1) {
+      CentralizedModelUpdater central(ds.topology,
+                                      PickBaseStation(ds.topology),
+                                      ds.metric, slack, ds.features);
+      series[1].snapshots = ReplaySeries(
+          ds, tao, models,
+          [&central](int i, const Feature& f) { central.UpdateFeature(i, f); },
+          nullptr, [&central] { return central.stats().total_units(); });
+    } else {
+      MaintenanceSession session(ds.topology, *clusterings[task - 2],
+                                 ds.features, ds.metric, mcfg);
+      series[task].snapshots = ReplaySeries(
+          ds, tao, models,
+          [&session](int i, const Feature& f) { session.UpdateFeature(i, f); },
+          nullptr, [&session] { return session.stats().total_units(); });
+    }
+  });
+
   PrintRow({"day", "Central-raw", "Central-mdl", "ELink-imp", "ELink-exp",
             "Hierarch", "SpanForest"});
-  const int per_day = tao.measurements_per_day;
-  for (int day = 1; day <= tao.eval_days; ++day) {
-    for (int t = (day - 1) * per_day; t < day * per_day; ++t) {
-      for (int i = 0; i < n; ++i) {
-        models[i].Observe(ds.streams[i][t]);
-        raw.Measurement(i);
-        if (t % 6 == 5) {
-          const Feature f = models[i].Feature();
-          central.UpdateFeature(i, f);
-          for (auto& track : tracks) track.session.UpdateFeature(i, f);
-        }
-      }
+  const std::vector<int> report_days = ReportDays(tao.eval_days);
+  for (size_t row = 0; row < report_days.size(); ++row) {
+    std::vector<std::string> cells = {Cell(report_days[row])};
+    for (const Series& s : series) {
+      cells.push_back(Cell(s.initial_units + s.snapshots[row]));
     }
-    if (day % 4 == 0 || day == 1) {
-      PrintRow({Cell(day), Cell(raw.stats().total_units()),
-                Cell(central.stats().total_units()),
-                Cell(tracks[0].initial_units +
-                     tracks[0].session.stats().total_units()),
-                Cell(tracks[1].initial_units +
-                     tracks[1].session.stats().total_units()),
-                Cell(tracks[2].initial_units +
-                     tracks[2].session.stats().total_units()),
-                Cell(tracks[3].initial_units +
-                     tracks[3].session.stats().total_units())});
-    }
+    PrintRow(cells);
   }
   std::printf("\nexpected shape (log scale): raw >> model >> distributed; "
               "distributed curves nearly flat after clustering\n");

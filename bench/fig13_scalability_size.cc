@@ -54,65 +54,96 @@ void ReplayStream(const SensorDataset& ds, int steps,
   }
 }
 
+/// One (network size, topology instance) cell's accumulated unit counts.
+struct CellUnits {
+  double imp = 0, exp_units = 0, forest = 0, hier = 0, cent = 0;
+};
+
+/// Self-contained: builds its own dataset, clusterings, and maintenance
+/// sessions, so cells can run on worker threads with no shared state.
+CellUnits RunCell(int n, int trial) {
+  SyntheticConfig scfg;
+  scfg.num_nodes = n;
+  scfg.seed = 3000 + n + 131 * trial;
+  SyntheticConfig stream_cfg = scfg;
+  stream_cfg.stream_length = 320;
+  const SensorDataset ds =
+      Unwrap(MakeSyntheticDataset(stream_cfg), "synthetic");
+  const double delta = 0.3 * FeatureDiameter(ds);
+  const double slack = 0.05 * delta;
+  const AlgorithmOutcomes r = RunAllAlgorithms(
+      ds, delta, /*seed=*/n + trial, /*run_spectral=*/false);
+
+  // Centralized: every node ships its coefficients to the base station
+  // once for the spectral algorithm to cluster there, then re-ships on
+  // every slack violation during the stream.
+  CentralizedModelUpdater central(ds.topology,
+                                  PickBaseStation(ds.topology),
+                                  ds.metric, slack,
+                                  std::vector<Feature>(n, Feature{1e18}));
+  for (int i = 0; i < n; ++i) central.UpdateFeature(i, ds.features[i]);
+
+  // Distributed algorithms absorb the same stream via the Section-6
+  // maintenance protocol, each on its own clustering.
+  MaintenanceConfig mcfg;
+  mcfg.delta = delta;
+  mcfg.slack = slack;
+  MaintenanceSession m_elink(ds.topology, r.elink_clustering, ds.features,
+                             ds.metric, mcfg);
+  MaintenanceSession m_forest(ds.topology, r.forest_clustering,
+                              ds.features, ds.metric, mcfg);
+  MaintenanceSession m_hier(ds.topology, r.hierarchical_clustering,
+                            ds.features, ds.metric, mcfg);
+  ReplayStream(ds, 300, {&m_elink, &m_forest, &m_hier}, &central);
+
+  CellUnits out;
+  out.imp = static_cast<double>(r.elink_implicit_units +
+                                m_elink.stats().total_units());
+  out.exp_units = static_cast<double>(r.elink_explicit_units +
+                                      m_elink.stats().total_units());
+  out.forest = static_cast<double>(r.forest_units +
+                                   m_forest.stats().total_units());
+  out.hier = static_cast<double>(r.hierarchical_units +
+                                 m_hier.stats().total_units());
+  out.cent = static_cast<double>(central.stats().total_units());
+  return out;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("Fig. 13 - clustering + update-handling cost vs network size, "
               "synthetic data (density 0.8, avg degree ~4, delta = 0.3 x "
               "diameter, 300 stream steps)\n\n");
   PrintRow({"N", "ELink-imp", "ELink-exp", "SpanForest", "Hierarch",
             "Centralized"});
   const int kTrials = 3;  // Topology instances averaged per size.
-  for (int n : {100, 200, 300, 400, 600, 800}) {
+  const std::vector<int> kSizes = {100, 200, 300, 400, 600, 800};
+
+  // Flatten the (size, trial) grid so every cell is one parallel task;
+  // results land in per-cell slots and are averaged in grid order below,
+  // so the table is byte-identical for any --threads value.
+  std::vector<CellUnits> cells(kSizes.size() * kTrials);
+  ParallelTrialRunner runner(ThreadsFromArgs(argc, argv));
+  runner.Run(static_cast<int>(cells.size()), [&](int task) {
+    const int n = kSizes[task / kTrials];
+    const int trial = task % kTrials;
+    cells[task] = RunCell(n, trial);
+  });
+
+  for (size_t s = 0; s < kSizes.size(); ++s) {
     double imp = 0, exp_units = 0, forest = 0, hier = 0, cent = 0;
     for (int trial = 0; trial < kTrials; ++trial) {
-      SyntheticConfig scfg;
-      scfg.num_nodes = n;
-      scfg.seed = 3000 + n + 131 * trial;
-      SyntheticConfig stream_cfg = scfg;
-      stream_cfg.stream_length = 320;
-      const SensorDataset ds =
-          Unwrap(MakeSyntheticDataset(stream_cfg), "synthetic");
-      const double delta = 0.3 * FeatureDiameter(ds);
-      const double slack = 0.05 * delta;
-      const AlgorithmOutcomes r = RunAllAlgorithms(
-          ds, delta, /*seed=*/n + trial, /*run_spectral=*/false);
-
-      // Centralized: every node ships its coefficients to the base station
-      // once for the spectral algorithm to cluster there, then re-ships on
-      // every slack violation during the stream.
-      CentralizedModelUpdater central(ds.topology,
-                                      PickBaseStation(ds.topology),
-                                      ds.metric, slack,
-                                      std::vector<Feature>(n, Feature{1e18}));
-      for (int i = 0; i < n; ++i) central.UpdateFeature(i, ds.features[i]);
-
-      // Distributed algorithms absorb the same stream via the Section-6
-      // maintenance protocol, each on its own clustering.
-      MaintenanceConfig mcfg;
-      mcfg.delta = delta;
-      mcfg.slack = slack;
-      MaintenanceSession m_elink(ds.topology, r.elink_clustering, ds.features,
-                                 ds.metric, mcfg);
-      MaintenanceSession m_forest(ds.topology, r.forest_clustering,
-                                  ds.features, ds.metric, mcfg);
-      MaintenanceSession m_hier(ds.topology, r.hierarchical_clustering,
-                                ds.features, ds.metric, mcfg);
-      ReplayStream(ds, 300, {&m_elink, &m_forest, &m_hier}, &central);
-
-      imp += static_cast<double>(r.elink_implicit_units +
-                                 m_elink.stats().total_units());
-      exp_units += static_cast<double>(r.elink_explicit_units +
-                                       m_elink.stats().total_units());
-      forest += static_cast<double>(r.forest_units +
-                                    m_forest.stats().total_units());
-      hier += static_cast<double>(r.hierarchical_units +
-                                  m_hier.stats().total_units());
-      cent += static_cast<double>(central.stats().total_units());
+      const CellUnits& c = cells[s * kTrials + trial];
+      imp += c.imp;
+      exp_units += c.exp_units;
+      forest += c.forest;
+      hier += c.hier;
+      cent += c.cent;
     }
-    PrintRow({Cell(n), Cell(imp / kTrials, 0), Cell(exp_units / kTrials, 0),
-              Cell(forest / kTrials, 0), Cell(hier / kTrials, 0),
-              Cell(cent / kTrials, 0)});
+    PrintRow({Cell(kSizes[s]), Cell(imp / kTrials, 0),
+              Cell(exp_units / kTrials, 0), Cell(forest / kTrials, 0),
+              Cell(hier / kTrials, 0), Cell(cent / kTrials, 0)});
   }
   std::printf("\nexpected shape: implicit < explicit; distributed linear in "
               "N; Hierarchical and Centralized grow super-linearly\n");

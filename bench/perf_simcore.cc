@@ -1,0 +1,178 @@
+// Micro-benchmark of the simulator core hot path: event queue dispatch and
+// the Network send/broadcast path.  Unlike the figure harnesses this measures
+// wall-clock throughput, not message units — it exists so the perf trajectory
+// of the discrete-event core is tracked from PR to PR.
+//
+// Writes a small JSON report (BENCH_simcore.json by default, override with
+// --out or the ELINK_BENCH_JSON cache variable at configure time):
+//   events_per_sec   pure EventQueue flood (payload-carrying callbacks)
+//   sends_per_sec    Network broadcast storm on a 32x32 grid
+//   peak_queue_size  high-water mark of the queue during the flood
+//
+// `--events N` / `--sends N` scale the workload; the ctest smoke run uses
+// tiny counts so the harness is exercised on every test run.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "sim/event_queue.h"
+#include "sim/message.h"
+#include "sim/network.h"
+#include "sim/topology.h"
+
+#ifndef ELINK_BENCH_JSON_DEFAULT
+#define ELINK_BENCH_JSON_DEFAULT "BENCH_simcore.json"
+#endif
+
+using namespace elink;
+
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point t0,
+               std::chrono::steady_clock::time_point t1) {
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// Floods the queue with callbacks that carry a realistic payload (the
+/// Network delivery closures capture a full Message), re-scheduling from
+/// inside the drain loop so the queue stays at a steady depth.
+struct FloodOutcome {
+  double events_per_sec = 0.0;
+  size_t peak_queue_size = 0;
+};
+
+FloodOutcome EventFlood(uint64_t num_events) {
+  EventQueue q;
+  uint64_t fired = 0;
+  size_t peak = 0;
+  // The closure mirrors the Network delivery closures on the hot path: a
+  // this-pointer-sized reference, two node ids, and a shared payload handle
+  // (~32 bytes of captures).
+  const auto payload = std::make_shared<const Message>([] {
+    Message m;
+    m.category = "perf.flood";
+    m.doubles = {1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0};
+    return m;
+  }());
+  const auto delivery = [&fired, payload](int from, int to) {
+    return [&fired, payload, from, to]() {
+      fired += payload->doubles.size() + static_cast<size_t>(from + to);
+    };
+  };
+  // Pre-fill a few hundred chains so pops interleave non-trivially.
+  const int kChains = 256;
+  for (int i = 0; i < kChains; ++i) {
+    q.ScheduleAt(static_cast<double>(i % 7) * 0.125, delivery(i, i % 7));
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  uint64_t n = 0;
+  while (n < num_events) {
+    if (!q.RunOne()) break;
+    ++n;
+    q.ScheduleAfter(0.5 + (n % 16) * 0.03125,
+                    delivery(static_cast<int>(n % 64), static_cast<int>(n % 7)));
+    if (q.Size() > peak) peak = q.Size();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  FloodOutcome out;
+  out.events_per_sec = static_cast<double>(n) / Seconds(t0, t1);
+  out.peak_queue_size = peak;
+  return out;
+}
+
+/// Gossip node: re-broadcasts every received message while the shared send
+/// budget lasts.  Exercises Send/Broadcast fan-out, fault gate, and stats.
+class GossipNode : public Node {
+ public:
+  GossipNode(uint64_t* budget) : budget_(budget) {}
+  void HandleMessage(int, const Message& msg) override {
+    if (*budget_ == 0) return;
+    const size_t fanout = network()->neighbors(id()).size();
+    if (*budget_ < fanout) {
+      *budget_ = 0;
+      return;
+    }
+    *budget_ -= fanout;
+    network()->Broadcast(id(), msg);
+  }
+
+ private:
+  uint64_t* budget_;
+};
+
+double SendFlood(uint64_t num_sends) {
+  Network::Config cfg;
+  cfg.synchronous = true;
+  cfg.seed = 42;
+  Network net(MakeGridTopology(32, 32), cfg);
+  uint64_t budget = num_sends;
+  net.InstallNodes(
+      [&budget](int) { return std::make_unique<GossipNode>(&budget); });
+  Message seed_msg;
+  seed_msg.category = "perf.gossip";
+  seed_msg.doubles = {1.0, 2.0, 3.0, 4.0};
+  seed_msg.ints = {1, 2};
+  const auto t0 = std::chrono::steady_clock::now();
+  net.Broadcast(0, seed_msg);
+  net.Run();
+  const auto t1 = std::chrono::steady_clock::now();
+  return static_cast<double>(net.stats().total_sends()) / Seconds(t0, t1);
+}
+
+uint64_t FlagValue(int argc, char** argv, const char* name, uint64_t dflt) {
+  const std::string eq = std::string(name) + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], eq.c_str(), eq.size()) == 0) {
+      return std::strtoull(argv[i] + eq.size(), nullptr, 10);
+    }
+    if (std::strcmp(argv[i], name) == 0 && i + 1 < argc) {
+      return std::strtoull(argv[i + 1], nullptr, 10);
+    }
+  }
+  return dflt;
+}
+
+std::string OutPath(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) return argv[i] + 6;
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) return argv[i + 1];
+  }
+  return ELINK_BENCH_JSON_DEFAULT;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const uint64_t num_events = FlagValue(argc, argv, "--events", 2'000'000);
+  const uint64_t num_sends = FlagValue(argc, argv, "--sends", 500'000);
+  const std::string out_path = OutPath(argc, argv);
+
+  const FloodOutcome flood = EventFlood(num_events);
+  const double sends_per_sec = SendFlood(num_sends);
+
+  std::printf("events/sec      %12.0f\n", flood.events_per_sec);
+  std::printf("sends/sec       %12.0f\n", sends_per_sec);
+  std::printf("peak queue size %12zu\n", flood.peak_queue_size);
+
+  FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"events\": %llu,\n"
+               "  \"sends\": %llu,\n"
+               "  \"events_per_sec\": %.0f,\n"
+               "  \"sends_per_sec\": %.0f,\n"
+               "  \"peak_queue_size\": %zu\n"
+               "}\n",
+               static_cast<unsigned long long>(num_events),
+               static_cast<unsigned long long>(num_sends),
+               flood.events_per_sec, sends_per_sec, flood.peak_queue_size);
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -1,0 +1,175 @@
+// A move-only callable wrapper with small-buffer optimization, used by the
+// discrete-event queue in place of std::function.
+//
+// Why not std::function: it must be copyable, so (a) it cannot hold closures
+// that capture move-only state (e.g. a shared payload moved into a delivery
+// closure), and (b) containers that cannot move elements out (like
+// std::priority_queue) force a deep copy of the closure — including any
+// captured Message — on every dispatch.  UniqueFunction is move-only by
+// construction: closures up to kInlineSize bytes live inline in the event
+// record (no allocation at all), larger ones cost one allocation at schedule
+// time and zero work per move.
+#ifndef ELINK_COMMON_UNIQUE_FUNCTION_H_
+#define ELINK_COMMON_UNIQUE_FUNCTION_H_
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace elink {
+
+/// \brief Move-only `void()` callable with small-buffer optimization.
+class UniqueFunction {
+ public:
+  /// Closures at most this large (and at most max_align_t-aligned, nothrow
+  /// move constructible) are stored inline.  48 bytes fits the simulator's
+  /// delivery closures (this-pointer, two node ids, one shared payload
+  /// handle) with room to spare.
+  static constexpr std::size_t kInlineSize = 48;
+
+  UniqueFunction() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, UniqueFunction> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  UniqueFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>) {
+      ::new (static_cast<void*>(&storage_)) Fn(std::forward<F>(f));
+      ops_ = &InlineOps<Fn>::ops;
+    } else {
+      ::new (static_cast<void*>(&storage_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &HeapOps<Fn>::ops;
+    }
+  }
+
+  UniqueFunction(UniqueFunction&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(&other.storage_, &storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  UniqueFunction& operator=(UniqueFunction&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(&other.storage_, &storage_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  UniqueFunction(const UniqueFunction&) = delete;
+  UniqueFunction& operator=(const UniqueFunction&) = delete;
+
+  /// Assigns a fresh callable in place — the closure is constructed directly
+  /// into this object's storage with no intermediate UniqueFunction move.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, UniqueFunction> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  UniqueFunction& operator=(F&& f) {
+    Reset();
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>) {
+      ::new (static_cast<void*>(&storage_)) Fn(std::forward<F>(f));
+      ops_ = &InlineOps<Fn>::ops;
+    } else {
+      ::new (static_cast<void*>(&storage_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &HeapOps<Fn>::ops;
+    }
+    return *this;
+  }
+
+  ~UniqueFunction() { Reset(); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(&storage_); }
+
+  /// Invokes the callable and destroys it in one virtual dispatch, leaving
+  /// this object empty.  The event queue's dispatch path: every event fires
+  /// exactly once, so invoke and teardown are fused to save an indirect
+  /// call per event.
+  void InvokeOnce() {
+    const Ops* ops = ops_;
+    ops_ = nullptr;
+    ops->invoke_destroy(&storage_);
+  }
+
+ private:
+  struct alignas(std::max_align_t) Storage {
+    unsigned char bytes[kInlineSize];
+  };
+
+  template <typename Fn>
+  static constexpr bool fits_inline =
+      sizeof(Fn) <= kInlineSize &&
+      alignof(Fn) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<Fn>;
+
+  struct Ops {
+    void (*invoke)(void* storage);
+    // Invoke followed by destruction of the callable (fused dispatch path).
+    void (*invoke_destroy)(void* storage);
+    // Move-constructs the callable from `from` into `to` and destroys the
+    // source; noexcept so heap growth in the event queue cannot throw.
+    void (*relocate)(void* from, void* to) noexcept;
+    void (*destroy)(void* storage) noexcept;
+  };
+
+  template <typename Fn>
+  struct InlineOps {
+    static void Invoke(void* s) { (*std::launder(static_cast<Fn*>(s)))(); }
+    static void InvokeDestroy(void* s) {
+      Fn* fn = std::launder(static_cast<Fn*>(s));
+      (*fn)();
+      fn->~Fn();
+    }
+    static void Relocate(void* from, void* to) noexcept {
+      Fn* src = std::launder(static_cast<Fn*>(from));
+      ::new (to) Fn(std::move(*src));
+      src->~Fn();
+    }
+    static void Destroy(void* s) noexcept {
+      std::launder(static_cast<Fn*>(s))->~Fn();
+    }
+    static constexpr Ops ops{&Invoke, &InvokeDestroy, &Relocate, &Destroy};
+  };
+
+  template <typename Fn>
+  struct HeapOps {
+    static Fn*& Ptr(void* s) { return *std::launder(static_cast<Fn**>(s)); }
+    static void Invoke(void* s) { (*Ptr(s))(); }
+    static void InvokeDestroy(void* s) {
+      Fn* fn = Ptr(s);
+      (*fn)();
+      delete fn;
+    }
+    static void Relocate(void* from, void* to) noexcept {
+      ::new (to) Fn*(Ptr(from));
+    }
+    static void Destroy(void* s) noexcept { delete Ptr(s); }
+    static constexpr Ops ops{&Invoke, &InvokeDestroy, &Relocate, &Destroy};
+  };
+
+  void Reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(&storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  Storage storage_;
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace elink
+
+#endif  // ELINK_COMMON_UNIQUE_FUNCTION_H_

@@ -2,24 +2,163 @@
 
 namespace elink {
 
-void EventQueue::ScheduleAt(double time, Callback cb) {
-  ELINK_CHECK(time >= now_);
-  heap_.push(Event{time, next_seq_++, std::move(cb)});
+namespace {
+
+// SplitMix64 finalizer.  Timestamps are IEEE-754 bit patterns whose low
+// mantissa bits are frequently all-zero (integer times, dyadic delays), so
+// masking raw bits would pile every key on one probe chain.
+inline uint64_t HashBits(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
 }
 
-void EventQueue::ScheduleAfter(double delay, Callback cb) {
-  ELINK_CHECK(delay >= 0.0);
-  ScheduleAt(now_ + delay, std::move(cb));
+constexpr size_t kInitialTableSize = 16;  // power of two
+constexpr uint32_t kMaxSlots = 0xFFFFFFFFu;
+
+}  // namespace
+
+uint32_t EventQueue::AllocSlot() {
+  if (free_slots_.empty()) {
+    ELINK_CHECK(slots_.size() < kMaxSlots);
+    slots_.emplace_back();
+    return static_cast<uint32_t>(slots_.size() - 1);
+  }
+  const uint32_t slot = free_slots_.back();
+  free_slots_.pop_back();
+  return slot;
+}
+
+void EventQueue::Enqueue(uint64_t time_bits, uint32_t slot) {
+  const uint32_t b = BucketFor(time_bits);
+  buckets_[b].items.push_back(slot);
+  ++size_;
+  if (size_ > peak_size_) peak_size_ = size_;
+}
+
+uint32_t EventQueue::BucketFor(uint64_t time_bits) {
+  if ((table_used_ + 1) * 10 >= table_.size() * 7) GrowTable();
+  const size_t mask = table_.size() - 1;
+  size_t i = HashBits(time_bits) & mask;
+  while (table_[i].occupied) {
+    if (table_[i].time_bits == time_bits) return table_[i].bucket;
+    i = (i + 1) & mask;
+  }
+  // First event at this timestamp: open a bucket and enter it in the heap.
+  uint32_t b;
+  if (free_buckets_.empty()) {
+    buckets_.emplace_back();
+    b = static_cast<uint32_t>(buckets_.size() - 1);
+  } else {
+    b = free_buckets_.back();
+    free_buckets_.pop_back();
+  }
+  table_[i] = TableEntry{time_bits, b, 1};
+  ++table_used_;
+  heap_.push_back(TimeEntry{time_bits, b});
+  SiftUp(heap_.size() - 1);
+  return b;
+}
+
+void EventQueue::GrowTable() {
+  const size_t new_size =
+      table_.empty() ? kInitialTableSize : table_.size() * 2;
+  std::vector<TableEntry> old = std::move(table_);
+  table_.assign(new_size, TableEntry{0, 0, 0});
+  const size_t mask = new_size - 1;
+  for (const TableEntry& e : old) {
+    if (!e.occupied) continue;
+    size_t i = HashBits(e.time_bits) & mask;
+    while (table_[i].occupied) i = (i + 1) & mask;
+    table_[i] = e;
+  }
+}
+
+void EventQueue::TableErase(uint64_t time_bits) {
+  const size_t mask = table_.size() - 1;
+  size_t i = HashBits(time_bits) & mask;
+  while (table_[i].time_bits != time_bits || !table_[i].occupied) {
+    i = (i + 1) & mask;
+  }
+  table_[i].occupied = 0;
+  --table_used_;
+  // Backward-shift deletion keeps probe chains gap-free without tombstones.
+  size_t j = i;
+  for (;;) {
+    j = (j + 1) & mask;
+    if (!table_[j].occupied) break;
+    const size_t home = HashBits(table_[j].time_bits) & mask;
+    const bool movable =
+        (j > i) ? (home <= i || home > j) : (home <= i && home > j);
+    if (movable) {
+      table_[i] = table_[j];
+      table_[j].occupied = 0;
+      i = j;
+    }
+  }
+}
+
+void EventQueue::SiftUp(size_t i) {
+  if (i == 0) return;
+  size_t parent = (i - 1) / 4;
+  if (heap_[i].time_bits >= heap_[parent].time_bits) return;
+  // Hole insertion: shift ancestors down over the hole, place once.
+  const TimeEntry entry = heap_[i];
+  do {
+    heap_[i] = heap_[parent];
+    i = parent;
+    parent = (i - 1) / 4;
+  } while (i > 0 && entry.time_bits < heap_[parent].time_bits);
+  heap_[i] = entry;
+}
+
+void EventQueue::SiftDown(size_t i) {
+  const size_t n = heap_.size();
+  const TimeEntry entry = heap_[i];
+  for (;;) {
+    const size_t first_child = 4 * i + 1;
+    if (first_child >= n) break;
+    // Smallest of up to four children.
+    size_t best = first_child;
+    const size_t last_child = first_child + 4 < n ? first_child + 4 : n;
+    for (size_t c = first_child + 1; c < last_child; ++c) {
+      if (heap_[c].time_bits < heap_[best].time_bits) best = c;
+    }
+    if (heap_[best].time_bits >= entry.time_bits) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = entry;
 }
 
 bool EventQueue::RunOne() {
-  if (heap_.empty()) return false;
-  // priority_queue::top returns const&; move out via const_cast is UB-adjacent,
-  // so copy the callback handle (std::function copy) before popping.
-  Event ev = heap_.top();
-  heap_.pop();
-  now_ = ev.time;
-  ev.cb();
+  if (size_ == 0) return false;
+  const TimeEntry top = heap_.front();
+  Bucket& bk = buckets_[top.bucket];
+  const uint32_t slot = bk.items[bk.cursor++];
+  --size_;
+  if (bk.cursor == bk.items.size()) {
+    // Timestamp exhausted: retire the bucket *before* dispatch, so a callback
+    // scheduling at exactly Now() opens a fresh bucket (which sorts ahead of
+    // every strictly-later pending time, preserving (time, seq) order).
+    bk.items.clear();
+    bk.cursor = 0;
+    free_buckets_.push_back(top.bucket);
+    TableErase(top.time_bits);
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) SiftDown(0);
+  }
+  // Move the callback out of its arena slot (no copy) and recycle the slot;
+  // the pop completes before the dispatch so a callback that schedules new
+  // events sees a consistent queue.
+  now_ = TimeFromBits(top.time_bits);
+  Callback cb = std::move(slots_[slot]);
+  free_slots_.push_back(slot);
+  cb.InvokeOnce();
   return true;
 }
 
@@ -30,8 +169,14 @@ uint64_t EventQueue::RunAll(uint64_t max_events) {
 }
 
 uint64_t EventQueue::RunUntil(double until) {
+  const uint64_t until_bits = TimeBits(until);
   uint64_t n = 0;
-  while (!heap_.empty() && heap_.top().time <= until && RunOne()) ++n;
+  while (size_ != 0 && heap_.front().time_bits <= until_bits && RunOne()) {
+    ++n;
+  }
+  // Advance to the horizon: the caller simulated "up to `until`", so that is
+  // the current time even when the last event fired earlier (or none did).
+  if (until > now_) now_ = until;
   return n;
 }
 

@@ -3,34 +3,75 @@
 // Events fire in (time, sequence) order: ties in simulated time are broken by
 // insertion order, which makes every simulation run bit-reproducible for a
 // given seed regardless of container iteration quirks.
+//
+// Hot-path layout, replacing the std::priority_queue<Event> of the original
+// implementation (whose const& top() forced a deep copy of the callback and
+// any captured payload on every dispatch):
+//
+//  * Events are grouped into FIFO buckets by *distinct* timestamp.  The
+//    simulator's dominant regimes — synchronous unit hop delays, integer
+//    timer grids, the handful of distinct retransmission offsets — put many
+//    events on few distinct times, so both enqueue (append to an existing
+//    bucket) and dispatch (advance the bucket cursor) are O(1) there.
+//    Within a bucket, append order equals global schedule order, which *is*
+//    ascending sequence order, so the (time, seq) dispatch contract holds
+//    with no per-event sequence storage at all.
+//  * Distinct pending times live in an implicit 4-ary min-heap of 16-byte
+//    POD entries (timestamp as its IEEE-754 bit pattern, order-preserving
+//    for the non-negative times the queue admits, plus a bucket index).
+//    Heap sifts therefore move two machine words once per *distinct time*,
+//    never per event and never a callback.  Bucket lookup by timestamp is a
+//    flat open-addressing hash table sized to the live distinct times.
+//  * Callbacks are UniqueFunction (move-only, ~48 bytes of inline storage)
+//    parked in a stable slot arena with a free list.  Scheduling constructs
+//    the closure directly in its slot; dispatch moves it out — nothing is
+//    ever copied.
 #ifndef ELINK_SIM_EVENT_QUEUE_H_
 #define ELINK_SIM_EVENT_QUEUE_H_
 
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <cstring>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
+#include "common/unique_function.h"
 
 namespace elink {
 
 /// \brief Priority queue of timestamped callbacks.
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = UniqueFunction;
 
-  /// Schedules `cb` to run at absolute time `time` (must be >= Now()).
-  void ScheduleAt(double time, Callback cb);
+  /// Schedules `f` to run at absolute time `time` (must be >= Now()).
+  /// Accepts any void() callable, including move-only closures; the closure
+  /// is constructed in place in the queue's arena.
+  template <typename F>
+  void ScheduleAt(double time, F&& f) {
+    ELINK_CHECK(time >= now_);
+    const uint32_t slot = AllocSlot();
+    slots_[slot] = std::forward<F>(f);
+    Enqueue(TimeBits(time), slot);
+  }
 
-  /// Schedules `cb` to run `delay` from now (delay >= 0).
-  void ScheduleAfter(double delay, Callback cb);
+  /// Schedules `f` to run `delay` from now (delay >= 0).
+  template <typename F>
+  void ScheduleAfter(double delay, F&& f) {
+    ELINK_CHECK(delay >= 0.0);
+    ScheduleAt(now_ + delay, std::forward<F>(f));
+  }
 
-  /// Current simulated time (the time of the last dispatched event).
+  /// Current simulated time.  Advances to each event's timestamp as it is
+  /// dispatched; RunUntil additionally advances it to the horizon (see
+  /// there).
   double Now() const { return now_; }
 
-  bool Empty() const { return heap_.empty(); }
-  size_t Size() const { return heap_.size(); }
+  bool Empty() const { return size_ == 0; }
+  size_t Size() const { return size_; }
+
+  /// High-water mark of Size() over the queue's lifetime.
+  size_t PeakSize() const { return peak_size_; }
 
   /// Dispatches the next event; returns false when the queue is empty.
   bool RunOne();
@@ -39,25 +80,85 @@ class EventQueue {
   /// Returns the number of events dispatched.
   uint64_t RunAll(uint64_t max_events = UINT64_MAX);
 
-  /// Runs all events with time <= `until`.  Returns dispatched count.
+  /// Runs all events with time <= `until`, then advances Now() to `until`
+  /// even when the queue drained early (if `until` is in the future), so a
+  /// subsequent ScheduleAfter is relative to the simulated horizon the
+  /// caller just ran to, not to whenever the last event happened to fire.
+  /// Returns the dispatched count.
   uint64_t RunUntil(double until);
 
  private:
-  struct Event {
-    double time;
-    uint64_t seq;
-    Callback cb;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
+  /// One distinct pending timestamp in the time heap.  `time_bits` is the
+  /// IEEE-754 pattern of the timestamp — for non-negative doubles (NaN
+  /// excluded; both enforced by the time >= Now() >= 0 check) the unsigned
+  /// bit patterns order exactly like the values.  Entries carry unique
+  /// times, so comparisons need no tie-break.
+  struct TimeEntry {
+    uint64_t time_bits;
+    uint32_t bucket;
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  /// FIFO of the arena slots scheduled for one distinct timestamp.
+  struct Bucket {
+    std::vector<uint32_t> items;
+    uint32_t cursor = 0;
+  };
+
+  /// Flat hash table entry mapping a live timestamp to its bucket.
+  struct TableEntry {
+    uint64_t time_bits;
+    uint32_t bucket;
+    uint8_t occupied;
+  };
+
+  static uint64_t TimeBits(double time) {
+    // +0.0 canonicalizes a (valid, schedulable) -0.0, whose bit pattern
+    // would otherwise compare above every positive time.
+    const double canonical = time + 0.0;
+    uint64_t bits;
+    std::memcpy(&bits, &canonical, sizeof(bits));
+    return bits;
+  }
+
+  static double TimeFromBits(uint64_t bits) {
+    double time;
+    std::memcpy(&time, &bits, sizeof(time));
+    return time;
+  }
+
+  /// Claims an arena slot for the caller to fill.  Out-of-line together
+  /// with Enqueue so the template schedule entry points stay tiny.
+  uint32_t AllocSlot();
+
+  /// Appends `slot` to the bucket for `time_bits`, creating the bucket (and
+  /// its time-heap entry) on first use of that timestamp.
+  void Enqueue(uint64_t time_bits, uint32_t slot);
+
+  /// Returns the bucket id for `time_bits`, inserting a fresh bucket into
+  /// the hash table and the time heap on miss.
+  uint32_t BucketFor(uint64_t time_bits);
+
+  /// Removes `time_bits` from the hash table (backward-shift deletion).
+  void TableErase(uint64_t time_bits);
+
+  void GrowTable();
+
+  void SiftUp(size_t i);
+  void SiftDown(size_t i);
+
+  // Implicit 4-ary heap of distinct times: children of i are 4i+1 .. 4i+4.
+  std::vector<TimeEntry> heap_;
+  std::vector<Bucket> buckets_;
+  std::vector<uint32_t> free_buckets_;
+  // timestamp -> bucket id; open addressing, linear probing, power-of-two.
+  std::vector<TableEntry> table_;
+  size_t table_used_ = 0;
+  // Stable callback arena indexed by bucket items, recycled via a free list.
+  std::vector<Callback> slots_;
+  std::vector<uint32_t> free_slots_;
   double now_ = 0.0;
-  uint64_t next_seq_ = 0;
+  size_t size_ = 0;
+  size_t peak_size_ = 0;
 };
 
 }  // namespace elink

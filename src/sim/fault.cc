@@ -1,5 +1,7 @@
 #include "sim/fault.h"
 
+#include <algorithm>
+
 namespace elink {
 
 namespace {
@@ -10,20 +12,40 @@ constexpr uint64_t kFaultStream = 0xFA17B0D5ULL;
 
 FaultInjector::FaultInjector(const FaultPlan& plan, uint64_t seed)
     : enabled_(plan.enabled()), plan_(plan), rng_(Rng(seed).Fork(kFaultStream)) {
+  // Later plan entries for the same directed link override earlier ones
+  // (the std::map this replaces had last-writer-wins semantics).
+  auto upsert = [this](int from, int to, double p) {
+    for (LinkProb& lp : override_p_) {
+      if (lp.from == from && lp.to == to) {
+        lp.p = p;
+        return;
+      }
+    }
+    override_p_.push_back({from, to, p});
+  };
   for (const auto& o : plan_.link_overrides) {
-    override_p_[{o.from, o.to}] = o.drop_probability;
-    if (!o.directed) override_p_[{o.to, o.from}] = o.drop_probability;
+    upsert(o.from, o.to, o.drop_probability);
+    if (!o.directed) upsert(o.to, o.from, o.drop_probability);
   }
+  std::sort(override_p_.begin(), override_p_.end());
+
   for (const auto& c : plan_.node_crashes) {
-    crash_intervals_[c.node].emplace_back(c.crash_at, c.recover_at);
+    crash_intervals_.push_back({c.node, c.crash_at, c.recover_at});
   }
+  // Stable: a node's intervals keep their plan order.
+  std::stable_sort(
+      crash_intervals_.begin(), crash_intervals_.end(),
+      [](const CrashInterval& a, const CrashInterval& b) {
+        return a.node < b.node;
+      });
 }
 
 bool FaultInjector::IsCrashed(int node, double now) const {
-  auto it = crash_intervals_.find(node);
-  if (it == crash_intervals_.end()) return false;
-  for (const auto& [crash_at, recover_at] : it->second) {
-    if (now >= crash_at && now < recover_at) return true;
+  auto it = std::lower_bound(
+      crash_intervals_.begin(), crash_intervals_.end(), node,
+      [](const CrashInterval& c, int n) { return c.node < n; });
+  for (; it != crash_intervals_.end() && it->node == node; ++it) {
+    if (now >= it->crash_at && now < it->recover_at) return true;
   }
   return false;
 }
@@ -38,8 +60,12 @@ bool FaultInjector::LinkDown(int from, int to, double now) const {
 }
 
 double FaultInjector::LinkDropProbability(int from, int to) const {
-  auto it = override_p_.find({from, to});
-  return it == override_p_.end() ? plan_.drop_probability : it->second;
+  const LinkProb key{from, to, 0.0};
+  auto it = std::lower_bound(override_p_.begin(), override_p_.end(), key);
+  if (it != override_p_.end() && it->from == from && it->to == to) {
+    return it->p;
+  }
+  return plan_.drop_probability;
 }
 
 bool FaultInjector::DropTransmission(int from, int to, double now) {

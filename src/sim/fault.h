@@ -12,7 +12,6 @@
 #define ELINK_SIM_FAULT_H_
 
 #include <limits>
-#include <map>
 #include <utility>
 #include <vector>
 
@@ -88,13 +87,32 @@ class FaultInjector {
   double LinkDropProbability(int from, int to) const;
 
  private:
+  /// Directed per-link override, materialized in both directions for
+  /// undirected entries.  Kept sorted by (from, to) for binary search.
+  struct LinkProb {
+    int from;
+    int to;
+    double p;
+    bool operator<(const LinkProb& o) const {
+      return from != o.from ? from < o.from : to < o.to;
+    }
+  };
+  /// One crash interval [crash_at, recover_at) of `node`.  Kept sorted by
+  /// node (stable, so a node's intervals stay in plan order).
+  struct CrashInterval {
+    int node;
+    double crash_at;
+    double recover_at;
+  };
+
   bool enabled_ = false;
   FaultPlan plan_;
   Rng rng_;
-  // Directed (from, to) -> override probability; undirected overrides are
-  // materialized in both directions.
-  std::map<std::pair<int, int>, double> override_p_;
-  std::map<int, std::vector<std::pair<double, double>>> crash_intervals_;
+  // Flat sorted vectors instead of std::map: both are consulted on every
+  // hop of every transmission, where binary search over contiguous memory
+  // beats pointer-chasing a red-black tree.
+  std::vector<LinkProb> override_p_;
+  std::vector<CrashInterval> crash_intervals_;
 };
 
 }  // namespace elink

@@ -11,7 +11,8 @@ Network::Network(Topology topology, Config config)
       config_(config),
       rng_(config.seed),
       fault_(config.fault, config.seed),
-      nodes_(topology_.num_nodes()) {
+      nodes_(topology_.num_nodes()),
+      routing_tables_(topology_.num_nodes()) {
   ELINK_CHECK(config_.async_delay_min > 0.0);
   ELINK_CHECK(config_.async_delay_max >= config_.async_delay_min);
 }
@@ -55,20 +56,42 @@ void Network::Send(int from, int to, Message msg) {
   });
 }
 
-void Network::Broadcast(int from, Message msg) {
-  for (int nb : topology_.adjacency[from]) {
-    Send(from, nb, msg);
+void Network::SendShared(int from, int to,
+                         const std::shared_ptr<const Message>& msg) {
+  ELINK_CHECK(topology_.HasEdge(from, to));
+  ELINK_CHECK(nodes_[to] != nullptr);
+  // Mirrors Send exactly — same RNG draw order (delay first, then fault
+  // decisions), same charging — so a Broadcast is bit-identical to the N
+  // independent Sends it replaces.
+  const double delay = NextHopDelay();
+  if (fault_.enabled() &&
+      (fault_.IsCrashed(from, Now()) ||
+       fault_.DropTransmission(from, to, Now()) ||
+       fault_.IsCrashed(to, Now() + delay))) {
+    stats_.RecordDropped(msg->category, msg->CostUnits());
+    return;
   }
+  stats_.Record(msg->category, msg->CostUnits());
+  queue_.ScheduleAfter(delay, [this, from, to, msg]() {
+    nodes_[to]->HandleMessage(from, *msg);
+  });
+}
+
+void Network::Broadcast(int from, Message msg) {
+  const std::vector<int>& nbrs = topology_.adjacency[from];
+  if (nbrs.empty()) return;
+  // One immutable payload shared by every fan-out leg; receivers get a
+  // const& into it, so nothing is copied per neighbor.
+  const auto shared = std::make_shared<const Message>(std::move(msg));
+  for (int nb : nbrs) SendShared(from, nb, shared);
 }
 
 const RoutingTable& Network::TableFor(int root) {
-  auto it = routing_tables_.find(root);
-  if (it == routing_tables_.end()) {
-    it = routing_tables_
-             .emplace(root, RoutingTable(topology_.adjacency, root))
-             .first;
+  std::unique_ptr<RoutingTable>& slot = routing_tables_[root];
+  if (slot == nullptr) {
+    slot = std::make_unique<RoutingTable>(topology_.adjacency, root);
   }
-  return it->second;
+  return *slot;
 }
 
 int Network::SendRouted(int from, int to, Message msg) {
@@ -127,7 +150,7 @@ void Network::SetTimer(int id, double delay, int timer_id) {
   });
 }
 
-void Network::ScheduleAfter(double delay, std::function<void()> cb) {
+void Network::ScheduleAfter(double delay, EventQueue::Callback cb) {
   queue_.ScheduleAfter(delay, std::move(cb));
 }
 

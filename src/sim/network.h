@@ -9,7 +9,6 @@
 #define ELINK_SIM_NETWORK_H_
 
 #include <functional>
-#include <map>
 #include <memory>
 #include <vector>
 
@@ -96,6 +95,9 @@ class Network {
   void Send(int from, int to, Message msg);
 
   /// Sends `msg` to every neighbor of `from` (independent transmissions).
+  /// All fan-out deliveries share one immutable payload — the message is
+  /// materialized once, not copied per neighbor — but each transmission is
+  /// charged, delayed, and fault-gated independently, exactly like N Sends.
   void Broadcast(int from, Message msg);
 
   /// Sends `msg` from `from` to an arbitrary node `to` along a shortest hop
@@ -112,8 +114,9 @@ class Network {
   /// Schedules HandleTimer(timer_id) on node `id` after `delay`.
   void SetTimer(int id, double delay, int timer_id);
 
-  /// Schedules an arbitrary callback (driver code, not charged).
-  void ScheduleAfter(double delay, std::function<void()> cb);
+  /// Schedules an arbitrary callback (driver code, not charged).  Accepts
+  /// any void() callable, including move-only closures.
+  void ScheduleAfter(double delay, EventQueue::Callback cb);
 
   double Now() const { return queue_.Now(); }
 
@@ -136,6 +139,10 @@ class Network {
  private:
   double NextHopDelay();
   const RoutingTable& TableFor(int root);
+  /// One fan-out leg of a Broadcast: identical charging/fault/delay logic to
+  /// Send, but the delivery closure holds a reference to the shared payload
+  /// instead of its own Message copy.
+  void SendShared(int from, int to, const std::shared_ptr<const Message>& msg);
 
   Topology topology_;
   Config config_;
@@ -145,8 +152,9 @@ class Network {
   std::vector<std::unique_ptr<Node>> nodes_;
   MessageStats stats_;
   bool hit_event_cap_ = false;
-  // Lazily built per-destination routing tables for SendRouted/HopDistance.
-  std::map<int, RoutingTable> routing_tables_;
+  // Lazily built per-destination routing tables for SendRouted/HopDistance,
+  // indexed by destination node id (built at most once per destination).
+  std::vector<std::unique_ptr<RoutingTable>> routing_tables_;
 };
 
 }  // namespace elink

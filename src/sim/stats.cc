@@ -4,32 +4,75 @@
 
 namespace elink {
 
+MessageStats::CategoryId MessageStats::Intern(const std::string& category) {
+  auto [it, inserted] =
+      index_.emplace(category, static_cast<CategoryId>(names_.size()));
+  if (inserted) {
+    names_.push_back(category);
+    counters_.emplace_back();
+  }
+  return it->second;
+}
+
+const MessageStats::Counters* MessageStats::Find(
+    const std::string& category) const {
+  auto it = index_.find(category);
+  return it == index_.end() ? nullptr : &counters_[it->second];
+}
+
 void MessageStats::Record(const std::string& category, int units) {
   total_sends_ += 1;
   total_units_ += static_cast<uint64_t>(units);
-  units_by_category_[category] += static_cast<uint64_t>(units);
-  sends_by_category_[category] += 1;
+  Counters& c = counters_[Intern(category)];
+  c.units += static_cast<uint64_t>(units);
+  c.sends += 1;
+  views_dirty_ = true;
 }
 
 void MessageStats::RecordDropped(const std::string& category, int units) {
   dropped_sends_ += 1;
   dropped_units_ += static_cast<uint64_t>(units);
-  dropped_by_category_[category] += static_cast<uint64_t>(units);
-}
-
-uint64_t MessageStats::dropped(const std::string& category) const {
-  auto it = dropped_by_category_.find(category);
-  return it == dropped_by_category_.end() ? 0 : it->second;
+  Counters& c = counters_[Intern(category)];
+  c.dropped_units += static_cast<uint64_t>(units);
+  c.dropped_sends += 1;
+  views_dirty_ = true;
 }
 
 uint64_t MessageStats::units(const std::string& category) const {
-  auto it = units_by_category_.find(category);
-  return it == units_by_category_.end() ? 0 : it->second;
+  const Counters* c = Find(category);
+  return c == nullptr ? 0 : c->units;
 }
 
 uint64_t MessageStats::sends(const std::string& category) const {
-  auto it = sends_by_category_.find(category);
-  return it == sends_by_category_.end() ? 0 : it->second;
+  const Counters* c = Find(category);
+  return c == nullptr ? 0 : c->sends;
+}
+
+uint64_t MessageStats::dropped(const std::string& category) const {
+  const Counters* c = Find(category);
+  return c == nullptr ? 0 : c->dropped_units;
+}
+
+const std::map<std::string, uint64_t>& MessageStats::units_by_category()
+    const {
+  if (views_dirty_) {
+    units_view_.clear();
+    dropped_view_.clear();
+    for (size_t id = 0; id < names_.size(); ++id) {
+      if (counters_[id].sends > 0) units_view_[names_[id]] = counters_[id].units;
+      if (counters_[id].dropped_sends > 0) {
+        dropped_view_[names_[id]] = counters_[id].dropped_units;
+      }
+    }
+    views_dirty_ = false;
+  }
+  return units_view_;
+}
+
+const std::map<std::string, uint64_t>& MessageStats::dropped_by_category()
+    const {
+  units_by_category();  // Rebuilds both views when dirty.
+  return dropped_view_;
 }
 
 void MessageStats::Reset() {
@@ -37,35 +80,40 @@ void MessageStats::Reset() {
   total_units_ = 0;
   dropped_sends_ = 0;
   dropped_units_ = 0;
-  units_by_category_.clear();
-  sends_by_category_.clear();
-  dropped_by_category_.clear();
+  // The intern table survives a Reset (categories recur across runs); only
+  // the counters are zeroed, so nothing is "recorded" afterwards.
+  for (Counters& c : counters_) c = Counters{};
+  units_view_.clear();
+  dropped_view_.clear();
+  views_dirty_ = false;
 }
 
 void MessageStats::Merge(const MessageStats& other) {
   total_sends_ += other.total_sends_;
   total_units_ += other.total_units_;
-  for (const auto& [k, v] : other.units_by_category_) {
-    units_by_category_[k] += v;
-  }
-  for (const auto& [k, v] : other.sends_by_category_) {
-    sends_by_category_[k] += v;
-  }
   dropped_sends_ += other.dropped_sends_;
   dropped_units_ += other.dropped_units_;
-  for (const auto& [k, v] : other.dropped_by_category_) {
-    dropped_by_category_[k] += v;
+  for (size_t id = 0; id < other.names_.size(); ++id) {
+    const Counters& oc = other.counters_[id];
+    if (oc.sends == 0 && oc.dropped_sends == 0) continue;
+    Counters& c = counters_[Intern(other.names_[id])];
+    c.units += oc.units;
+    c.sends += oc.sends;
+    c.dropped_units += oc.dropped_units;
+    c.dropped_sends += oc.dropped_sends;
   }
+  views_dirty_ = true;
 }
 
 std::string MessageStats::ToString() const {
   std::string out = StringPrintf("sends=%llu units=%llu",
                                  static_cast<unsigned long long>(total_sends_),
                                  static_cast<unsigned long long>(total_units_));
-  if (!units_by_category_.empty()) {
+  const auto& by_units = units_by_category();
+  if (!by_units.empty()) {
     out += " (";
     bool first = true;
-    for (const auto& [k, v] : units_by_category_) {
+    for (const auto& [k, v] : by_units) {
       if (!first) out += ", ";
       first = false;
       out += k + "=" + StringPrintf("%llu", static_cast<unsigned long long>(v));

@@ -3,12 +3,22 @@
 // Every single-hop transmission is tallied here, both as a raw send count and
 // as "units" (one per coefficient/data value carried, the paper's definition
 // of a message), broken down by protocol category.
+//
+// Hot-path layout: category strings are interned into dense CategoryIds at
+// first use (one hash lookup per Record instead of a std::map string-compare
+// walk) and all counters live in flat vectors indexed by id.  The
+// string-keyed accessors keep their original signatures; the by-category
+// map views are materialized lazily on read and cached until the next write.
+// MessageStats is not thread-safe; parallel trial runners keep one ledger
+// per worker and Merge them afterwards.
 #ifndef ELINK_SIM_STATS_H_
 #define ELINK_SIM_STATS_H_
 
 #include <cstdint>
 #include <map>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 namespace elink {
 
@@ -36,10 +46,9 @@ class MessageStats {
   /// Sends recorded under one category (0 when absent).
   uint64_t sends(const std::string& category) const;
 
-  /// All categories and their unit counts.
-  const std::map<std::string, uint64_t>& units_by_category() const {
-    return units_by_category_;
-  }
+  /// All categories and their unit counts (materialized view, valid until
+  /// the next mutation).
+  const std::map<std::string, uint64_t>& units_by_category() const;
 
   /// Transmissions lost to fault injection (not counted in total_sends()).
   uint64_t dropped_sends() const { return dropped_sends_; }
@@ -50,10 +59,9 @@ class MessageStats {
   /// Dropped units recorded under one category (0 when absent).
   uint64_t dropped(const std::string& category) const;
 
-  /// All categories with losses and their dropped unit counts.
-  const std::map<std::string, uint64_t>& dropped_by_category() const {
-    return dropped_by_category_;
-  }
+  /// All categories with losses and their dropped unit counts (materialized
+  /// view, valid until the next mutation).
+  const std::map<std::string, uint64_t>& dropped_by_category() const;
 
   /// Zeroes all counters.
   void Reset();
@@ -65,13 +73,39 @@ class MessageStats {
   std::string ToString() const;
 
  private:
+  /// Dense id of an interned category name.
+  using CategoryId = uint32_t;
+
+  /// Per-category counters, indexed by CategoryId.  A category appears in
+  /// the delivered (resp. dropped) map view iff its sends (resp.
+  /// dropped_sends) counter is non-zero — Record always bumps sends by one,
+  /// so that is exactly "Record was called", matching the old map behavior.
+  struct Counters {
+    uint64_t units = 0;
+    uint64_t sends = 0;
+    uint64_t dropped_units = 0;
+    uint64_t dropped_sends = 0;
+  };
+
+  /// Returns the id for `category`, interning it on first use.
+  CategoryId Intern(const std::string& category);
+
+  /// Returns the counters for `category`, or nullptr when never seen.
+  const Counters* Find(const std::string& category) const;
+
   uint64_t total_sends_ = 0;
   uint64_t total_units_ = 0;
   uint64_t dropped_sends_ = 0;
   uint64_t dropped_units_ = 0;
-  std::map<std::string, uint64_t> units_by_category_;
-  std::map<std::string, uint64_t> sends_by_category_;
-  std::map<std::string, uint64_t> dropped_by_category_;
+
+  std::vector<std::string> names_;   // CategoryId -> name.
+  std::vector<Counters> counters_;   // CategoryId -> flat counters.
+  std::unordered_map<std::string, CategoryId> index_;
+
+  // Lazily rebuilt map views behind the by-category accessors.
+  mutable std::map<std::string, uint64_t> units_view_;
+  mutable std::map<std::string, uint64_t> dropped_view_;
+  mutable bool views_dirty_ = false;
 };
 
 }  // namespace elink
