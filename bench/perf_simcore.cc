@@ -11,6 +11,10 @@
 //
 // `--events N` / `--sends N` scale the workload; the ctest smoke run uses
 // tiny counts so the harness is exercised on every test run.
+//
+// `--check-against <baseline.json>` compares this run against a committed
+// report (the repo keeps one at the root as BENCH_simcore.json) and exits
+// non-zero when events/sec regressed more than 10% — the PR perf gate.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -134,12 +138,74 @@ uint64_t FlagValue(int argc, char** argv, const char* name, uint64_t dflt) {
   return dflt;
 }
 
-std::string OutPath(int argc, char** argv) {
+std::string StringFlag(int argc, char** argv, const char* name) {
+  const std::string eq = std::string(name) + "=";
   for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--out=", 6) == 0) return argv[i] + 6;
-    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) return argv[i + 1];
+    if (std::strncmp(argv[i], eq.c_str(), eq.size()) == 0) {
+      return argv[i] + eq.size();
+    }
+    if (std::strcmp(argv[i], name) == 0 && i + 1 < argc) return argv[i + 1];
   }
-  return ELINK_BENCH_JSON_DEFAULT;
+  return "";
+}
+
+std::string OutPath(int argc, char** argv) {
+  const std::string out = StringFlag(argc, argv, "--out");
+  return out.empty() ? ELINK_BENCH_JSON_DEFAULT : out;
+}
+
+/// Pulls `"key": <number>` out of a baseline JSON report; 0.0 when absent.
+/// The reports are written by this binary, so a full parser is not needed.
+double JsonNumber(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\"";
+  const size_t at = json.find(needle);
+  if (at == std::string::npos) return 0.0;
+  const size_t colon = json.find(':', at + needle.size());
+  if (colon == std::string::npos) return 0.0;
+  return std::strtod(json.c_str() + colon + 1, nullptr);
+}
+
+/// Compares this run against a committed baseline report; returns false
+/// (check failed) when events/sec regressed more than 10%.
+bool CheckAgainst(const std::string& baseline_path, const FloodOutcome& flood,
+                  double sends_per_sec) {
+  FILE* f = std::fopen(baseline_path.c_str(), "r");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot read baseline %s\n", baseline_path.c_str());
+    return false;
+  }
+  std::string json;
+  char buf[4096];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    json.append(buf, got);
+  }
+  std::fclose(f);
+
+  const double base_events = JsonNumber(json, "events_per_sec");
+  const double base_sends = JsonNumber(json, "sends_per_sec");
+  if (base_events <= 0.0) {
+    std::fprintf(stderr, "baseline %s has no events_per_sec\n",
+                 baseline_path.c_str());
+    return false;
+  }
+  const double events_ratio = flood.events_per_sec / base_events;
+  std::printf("check: events/sec %.0f vs baseline %.0f (%.1f%%)\n",
+              flood.events_per_sec, base_events, 100.0 * events_ratio);
+  if (base_sends > 0.0) {
+    // Informational only; the gate is the event-dispatch hot path.
+    std::printf("check: sends/sec  %.0f vs baseline %.0f (%.1f%%)\n",
+                sends_per_sec, base_sends,
+                100.0 * sends_per_sec / base_sends);
+  }
+  if (events_ratio < 0.9) {
+    std::fprintf(stderr,
+                 "FAIL: events/sec dropped more than 10%% against %s\n",
+                 baseline_path.c_str());
+    return false;
+  }
+  std::printf("check: OK (within 10%% of baseline)\n");
+  return true;
 }
 
 }  // namespace
@@ -174,5 +240,10 @@ int main(int argc, char** argv) {
                flood.events_per_sec, sends_per_sec, flood.peak_queue_size);
   std::fclose(f);
   std::printf("wrote %s\n", out_path.c_str());
+
+  const std::string baseline = StringFlag(argc, argv, "--check-against");
+  if (!baseline.empty() && !CheckAgainst(baseline, flood, sends_per_sec)) {
+    return 1;
+  }
   return 0;
 }

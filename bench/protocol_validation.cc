@@ -10,6 +10,8 @@
 #include "common/rng.h"
 #include "data/tao.h"
 #include "data/terrain.h"
+#include "index/path_query.h"
+#include "index/path_query_protocol.h"
 #include "index/query_protocol.h"
 #include "index/range_query.h"
 
@@ -116,6 +118,68 @@ void ValidateMaintenance() {
   std::printf("   protocol invariant: %s\n\n", inv.ToString().c_str());
 }
 
+void ValidatePathQuery() {
+  std::printf("-- Section-7.3 path query: accounting engine vs distributed "
+              "protocol --\n");
+  TerrainConfig tcfg;
+  tcfg.num_nodes = 250;
+  tcfg.radio_range_fraction = 0.1;
+  const SensorDataset ds = Unwrap(MakeTerrainDataset(tcfg), "terrain");
+  const double delta = 0.22 * FeatureDiameter(ds);
+  ElinkConfig ecfg;
+  ecfg.delta = delta;
+  ecfg.seed = 21;
+  const ElinkResult clustered =
+      Unwrap(RunElink(ds, ecfg, ElinkMode::kImplicit), "elink");
+  const auto tree =
+      BuildClusterTrees(clustered.clustering, ds.topology.adjacency);
+  const ClusterIndex index = ClusterIndex::Build(clustered.clustering, tree,
+                                                 ds.features, *ds.metric);
+  const Backbone backbone =
+      Backbone::Build(clustered.clustering, ds.topology.adjacency, nullptr,
+                      &ds.features, ds.metric.get());
+  PathQueryEngine engine(clustered.clustering, index, backbone,
+                         ds.topology.adjacency, ds.features, *ds.metric,
+                         delta);
+  DistributedPathQuery protocol(ds.topology, clustered.clustering, index,
+                                backbone, ds.features, ds.metric);
+
+  Rng rng(9);
+  const int n = ds.topology.num_nodes();
+  int found = 0;
+  uint64_t engine_units = 0, protocol_units = 0;
+  const int trials = 30;
+  for (int t = 0; t < trials; ++t) {
+    const Feature danger = ds.features[rng.UniformInt(n)];
+    const double gamma = rng.Uniform(0.3, 1.2) * delta;
+    const int src = static_cast<int>(rng.UniformInt(n));
+    const int dst = static_cast<int>(rng.UniformInt(n));
+    const PathQueryResult er = engine.Query(src, dst, danger, gamma);
+    const PathQueryResult pr =
+        Unwrap(protocol.Run(src, dst, danger, gamma), "path protocol");
+    // The engine is the exact cost model of this protocol: outcomes and the
+    // engine-modeled categories must agree message for message.
+    if (pr.found != er.found || pr.path != er.path) {
+      std::fprintf(stderr, "PATH MISMATCH\n");
+      std::abort();
+    }
+    for (const char* cat : {"path_route", "path_backbone", "path_drilldown",
+                            "path_search", "path_trace"}) {
+      if (pr.stats.units(cat) != er.stats.units(cat)) {
+        std::fprintf(stderr, "UNIT MISMATCH in %s\n", cat);
+        std::abort();
+      }
+    }
+    if (er.found) ++found;
+    engine_units += er.stats.total_units();
+    protocol_units += pr.stats.total_units();
+  }
+  PrintRow({"", "found", "units"});
+  PrintRow({"engine", Cell(found), Cell(engine_units / trials)});
+  PrintRow({"protocol", Cell(found), Cell(protocol_units / trials)});
+  std::printf("   (protocol adds completion acks under path_collect)\n\n");
+}
+
 }  // namespace
 
 int main() {
@@ -132,6 +196,7 @@ int main() {
     RunSuite(Unwrap(MakeTerrainDataset(tcfg), "terrain"), "Terrain", 0.2);
   }
   ValidateMaintenance();
+  ValidatePathQuery();
   std::printf("expected: identical match counts; engine and protocol units "
               "within a small factor of each other\n");
   return 0;

@@ -3,22 +3,14 @@
 #include <algorithm>
 #include <cmath>
 
-#include "sim/network.h"
+#include "cluster/elink_wire.h"
+#include "proto/harness.h"
 
 namespace elink {
 
 namespace {
 
-// Protocol message types.
-enum MsgType : int {
-  kExpand = 1,  // doubles = root feature; ints = {root_id, level}.
-  kAck1 = 2,    // Join notification to the new cluster-tree parent.
-  kNack = 3,    // Decline response to an expand.
-  kAck2 = 4,    // Subtree expansion complete.
-  kPhase1 = 5,  // ints = {round}; up the quadtree.
-  kPhase2 = 6,  // ints = {round}; down the quadtree.
-  kStart = 7,   // Instructs a sentinel to invoke ELink.
-};
+namespace w = elink_wire;
 
 // Timer ids.
 enum TimerType : int { kSentinelTimer = 1 };
@@ -38,75 +30,56 @@ struct RunContext {
   int total_switches = 0;
   bool terminated = false;       // Explicit mode: root declared all rounds done.
   double termination_time = 0.0;
-  // Watchdog bookkeeping: protocol handler invocations (any node), and the
-  // verdict when the run went quiet without terminating.
-  uint64_t handled_events = 0;
-  bool timed_out = false;
 };
 
 /// One sensor node running ELink.  See elink.h for the protocol overview.
-class ElinkNode : public Node {
+class ElinkNode : public proto::ProtocolNode {
  public:
-  explicit ElinkNode(RunContext* ctx) : ctx_(ctx) {}
+  explicit ElinkNode(RunContext* ctx) : ctx_(ctx) {
+    if (ctx_->reliable) EnableReliable(ctx_->config.reliable);
+    OnMsg<w::Expand>(
+        [this](int from, const w::Expand& m) { OnExpand(from, m); });
+    OnMsg<w::Ack1>([this](int, const w::Ack1&) {
+      --pending_;
+      ++children_;
+      CheckExpansionComplete();
+    });
+    OnMsg<w::Nack>([this](int, const w::Nack&) {
+      --pending_;
+      CheckExpansionComplete();
+    });
+    OnMsg<w::Ack2>([this](int, const w::Ack2&) {
+      --children_;
+      CheckExpansionComplete();
+    });
+    OnMsg<w::Phase1>([this](int, const w::Phase1& m) {
+      OnPhase1(static_cast<int>(m.round));
+    });
+    OnMsg<w::Phase2>([this](int, const w::Phase2& m) {
+      OnPhase2(static_cast<int>(m.round));
+    });
+    OnMsg<w::Start>([this](int, const w::Start&) { Activate(); });
+  }
 
   // -- Clustering state, read out by the driver after the run. ------------
   bool clustered() const { return clustered_; }
   int root() const { return root_; }
 
-  void OnInstall() override {
-    if (!ctx_->reliable) return;
-    channel_.Attach(network(), id(), ctx_->config.reliable);
-    channel_.set_give_up([this](int /*to*/, const Message& m) {
-      // An expand that exhausted its retries behaves like a nack (the
-      // neighbor is dead or unreachable).  Abandoned acks and phase/start
-      // waves leave no local obligation; a stalled round is the completion
-      // watchdog's job.
-      if (m.type == kExpand) {
-        --pending_;
-        CheckExpansionComplete();
-      }
-    });
+ protected:
+  void OnGiveUp(int /*to*/, const Message& m) override {
+    // An expand that exhausted its retries behaves like a nack (the
+    // neighbor is dead or unreachable).  Abandoned acks and phase/start
+    // waves leave no local obligation; a stalled round is the completion
+    // watchdog's job.
+    if (m.type == w::Expand::kType) {
+      --pending_;
+      CheckExpansionComplete();
+    }
   }
 
-  void HandleTimer(int timer_id) override {
-    ++ctx_->handled_events;
-    if (channel_.attached() && channel_.OnTimer(timer_id)) return;
+  void OnProtocolTimer(int timer_id) override {
     ELINK_CHECK(timer_id == kSentinelTimer);
     Activate();
-  }
-
-  void HandleMessage(int from, const Message& msg) override {
-    ++ctx_->handled_events;
-    if (channel_.attached() && channel_.OnMessage(from, msg)) return;
-    switch (msg.type) {
-      case kExpand:
-        OnExpand(from, msg);
-        break;
-      case kAck1:
-        --pending_;
-        ++children_;
-        CheckExpansionComplete();
-        break;
-      case kNack:
-        --pending_;
-        CheckExpansionComplete();
-        break;
-      case kAck2:
-        --children_;
-        CheckExpansionComplete();
-        break;
-      case kPhase1:
-        OnPhase1(static_cast<int>(msg.ints[0]));
-        break;
-      case kPhase2:
-        OnPhase2(static_cast<int>(msg.ints[0]));
-        break;
-      case kStart:
-        Activate();
-        break;
-      default:
-        ELINK_CHECK(false);
-    }
   }
 
  private:
@@ -131,41 +104,30 @@ class ElinkNode : public Node {
     CheckExpansionComplete();
   }
 
-  // Single-hop / routed sends, over the reliable channel when enabled.
-  void SendNeighbor(int to, Message m) {
-    if (channel_.attached()) {
-      channel_.Send(to, std::move(m));
-    } else {
-      network()->Send(id(), to, std::move(m));
-    }
-  }
-  void SendOverRoute(int to, Message m) {
-    if (channel_.attached()) {
-      channel_.SendRouted(to, std::move(m));
-    } else {
-      network()->SendRouted(id(), to, std::move(m));
-    }
-  }
-
   void ExpandToNeighbors(int exclude) {
     settled_ = false;
     for (int nb : network()->neighbors(id())) {
       if (nb == exclude) continue;
-      Message m;
-      m.type = kExpand;
-      m.category = "expand";
-      m.doubles = root_feature_;
-      m.ints = {root_, member_level_};
-      SendNeighbor(nb, std::move(m));
+      w::Expand m;
+      m.root = root_;
+      m.level = member_level_;
+      m.feature = root_feature_;
+      Send(nb, m);
       if (explicit_mode()) ++pending_;
     }
   }
 
   // -- Receiving an expand (Fig. 16, message handler) ----------------------
-  void OnExpand(int from, const Message& msg) {
-    const int offered_root = static_cast<int>(msg.ints[0]);
-    const int offered_level = static_cast<int>(msg.ints[1]);
-    const Feature& offered_feature = msg.doubles;
+  void OnExpand(int from, const w::Expand& msg) {
+    if (msg.feature.size() != my_feature().size()) {
+      // Truncated in flight to a still-decodable but wrong-dimensional
+      // feature: a protocol-level decode error, not a metric crash.
+      RejectBadFields(w::Expand::kCategory);
+      return;
+    }
+    const int offered_root = static_cast<int>(msg.root);
+    const int offered_level = static_cast<int>(msg.level);
+    const Feature& offered_feature = msg.feature;
     const double d_new = ctx_->metric->Distance(offered_feature, my_feature());
 
     bool join = false;
@@ -188,7 +150,7 @@ class ElinkNode : public Node {
     }
 
     if (!join) {
-      if (explicit_mode()) Reply(from, kNack, "nack");
+      if (explicit_mode()) Send(from, w::Nack{});
       return;
     }
 
@@ -200,7 +162,7 @@ class ElinkNode : public Node {
     root_distance_ = d_new;
     parent_ = from;
     if (explicit_mode()) {
-      Reply(from, kAck1, "ack1");
+      Send(from, w::Ack1{});
       owed_parents_.push_back(from);
     }
     ExpandToNeighbors(/*exclude=*/from);
@@ -230,7 +192,7 @@ class ElinkNode : public Node {
       // This sentinel's cluster finished expanding: report the round.
       SendPhase1Up(my_level());
     } else {
-      for (int p : owed_parents_) Reply(p, kAck2, "ack2");
+      for (int p : owed_parents_) Send(p, w::Ack2{});
       owed_parents_.clear();
     }
   }
@@ -243,11 +205,9 @@ class ElinkNode : public Node {
       OnRoundComplete(round);
       return;
     }
-    Message m;
-    m.type = kPhase1;
-    m.category = "phase1";
-    m.ints = {round};
-    SendOverRoute(qp, std::move(m));
+    w::Phase1 m;
+    m.round = round;
+    SendRouted(qp, m);
   }
 
   void OnPhase1(int round) {
@@ -284,30 +244,19 @@ class ElinkNode : public Node {
     phase1_waiting_ = static_cast<int>(kids.size());
     const bool start_children = my_level() == round;
     for (int kid : kids) {
-      Message m;
       if (start_children) {
-        m.type = kStart;
-        m.category = "start";
+        SendRouted(kid, w::Start{});
       } else {
-        m.type = kPhase2;
-        m.category = "phase2";
-        m.ints = {round};
+        w::Phase2 m;
+        m.round = round;
+        SendRouted(kid, m);
       }
-      SendOverRoute(kid, std::move(m));
     }
   }
 
   void OnPhase2(int round) { BeginNextRound(round); }
 
-  void Reply(int to, int type, const char* category) {
-    Message m;
-    m.type = type;
-    m.category = category;
-    SendNeighbor(to, std::move(m));
-  }
-
   RunContext* ctx_;
-  ReliableChannel channel_;  // Attached only when ctx_->reliable.
 
   // Cluster membership (Fig. 16's <r_i, F_ri, p> plus bookkeeping).
   bool clustered_ = false;
@@ -384,13 +333,23 @@ Result<ElinkResult> RunElink(const Topology& topology,
   ctx.phi = config.phi_fraction * ctx.effective_delta;
   ctx.reliable = mode == ElinkMode::kExplicit && config.reliable_transport;
 
-  Network::Config net_config;
-  net_config.synchronous = config.synchronous;
-  net_config.seed = config.seed;
-  net_config.fault = config.fault;
-  Network net(topology, net_config);
-  net.InstallNodes(
+  // Completion watchdog (explicit mode): if the run goes quiet for a full
+  // timeout window without the root declaring termination — lost waves, a
+  // crashed sentinel or coordinator — declare it degraded instead of letting
+  // the drained queue turn into an opaque protocol error.
+  proto::RunHarness::Options hopt;
+  hopt.net.synchronous = config.synchronous;
+  hopt.net.seed = config.seed;
+  hopt.net.fault = config.fault;
+  hopt.quiet_timeout =
+      mode == ElinkMode::kExplicit && config.completion_timeout > 0
+          ? config.completion_timeout
+          : 0.0;
+  proto::RunHarness harness(topology, hopt);
+  harness.set_done([&ctx] { return ctx.terminated; });
+  harness.InstallNodes(
       [&](int) { return std::make_unique<ElinkNode>(&ctx); });
+  Network& net = harness.net();
 
   switch (mode) {
     case ElinkMode::kImplicit: {
@@ -417,30 +376,12 @@ Result<ElinkResult> RunElink(const Topology& topology,
     }
   }
 
-  // Completion watchdog (explicit mode): if the run goes quiet for a full
-  // timeout window without the root declaring termination — lost waves, a
-  // crashed sentinel or coordinator — declare it degraded instead of letting
-  // the drained queue turn into an opaque protocol error.
-  uint64_t watchdog_last_seen = 0;
-  std::function<void()> watchdog = [&]() {
-    if (ctx.terminated || ctx.timed_out) return;
-    if (ctx.handled_events == watchdog_last_seen) {
-      ctx.timed_out = true;
-      return;
-    }
-    watchdog_last_seen = ctx.handled_events;
-    net.ScheduleAfter(config.completion_timeout, watchdog);
-  };
-  if (mode == ElinkMode::kExplicit && config.completion_timeout > 0) {
-    net.ScheduleAfter(config.completion_timeout, watchdog);
-  }
+  const proto::RunHarness::Report report = harness.Run();
 
-  net.Run();
-
-  if (net.hit_event_cap()) {
+  if (report.hit_event_cap) {
     return Status::Internal("ELink hit the event cap: protocol runaway");
   }
-  if (mode == ElinkMode::kExplicit && !ctx.terminated && !ctx.timed_out) {
+  if (mode == ElinkMode::kExplicit && !ctx.terminated && !report.timed_out) {
     return Status::Internal("explicit ELink did not reach termination");
   }
 
@@ -449,7 +390,7 @@ Result<ElinkResult> RunElink(const Topology& topology,
   result.total_switches = ctx.total_switches;
   result.completion_time = mode == ElinkMode::kExplicit && ctx.terminated
                                ? ctx.termination_time
-                               : net.Now();
+                               : report.end_time;
   result.completed = mode != ElinkMode::kExplicit || ctx.terminated;
   result.stats = net.stats();
   result.clustering.root_of.resize(n);

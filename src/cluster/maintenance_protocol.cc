@@ -3,23 +3,15 @@
 #include <algorithm>
 #include <set>
 
+#include "cluster/maintenance_wire.h"
 #include "common/strings.h"
+#include "proto/harness.h"
 
 namespace elink {
 
 namespace {
 
-enum MaintMsg : int {
-  kFetchUp = 1,      // Escalation request towards the root; ints = {origin}.
-  kRootFeature = 2,  // Root's live feature back to the origin.
-  kPush = 3,         // Root pushes its new feature down the tree.
-  kProbe = 4,        // Detached/orphaned node asks a neighbor for its root.
-  kProbeReply = 5,   // ints = {root id}; doubles = stored root feature.
-  kLeave = 6,        // Child tells its tree parent it departed.
-  kAttach = 7,       // New child announces itself to its adopted parent.
-  kOrphan = 8,       // Parent departed: the child must re-attach.
-  kRootChanged = 9,  // New root id + feature propagating down a subtree.
-};
+namespace w = maint_wire;
 
 struct MaintContext {
   const DistanceMetric* metric = nullptr;
@@ -27,9 +19,88 @@ struct MaintContext {
   int dim = 1;
 };
 
-class MaintNode : public Node {
+class MaintNode : public proto::ProtocolNode {
  public:
-  MaintNode(MaintContext* ctx) : ctx_(ctx) {}
+  explicit MaintNode(MaintContext* ctx) : ctx_(ctx) {
+    OnMsg<w::FetchUp>([this](int, const w::FetchUp& m) {
+      if (root_ == id()) {
+        w::RootFeature reply;
+        reply.feature = feature_;
+        SendRouted(static_cast<int>(m.origin), reply);
+      } else {
+        Send(parent_, m);
+      }
+    });
+    OnMsg<w::RootFeature>([this](int, const w::RootFeature& m) {
+      if (m.feature.size() != feature_.size()) {
+        RejectBadFields(w::RootFeature::kCategory);
+        return;
+      }
+      stored_root_ = m.feature;
+      if (Dist(feature_, stored_root_) <= ctx_->config.delta + 1e-12) {
+        verified_ = feature_;  // Still compatible: stay.
+      } else {
+        StartDetach();
+      }
+    });
+    OnMsg<w::Push>([this](int, const w::Push& m) {
+      if (m.feature.size() != feature_.size()) {
+        RejectBadFields(w::Push::kCategory);
+        return;
+      }
+      stored_root_ = m.feature;
+      if (Dist(feature_, stored_root_) > ctx_->config.delta + 1e-12) {
+        // Evicted by the root's drift; children are pushed first so they
+        // hold the fresh root feature when the orphan notice arrives.
+        ForwardPushToChildren(m);
+        StartDetach();
+      } else {
+        ForwardPushToChildren(m);
+      }
+    });
+    OnMsg<w::Probe>([this](int from, const w::Probe&) {
+      w::ProbeReply reply;
+      reply.root = root_;
+      reply.settled = probing_ ? 0 : 1;
+      reply.stored_root = stored_root_;
+      Send(from, reply);
+    });
+    OnMsg<w::ProbeReply>([this](int from, const w::ProbeReply& m) {
+      if (m.stored_root.size() != feature_.size()) {
+        RejectBadFields(w::ProbeReply::kCategory);
+        return;
+      }
+      OnProbeReply(from, static_cast<int>(m.root), m.settled != 0,
+                   m.stored_root);
+    });
+    OnMsg<w::Leave>([this](int from, const w::Leave&) {
+      children_.erase(std::remove(children_.begin(), children_.end(), from),
+                      children_.end());
+    });
+    OnMsg<w::Attach>(
+        [this](int from, const w::Attach&) { children_.push_back(from); });
+    OnMsg<w::Orphan>([this](int, const w::Orphan&) {
+      if (!probing_) {
+        // The parent departed.  Flatten: orphan our own subtree too (every
+        // probing node is then a leaf, which keeps adoption acyclic), and
+        // look for a new home, preferring the old cluster.
+        for (int child : children_) Send(child, w::Orphan{});
+        children_.clear();
+        reattach_mode_ = true;
+        old_root_ = root_;
+        StartProbing();
+      }
+    });
+    OnMsg<w::RootChanged>([this](int, const w::RootChanged& m) {
+      if (m.feature.size() != feature_.size()) {
+        RejectBadFields(w::RootChanged::kCategory);
+        return;
+      }
+      root_ = static_cast<int>(m.root);
+      stored_root_ = m.feature;
+      for (int child : children_) Send(child, m);
+    });
+  }
 
   // Deployment (driver, before any update).
   void Deploy(Feature feature, int root, int parent,
@@ -63,98 +134,9 @@ class MaintNode : public Node {
     const bool a3 = d_new_root <= ctx_->config.delta - slack + 1e-12;
     if (a1 || a2 || a3) return;  // Absorbed locally: no messages.
     // Escalate: fetch the live root feature over the cluster tree.
-    Message m;
-    m.type = kFetchUp;
-    m.category = "update_escalate";
-    m.ints = {id()};
-    network()->Send(id(), parent_, std::move(m));
-  }
-
-  void HandleMessage(int from, const Message& msg) override {
-    switch (msg.type) {
-      case kFetchUp:
-        if (root_ == id()) {
-          Message reply;
-          reply.type = kRootFeature;
-          reply.category = "update_escalate";
-          reply.doubles = feature_;
-          network()->SendRouted(id(), static_cast<int>(msg.ints[0]),
-                                std::move(reply));
-        } else {
-          Message m = msg;
-          network()->Send(id(), parent_, std::move(m));
-        }
-        break;
-      case kRootFeature: {
-        stored_root_ = msg.doubles;
-        if (Dist(feature_, stored_root_) <= ctx_->config.delta + 1e-12) {
-          verified_ = feature_;  // Still compatible: stay.
-        } else {
-          StartDetach();
-        }
-        break;
-      }
-      case kPush: {
-        stored_root_ = msg.doubles;
-        if (Dist(feature_, stored_root_) > ctx_->config.delta + 1e-12) {
-          // Evicted by the root's drift; children are pushed first so they
-          // hold the fresh root feature when the orphan notice arrives.
-          ForwardPushToChildren(msg);
-          StartDetach();
-        } else {
-          ForwardPushToChildren(msg);
-        }
-        break;
-      }
-      case kProbe: {
-        Message reply;
-        reply.type = kProbeReply;
-        reply.category = "update_merge_probe";
-        reply.ints = {root_, probing_ ? 0 : 1};  // root id, settled flag.
-        reply.doubles = stored_root_;
-        network()->Send(id(), from, std::move(reply));
-        break;
-      }
-      case kProbeReply:
-        OnProbeReply(from, static_cast<int>(msg.ints[0]),
-                     msg.ints[1] != 0, msg.doubles);
-        break;
-      case kLeave:
-        children_.erase(std::remove(children_.begin(), children_.end(), from),
-                        children_.end());
-        break;
-      case kAttach:
-        children_.push_back(from);
-        break;
-      case kOrphan:
-        if (!probing_) {
-          // The parent departed.  Flatten: orphan our own subtree too (every
-          // probing node is then a leaf, which keeps adoption acyclic), and
-          // look for a new home, preferring the old cluster.
-          for (int child : children_) {
-            Message orphan;
-            orphan.type = kOrphan;
-            orphan.category = "update_repair";
-            network()->Send(id(), child, std::move(orphan));
-          }
-          children_.clear();
-          reattach_mode_ = true;
-          old_root_ = root_;
-          StartProbing();
-        }
-        break;
-      case kRootChanged:
-        root_ = static_cast<int>(msg.ints[0]);
-        stored_root_ = msg.doubles;
-        for (int child : children_) {
-          Message m = msg;
-          m.category = "update_repair";
-          network()->Send(id(), child, std::move(m));
-        }
-        break;
-      default:
-        ELINK_CHECK(false);
-    }
+    w::FetchUp m;
+    m.origin = id();
+    Send(parent_, m);
   }
 
  private:
@@ -167,39 +149,21 @@ class MaintNode : public Node {
     announced_ = feature_;
     verified_ = feature_;
     stored_root_ = feature_;
-    Message m;
-    m.type = kPush;
-    m.category = "update_root_push";
-    m.doubles = feature_;
-    for (int child : children_) {
-      Message copy = m;
-      network()->Send(id(), child, std::move(copy));
-    }
+    w::Push m;
+    m.feature = feature_;
+    for (int child : children_) Send(child, m);
   }
 
-  void ForwardPushToChildren(const Message& push) {
-    for (int child : children_) {
-      Message copy = push;
-      network()->Send(id(), child, std::move(copy));
-    }
+  void ForwardPushToChildren(const w::Push& push) {
+    for (int child : children_) Send(child, push);
   }
 
   /// Leaves the current cluster and looks for a new home (Section 6's
   /// detach-and-merge, plus the orphan notifications that realize the
   /// connectivity repair in a distributed way).
   void StartDetach() {
-    if (parent_ != id()) {
-      Message leave;
-      leave.type = kLeave;
-      leave.category = "update_repair";
-      network()->Send(id(), parent_, std::move(leave));
-    }
-    for (int child : children_) {
-      Message orphan;
-      orphan.type = kOrphan;
-      orphan.category = "update_repair";
-      network()->Send(id(), child, std::move(orphan));
-    }
+    if (parent_ != id()) Send(parent_, w::Leave{});
+    for (int child : children_) Send(child, w::Orphan{});
     children_.clear();
     root_ = id();
     parent_ = id();
@@ -227,10 +191,7 @@ class MaintNode : public Node {
       BroadcastRootChanged();
       return;
     }
-    Message probe;
-    probe.type = kProbe;
-    probe.category = "update_merge_probe";
-    network()->Send(id(), neighbors[probe_index_], std::move(probe));
+    Send(neighbors[probe_index_], w::Probe{});
   }
 
   void OnProbeReply(int from, int nb_root, bool nb_settled,
@@ -265,21 +226,16 @@ class MaintNode : public Node {
     root_ = new_root;
     stored_root_ = root_feature;
     verified_ = feature_;
-    Message attach;
-    attach.type = kAttach;
-    attach.category = "update_repair";
-    network()->Send(id(), new_parent, std::move(attach));
+    Send(new_parent, w::Attach{});
     if (changed) BroadcastRootChanged();
   }
 
   void BroadcastRootChanged() {
     for (int child : children_) {
-      Message m;
-      m.type = kRootChanged;
-      m.category = "update_repair";
-      m.ints = {root_};
-      m.doubles = stored_root_;
-      network()->Send(id(), child, std::move(m));
+      w::RootChanged m;
+      m.root = root_;
+      m.feature = stored_root_;
+      Send(child, m);
     }
   }
 
@@ -303,15 +259,18 @@ class MaintNode : public Node {
 
 struct DistributedMaintenance::Impl {
   MaintContext ctx;
-  std::unique_ptr<Network> net;
+  std::unique_ptr<proto::RunHarness> harness;
   int n = 0;
+
+  Network& net() { return harness->net(); }
 };
 
 DistributedMaintenance::DistributedMaintenance(
     const Topology& topology, const Clustering& clustering,
     const std::vector<Feature>& features,
     std::shared_ptr<const DistanceMetric> metric,
-    const MaintenanceConfig& config, bool synchronous, uint64_t seed)
+    const MaintenanceConfig& config, bool synchronous, uint64_t seed,
+    const FaultPlan& fault)
     : impl_(std::make_unique<Impl>()) {
   impl_->ctx.metric = metric.get();
   metric_keepalive_ = std::move(metric);
@@ -319,11 +278,12 @@ DistributedMaintenance::DistributedMaintenance(
   impl_->ctx.dim = features.empty() ? 1 : static_cast<int>(features[0].size());
   impl_->n = topology.num_nodes();
 
-  Network::Config ncfg;
-  ncfg.synchronous = synchronous;
-  ncfg.seed = seed;
-  impl_->net = std::make_unique<Network>(topology, ncfg);
-  impl_->net->InstallNodes(
+  proto::RunHarness::Options hopt;
+  hopt.net.synchronous = synchronous;
+  hopt.net.seed = seed;
+  hopt.net.fault = fault;
+  impl_->harness = std::make_unique<proto::RunHarness>(topology, hopt);
+  impl_->harness->InstallNodes(
       [&](int) { return std::make_unique<MaintNode>(&impl_->ctx); });
 
   const std::vector<int> tree =
@@ -333,7 +293,7 @@ DistributedMaintenance::DistributedMaintenance(
     if (tree[i] != i) children[tree[i]].push_back(i);
   }
   for (int i = 0; i < impl_->n; ++i) {
-    auto* node = static_cast<MaintNode*>(impl_->net->node(i));
+    auto* node = static_cast<MaintNode*>(impl_->net().node(i));
     node->Deploy(features[i], clustering.root_of[i], tree[i],
                  std::move(children[i]));
     node->SetStoredRoot(features[clustering.root_of[i]]);
@@ -344,15 +304,16 @@ DistributedMaintenance::DistributedMaintenance(
 DistributedMaintenance::~DistributedMaintenance() = default;
 
 void DistributedMaintenance::ApplyUpdate(int node, const Feature& updated) {
-  static_cast<MaintNode*>(impl_->net->node(node))->LocalUpdate(updated);
-  impl_->net->Run();
+  static_cast<MaintNode*>(impl_->net().node(node))->LocalUpdate(updated);
+  impl_->harness->Run();
 }
 
 Clustering DistributedMaintenance::CurrentClustering() const {
   Clustering c;
   c.root_of.resize(impl_->n);
   for (int i = 0; i < impl_->n; ++i) {
-    c.root_of[i] = static_cast<MaintNode*>(impl_->net->node(i))->root();
+    c.root_of[i] =
+        static_cast<const MaintNode*>(impl_->net().node(i))->root();
   }
   return c;
 }
@@ -360,20 +321,21 @@ Clustering DistributedMaintenance::CurrentClustering() const {
 std::vector<Feature> DistributedMaintenance::CurrentFeatures() const {
   std::vector<Feature> out(impl_->n);
   for (int i = 0; i < impl_->n; ++i) {
-    out[i] = static_cast<MaintNode*>(impl_->net->node(i))->feature();
+    out[i] = static_cast<const MaintNode*>(impl_->net().node(i))->feature();
   }
   return out;
 }
 
 const MessageStats& DistributedMaintenance::stats() const {
-  return impl_->net->stats();
+  return impl_->net().stats();
 }
 
 Status DistributedMaintenance::ValidateRootDistanceInvariant(
     double bound) const {
   for (int i = 0; i < impl_->n; ++i) {
-    auto* node = static_cast<MaintNode*>(impl_->net->node(i));
-    auto* root = static_cast<MaintNode*>(impl_->net->node(node->root()));
+    const auto* node = static_cast<const MaintNode*>(impl_->net().node(i));
+    const auto* root =
+        static_cast<const MaintNode*>(impl_->net().node(node->root()));
     const double d =
         impl_->ctx.metric->Distance(node->feature(), root->feature());
     if (d > bound + 1e-9) {

@@ -31,12 +31,15 @@ namespace elink {
 /// update at a node and runs the network to quiescence.
 class DistributedMaintenance {
  public:
+  /// `fault` injects message-level faults (loss, truncation, ...) into the
+  /// protocol's network; the default plan is inert.
   DistributedMaintenance(const Topology& topology,
                          const Clustering& clustering,
                          const std::vector<Feature>& features,
                          std::shared_ptr<const DistanceMetric> metric,
                          const MaintenanceConfig& config,
-                         bool synchronous = true, uint64_t seed = 1);
+                         bool synchronous = true, uint64_t seed = 1,
+                         const FaultPlan& fault = {});
 
   ~DistributedMaintenance();
 

@@ -74,6 +74,16 @@ void ClusteredSensorNetwork::RebuildIndex() {
   path_engine_ = std::make_unique<PathQueryEngine>(
       clustering, *index_, *backbone_, topology_.adjacency, features,
       *metric_, options_.delta);
+  DistributedRangeQuery::ProtocolOptions qopt;
+  qopt.synchronous = options_.synchronous;
+  qopt.seed = options_.seed;
+  range_protocol_ = std::make_unique<DistributedRangeQuery>(
+      topology_, clustering, *index_, *backbone_, features, metric_, qopt);
+  PathProtocolOptions popt;
+  popt.synchronous = options_.synchronous;
+  popt.seed = options_.seed;
+  path_protocol_ = std::make_unique<DistributedPathQuery>(
+      topology_, clustering, *index_, *backbone_, features, metric_, popt);
   index_valid_ = true;
 }
 
@@ -110,6 +120,23 @@ PathQueryResult ClusteredSensorNetwork::SafePath(int source, int destination,
       path_engine_->Query(source, destination, danger, gamma);
   stats_.Merge(result.stats);
   return result;
+}
+
+Result<DistributedQueryOutcome> ClusteredSensorNetwork::RangeQueryDistributed(
+    int initiator, const Feature& q, double r) {
+  EnsureIndex();
+  Result<DistributedQueryOutcome> out = range_protocol_->Run(initiator, q, r);
+  if (out.ok()) stats_.Merge(out.value().stats);
+  return out;
+}
+
+Result<PathQueryResult> ClusteredSensorNetwork::SafePathDistributed(
+    int source, int destination, const Feature& danger, double gamma) {
+  EnsureIndex();
+  Result<PathQueryResult> out =
+      path_protocol_->Run(source, destination, danger, gamma);
+  if (out.ok()) stats_.Merge(out.value().stats);
+  return out;
 }
 
 }  // namespace elink

@@ -27,6 +27,8 @@
 #include "index/backbone.h"
 #include "index/mtree.h"
 #include "index/path_query.h"
+#include "index/path_query_protocol.h"
+#include "index/query_protocol.h"
 #include "index/range_query.h"
 
 namespace elink {
@@ -92,6 +94,26 @@ class ClusteredSensorNetwork {
   PathQueryResult SafePath(int source, int destination, const Feature& danger,
                            double gamma);
 
+  // -- Distributed query execution (proto runtime) ----------------------------
+  //
+  // The engine-backed methods above answer from the centralized accounting
+  // models; these run the same queries as actual message-passing protocols
+  // in the event simulator (index/query_protocol.h and
+  // index/path_query_protocol.h) and report real latencies and wire stats.
+
+  /// Runs the range query as the distributed protocol over the simulated
+  /// network.  The aggregate outcome matches RangeQuery's match count.
+  Result<DistributedQueryOutcome> RangeQueryDistributed(int initiator,
+                                                        const Feature& q,
+                                                        double r);
+
+  /// Runs the path query as the distributed protocol; outcome semantics
+  /// match SafePath, with the protocol's completion acks added to the stats
+  /// under "path_collect".
+  Result<PathQueryResult> SafePathDistributed(int source, int destination,
+                                              const Feature& danger,
+                                              double gamma);
+
  private:
   ClusteredSensorNetwork(Topology topology,
                          std::shared_ptr<const DistanceMetric> metric,
@@ -121,6 +143,8 @@ class ClusteredSensorNetwork {
   std::unique_ptr<Backbone> backbone_;
   std::unique_ptr<RangeQueryEngine> range_engine_;
   std::unique_ptr<PathQueryEngine> path_engine_;
+  std::unique_ptr<DistributedRangeQuery> range_protocol_;
+  std::unique_ptr<DistributedPathQuery> path_protocol_;
 };
 
 }  // namespace elink

@@ -1,0 +1,390 @@
+#include "index/path_query_protocol.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <utility>
+
+#include "common/strings.h"
+#include "index/path_wire.h"
+#include "proto/harness.h"
+#include "proto/node.h"
+
+namespace elink {
+
+namespace {
+
+namespace w = path_wire;
+
+/// Read-only per-node deployment state (driver-owned, outlives the run).
+struct PathNodeState {
+  int cluster_root = -1;
+  int tree_parent = -1;
+  const std::vector<int>* mtree_children = nullptr;
+  const Feature* routing_feature = nullptr;
+  double covering_radius = 0.0;
+  const std::vector<int>* subtree = nullptr;
+
+  // Leader-only backbone state.
+  bool is_leader = false;
+  bool is_backbone_root = false;
+  int backbone_parent = -1;
+  double root_ball = 0.0;
+  struct BackboneChild {
+    int id = -1;
+    const Feature* feature = nullptr;
+    double subtree_radius = 0.0;
+    const std::vector<int>* members = nullptr;
+  };
+  std::vector<BackboneChild> backbone_children;
+};
+
+/// Query-global blackboard the nodes report their classifications into.
+struct PathContext {
+  const DistanceMetric* metric = nullptr;
+  Feature danger;
+  double gamma = 0.0;
+  std::vector<char> safe;
+  bool suppressed = false;
+  bool classification_done = false;
+  int clusters_safe = 0;
+  int clusters_unsafe = 0;
+  int clusters_drilled = 0;
+};
+
+class PathNode : public proto::ProtocolNode {
+ public:
+  PathNode(const PathNodeState* state, PathContext* ctx)
+      : state_(state), ctx_(ctx) {
+    OnMsg<w::PathUp>([this](int, const w::PathUp& m) {
+      if (id() == state_->cluster_root) {
+        LeaderEntry();
+      } else {
+        Send(state_->tree_parent, m);
+      }
+    });
+    OnMsg<w::PathRoute>([this](int, const w::PathRoute& m) {
+      if (state_->is_backbone_root) {
+        StartVisit(/*reply_to=*/-1);
+      } else {
+        SendRouted(state_->backbone_parent, m);
+      }
+    });
+    OnMsg<w::PathVisit>([this](int, const w::PathVisit& m) {
+      StartVisit(static_cast<int>(m.sender));
+    });
+    OnMsg<w::PathDrill>(
+        [this](int from, const w::PathDrill&) { OnDrill(from); });
+    OnMsg<w::PathDrillDone>([this](int, const w::PathDrillDone&) {
+      --pending_;
+      CheckDone();
+    });
+    OnMsg<w::PathVisitDone>([this](int, const w::PathVisitDone&) {
+      --pending_;
+      CheckDone();
+    });
+  }
+
+  /// Driver entry point at the source node (before the event loop runs).
+  void Inject() {
+    if (id() == state_->cluster_root) {
+      LeaderEntry();
+    } else {
+      w::PathUp m;
+      m.danger = ctx_->danger;
+      m.gamma = ctx_->gamma;
+      Send(state_->tree_parent, m);
+    }
+  }
+
+ private:
+  double DangerDist(const Feature& f) const {
+    return ctx_->metric->Distance(f, ctx_->danger);
+  }
+
+  /// The query reached the source's cluster root: suppress or escalate.
+  void LeaderEntry() {
+    const double d = DangerDist(*state_->routing_feature);
+    if (d + state_->covering_radius < ctx_->gamma - 1e-12) {
+      // Own cluster conclusively unsafe: kill the query here (Section 7.3),
+      // no further transmissions.
+      ctx_->suppressed = true;
+      return;
+    }
+    if (state_->is_backbone_root) {
+      StartVisit(/*reply_to=*/-1);
+      return;
+    }
+    w::PathRoute m;
+    m.danger = ctx_->danger;
+    m.gamma = ctx_->gamma;
+    SendRouted(state_->backbone_parent, m);
+  }
+
+  /// Classify own cluster and disseminate down the backbone subtree.
+  void StartVisit(int reply_to) {
+    visiting_ = true;
+    visit_reply_to_ = reply_to;
+    // Own-cluster screen with the exact root-ball radius.
+    const double screen = state_->root_ball;
+    const double d = DangerDist(*state_->routing_feature);
+    if (d > ctx_->gamma + screen + 1e-12) {
+      ++ctx_->clusters_safe;
+      for (int m : *state_->subtree) ctx_->safe[m] = 1;
+    } else if (d < ctx_->gamma - screen - 1e-12) {
+      ++ctx_->clusters_unsafe;
+    } else {
+      ++ctx_->clusters_drilled;
+      DrillLocal(/*reply_hop=*/-1);
+    }
+    // Decide per backbone child from the cached upper-level radii; only
+    // inconclusive subtrees cost a routed visit.
+    for (const auto& child : state_->backbone_children) {
+      const double d_child = DangerDist(*child.feature);
+      if (d_child - child.subtree_radius >= ctx_->gamma - 1e-12) {
+        for (int m : *child.members) ctx_->safe[m] = 1;
+        continue;
+      }
+      if (d_child + child.subtree_radius < ctx_->gamma - 1e-12) continue;
+      w::PathVisit m;
+      m.sender = id();
+      m.danger = ctx_->danger;
+      m.gamma = ctx_->gamma;
+      SendRouted(child.id, m);
+      ++pending_;
+    }
+    CheckDone();
+  }
+
+  /// A PathDrill arrived from our M-tree parent.
+  void OnDrill(int from) { DrillLocal(from); }
+
+  /// Classify this node's M-tree subtree; `reply_hop` is the drill parent
+  /// to ack (or -1 when the drill starts at a visited leader).
+  void DrillLocal(int reply_hop) {
+    const double d = DangerDist(*state_->routing_feature);
+    const double radius = state_->covering_radius;
+    if (d - radius >= ctx_->gamma - 1e-12) {
+      for (int m : *state_->subtree) ctx_->safe[m] = 1;
+      if (reply_hop >= 0) Send(reply_hop, w::PathDrillDone{});
+      return;
+    }
+    if (d + radius < ctx_->gamma - 1e-12) {
+      if (reply_hop >= 0) Send(reply_hop, w::PathDrillDone{});
+      return;
+    }
+    // Inconclusive: classify this node exactly, drill into each child.
+    ctx_->safe[id()] = d >= ctx_->gamma - 1e-12 ? 1 : 0;
+    drill_parent_ = reply_hop;
+    for (int child : *state_->mtree_children) {
+      w::PathDrill m;
+      m.danger = ctx_->danger;
+      m.gamma = ctx_->gamma;
+      Send(child, m);
+      ++pending_;
+    }
+    if (reply_hop >= 0) CheckDone();
+  }
+
+  /// All outstanding drill/visit acks in: report upward (or finish).
+  void CheckDone() {
+    if (pending_ > 0) return;
+    if (drill_parent_ >= 0) {
+      const int p = drill_parent_;
+      drill_parent_ = -1;
+      Send(p, w::PathDrillDone{});
+      return;
+    }
+    if (!visiting_) return;
+    visiting_ = false;
+    if (visit_reply_to_ >= 0) {
+      SendRouted(visit_reply_to_, w::PathVisitDone{});
+      visit_reply_to_ = -1;
+    } else {
+      ctx_->classification_done = true;
+    }
+  }
+
+  const PathNodeState* state_;
+  PathContext* ctx_;
+
+  int pending_ = 0;
+  int drill_parent_ = -1;
+  bool visiting_ = false;
+  int visit_reply_to_ = -1;
+};
+
+}  // namespace
+
+DistributedPathQuery::DistributedPathQuery(
+    const Topology& topology, const Clustering& clustering,
+    const ClusterIndex& index, const Backbone& backbone,
+    const std::vector<Feature>& features,
+    std::shared_ptr<const DistanceMetric> metric, PathProtocolOptions options)
+    : topology_(topology),
+      clustering_(clustering),
+      index_(index),
+      backbone_(backbone),
+      features_(features),
+      metric_(std::move(metric)),
+      options_(options) {
+  // Upper-level covering radii over backbone subtrees, children before
+  // parents (identical aggregation to PathQueryEngine's constructor).
+  std::vector<int> order = backbone_.leaders();
+  auto depth = [&](int leader) {
+    int d = 0;
+    for (int cur = leader; backbone_.tree_parent(cur) != cur;
+         cur = backbone_.tree_parent(cur)) {
+      ++d;
+    }
+    return d;
+  };
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const int da = depth(a), db = depth(b);
+    if (da != db) return da > db;
+    return a < b;
+  });
+  for (int leader : order) {
+    double radius = index_.root_ball_radius(leader);
+    std::vector<int> members = index_.subtree(leader);
+    for (int child : backbone_.tree_children(leader)) {
+      radius = std::max(
+          radius, metric_->Distance(features_[leader], features_[child]) +
+                      backbone_radius_.at(child));
+      const auto& sub = backbone_members_.at(child);
+      members.insert(members.end(), sub.begin(), sub.end());
+    }
+    backbone_radius_[leader] = radius;
+    backbone_members_[leader] = std::move(members);
+  }
+}
+
+Result<PathQueryResult> DistributedPathQuery::Run(int source, int destination,
+                                                  const Feature& danger,
+                                                  double gamma) {
+  const int n = topology_.num_nodes();
+  if (source < 0 || source >= n || destination < 0 || destination >= n) {
+    return Status::InvalidArgument(
+        StringPrintf("path query endpoints (%d, %d) out of range [0, %d)",
+                     source, destination, n));
+  }
+
+  // Deployment: hand every node its slice of the cluster/index/backbone
+  // state, as the build protocols would have left it in the field.
+  std::vector<PathNodeState> states(n);
+  for (int i = 0; i < n; ++i) {
+    PathNodeState& s = states[i];
+    s.cluster_root = clustering_.root_of[i];
+    s.tree_parent = index_.parent(i);
+    s.mtree_children = &index_.children(i);
+    s.routing_feature = &index_.routing_feature(i);
+    s.covering_radius = index_.covering_radius(i);
+    s.subtree = &index_.subtree(i);
+  }
+  for (int leader : backbone_.leaders()) {
+    PathNodeState& s = states[leader];
+    s.is_leader = true;
+    s.is_backbone_root = backbone_.tree_parent(leader) == leader;
+    s.backbone_parent = backbone_.tree_parent(leader);
+    s.root_ball = index_.root_ball_radius(leader);
+    for (int child : backbone_.tree_children(leader)) {
+      PathNodeState::BackboneChild c;
+      c.id = child;
+      c.feature = &features_[child];
+      c.subtree_radius = backbone_radius_.at(child);
+      c.members = &backbone_members_.at(child);
+      s.backbone_children.push_back(c);
+    }
+  }
+
+  PathContext ctx;
+  ctx.metric = metric_.get();
+  ctx.danger = danger;
+  ctx.gamma = gamma;
+  ctx.safe.assign(n, 0);
+
+  proto::RunHarness::Options hopt;
+  hopt.net.synchronous = options_.synchronous;
+  hopt.net.seed = options_.seed;
+  hopt.net.fault = options_.fault;
+  proto::RunHarness harness(topology_, hopt);
+  harness.InstallNodes(
+      [&](int i) { return std::make_unique<PathNode>(&states[i], &ctx); });
+
+  static_cast<PathNode*>(harness.net().node(source))->Inject();
+  const proto::RunHarness::Report report = harness.Run();
+  if (report.hit_event_cap) {
+    return Status::Internal("path query protocol hit the event cap");
+  }
+  if (!ctx.suppressed && !ctx.classification_done) {
+    if (!options_.fault.enabled()) {
+      return Status::Internal(
+          "path query classification did not complete on a fault-free run");
+    }
+    // Message loss stalled the wave: report a (counted) failed query rather
+    // than an answer derived from a partial safe map.
+    PathQueryResult lost;
+    lost.found = false;
+    lost.stats = harness.net().stats();
+    lost.clusters_safe = ctx.clusters_safe;
+    lost.clusters_unsafe = ctx.clusters_unsafe;
+    lost.clusters_drilled = ctx.clusters_drilled;
+    return lost;
+  }
+
+  PathQueryResult result;
+  result.stats = harness.net().stats();
+  result.clusters_safe = ctx.clusters_safe;
+  result.clusters_unsafe = ctx.clusters_unsafe;
+  result.clusters_drilled = ctx.clusters_drilled;
+  if (ctx.suppressed || !ctx.safe[source] || !ctx.safe[destination]) {
+    result.found = false;
+    return result;
+  }
+
+  // Safe backbone trees: the search over the assembled safe map runs at
+  // cluster granularity, identically to PathQueryEngine::Query.
+  std::vector<int> parent(n, -1);
+  std::deque<int> queue{source};
+  parent[source] = source;
+  while (!queue.empty()) {
+    const int u = queue.front();
+    queue.pop_front();
+    if (u == destination) break;
+    for (int v : topology_.adjacency[u]) {
+      if (ctx.safe[v] && parent[v] < 0) {
+        parent[v] = u;
+        queue.push_back(v);
+      }
+    }
+  }
+  if (parent[destination] < 0) {
+    result.found = false;
+    return result;
+  }
+  result.found = true;
+  for (int cur = destination; cur != source; cur = parent[cur]) {
+    result.path.push_back(cur);
+  }
+  result.path.push_back(source);
+  std::reverse(result.path.begin(), result.path.end());
+  std::set<int> safe_clusters;
+  for (int i = 0; i < n; ++i) {
+    if (ctx.safe[i]) safe_clusters.insert(clustering_.root_of[i]);
+  }
+  for (int leader : safe_clusters) {
+    const int p = backbone_.tree_parent(leader);
+    if (p != leader) {
+      const int hops = backbone_.route_hops(leader, p);
+      for (int h = 0; h < hops; ++h) {
+        result.stats.Record("path_search", 1);
+      }
+    }
+  }
+  for (size_t h = 0; h + 1 < result.path.size(); ++h) {
+    result.stats.Record("path_trace", 1);
+  }
+  return result;
+}
+
+}  // namespace elink

@@ -1,0 +1,72 @@
+// A fully distributed, message-passing execution of the Section-7.3 path
+// query, run inside the discrete-event simulator on the proto runtime.
+//
+// PathQueryEngine (path_query.h) is the centralized accounting model; here
+// every classification step is a real protocol action: the query routes hop
+// by hop from the source to its cluster root, up the leader chain to the
+// backbone root, and is then disseminated selectively down the backbone —
+// pruned subtrees cost nothing, inconclusive leaders drill their cluster's
+// M-tree with per-edge messages, and completion acks aggregate back up.
+// The safe-region search that follows classification runs on the assembled
+// safe map at cluster granularity, exactly like the engine.  Tests replay
+// identical queries through both implementations and check that outcomes
+// and per-category costs agree.
+#ifndef ELINK_INDEX_PATH_QUERY_PROTOCOL_H_
+#define ELINK_INDEX_PATH_QUERY_PROTOCOL_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "cluster/clustering.h"
+#include "common/status.h"
+#include "index/backbone.h"
+#include "index/mtree.h"
+#include "index/path_query.h"
+#include "metric/distance.h"
+#include "sim/fault.h"
+#include "sim/topology.h"
+
+namespace elink {
+
+/// Network/run options of the distributed path-query protocol.
+struct PathProtocolOptions {
+  bool synchronous = true;
+  uint64_t seed = 1;
+  /// Message-level fault plan (loss, truncation, ...); inert by default.
+  FaultPlan fault;
+};
+
+/// \brief Executes path queries as a distributed protocol.
+class DistributedPathQuery {
+ public:
+  DistributedPathQuery(const Topology& topology, const Clustering& clustering,
+                       const ClusterIndex& index, const Backbone& backbone,
+                       const std::vector<Feature>& features,
+                       std::shared_ptr<const DistanceMetric> metric,
+                       PathProtocolOptions options = {});
+
+  /// Finds a safe path from `source` to `destination` avoiding `danger` by
+  /// at least `gamma`.  Outcome semantics match PathQueryEngine::Query; the
+  /// returned stats additionally carry the protocol's completion acks under
+  /// "path_collect".
+  Result<PathQueryResult> Run(int source, int destination,
+                              const Feature& danger, double gamma);
+
+ private:
+  const Topology& topology_;
+  const Clustering& clustering_;
+  const ClusterIndex& index_;
+  const Backbone& backbone_;
+  const std::vector<Feature>& features_;
+  std::shared_ptr<const DistanceMetric> metric_;
+  PathProtocolOptions options_;
+  /// Upper-level covering radius per leader over its backbone subtree.
+  std::map<int, double> backbone_radius_;
+  /// All member nodes of each leader's backbone subtree.
+  std::map<int, std::vector<int>> backbone_members_;
+};
+
+}  // namespace elink
+
+#endif  // ELINK_INDEX_PATH_QUERY_PROTOCOL_H_

@@ -3,21 +3,14 @@
 #include <algorithm>
 #include <cmath>
 
+#include "index/query_wire.h"
+#include "proto/harness.h"
+
 namespace elink {
 
 namespace {
 
-enum QueryMsg : int {
-  kUp = 1,               // Initiator -> cluster root, over the cluster tree.
-  kToBackboneRoot = 2,   // Leader -> backbone root, up the leader chain.
-  kVisit = 3,            // Backbone parent -> child: process your subtree.
-  kBackboneInclude = 4,  // Whole backbone subtree matches: report population.
-  kBackboneReply = 5,    // Aggregated count back to the backbone parent.
-  kDescend = 6,          // M-tree descent into a cluster-tree child.
-  kDescendInclude = 7,   // Whole M-tree subtree matches: report population.
-  kDescendReply = 8,     // Aggregated count back to the descent parent.
-  kAnswer = 9,           // Backbone root -> initiator root -> initiator.
-};
+namespace w = query_wire;
 
 // Aggregation points arm this timer when a node deadline is configured; on
 // expiry they flush a partial reply instead of waiting forever for children
@@ -89,18 +82,76 @@ struct QueryContext {
   double finish_time = 0.0;
 };
 
-class QueryNode : public Node {
+class QueryNode : public proto::ProtocolNode {
  public:
   QueryNode(const NodeState* state, QueryContext* ctx)
-      : state_(state), ctx_(ctx) {}
-
-  void OnInstall() override {
+      : state_(state), ctx_(ctx) {
     if (ctx_->reliable) {
-      channel_.Attach(network(), id(), ctx_->reliable_cfg);
-      // An exhausted retry budget needs no callback here: the destination
-      // (or a relay to it) is dead, and the waiting aggregation point
-      // writes the subtree off at its deadline.
+      // An exhausted retry budget needs no give-up callback here: the
+      // destination (or a relay to it) is dead, and the waiting aggregation
+      // point writes the subtree off at its deadline.
+      EnableReliable(ctx_->reliable_cfg);
     }
+    OnMsg<w::Up>([this](int, const w::Up& m) {
+      if (id() == state_->cluster_root) {
+        ArrivedAtOwnRoot();
+      } else {
+        Send(state_->tree_parent, m);
+      }
+    });
+    OnMsg<w::ToBackboneRoot>([this](int, const w::ToBackboneRoot&) {
+      if (state_->is_backbone_root) {
+        StartVisit(/*reply_to=*/-1, ctx_->node_deadline);
+      } else {
+        ForwardToBackboneRoot();
+      }
+    });
+    OnMsg<w::Visit>([this](int, const w::Visit& m) {
+      // Routed messages deliver with `from` = the last relay hop; the
+      // logical sender rides in the schema (and its deadline budget when
+      // deadlines are configured).
+      StartVisit(/*reply_to=*/static_cast<int>(m.sender),
+                 m.budget.has_value() ? DecodeBudget(*m.budget) : 0.0);
+    });
+    OnMsg<w::BackboneInclude>([this](int, const w::BackboneInclude& m) {
+      // Whole backbone subtree matches; answer with the cached population.
+      w::BackboneReply reply;
+      reply.count = SubtreePopulation();
+      reply.incomplete = 0;
+      SendRouted(static_cast<int>(m.sender), reply);
+    });
+    OnMsg<w::BackboneReply>([this](int, const w::BackboneReply& m) {
+      count_ += m.count;
+      incomplete_ += m.incomplete;
+      --pending_;
+      CheckDone();
+    });
+    OnMsg<w::Descend>([this](int from, const w::Descend& m) {
+      OnDescend(from, m.budget.has_value() ? DecodeBudget(*m.budget) : 0.0);
+    });
+    OnMsg<w::DescendInclude>([this](int from, const w::DescendInclude&) {
+      w::DescendReply reply;
+      reply.count = MTreePopulation();
+      reply.incomplete = 0;
+      Send(from, reply);
+    });
+    OnMsg<w::DescendReply>([this](int, const w::DescendReply& m) {
+      count_ += m.count;
+      incomplete_ += m.incomplete;
+      --pending_;
+      CheckDone();
+    });
+    OnMsg<w::Answer>([this](int, const w::Answer& m) {
+      if (id() == ctx_->initiator) {
+        ctx_->done = true;
+        ctx_->answer = m.count;
+        ctx_->answer_incomplete = m.incomplete;
+        ctx_->finish_time = network()->Now();
+      } else {
+        // The initiator's root relays the answer down to the initiator.
+        SendRouted(ctx_->initiator, m);
+      }
+    });
   }
 
   /// Injects the query at the initiator (driver call, before Run()).
@@ -108,93 +159,16 @@ class QueryNode : public Node {
     if (id() == state_->cluster_root) {
       ArrivedAtOwnRoot();
     } else {
-      Message m;
-      m.type = kUp;
-      m.category = "query_route";
-      m.doubles = ctx_->q;
-      m.doubles.push_back(ctx_->r);
-      SendHop(state_->tree_parent, std::move(m));
+      w::Up m;
+      m.payload = QueryPayload();
+      Send(state_->tree_parent, m);
     }
   }
 
-  void HandleMessage(int from, const Message& msg) override {
-    if (channel_.attached() && channel_.OnMessage(from, msg)) return;
-    switch (msg.type) {
-      case kUp:
-        if (id() == state_->cluster_root) {
-          ArrivedAtOwnRoot();
-        } else {
-          Message m = msg;
-          SendHop(state_->tree_parent, std::move(m));
-        }
-        break;
-      case kToBackboneRoot:
-        if (state_->is_backbone_root) {
-          StartVisit(/*reply_to=*/-1, ctx_->node_deadline);
-        } else {
-          Forward(kToBackboneRoot, "query_route", state_->backbone_parent,
-                  ctx_->query_units);
-        }
-        break;
-      case kVisit:
-        // Routed messages deliver with `from` = the last relay hop; the
-        // logical sender rides in ints[0] (and its deadline budget in
-        // ints[1] when deadlines are configured).
-        StartVisit(/*reply_to=*/static_cast<int>(msg.ints[0]),
-                   msg.ints.size() > 1 ? DecodeBudget(msg.ints[1]) : 0.0);
-        break;
-      case kBackboneInclude: {
-        // Whole backbone subtree matches; answer with the cached population.
-        Message reply;
-        reply.type = kBackboneReply;
-        reply.category = "query_collect";
-        reply.ints = {SubtreePopulation(), 0};
-        SendFar(static_cast<int>(msg.ints[0]), std::move(reply));
-        break;
-      }
-      case kBackboneReply:
-        count_ += msg.ints[0];
-        incomplete_ += msg.ints[1];
-        --pending_;
-        CheckDone();
-        break;
-      case kDescend:
-        OnDescend(from,
-                  msg.ints.empty() ? 0.0 : DecodeBudget(msg.ints[0]));
-        break;
-      case kDescendInclude: {
-        Message reply;
-        reply.type = kDescendReply;
-        reply.category = "query_collect";
-        reply.ints = {MTreePopulation(), 0};
-        SendHop(from, std::move(reply));
-        break;
-      }
-      case kDescendReply:
-        count_ += msg.ints[0];
-        incomplete_ += msg.ints[1];
-        --pending_;
-        CheckDone();
-        break;
-      case kAnswer:
-        if (id() == ctx_->initiator) {
-          ctx_->done = true;
-          ctx_->answer = msg.ints[0];
-          ctx_->answer_incomplete = msg.ints[1];
-          ctx_->finish_time = network()->Now();
-        } else {
-          // The initiator's root relays the answer down to the initiator.
-          Message m = msg;
-          SendFar(ctx_->initiator, std::move(m));
-        }
-        break;
-      default:
-        ELINK_CHECK(false);
-    }
-  }
+  void set_feature(Feature f) { feature_ = std::move(f); }
 
-  void HandleTimer(int timer_id) override {
-    if (channel_.attached() && channel_.OnTimer(timer_id)) return;
+ protected:
+  void OnProtocolTimer(int timer_id) override {
     ELINK_CHECK(timer_id == kDeadlineTimer);
     // Deadline reached with replies still outstanding: write the missing
     // subtrees off as unreachable and flush a partial aggregate upward.  A
@@ -210,10 +184,6 @@ class QueryNode : public Node {
     return ctx_->metric->Distance(a, b);
   }
 
- public:
-  void set_feature(Feature f) { feature_ = std::move(f); }
-
- private:
   long long MTreePopulation() const {
     long long pop = 1;
     for (const auto& c : state_->mtree_children) pop += c.population;
@@ -227,36 +197,24 @@ class QueryNode : public Node {
     return pop;
   }
 
-  void Forward(int type, const char* category, int to, int units,
-               double budget = -1.0) {
-    Message m;
-    m.type = type;
-    m.category = category;
-    m.ints = {id()};  // Logical sender (routed `from` is just the relay).
-    if (budget >= 0.0) m.ints.push_back(EncodeBudget(budget));
-    if (units > 1) {
-      m.doubles = ctx_->q;
-      m.doubles.push_back(ctx_->r);
-    }
-    SendFar(to, std::move(m));
+  /// The query feature + radius payload.
+  std::vector<double> QueryPayload() const {
+    std::vector<double> p = ctx_->q;
+    p.push_back(ctx_->r);
+    return p;
   }
 
-  /// Single-hop send, over the reliable channel when one is attached.
-  void SendHop(int to, Message m) {
-    if (channel_.attached()) {
-      channel_.Send(to, std::move(m));
-    } else {
-      network()->Send(id(), to, std::move(m));
-    }
+  /// Payload carried by routed leader-chain/backbone messages: the query
+  /// rides along only when it costs more than the one free control unit.
+  std::vector<double> PayloadIfMultiUnit() const {
+    return ctx_->query_units > 1 ? QueryPayload() : std::vector<double>();
   }
 
-  /// Routed send, over the reliable channel when one is attached.
-  void SendFar(int to, Message m) {
-    if (channel_.attached()) {
-      channel_.SendRouted(to, std::move(m));
-    } else {
-      network()->SendRouted(id(), to, std::move(m));
-    }
+  void ForwardToBackboneRoot() {
+    w::ToBackboneRoot m;
+    m.sender = id();  // Logical sender (routed `from` is just the relay).
+    m.payload = PayloadIfMultiUnit();
+    SendRouted(state_->backbone_parent, m);
   }
 
   /// The query reached the initiator's own cluster root: route it to the
@@ -265,8 +223,7 @@ class QueryNode : public Node {
     if (state_->is_backbone_root) {
       StartVisit(/*reply_to=*/-1, ctx_->node_deadline);
     } else {
-      Forward(kToBackboneRoot, "query_route", state_->backbone_parent,
-              ctx_->query_units);
+      ForwardToBackboneRoot();
     }
   }
 
@@ -311,20 +268,26 @@ class QueryNode : public Node {
         continue;  // Whole subtree excluded, no transmission.
       }
       if (d_child <= ctx_->r - child.subtree_radius + 1e-12) {
-        Forward(kBackboneInclude, "query_backbone", child.id,
-                ctx_->query_units);
+        w::BackboneInclude m;
+        m.sender = id();
+        m.payload = PayloadIfMultiUnit();
+        SendRouted(child.id, m);
         ++pending_;
         continue;
       }
-      Forward(kVisit, "query_backbone", child.id, ctx_->query_units,
-              ChildBudget(network()->HopDistance(id(), child.id)));
+      w::Visit m;
+      m.sender = id();
+      m.budget = EncodeBudget(
+          ChildBudget(network()->HopDistance(id(), child.id)));
+      m.payload = PayloadIfMultiUnit();
+      SendRouted(child.id, m);
       ++pending_;
     }
     CheckDone();
   }
 
   /// Self-test plus M-tree child decisions (both for leaders starting a
-  /// descent and for interior nodes receiving kDescend).
+  /// descent and for interior nodes receiving a descend).
   void DescendBody() {
     if (Dist(ctx_->q, feature_) <= ctx_->r + 1e-12) ++count_;
     for (const auto& child : state_->mtree_children) {
@@ -335,24 +298,18 @@ class QueryNode : public Node {
         continue;  // Subtree excluded via the parent-side bound.
       }
       if (d_self + d_link <= ctx_->r - child.covering_radius + 1e-12) {
-        Message m;
-        m.type = kDescendInclude;
-        m.category = "query_descend";
-        m.doubles = ctx_->q;
-        m.doubles.push_back(ctx_->r);
-        SendHop(child.id, std::move(m));
+        w::DescendInclude m;
+        m.payload = QueryPayload();
+        Send(child.id, m);
         ++pending_;
         continue;
       }
-      Message m;
-      m.type = kDescend;
-      m.category = "query_descend";
+      w::Descend m;
       if (ctx_->node_deadline > 0.0) {
-        m.ints = {EncodeBudget(ChildBudget(1))};
+        m.budget = EncodeBudget(ChildBudget(1));
       }
-      m.doubles = ctx_->q;
-      m.doubles.push_back(ctx_->r);
-      SendHop(child.id, std::move(m));
+      m.payload = QueryPayload();
+      Send(child.id, m);
       ++pending_;
     }
   }
@@ -376,36 +333,33 @@ class QueryNode : public Node {
     active_ = false;
     if (descent_parent_ >= 0) {
       // Interior descent node: aggregate to the descent parent.
-      Message m;
-      m.type = kDescendReply;
-      m.category = "query_collect";
-      m.ints = {count_, incomplete_};
-      SendHop(descent_parent_, std::move(m));
+      w::DescendReply m;
+      m.count = count_;
+      m.incomplete = incomplete_;
+      Send(descent_parent_, m);
       descent_parent_ = -1;
       return;
     }
     // Leader: report to the backbone parent, or deliver the answer.
     if (reply_to_ >= 0) {
-      Message m;
-      m.type = kBackboneReply;
-      m.category = "query_collect";
-      m.ints = {count_, incomplete_};
-      SendFar(reply_to_, std::move(m));
+      w::BackboneReply m;
+      m.count = count_;
+      m.incomplete = incomplete_;
+      SendRouted(reply_to_, m);
       reply_to_ = -1;
       return;
     }
     // Backbone root: answer travels to the initiator's root, then down.
-    Message m;
-    m.type = kAnswer;
-    m.category = "query_collect";
-    m.ints = {count_, incomplete_};
     if (id() == ctx_->initiator) {
       ctx_->done = true;
       ctx_->answer = count_;
       ctx_->answer_incomplete = incomplete_;
       ctx_->finish_time = network()->Now();
     } else {
-      SendFar(ctx_->initiator_root, std::move(m));
+      w::Answer m;
+      m.count = count_;
+      m.incomplete = incomplete_;
+      SendRouted(ctx_->initiator_root, m);
     }
   }
 
@@ -420,7 +374,6 @@ class QueryNode : public Node {
   int reply_to_ = -1;
   int descent_parent_ = -1;
   double budget_ = 0.0;  // Remaining flush budget of the current visit.
-  ReliableChannel channel_;
 };
 
 }  // namespace
@@ -525,25 +478,23 @@ Result<DistributedQueryOutcome> DistributedRangeQuery::Run(int initiator,
   ctx.reliable = options_.reliable_transport;
   ctx.reliable_cfg = options_.reliable;
 
-  Network::Config ncfg;
-  ncfg.synchronous = options_.synchronous;
-  ncfg.seed = options_.seed;
-  ncfg.fault = options_.fault;
-  Network net(topology_, ncfg);
-  net.InstallNodes([&](int id) {
+  proto::RunHarness::Options hopt;
+  hopt.net.synchronous = options_.synchronous;
+  hopt.net.seed = options_.seed;
+  hopt.net.fault = options_.fault;
+  // Keeps the clock honest when the query dies en route: the initiator
+  // gives up at this time, which is what the reported latency shows.
+  hopt.run_horizon = options_.query_deadline;
+  proto::RunHarness harness(topology_, hopt);
+  harness.InstallNodes([&](int id) {
     auto node = std::make_unique<QueryNode>(&states[id], &ctx);
     node->set_feature(features_[id]);
     return node;
   });
-  static_cast<QueryNode*>(net.node(initiator))->Inject();
-  if (options_.query_deadline > 0.0) {
-    // Keeps the clock honest when the query dies en route: the initiator
-    // gives up at this time, which is what the reported latency shows.
-    net.ScheduleAfter(options_.query_deadline, [] {});
-  }
-  net.Run();
+  static_cast<QueryNode*>(harness.net().node(initiator))->Inject();
+  const proto::RunHarness::Report report = harness.Run();
 
-  if (net.hit_event_cap()) {
+  if (report.hit_event_cap) {
     return Status::Internal("distributed range query hit the event cap");
   }
   if (!ctx.done) {
@@ -553,8 +504,8 @@ Result<DistributedQueryOutcome> DistributedRangeQuery::Run(int initiator,
     }
     DistributedQueryOutcome lost;
     lost.match_count = 0;
-    lost.latency = net.Now();
-    lost.stats = net.stats();
+    lost.latency = report.end_time;
+    lost.stats = harness.net().stats();
     lost.complete = false;
     lost.answer_received = false;
     return lost;
@@ -562,7 +513,7 @@ Result<DistributedQueryOutcome> DistributedRangeQuery::Run(int initiator,
   DistributedQueryOutcome outcome;
   outcome.match_count = ctx.answer;
   outcome.latency = ctx.finish_time;
-  outcome.stats = net.stats();
+  outcome.stats = harness.net().stats();
   outcome.unreachable_subtrees = ctx.answer_incomplete;
   outcome.complete = ctx.answer_incomplete == 0;
   return outcome;

@@ -68,6 +68,18 @@ double FaultInjector::LinkDropProbability(int from, int to) const {
   return plan_.drop_probability;
 }
 
+bool FaultInjector::TruncatePayload(size_t num_ints, size_t num_doubles,
+                                    size_t* keep_ints, size_t* keep_doubles) {
+  if (plan_.truncate_probability <= 0.0) return false;
+  if (num_ints == 0 && num_doubles == 0) return false;  // Nothing to chop.
+  if (!rng_.Bernoulli(plan_.truncate_probability)) return false;
+  // UniformInt(n) is in [0, n), so any populated array genuinely shrinks.
+  *keep_ints = num_ints == 0 ? 0 : static_cast<size_t>(rng_.UniformInt(num_ints));
+  *keep_doubles =
+      num_doubles == 0 ? 0 : static_cast<size_t>(rng_.UniformInt(num_doubles));
+  return true;
+}
+
 bool FaultInjector::DropTransmission(int from, int to, double now) {
   if (LinkDown(from, to, now)) return true;
   const double p = LinkDropProbability(from, to);

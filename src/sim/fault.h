@@ -24,6 +24,14 @@ struct FaultPlan {
   /// Probability that any single-hop transmission is lost (i.i.d.).
   double drop_probability = 0.0;
 
+  /// Probability that a transmission's payload arrives *truncated* (i.i.d.):
+  /// the message is delivered, but a seeded prefix of its ints/doubles is
+  /// chopped off in flight.  Models bit errors that shorten a frame without
+  /// killing it; receiving protocols must treat such messages as a decode
+  /// error, never as valid fields.  Drawn from the injector's private RNG
+  /// stream, so enabling truncation never perturbs delay or drop draws.
+  double truncate_probability = 0.0;
+
   /// Per-link loss probability overriding `drop_probability`.  Undirected by
   /// default; set `directed` to affect only the from->to direction (useful
   /// for, e.g., losing acks but not data).
@@ -57,8 +65,9 @@ struct FaultPlan {
 
   /// True when the plan can affect any run at all.
   bool enabled() const {
-    return drop_probability > 0.0 || !link_overrides.empty() ||
-           !link_outages.empty() || !node_crashes.empty();
+    return drop_probability > 0.0 || truncate_probability > 0.0 ||
+           !link_overrides.empty() || !link_outages.empty() ||
+           !node_crashes.empty();
   }
 };
 
@@ -82,6 +91,17 @@ class FaultInjector {
 
   /// True when the from->to direction is inside a scheduled outage at `now`.
   bool LinkDown(int from, int to, double now) const;
+
+  /// True when the plan can truncate payloads at all (cheap fast-path gate).
+  bool truncates() const { return plan_.truncate_probability > 0.0; }
+
+  /// Decides whether a transmission carrying `num_ints` ints and
+  /// `num_doubles` doubles arrives truncated; on true, writes the number of
+  /// surviving leading fields (strictly fewer than sent when any exist).
+  /// Advances the private RNG stream only when truncation is enabled, so
+  /// plans without it reproduce pre-truncation runs bit for bit.
+  bool TruncatePayload(size_t num_ints, size_t num_doubles, size_t* keep_ints,
+                       size_t* keep_doubles);
 
   /// Loss probability in effect for the from->to direction.
   double LinkDropProbability(int from, int to) const;

@@ -36,10 +36,25 @@ double Network::NextHopDelay() {
   return rng_.Uniform(config_.async_delay_min, config_.async_delay_max);
 }
 
+void Network::MaybeTruncate(Message* msg) {
+  size_t keep_ints = 0, keep_doubles = 0;
+  if (fault_.truncates() &&
+      fault_.TruncatePayload(msg->ints.size(), msg->doubles.size(), &keep_ints,
+                             &keep_doubles)) {
+    msg->ints.resize(keep_ints);
+    msg->doubles.resize(keep_doubles);
+  }
+}
+
 void Network::Send(int from, int to, Message msg) {
   ELINK_CHECK(topology_.HasEdge(from, to));
   ELINK_CHECK(nodes_[to] != nullptr);
   const double delay = NextHopDelay();
+  // Truncation is decided first (the chopped frame is what is on the air, so
+  // drop charges reflect it), then loss.  Each fault stream draw happens in
+  // the same order here and in SendShared, keeping Broadcast bit-identical
+  // to the N Sends it replaces.
+  if (fault_.enabled()) MaybeTruncate(&msg);
   // All fault decisions are made at send time (the receiver's crash state is
   // evaluated at the arrival instant), so runs stay deterministic and the
   // drop is charged to the ledger exactly once.
@@ -60,21 +75,39 @@ void Network::SendShared(int from, int to,
                          const std::shared_ptr<const Message>& msg) {
   ELINK_CHECK(topology_.HasEdge(from, to));
   ELINK_CHECK(nodes_[to] != nullptr);
-  // Mirrors Send exactly — same RNG draw order (delay first, then fault
-  // decisions), same charging — so a Broadcast is bit-identical to the N
-  // independent Sends it replaces.
+  // Mirrors Send exactly — same RNG draw order (delay first, then truncate,
+  // then loss), same charging — so a Broadcast is bit-identical to the N
+  // independent Sends it replaces.  A truncated leg falls back to a private
+  // copy of the payload; intact legs keep sharing the immutable message.
   const double delay = NextHopDelay();
+  Message chopped;
+  const Message* wire = msg.get();
+  size_t keep_ints = 0, keep_doubles = 0;
+  if (fault_.enabled() && fault_.truncates() &&
+      fault_.TruncatePayload(msg->ints.size(), msg->doubles.size(), &keep_ints,
+                             &keep_doubles)) {
+    chopped = *msg;
+    chopped.ints.resize(keep_ints);
+    chopped.doubles.resize(keep_doubles);
+    wire = &chopped;
+  }
   if (fault_.enabled() &&
       (fault_.IsCrashed(from, Now()) ||
        fault_.DropTransmission(from, to, Now()) ||
        fault_.IsCrashed(to, Now() + delay))) {
-    stats_.RecordDropped(msg->category, msg->CostUnits());
+    stats_.RecordDropped(wire->category, wire->CostUnits());
     return;
   }
-  stats_.Record(msg->category, msg->CostUnits());
-  queue_.ScheduleAfter(delay, [this, from, to, msg]() {
-    nodes_[to]->HandleMessage(from, *msg);
-  });
+  stats_.Record(wire->category, wire->CostUnits());
+  if (wire == &chopped) {
+    queue_.ScheduleAfter(delay, [this, from, to, m = std::move(chopped)]() {
+      nodes_[to]->HandleMessage(from, m);
+    });
+  } else {
+    queue_.ScheduleAfter(delay, [this, from, to, msg]() {
+      nodes_[to]->HandleMessage(from, *msg);
+    });
+  }
 }
 
 void Network::Broadcast(int from, Message msg) {
@@ -106,6 +139,9 @@ int Network::SendRouted(int from, int to, Message msg) {
   const RoutingTable& table = TableFor(to);
   const int hops = table.HopsToRoot(from);
   ELINK_CHECK(hops > 0);  // Connected networks only.
+  // End-to-end payload corruption: one truncation decision per routed
+  // message, drawn before the per-hop loss draws.
+  if (fault_.enabled()) MaybeTruncate(&msg);
   // Walk the path hop by hop: each relay transmission is charged when it
   // happens and any hop can lose the message (relay crashed, link down or
   // lossy, next relay dead on arrival).  Fault-free, this performs exactly

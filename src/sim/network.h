@@ -139,6 +139,9 @@ class Network {
  private:
   double NextHopDelay();
   const RoutingTable& TableFor(int root);
+  /// Applies the fault plan's in-flight payload truncation to `msg` (no-op
+  /// unless the plan enables it; draws from the fault RNG stream only then).
+  void MaybeTruncate(Message* msg);
   /// One fan-out leg of a Broadcast: identical charging/fault/delay logic to
   /// Send, but the delivery closure holds a reference to the shared payload
   /// instead of its own Message copy.

@@ -38,6 +38,17 @@ void MessageStats::RecordDropped(const std::string& category, int units) {
   views_dirty_ = true;
 }
 
+void MessageStats::RecordDecodeError(const std::string& category) {
+  decode_errors_ += 1;
+  counters_[Intern(category)].decode_errors += 1;
+  views_dirty_ = true;
+}
+
+uint64_t MessageStats::decode_errors(const std::string& category) const {
+  const Counters* c = Find(category);
+  return c == nullptr ? 0 : c->decode_errors;
+}
+
 uint64_t MessageStats::units(const std::string& category) const {
   const Counters* c = Find(category);
   return c == nullptr ? 0 : c->units;
@@ -80,6 +91,7 @@ void MessageStats::Reset() {
   total_units_ = 0;
   dropped_sends_ = 0;
   dropped_units_ = 0;
+  decode_errors_ = 0;
   // The intern table survives a Reset (categories recur across runs); only
   // the counters are zeroed, so nothing is "recorded" afterwards.
   for (Counters& c : counters_) c = Counters{};
@@ -93,14 +105,18 @@ void MessageStats::Merge(const MessageStats& other) {
   total_units_ += other.total_units_;
   dropped_sends_ += other.dropped_sends_;
   dropped_units_ += other.dropped_units_;
+  decode_errors_ += other.decode_errors_;
   for (size_t id = 0; id < other.names_.size(); ++id) {
     const Counters& oc = other.counters_[id];
-    if (oc.sends == 0 && oc.dropped_sends == 0) continue;
+    if (oc.sends == 0 && oc.dropped_sends == 0 && oc.decode_errors == 0) {
+      continue;
+    }
     Counters& c = counters_[Intern(other.names_[id])];
     c.units += oc.units;
     c.sends += oc.sends;
     c.dropped_units += oc.dropped_units;
     c.dropped_sends += oc.dropped_sends;
+    c.decode_errors += oc.decode_errors;
   }
   views_dirty_ = true;
 }
@@ -125,6 +141,10 @@ std::string MessageStats::ToString() const {
     out += StringPrintf(" dropped=%llu/%llu",
                         static_cast<unsigned long long>(dropped_sends_),
                         static_cast<unsigned long long>(dropped_units_));
+  }
+  if (decode_errors_ > 0) {
+    out += StringPrintf(" decode_errors=%llu",
+                        static_cast<unsigned long long>(decode_errors_));
   }
   return out;
 }

@@ -34,6 +34,12 @@ class MessageStats {
   /// sends are tallied separately and never enter the delivered totals.
   void RecordDropped(const std::string& category, int units);
 
+  /// Records one delivered message that the receiving protocol could not
+  /// decode (truncated or malformed payload).  Decode failures are a
+  /// protocol-level error, tallied separately from sends/units; the message
+  /// was already charged at send time.
+  void RecordDecodeError(const std::string& category);
+
   /// Raw transmissions (sends over one hop).
   uint64_t total_sends() const { return total_sends_; }
 
@@ -55,6 +61,12 @@ class MessageStats {
 
   /// Units lost to fault injection (not counted in total_units()).
   uint64_t dropped_units() const { return dropped_units_; }
+
+  /// Delivered messages the receiving protocol rejected as undecodable.
+  uint64_t decode_errors() const { return decode_errors_; }
+
+  /// Decode errors recorded under one category (0 when absent).
+  uint64_t decode_errors(const std::string& category) const;
 
   /// Dropped units recorded under one category (0 when absent).
   uint64_t dropped(const std::string& category) const;
@@ -85,6 +97,7 @@ class MessageStats {
     uint64_t sends = 0;
     uint64_t dropped_units = 0;
     uint64_t dropped_sends = 0;
+    uint64_t decode_errors = 0;
   };
 
   /// Returns the id for `category`, interning it on first use.
@@ -97,6 +110,7 @@ class MessageStats {
   uint64_t total_units_ = 0;
   uint64_t dropped_sends_ = 0;
   uint64_t dropped_units_ = 0;
+  uint64_t decode_errors_ = 0;
 
   std::vector<std::string> names_;   // CategoryId -> name.
   std::vector<Counters> counters_;   // CategoryId -> flat counters.

@@ -114,6 +114,35 @@ TEST(ClusteredNetworkTest, SafePathAgreesWithSafety) {
   }
 }
 
+TEST(ClusteredNetworkTest, DistributedQueriesMatchEngines) {
+  const SensorDataset ds = TerrainDs();
+  auto net_r = ClusteredSensorNetwork::Build(ds, DefaultOptions(ds));
+  ASSERT_TRUE(net_r.ok());
+  auto& net = *net_r.value();
+  Rng rng(19);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Feature q = {rng.Uniform(175.0, 1996.0)};
+    const double r = rng.Uniform(0.2, 1.0) * net.delta();
+    const int initiator = static_cast<int>(rng.UniformInt(200));
+    const RangeQueryResult engine = net.RangeQuery(initiator, q, r);
+    auto dist = net.RangeQueryDistributed(initiator, q, r);
+    ASSERT_TRUE(dist.ok()) << dist.status().ToString();
+    EXPECT_EQ(dist.value().match_count,
+              static_cast<long long>(engine.matches.size()));
+  }
+  for (int trial = 0; trial < 5; ++trial) {
+    const int src = static_cast<int>(rng.UniformInt(200));
+    const int dst = static_cast<int>(rng.UniformInt(200));
+    const Feature danger = {rng.Uniform(175.0, 1996.0)};
+    const double gamma = rng.Uniform(0.05, 0.3) * FeatureDiameter(ds);
+    const PathQueryResult engine = net.SafePath(src, dst, danger, gamma);
+    auto dist = net.SafePathDistributed(src, dst, danger, gamma);
+    ASSERT_TRUE(dist.ok()) << dist.status().ToString();
+    EXPECT_EQ(dist.value().found, engine.found);
+    EXPECT_EQ(dist.value().path, engine.path);
+  }
+}
+
 TEST(ClusteredNetworkTest, LedgerAccumulatesAcrossPhases) {
   const SensorDataset ds = TerrainDs();
   auto net_r = ClusteredSensorNetwork::Build(ds, DefaultOptions(ds));

@@ -1,0 +1,305 @@
+// Tests for the proto runtime: round-trip serialization of every wire
+// schema with fuzzed values (including CostUnits checks), decoder rejection
+// of malformed frames, and end-to-end truncation-fault injection into each
+// protocol built on the runtime.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+
+#include "cluster/elink.h"
+#include "cluster/elink_wire.h"
+#include "cluster/maintenance_protocol.h"
+#include "cluster/maintenance_wire.h"
+#include "common/rng.h"
+#include "data/terrain.h"
+#include "index/path_wire.h"
+#include "index/query_protocol.h"
+#include "index/query_wire.h"
+#include "proto/codec.h"
+
+namespace elink {
+namespace {
+
+std::vector<double> FuzzBlock(Rng& rng, int max_len) {
+  std::vector<double> out(rng.UniformInt(max_len + 1));
+  for (double& v : out) v = rng.Uniform(-1e6, 1e6);
+  return out;
+}
+
+long long FuzzI64(Rng& rng) {
+  return static_cast<long long>(rng.UniformInt(1u << 30)) - (1 << 29);
+}
+
+/// Encode -> wire sanity (type/category/CostUnits) -> Decode -> equality.
+template <typename M>
+void CheckRoundTrip(const M& m) {
+  const Message wire = proto::Encode(m);
+  EXPECT_EQ(wire.type, M::kType);
+  EXPECT_EQ(wire.category, M::kCategory);
+  // The paper's unit accounting: one unit per carried coefficient, minimum
+  // one per transmission.
+  EXPECT_EQ(wire.CostUnits(),
+            wire.doubles.empty() ? 1u : wire.doubles.size());
+  Result<M> back = proto::Decode<M>(wire);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(*back, m);
+}
+
+TEST(ProtoCodecTest, ElinkSchemasRoundTrip) {
+  Rng rng(21);
+  for (int trial = 0; trial < 50; ++trial) {
+    elink_wire::Expand expand;
+    expand.root = FuzzI64(rng);
+    expand.level = FuzzI64(rng);
+    expand.feature = FuzzBlock(rng, 6);
+    CheckRoundTrip(expand);
+    CheckRoundTrip(elink_wire::Ack1{});
+    CheckRoundTrip(elink_wire::Nack{});
+    CheckRoundTrip(elink_wire::Ack2{});
+    elink_wire::Phase1 p1;
+    p1.round = FuzzI64(rng);
+    CheckRoundTrip(p1);
+    elink_wire::Phase2 p2;
+    p2.round = FuzzI64(rng);
+    CheckRoundTrip(p2);
+    CheckRoundTrip(elink_wire::Start{});
+  }
+}
+
+TEST(ProtoCodecTest, QuerySchemasRoundTrip) {
+  Rng rng(22);
+  for (int trial = 0; trial < 50; ++trial) {
+    query_wire::Up up;
+    up.payload = FuzzBlock(rng, 6);
+    CheckRoundTrip(up);
+    query_wire::ToBackboneRoot tbr;
+    tbr.sender = FuzzI64(rng);
+    tbr.payload = FuzzBlock(rng, 6);
+    CheckRoundTrip(tbr);
+    query_wire::Visit visit;
+    visit.sender = FuzzI64(rng);
+    if (trial % 2 == 0) visit.budget = FuzzI64(rng);  // Optional trailing.
+    visit.payload = FuzzBlock(rng, 6);
+    CheckRoundTrip(visit);
+    query_wire::BackboneInclude binc;
+    binc.sender = FuzzI64(rng);
+    binc.payload = FuzzBlock(rng, 6);
+    CheckRoundTrip(binc);
+    query_wire::BackboneReply brep;
+    brep.count = FuzzI64(rng);
+    brep.incomplete = FuzzI64(rng);
+    CheckRoundTrip(brep);
+    query_wire::Descend descend;
+    if (trial % 2 == 1) descend.budget = FuzzI64(rng);
+    descend.payload = FuzzBlock(rng, 6);
+    CheckRoundTrip(descend);
+    query_wire::DescendInclude dinc;
+    dinc.payload = FuzzBlock(rng, 6);
+    CheckRoundTrip(dinc);
+    query_wire::DescendReply drep;
+    drep.count = FuzzI64(rng);
+    drep.incomplete = FuzzI64(rng);
+    CheckRoundTrip(drep);
+    query_wire::Answer answer;
+    answer.count = FuzzI64(rng);
+    answer.incomplete = FuzzI64(rng);
+    CheckRoundTrip(answer);
+  }
+}
+
+TEST(ProtoCodecTest, MaintenanceSchemasRoundTrip) {
+  Rng rng(23);
+  for (int trial = 0; trial < 50; ++trial) {
+    maint_wire::FetchUp fetch;
+    fetch.origin = FuzzI64(rng);
+    CheckRoundTrip(fetch);
+    maint_wire::RootFeature rf;
+    rf.feature = FuzzBlock(rng, 6);
+    CheckRoundTrip(rf);
+    maint_wire::Push push;
+    push.feature = FuzzBlock(rng, 6);
+    CheckRoundTrip(push);
+    CheckRoundTrip(maint_wire::Probe{});
+    maint_wire::ProbeReply reply;
+    reply.root = FuzzI64(rng);
+    reply.settled = trial % 2;
+    reply.stored_root = FuzzBlock(rng, 6);
+    CheckRoundTrip(reply);
+    CheckRoundTrip(maint_wire::Leave{});
+    CheckRoundTrip(maint_wire::Attach{});
+    CheckRoundTrip(maint_wire::Orphan{});
+    maint_wire::RootChanged rc;
+    rc.root = FuzzI64(rng);
+    rc.feature = FuzzBlock(rng, 6);
+    CheckRoundTrip(rc);
+  }
+}
+
+TEST(ProtoCodecTest, PathSchemasRoundTrip) {
+  Rng rng(24);
+  for (int trial = 0; trial < 50; ++trial) {
+    path_wire::PathUp up;
+    up.danger = FuzzBlock(rng, 6);
+    up.gamma = rng.Uniform(0.0, 1e3);
+    CheckRoundTrip(up);
+    path_wire::PathRoute route;
+    route.danger = FuzzBlock(rng, 6);
+    route.gamma = rng.Uniform(0.0, 1e3);
+    CheckRoundTrip(route);
+    path_wire::PathVisit visit;
+    visit.sender = FuzzI64(rng);
+    visit.danger = FuzzBlock(rng, 6);
+    visit.gamma = rng.Uniform(0.0, 1e3);
+    CheckRoundTrip(visit);
+    path_wire::PathDrill drill;
+    drill.danger = FuzzBlock(rng, 6);
+    drill.gamma = rng.Uniform(0.0, 1e3);
+    CheckRoundTrip(drill);
+    CheckRoundTrip(path_wire::PathDrillDone{});
+    CheckRoundTrip(path_wire::PathVisitDone{});
+  }
+}
+
+TEST(ProtoCodecTest, RejectsMalformedFrames) {
+  elink_wire::Expand expand;
+  expand.root = 4;
+  expand.level = 2;
+  expand.feature = {1.0, 2.0};
+  const Message good = proto::Encode(expand);
+  ASSERT_TRUE(proto::Decode<elink_wire::Expand>(good).ok());
+
+  // Wrong type tag.
+  Message wrong_type = good;
+  wrong_type.type = elink_wire::Ack1::kType;
+  EXPECT_FALSE(proto::Decode<elink_wire::Expand>(wrong_type).ok());
+
+  // Truncated ints (below the required arity).
+  Message short_ints = good;
+  short_ints.ints.pop_back();
+  EXPECT_FALSE(proto::Decode<elink_wire::Expand>(short_ints).ok());
+
+  // Surplus ints beyond required + optional.
+  Message long_ints = good;
+  long_ints.ints.push_back(9);
+  EXPECT_FALSE(proto::Decode<elink_wire::Expand>(long_ints).ok());
+
+  // A block-less schema must reject any doubles at all.
+  query_wire::Answer answer;
+  answer.count = 3;
+  answer.incomplete = 0;
+  Message stray_doubles = proto::Encode(answer);
+  stray_doubles.doubles.push_back(1.5);
+  EXPECT_FALSE(proto::Decode<query_wire::Answer>(stray_doubles).ok());
+
+  // A fixed double chopped off (PathUp needs at least its gamma field).
+  path_wire::PathUp up;
+  up.danger = {};
+  up.gamma = 2.0;
+  Message no_gamma = proto::Encode(up);
+  no_gamma.doubles.clear();
+  EXPECT_FALSE(proto::Decode<path_wire::PathUp>(no_gamma).ok());
+
+  // An optional trailing int decodes as absent, not as an error.
+  query_wire::Visit visit;
+  visit.sender = 7;
+  visit.budget = 123;
+  visit.payload = {0.5};
+  Message no_budget = proto::Encode(visit);
+  no_budget.ints.pop_back();
+  Result<query_wire::Visit> back = proto::Decode<query_wire::Visit>(no_budget);
+  ASSERT_TRUE(back.ok());
+  EXPECT_FALSE(back->budget.has_value());
+}
+
+SensorDataset Terrain(int n) {
+  TerrainConfig cfg;
+  cfg.num_nodes = n;
+  cfg.radio_range_fraction = 0.1;
+  cfg.seed = 9;
+  return std::move(MakeTerrainDataset(cfg)).value();
+}
+
+TEST(TruncationInjectionTest, ElinkCountsErrorsAndStaysValid) {
+  const SensorDataset ds = Terrain(120);
+  ElinkConfig cfg;
+  cfg.delta = 0.25 * FeatureDiameter(ds);
+  cfg.seed = 7;
+  cfg.fault.truncate_probability = 0.3;
+  Result<ElinkResult> r = RunElink(ds, cfg, ElinkMode::kImplicit);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GT(r.value().stats.decode_errors(), 0u);
+  // Every node still ends up with a cluster assignment (worst case its own
+  // singleton), and truncation never crashes a handler.
+  for (int root : r.value().clustering.root_of) EXPECT_GE(root, 0);
+}
+
+TEST(TruncationInjectionTest, MaintenanceCountsErrorsAndSurvives) {
+  const SensorDataset ds = Terrain(100);
+  const double delta = 0.25 * FeatureDiameter(ds);
+  ElinkConfig cfg;
+  cfg.delta = delta;
+  cfg.seed = 7;
+  Result<ElinkResult> clean = RunElink(ds, cfg, ElinkMode::kImplicit);
+  ASSERT_TRUE(clean.ok());
+
+  MaintenanceConfig mcfg;
+  mcfg.delta = delta;
+  mcfg.slack = 0.05 * delta;
+  FaultPlan fault;
+  fault.truncate_probability = 0.6;
+  DistributedMaintenance maint(ds.topology, clean.value().clustering,
+                               ds.features, ds.metric, mcfg,
+                               /*synchronous=*/true, /*seed=*/11, fault);
+  // Large jumps defeat the A1-A3 absorption checks and force fetch/push/
+  // probe traffic, all of it exposed to in-flight truncation.
+  Rng rng(31);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int node = static_cast<int>(rng.UniformInt(100));
+    Feature f = ds.features[node];
+    for (double& x : f) x += rng.Uniform(2.0, 4.0) * delta;
+    maint.ApplyUpdate(node, f);
+  }
+  EXPECT_GT(maint.stats().decode_errors(), 0u);
+  // Every node still names a live root; no handler crashed on short frames.
+  const Clustering now = maint.CurrentClustering();
+  for (int root : now.root_of) EXPECT_GE(root, 0);
+}
+
+TEST(TruncationInjectionTest, RangeQueryCountsErrorsAndFinishes) {
+  const SensorDataset ds = Terrain(120);
+  const double delta = 0.25 * FeatureDiameter(ds);
+  ElinkConfig cfg;
+  cfg.delta = delta;
+  cfg.seed = 7;
+  Result<ElinkResult> clean = RunElink(ds, cfg, ElinkMode::kImplicit);
+  ASSERT_TRUE(clean.ok());
+  const Clustering& clustering = clean.value().clustering;
+  const std::vector<int> tree =
+      BuildClusterTrees(clustering, ds.topology.adjacency);
+  const ClusterIndex index =
+      ClusterIndex::Build(clustering, tree, ds.features, *ds.metric);
+  const Backbone backbone =
+      Backbone::Build(clustering, ds.topology.adjacency, nullptr,
+                      &ds.features, ds.metric.get());
+
+  DistributedRangeQuery::ProtocolOptions options;
+  options.fault.truncate_probability = 0.5;
+  options.node_deadline = 400.0;
+  options.query_deadline = 4000.0;
+  DistributedRangeQuery protocol(ds.topology, clustering, index, backbone,
+                                 ds.features, ds.metric, options);
+  Rng rng(17);
+  uint64_t decode_errors = 0;
+  for (int trial = 0; trial < 8; ++trial) {
+    const Feature q = ds.features[rng.UniformInt(120)];
+    Result<DistributedQueryOutcome> out =
+        protocol.Run(static_cast<int>(rng.UniformInt(120)), q, 0.7 * delta);
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+    decode_errors += out.value().stats.decode_errors();
+  }
+  EXPECT_GT(decode_errors, 0u);
+}
+
+}  // namespace
+}  // namespace elink
