@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <functional>
 #include <string>
 #include <thread>
@@ -24,6 +25,7 @@
 #include "data/dataset.h"
 #include "index/backbone.h"
 #include "index/mtree.h"
+#include "obs/run_report.h"
 
 namespace elink {
 namespace bench {
@@ -108,6 +110,40 @@ inline int ThreadsFromArgs(int argc, char** argv) {
     }
   }
   return 1;
+}
+
+/// Parses a `--name value` / `--name=value` string flag; empty when absent.
+inline std::string StringFlag(int argc, char** argv, const char* name,
+                              const std::string& default_value = "") {
+  const std::string eq = std::string(name) + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], eq.c_str(), eq.size()) == 0) {
+      return argv[i] + eq.size();
+    }
+    if (std::strcmp(argv[i], name) == 0 && i + 1 < argc) {
+      return argv[i + 1];
+    }
+  }
+  return default_value;
+}
+
+/// Writes run reports as JSON lines (one RunReport object per line), the
+/// uniform machine-readable sidecar next to a bench's plain-text table.
+/// Dies loudly on I/O failure, like Unwrap.
+inline void WriteRunReports(const std::string& path,
+                            const std::vector<obs::RunReport>& reports) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    std::abort();
+  }
+  for (const obs::RunReport& r : reports) f << r.ToJson();
+  if (!f) {
+    std::fprintf(stderr, "short write to %s\n", path.c_str());
+    std::abort();
+  }
+  std::fprintf(stderr, "wrote %zu run report(s) to %s\n", reports.size(),
+               path.c_str());
 }
 
 /// The four Section-8.3 clustering algorithms run on one dataset at one

@@ -16,6 +16,7 @@
 #include "common/rng.h"
 #include "data/terrain.h"
 #include "index/query_protocol.h"
+#include "obs/telemetry.h"
 
 using namespace elink;
 using namespace elink::bench;
@@ -67,6 +68,7 @@ FaultPlan MakePlan(double drop_p, int count, int n,
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string report_out = StringFlag(argc, argv, "--report-out");
   TerrainConfig tcfg;
   tcfg.num_nodes = 200;
   tcfg.radio_range_fraction = 0.1;
@@ -150,13 +152,19 @@ int main(int argc, char** argv) {
   // backbone, trial batch); each owns its simulations, so they parallelize
   // freely.  Rows are formatted into per-cell slots and printed in sweep
   // order after the join.
+  // Two reports per cell (ELink rebuild, query batch), filled into
+  // index-ordered slots so --report-out bytes match for any thread count.
+  std::vector<obs::RunReport> reports(2 * cells.size());
+
   ParallelTrialRunner runner(ThreadsFromArgs(argc, argv));
   runner.Run(static_cast<int>(cells.size()), [&](int c) {
     SweepCell& cell = cells[c];
     const FaultPlan& plan = cell.plan;
 
     // -- ELink under faults ---------------------------------------------
+    obs::RunTelemetry elink_tele;
     ElinkConfig cfg = base_cfg;
+    cfg.observer = &elink_tele;
     cfg.fault = plan;
     if (plan.enabled()) {
       cfg.reliable_transport = true;
@@ -187,10 +195,13 @@ int main(int argc, char** argv) {
       qopt.node_deadline = 2500.0;
       qopt.query_deadline = 30000.0;
     }
+    obs::RunTelemetry query_tele;
+    qopt.observer = &query_tele;
     DistributedRangeQuery protocol(ds.topology, baseline.clustering, index,
                                    backbone, ds.features, ds.metric, qopt);
     double recall = 0.0;
     int complete = 0, answered = 0;
+    MessageStats query_stats;
     for (const Trial& tr : trials) {
       const DistributedQueryOutcome out =
           Unwrap(protocol.Run(tr.initiator, tr.q, tr.r), "query");
@@ -200,7 +211,31 @@ int main(int argc, char** argv) {
                     ? 1.0
                     : std::min<double>(out.match_count, tr.truth) /
                           static_cast<double>(tr.truth);
+      query_stats.Merge(out.stats);
     }
+
+    // -- Per-cell run reports -------------------------------------------
+    obs::RunReport erep =
+        elink_tele.MakeReport("elink_explicit", cfg.seed, run.stats);
+    erep.SetParam("drop_p", cell.drop_p);
+    erep.SetParam("crash_frac", cell.crash_frac);
+    erep.SetParam("crashed", cell.crashed);
+    erep.metrics.SetGauge("rand_index",
+                          RandIndex(baseline.clustering, run.clustering));
+    erep.metrics.SetGauge("completed", run.completed ? 1.0 : 0.0);
+    reports[2 * c] = std::move(erep);
+
+    obs::RunReport qrep =
+        query_tele.MakeReport("range_query", qopt.seed, query_stats);
+    qrep.SetParam("drop_p", cell.drop_p);
+    qrep.SetParam("crash_frac", cell.crash_frac);
+    qrep.SetParam("trials", kTrials);
+    qrep.metrics.SetGauge("recall", recall / kTrials);
+    qrep.metrics.SetGauge("complete_fraction",
+                          static_cast<double>(complete) / kTrials);
+    qrep.metrics.SetGauge("answered_fraction",
+                          static_cast<double>(answered) / kTrials);
+    reports[2 * c + 1] = std::move(qrep);
 
     char row[256];
     std::snprintf(row, sizeof(row),
@@ -222,5 +257,6 @@ int main(int argc, char** argv) {
   for (const SweepCell& cell : cells) {
     std::fputs(cell.row.c_str(), stdout);
   }
+  if (!report_out.empty()) WriteRunReports(report_out, reports);
   return 0;
 }

@@ -10,7 +10,8 @@
 using namespace elink;
 using namespace elink::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string report_out = StringFlag(argc, argv, "--report-out");
   TerrainConfig tcfg;
   tcfg.num_nodes = 600;
   tcfg.radio_range_fraction = 0.06;
@@ -40,11 +41,14 @@ int main() {
                          ds.topology.adjacency, ds.features, *ds.metric,
                          delta);
 
+  std::vector<obs::RunReport> reports;
   PrintRow({"gamma(m)", "ELink", "BFS", "gain", "routable%"});
   for (double gamma : {100.0, 200.0, 300.0, 450.0, 600.0}) {
     Rng rng(900 + static_cast<uint64_t>(gamma));
     uint64_t ours = 0, bfs = 0;
     int routable = 0;
+    MessageStats sweep_stats;
+    obs::RunReport rep;
     for (int q = 0; q < trials; ++q) {
       const int src = static_cast<int>(rng.UniformInt(tcfg.num_nodes));
       const int dst = static_cast<int>(rng.UniformInt(tcfg.num_nodes));
@@ -58,11 +62,27 @@ int main() {
       ours += a.stats.total_units();
       bfs += b.stats.total_units();
       if (a.found) ++routable;
+      sweep_stats.Merge(a.stats);
+      rep.metrics.RecordHistogram("query_units",
+                                  static_cast<double>(a.stats.total_units()));
+      rep.metrics.RecordHistogram("bfs_units",
+                                  static_cast<double>(b.stats.total_units()));
     }
+    rep.protocol = "path_query_engine";
+    rep.seed = 900 + static_cast<uint64_t>(gamma);
+    rep.SetParam("gamma", gamma);
+    rep.SetParam("trials", trials);
+    rep.SetParam("nodes", tcfg.num_nodes);
+    rep.SetParam("delta", delta);
+    rep.CaptureStats(sweep_stats);
+    rep.metrics.SetGauge("routable_fraction",
+                         static_cast<double>(routable) / trials);
+    reports.push_back(std::move(rep));
     PrintRow({Cell(gamma, 0), Cell(ours / trials), Cell(bfs / trials),
               Cell(ours ? static_cast<double>(bfs) / ours : 0.0, 1),
               Cell(100.0 * routable / trials, 0)});
   }
+  if (!report_out.empty()) WriteRunReports(report_out, reports);
   std::printf("\nexpected shape: clustered safe-region search far below BFS "
               "flooding at every margin\n");
   return 0;

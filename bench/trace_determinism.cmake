@@ -1,0 +1,31 @@
+# ctest driver: runs trace_run twice with the same seed and fails unless the
+# Chrome-trace, JSONL, and RunReport outputs are byte-identical.
+#
+# Expects -DTRACE_RUN=<path to trace_run binary> -DOUT_DIR=<scratch dir>.
+file(MAKE_DIRECTORY ${OUT_DIR})
+foreach(pass a b)
+  execute_process(
+    COMMAND ${TRACE_RUN} --seed 11
+            --trace-out ${OUT_DIR}/trace_${pass}.json
+            --jsonl-out ${OUT_DIR}/trace_${pass}.jsonl
+            --report-out ${OUT_DIR}/report_${pass}.json
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "trace_run pass ${pass} failed (exit ${rc})")
+  endif()
+endforeach()
+
+foreach(pair
+    "trace_a.json;trace_b.json"
+    "trace_a.jsonl;trace_b.jsonl"
+    "report_a.json;report_b.json")
+  list(GET pair 0 lhs)
+  list(GET pair 1 rhs)
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            ${OUT_DIR}/${lhs} ${OUT_DIR}/${rhs}
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "same-seed outputs differ: ${lhs} vs ${rhs}")
+  endif()
+endforeach()

@@ -100,6 +100,7 @@ class ElinkNode : public proto::ProtocolNode {
     root_feature_ = my_feature();
     member_level_ = my_level();
     root_distance_ = 0.0;
+    TracePhase("elink.sentinel_start", my_level());
     ExpandToNeighbors(/*exclude=*/-1);
     CheckExpansionComplete();
   }
@@ -146,6 +147,7 @@ class ElinkNode : public proto::ProtocolNode {
         join = true;
         ++switches_used_;
         ++ctx_->total_switches;
+        TracePhase("elink.switch", switches_used_);
       }
     }
 
@@ -223,10 +225,12 @@ class ElinkNode : public proto::ProtocolNode {
 
   /// At the quadtree root: round `round` is globally complete.
   void OnRoundComplete(int round) {
+    TracePhase("elink.round_complete", round);
     const int last_round = ctx_->quadtree->num_levels() - 1;
     if (round >= last_round) {
       ctx_->terminated = true;
       ctx_->termination_time = network()->Now();
+      TracePhase("elink.terminated", round);
       return;
     }
     BeginNextRound(round);
@@ -346,6 +350,7 @@ Result<ElinkResult> RunElink(const Topology& topology,
           ? config.completion_timeout
           : 0.0;
   proto::RunHarness harness(topology, hopt);
+  harness.set_observer(config.observer);
   harness.set_done([&ctx] { return ctx.terminated; });
   harness.InstallNodes(
       [&](int) { return std::make_unique<ElinkNode>(&ctx); });

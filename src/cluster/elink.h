@@ -31,6 +31,7 @@
 #include "data/dataset.h"
 #include "metric/distance.h"
 #include "sim/fault.h"
+#include "sim/observer.h"
 #include "sim/reliable.h"
 #include "sim/stats.h"
 #include "sim/topology.h"
@@ -83,6 +84,12 @@ struct ElinkConfig {
   /// retransmit span (rto * backoff^max_retries) so in-flight recovery is
   /// never cut short.
   double completion_timeout = 0.0;
+
+  // -- Observability (read-only; attaching never changes the run). --------
+  /// When set, receives every sim event (sends, delivers, drops, timers,
+  /// transport retx/acks, phase transitions, watchdog) for the run — bind a
+  /// obs::RunTelemetry and/or obs::Tracer here.  Not owned.
+  SimObserver* observer = nullptr;
 };
 
 /// Outcome of one ELink run.

@@ -134,6 +134,7 @@ class MaintNode : public proto::ProtocolNode {
     const bool a3 = d_new_root <= ctx_->config.delta - slack + 1e-12;
     if (a1 || a2 || a3) return;  // Absorbed locally: no messages.
     // Escalate: fetch the live root feature over the cluster tree.
+    TracePhase("maint.escalate", root_);
     w::FetchUp m;
     m.origin = id();
     Send(parent_, m);
@@ -162,6 +163,7 @@ class MaintNode : public proto::ProtocolNode {
   /// detach-and-merge, plus the orphan notifications that realize the
   /// connectivity repair in a distributed way).
   void StartDetach() {
+    TracePhase("maint.detach", root_);
     if (parent_ != id()) Send(parent_, w::Leave{});
     for (int child : children_) Send(child, w::Orphan{});
     children_.clear();
@@ -183,6 +185,7 @@ class MaintNode : public proto::ProtocolNode {
       // No suitable neighbor: become (or stay) a cluster of our own and
       // re-label any subtree still below us.
       probing_ = false;
+      TracePhase("maint.promote", id());
       root_ = id();
       parent_ = id();
       announced_ = feature_;
@@ -221,6 +224,7 @@ class MaintNode : public proto::ProtocolNode {
   void AdoptParent(int new_parent, int new_root, const Feature& root_feature,
                    bool root_changed) {
     probing_ = false;
+    TracePhase("maint.adopt", new_root);
     parent_ = new_parent;
     const bool changed = root_changed || new_root != root_;
     root_ = new_root;
@@ -328,6 +332,10 @@ std::vector<Feature> DistributedMaintenance::CurrentFeatures() const {
 
 const MessageStats& DistributedMaintenance::stats() const {
   return impl_->net().stats();
+}
+
+void DistributedMaintenance::set_observer(SimObserver* observer) {
+  impl_->harness->set_observer(observer);
 }
 
 Status DistributedMaintenance::ValidateRootDistanceInvariant(

@@ -56,6 +56,11 @@ class DistributedMaintenance {
   /// All protocol transmissions so far.
   const MessageStats& stats() const;
 
+  /// Installs a read-only SimObserver (telemetry/tracer) on the session's
+  /// network; subsequent ApplyUpdate calls report through it.  Not owned;
+  /// null detaches.  Attaching never changes protocol behavior.
+  void set_observer(SimObserver* observer);
+
   /// The Section-6 invariant, evaluated over the nodes' live state:
   /// every node within `bound` of its root's current feature.
   Status ValidateRootDistanceInvariant(double bound) const;

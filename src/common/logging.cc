@@ -1,11 +1,26 @@
 #include "common/logging.h"
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 namespace elink {
 
 namespace {
 LogLevel g_level = LogLevel::kWarning;
+bool g_env_checked = false;
+
+/// Applies ELINK_LOG_LEVEL once, lazily, before the level is first read.
+/// An explicit SetLogLevel beforehand wins (it marks the env as consumed).
+void ApplyEnvLevelOnce() {
+  if (g_env_checked) return;
+  g_env_checked = true;
+  LogLevel parsed;
+  if (ParseLogLevel(std::getenv("ELINK_LOG_LEVEL"), &parsed)) {
+    g_level = parsed;
+  }
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -22,13 +37,41 @@ const char* LevelName(LogLevel level) {
 }
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level = level; }
-LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) {
+  g_env_checked = true;  // Explicit configuration overrides the environment.
+  g_level = level;
+}
+
+LogLevel GetLogLevel() {
+  ApplyEnvLevelOnce();
+  return g_level;
+}
+
+bool ParseLogLevel(const char* name, LogLevel* out) {
+  if (name == nullptr) return false;
+  std::string lower;
+  for (const char* p = name; *p; ++p) {
+    lower += static_cast<char>(
+        std::tolower(static_cast<unsigned char>(*p)));
+  }
+  if (lower == "debug") {
+    *out = LogLevel::kDebug;
+  } else if (lower == "info") {
+    *out = LogLevel::kInfo;
+  } else if (lower == "warning" || lower == "warn") {
+    *out = LogLevel::kWarning;
+  } else if (lower == "error") {
+    *out = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
 
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
-    : enabled_(level >= g_level), level_(level) {
+    : enabled_(level >= GetLogLevel()), level_(level) {
   if (enabled_) {
     // Strip directories from the path for terse output.
     const char* base = file;

@@ -12,11 +12,19 @@ namespace elink {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
-/// Sets the global minimum level; messages below it are dropped.
+/// Sets the global minimum level; messages below it are dropped.  Takes
+/// precedence over the ELINK_LOG_LEVEL environment variable.
 void SetLogLevel(LogLevel level);
 
-/// Returns the current global minimum level.
+/// Returns the current global minimum level.  On the first call (of this or
+/// any log statement) the ELINK_LOG_LEVEL environment variable is consulted:
+/// "debug", "info", "warning"/"warn", or "error" (case-insensitive) select
+/// the level; unset or unrecognized values keep the kWarning default.
 LogLevel GetLogLevel();
+
+/// Parses a level name as accepted by ELINK_LOG_LEVEL.  Returns false (and
+/// leaves `out` untouched) when `name` is not a recognized level.
+bool ParseLogLevel(const char* name, LogLevel* out);
 
 namespace internal {
 

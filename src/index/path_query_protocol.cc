@@ -109,6 +109,7 @@ class PathNode : public proto::ProtocolNode {
       // Own cluster conclusively unsafe: kill the query here (Section 7.3),
       // no further transmissions.
       ctx_->suppressed = true;
+      TracePhase("path.suppressed");
       return;
     }
     if (state_->is_backbone_root) {
@@ -123,6 +124,7 @@ class PathNode : public proto::ProtocolNode {
 
   /// Classify own cluster and disseminate down the backbone subtree.
   void StartVisit(int reply_to) {
+    TracePhase("path.visit", reply_to);
     visiting_ = true;
     visit_reply_to_ = reply_to;
     // Own-cluster screen with the exact root-ball radius.
@@ -174,6 +176,7 @@ class PathNode : public proto::ProtocolNode {
       return;
     }
     // Inconclusive: classify this node exactly, drill into each child.
+    TracePhase("path.drill", reply_hop);
     ctx_->safe[id()] = d >= ctx_->gamma - 1e-12 ? 1 : 0;
     drill_parent_ = reply_hop;
     for (int child : *state_->mtree_children) {
@@ -202,6 +205,7 @@ class PathNode : public proto::ProtocolNode {
       visit_reply_to_ = -1;
     } else {
       ctx_->classification_done = true;
+      TracePhase("path.classified");
     }
   }
 
@@ -308,6 +312,7 @@ Result<PathQueryResult> DistributedPathQuery::Run(int source, int destination,
   hopt.net.seed = options_.seed;
   hopt.net.fault = options_.fault;
   proto::RunHarness harness(topology_, hopt);
+  harness.set_observer(options_.observer);
   harness.InstallNodes(
       [&](int i) { return std::make_unique<PathNode>(&states[i], &ctx); });
 

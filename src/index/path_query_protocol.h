@@ -25,6 +25,7 @@
 #include "index/path_query.h"
 #include "metric/distance.h"
 #include "sim/fault.h"
+#include "sim/observer.h"
 #include "sim/topology.h"
 
 namespace elink {
@@ -35,6 +36,9 @@ struct PathProtocolOptions {
   uint64_t seed = 1;
   /// Message-level fault plan (loss, truncation, ...); inert by default.
   FaultPlan fault;
+  /// Read-only observer (telemetry/tracer) bound to every Run's network.
+  /// Not owned; attaching never changes the query's outcome.
+  SimObserver* observer = nullptr;
 };
 
 /// \brief Executes path queries as a distributed protocol.

@@ -147,6 +147,7 @@ class QueryNode : public proto::ProtocolNode {
         ctx_->answer = m.count;
         ctx_->answer_incomplete = m.incomplete;
         ctx_->finish_time = network()->Now();
+        TracePhase("query.answer", ctx_->answer);
       } else {
         // The initiator's root relays the answer down to the initiator.
         SendRouted(ctx_->initiator, m);
@@ -156,6 +157,7 @@ class QueryNode : public proto::ProtocolNode {
 
   /// Injects the query at the initiator (driver call, before Run()).
   void Inject() {
+    TracePhase("query.inject", state_->cluster_root);
     if (id() == state_->cluster_root) {
       ArrivedAtOwnRoot();
     } else {
@@ -174,6 +176,7 @@ class QueryNode : public proto::ProtocolNode {
     // subtrees off as unreachable and flush a partial aggregate upward.  A
     // stale deadline (the node already reported) is a no-op.
     if (!active_ || pending_ <= 0) return;
+    TracePhase("query.deadline_flush", pending_);
     incomplete_ += pending_;
     pending_ = 0;
     CheckDone();
@@ -243,6 +246,7 @@ class QueryNode : public proto::ProtocolNode {
 
   /// Leader processing: screen own cluster, decide per backbone child.
   void StartVisit(int reply_to, double budget) {
+    TracePhase("query.visit", reply_to);
     reply_to_ = reply_to;
     active_ = true;
     count_ = 0;
@@ -355,6 +359,7 @@ class QueryNode : public proto::ProtocolNode {
       ctx_->answer = count_;
       ctx_->answer_incomplete = incomplete_;
       ctx_->finish_time = network()->Now();
+      TracePhase("query.answer", ctx_->answer);
     } else {
       w::Answer m;
       m.count = count_;
@@ -486,6 +491,7 @@ Result<DistributedQueryOutcome> DistributedRangeQuery::Run(int initiator,
   // gives up at this time, which is what the reported latency shows.
   hopt.run_horizon = options_.query_deadline;
   proto::RunHarness harness(topology_, hopt);
+  harness.set_observer(options_.observer);
   harness.InstallNodes([&](int id) {
     auto node = std::make_unique<QueryNode>(&states[id], &ctx);
     node->set_feature(features_[id]);

@@ -82,6 +82,9 @@ class DistributedRangeQuery {
     /// Retransmission tuning when reliable_transport is set.  rto should
     /// exceed a round trip of the longest routed leg.
     ReliableChannel::Config reliable;
+    /// Read-only observer (telemetry/tracer) bound to every Run's network.
+    /// Not owned; attaching never changes the query's outcome.
+    SimObserver* observer = nullptr;
   };
 
   /// `clustering`, `index`, and `backbone` describe the clustered network;

@@ -1,0 +1,212 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+namespace elink {
+namespace obs {
+
+std::string JsonDouble(double v) {
+  if (!std::isfinite(v)) return "0";  // JSON has no inf/nan.
+  char buf[64];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec != std::errc()) {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+  }
+  return std::string(buf, end);
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+int Histogram::BucketOf(double v) {
+  if (!(v > 0.0) || !std::isfinite(v)) return 0;
+  const int e = std::ilogb(v);  // floor(log2(v)).
+  const int b = e - kMinExp + 1;
+  return std::clamp(b, 0, kNumBuckets - 1);
+}
+
+double Histogram::BucketLowerBound(int b) {
+  if (b <= 0) return 0.0;
+  return std::ldexp(1.0, b - 1 + kMinExp);
+}
+
+void Histogram::Record(double v) {
+  if (count_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+  ++buckets_[static_cast<size_t>(BucketOf(v))];
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    buckets_[static_cast<size_t>(b)] += other.buckets_[static_cast<size_t>(b)];
+  }
+}
+
+std::string Histogram::ToJson() const {
+  std::string out = "{\"count\":" + std::to_string(count_);
+  out += ",\"sum\":" + JsonDouble(sum_);
+  out += ",\"min\":" + JsonDouble(min());
+  out += ",\"max\":" + JsonDouble(max());
+  out += ",\"buckets\":{";
+  bool first = true;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    const uint64_t n = buckets_[static_cast<size_t>(b)];
+    if (n == 0) continue;
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonDouble(BucketLowerBound(b)) + "\":" + std::to_string(n);
+  }
+  out += "}}";
+  return out;
+}
+
+MetricsRegistry::MetricId MetricsRegistry::Index::Intern(
+    const std::string& name) {
+  auto [it, inserted] =
+      by_name.emplace(name, static_cast<MetricId>(names.size()));
+  if (inserted) names.push_back(name);
+  return it->second;
+}
+
+MetricsRegistry::MetricId MetricsRegistry::CounterId(const std::string& name) {
+  const MetricId id = counter_index_.Intern(name);
+  if (counters_.size() <= id) counters_.resize(id + 1, 0);
+  return id;
+}
+
+uint64_t MetricsRegistry::counter(const std::string& name) const {
+  auto it = counter_index_.by_name.find(name);
+  return it == counter_index_.by_name.end() ? 0 : counters_[it->second];
+}
+
+MetricsRegistry::MetricId MetricsRegistry::GaugeId(const std::string& name) {
+  const MetricId id = gauge_index_.Intern(name);
+  if (gauges_.size() <= id) gauges_.resize(id + 1, 0.0);
+  return id;
+}
+
+double MetricsRegistry::gauge(const std::string& name) const {
+  auto it = gauge_index_.by_name.find(name);
+  return it == gauge_index_.by_name.end() ? 0.0 : gauges_[it->second];
+}
+
+MetricsRegistry::MetricId MetricsRegistry::HistogramId(
+    const std::string& name) {
+  const MetricId id = histogram_index_.Intern(name);
+  if (histograms_.size() <= id) histograms_.resize(id + 1);
+  return id;
+}
+
+const Histogram* MetricsRegistry::histogram(const std::string& name) const {
+  auto it = histogram_index_.by_name.find(name);
+  return it == histogram_index_.by_name.end() ? nullptr
+                                              : &histograms_[it->second];
+}
+
+void MetricsRegistry::Merge(const MetricsRegistry& other) {
+  for (size_t id = 0; id < other.counter_index_.names.size(); ++id) {
+    Add(CounterId(other.counter_index_.names[id]), other.counters_[id]);
+  }
+  for (size_t id = 0; id < other.gauge_index_.names.size(); ++id) {
+    Set(GaugeId(other.gauge_index_.names[id]), other.gauges_[id]);
+  }
+  for (size_t id = 0; id < other.histogram_index_.names.size(); ++id) {
+    histograms_[HistogramId(other.histogram_index_.names[id])].Merge(
+        other.histograms_[id]);
+  }
+}
+
+void MetricsRegistry::Reset() {
+  std::fill(counters_.begin(), counters_.end(), 0);
+  std::fill(gauges_.begin(), gauges_.end(), 0.0);
+  std::fill(histograms_.begin(), histograms_.end(), Histogram());
+}
+
+std::string MetricsRegistry::ToJson() const {
+  // Sorted name order, so serialization is independent of intern order.
+  auto sorted = [](const Index& index) {
+    std::map<std::string, MetricId> m;
+    for (MetricId id = 0; id < index.names.size(); ++id) {
+      m.emplace(index.names[id], id);
+    }
+    return m;
+  };
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, id] : sorted(counter_index_)) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(name) + "\":" + std::to_string(counters_[id]);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, id] : sorted(gauge_index_)) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(name) + "\":" + JsonDouble(gauges_[id]);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, id] : sorted(histogram_index_)) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(name) + "\":" + histograms_[id].ToJson();
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace elink

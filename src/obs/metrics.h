@@ -1,0 +1,134 @@
+// Metrics primitives of the observability layer (elink_obs).
+//
+// MetricsRegistry holds named Counters (monotone uint64), Gauges (last-set
+// double), and log2-bucket Histograms.  Like MessageStats categories, names
+// are interned into dense ids at first use and all values live in flat
+// vectors indexed by id — the hot path is one array access, and registries
+// from parallel trial runners Merge by name afterwards.
+//
+// Everything here is deterministic: ids depend only on first-use order, and
+// ToJson renders in sorted name order with shortest-round-trip number
+// formatting, so two identical runs serialize byte-identically.
+// MetricsRegistry is not thread-safe; keep one per worker and Merge.
+#ifndef ELINK_OBS_METRICS_H_
+#define ELINK_OBS_METRICS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace elink {
+namespace obs {
+
+/// Deterministic shortest-round-trip rendering of a double for JSON output
+/// ("1.5", "0.1", "1e+30"; never locale-dependent).
+std::string JsonDouble(double v);
+
+/// JSON string escaping (quotes, backslashes, control characters).
+std::string JsonEscape(const std::string& s);
+
+/// \brief Log2-bucket histogram over non-negative doubles.
+///
+/// Bucket b >= 1 counts values in [2^(b-1+kMinExp), 2^(b+kMinExp)); bucket 0
+/// absorbs everything below (including zero).  With kMinExp = -20 the
+/// resolution spans ~1e-6 .. ~4e12, ample for sim-time delays and counts.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 64;
+  static constexpr int kMinExp = -20;
+
+  /// Bucket index of `v` (clamped to the representable range).
+  static int BucketOf(double v);
+
+  /// Inclusive lower bound of bucket `b` (0.0 for bucket 0).
+  static double BucketLowerBound(int b);
+
+  void Record(double v);
+  void Merge(const Histogram& other);
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  uint64_t bucket(int b) const { return buckets_[static_cast<size_t>(b)]; }
+
+  /// {"count":..,"sum":..,"min":..,"max":..,"buckets":{"<lb>":n,..}} with
+  /// only non-empty buckets listed, in ascending bucket order.
+  std::string ToJson() const;
+
+ private:
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::array<uint64_t, kNumBuckets> buckets_{};
+};
+
+/// \brief Flat-storage registry of named counters, gauges, and histograms.
+class MetricsRegistry {
+ public:
+  /// Dense handle of an interned metric name (per kind).
+  using MetricId = uint32_t;
+
+  // -- Counters ----------------------------------------------------------
+  MetricId CounterId(const std::string& name);
+  void Add(MetricId id, uint64_t delta = 1) { counters_[id] += delta; }
+  /// Convenience slow path: intern + add in one call.
+  void AddCounter(const std::string& name, uint64_t delta = 1) {
+    Add(CounterId(name), delta);
+  }
+  /// Value of a counter (0 when the name was never interned).
+  uint64_t counter(const std::string& name) const;
+
+  // -- Gauges ------------------------------------------------------------
+  MetricId GaugeId(const std::string& name);
+  void Set(MetricId id, double value) { gauges_[id] = value; }
+  void SetGauge(const std::string& name, double value) {
+    Set(GaugeId(name), value);
+  }
+  /// Value of a gauge (0.0 when the name was never interned).
+  double gauge(const std::string& name) const;
+
+  // -- Histograms --------------------------------------------------------
+  MetricId HistogramId(const std::string& name);
+  void Record(MetricId id, double v) { histograms_[id].Record(v); }
+  void RecordHistogram(const std::string& name, double v) {
+    Record(HistogramId(name), v);
+  }
+  /// The histogram registered under `name`, or nullptr when never interned.
+  const Histogram* histogram(const std::string& name) const;
+
+  /// Adds another registry into this one, matching metrics by name (gauges
+  /// take the other registry's value — last writer wins, as with Set).
+  void Merge(const MetricsRegistry& other);
+
+  /// Zeroes every value; interned names survive (ids stay valid).
+  void Reset();
+
+  /// {"counters":{..},"gauges":{..},"histograms":{..}}, names sorted.
+  std::string ToJson() const;
+
+ private:
+  struct Index {
+    std::unordered_map<std::string, MetricId> by_name;
+    std::vector<std::string> names;
+    MetricId Intern(const std::string& name);
+  };
+
+  Index counter_index_;
+  Index gauge_index_;
+  Index histogram_index_;
+  std::vector<uint64_t> counters_;
+  std::vector<double> gauges_;
+  std::vector<Histogram> histograms_;
+};
+
+}  // namespace obs
+}  // namespace elink
+
+#endif  // ELINK_OBS_METRICS_H_

@@ -1,0 +1,86 @@
+#include "obs/run_report.h"
+
+#include <fstream>
+
+namespace elink {
+namespace obs {
+
+void RunReport::SetParam(const std::string& key, const std::string& value) {
+  params_json_[key] = "\"" + JsonEscape(value) + "\"";
+}
+
+void RunReport::SetParam(const std::string& key, const char* value) {
+  SetParam(key, std::string(value));
+}
+
+void RunReport::SetParam(const std::string& key, double value) {
+  params_json_[key] = JsonDouble(value);
+}
+
+void RunReport::SetParam(const std::string& key, long long value) {
+  params_json_[key] = std::to_string(value);
+}
+
+void RunReport::SetParam(const std::string& key, int value) {
+  params_json_[key] = std::to_string(value);
+}
+
+void RunReport::SetParam(const std::string& key, uint64_t value) {
+  params_json_[key] = std::to_string(value);
+}
+
+void RunReport::SetParam(const std::string& key, bool value) {
+  params_json_[key] = value ? "true" : "false";
+}
+
+void RunReport::CaptureStats(const MessageStats& stats) {
+  total_sends = stats.total_sends();
+  total_units = stats.total_units();
+  dropped_sends = stats.dropped_sends();
+  dropped_units = stats.dropped_units();
+  decode_errors = stats.decode_errors();
+  units_by_category = stats.units_by_category();
+}
+
+std::string RunReport::ToJson() const {
+  std::string out = "{\"protocol\":\"" + JsonEscape(protocol) + "\"";
+  out += ",\"seed\":" + std::to_string(seed);
+  out += ",\"params\":{";
+  bool first = true;
+  for (const auto& [key, value] : params_json_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(key) + "\":" + value;
+  }
+  out += "},\"outcome\":{\"end_time\":" + JsonDouble(end_time);
+  out += ",\"events\":" + std::to_string(events);
+  out += ",\"timed_out\":";
+  out += timed_out ? "true" : "false";
+  out += ",\"hit_event_cap\":";
+  out += hit_event_cap ? "true" : "false";
+  out += "},\"stats\":{\"total_sends\":" + std::to_string(total_sends);
+  out += ",\"total_units\":" + std::to_string(total_units);
+  out += ",\"dropped_sends\":" + std::to_string(dropped_sends);
+  out += ",\"dropped_units\":" + std::to_string(dropped_units);
+  out += ",\"decode_errors\":" + std::to_string(decode_errors);
+  out += ",\"units_by_category\":{";
+  first = true;
+  for (const auto& [category, units] : units_by_category) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(category) + "\":" + std::to_string(units);
+  }
+  out += "}},\"metrics\":" + metrics.ToJson();
+  out += "}\n";
+  return out;
+}
+
+bool RunReport::WriteJsonFile(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  f << ToJson();
+  return static_cast<bool>(f);
+}
+
+}  // namespace obs
+}  // namespace elink

@@ -1,0 +1,72 @@
+// Serializable run reports (elink_obs).
+//
+// RunReport is the uniform "what happened in this run" record emitted by the
+// benches and by protocol_validation: identification (protocol name, seed,
+// free-form parameters), outcome (end time, event count, watchdog verdict),
+// a communication snapshot (MessageStats totals and per-category units), and
+// a MetricsRegistry with the run's counters/gauges/histograms (message-delay
+// and per-node-completion distributions, watchdog slack, ...).
+//
+// ToJson renders everything with sorted keys and shortest-round-trip number
+// formatting: two identical runs produce byte-identical reports.
+#ifndef ELINK_OBS_RUN_REPORT_H_
+#define ELINK_OBS_RUN_REPORT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "obs/metrics.h"
+#include "sim/stats.h"
+
+namespace elink {
+namespace obs {
+
+/// \brief One run's identification, outcome, cost snapshot, and metrics.
+struct RunReport {
+  std::string protocol;
+  uint64_t seed = 0;
+
+  // -- Outcome -----------------------------------------------------------
+  double end_time = 0.0;
+  uint64_t events = 0;
+  bool timed_out = false;
+  bool hit_event_cap = false;
+
+  // -- Communication snapshot (CaptureStats) -----------------------------
+  uint64_t total_sends = 0;
+  uint64_t total_units = 0;
+  uint64_t dropped_sends = 0;
+  uint64_t dropped_units = 0;
+  uint64_t decode_errors = 0;
+  std::map<std::string, uint64_t> units_by_category;
+
+  MetricsRegistry metrics;
+
+  /// Free-form run parameters; stored pre-rendered as JSON values so the
+  /// report keeps numbers as numbers and strings quoted.
+  void SetParam(const std::string& key, const std::string& value);
+  void SetParam(const std::string& key, const char* value);
+  void SetParam(const std::string& key, double value);
+  void SetParam(const std::string& key, long long value);
+  void SetParam(const std::string& key, int value);
+  void SetParam(const std::string& key, uint64_t value);
+  void SetParam(const std::string& key, bool value);
+
+  /// Copies the ledger's totals and per-category units into the report.
+  void CaptureStats(const MessageStats& stats);
+
+  /// Single-object JSON rendering (deterministic; sorted keys; ends in \n).
+  std::string ToJson() const;
+
+  /// Writes ToJson() to `path`; returns false on I/O failure.
+  bool WriteJsonFile(const std::string& path) const;
+
+ private:
+  std::map<std::string, std::string> params_json_;
+};
+
+}  // namespace obs
+}  // namespace elink
+
+#endif  // ELINK_OBS_RUN_REPORT_H_

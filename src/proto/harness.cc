@@ -18,6 +18,9 @@ RunHarness::Report RunHarness::Run() {
   if (options_.quiet_timeout > 0.0) {
     timed_out_ = false;
     watchdog_last_seen_ = activity_;
+    if (observer_ != nullptr) {
+      observer_->OnWatchdogArm(net_.Now(), options_.quiet_timeout);
+    }
     net_.ScheduleAfter(options_.quiet_timeout, [this] { WatchdogTick(); });
   }
   if (options_.run_horizon > 0.0) {
@@ -28,6 +31,10 @@ RunHarness::Report RunHarness::Run() {
   report.hit_event_cap = net_.hit_event_cap();
   report.timed_out = timed_out_;
   report.end_time = net_.Now();
+  if (observer_ != nullptr) {
+    observer_->OnRunEnd(report.end_time, report.events, report.timed_out,
+                        report.hit_event_cap);
+  }
   return report;
 }
 
@@ -39,9 +46,13 @@ void RunHarness::WatchdogTick() {
   if ((done_ && done_()) || timed_out_) return;
   if (activity_ == watchdog_last_seen_) {
     timed_out_ = true;
+    if (observer_ != nullptr) observer_->OnWatchdogFire(net_.Now());
     return;
   }
   watchdog_last_seen_ = activity_;
+  if (observer_ != nullptr) {
+    observer_->OnWatchdogArm(net_.Now(), options_.quiet_timeout);
+  }
   net_.ScheduleAfter(options_.quiet_timeout, [this] { WatchdogTick(); });
 }
 

@@ -73,6 +73,14 @@ class RunHarness {
   /// acks and duplicates).  Set before Run().
   void set_trace(TraceFn trace) { trace_ = std::move(trace); }
 
+  /// Installs a SimObserver (telemetry/tracer) on the run: the network
+  /// reports sends/delivers/drops/timers to it, the harness adds watchdog
+  /// arm/fire and run-end events.  Null detaches.  Set before Run().
+  void set_observer(SimObserver* observer) {
+    observer_ = observer;
+    net_.set_observer(observer);
+  }
+
   /// Total handler invocations (messages + timers) across all nodes.
   uint64_t activity() const { return activity_; }
 
@@ -85,6 +93,7 @@ class RunHarness {
 
   Options options_;
   Network net_;
+  SimObserver* observer_ = nullptr;
   TraceFn trace_;
   std::function<bool()> done_;
   uint64_t activity_ = 0;

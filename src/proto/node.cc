@@ -35,7 +35,7 @@ void ProtocolNode::DispatchMessage(int from, const Message& msg) {
     return;
   }
   // No handler registered for this type: a corrupted or foreign frame.
-  network()->stats().RecordDecodeError(msg.category);
+  network()->NoteDecodeError(id(), msg.category);
   OnBadMessage(from, msg,
                Status::InvalidArgument("no handler for message type " +
                                        std::to_string(msg.type)));

@@ -86,7 +86,7 @@ class ProtocolNode : public Node {
         [this, handler = std::move(handler)](int from, const Message& msg) {
           Result<M> decoded = Decode<M>(msg);
           if (!decoded.ok()) {
-            network()->stats().RecordDecodeError(msg.category);
+            network()->NoteDecodeError(id(), msg.category);
             OnBadMessage(from, msg, decoded.status());
             return;
           }
@@ -98,7 +98,16 @@ class ProtocolNode : public Node {
   /// validation (e.g. a feature block of the wrong dimensionality after
   /// in-flight truncation).  Pair with an early return from the handler.
   void RejectBadFields(const std::string& category) {
-    network()->stats().RecordDecodeError(category);
+    network()->NoteDecodeError(id(), category);
+  }
+
+  /// Reports a named protocol phase transition to the run's observer (ELink
+  /// round boundaries, maintenance detach/adopt, query fan-out/collect).
+  /// Free when no observer is attached; `phase` must be a string literal.
+  void TracePhase(const char* phase, long long value = 0) {
+    if (SimObserver* obs = network()->observer()) {
+      obs->OnPhase(network()->Now(), id(), phase, value);
+    }
   }
 
   /// Arms the reliable channel; it attaches at install time.  Call from the

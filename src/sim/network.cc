@@ -63,10 +63,13 @@ void Network::Send(int from, int to, Message msg) {
        fault_.DropTransmission(from, to, Now()) ||
        fault_.IsCrashed(to, Now() + delay))) {
     stats_.RecordDropped(msg.category, msg.CostUnits());
+    if (observer_ != nullptr) observer_->OnDrop(Now(), from, to, msg);
     return;
   }
   stats_.Record(msg.category, msg.CostUnits());
+  if (observer_ != nullptr) observer_->OnSend(Now(), from, to, msg, delay);
   queue_.ScheduleAfter(delay, [this, from, to, m = std::move(msg)]() {
+    if (observer_ != nullptr) observer_->OnDeliver(Now(), from, to, m);
     nodes_[to]->HandleMessage(from, m);
   });
 }
@@ -96,15 +99,19 @@ void Network::SendShared(int from, int to,
        fault_.DropTransmission(from, to, Now()) ||
        fault_.IsCrashed(to, Now() + delay))) {
     stats_.RecordDropped(wire->category, wire->CostUnits());
+    if (observer_ != nullptr) observer_->OnDrop(Now(), from, to, *wire);
     return;
   }
   stats_.Record(wire->category, wire->CostUnits());
+  if (observer_ != nullptr) observer_->OnSend(Now(), from, to, *wire, delay);
   if (wire == &chopped) {
     queue_.ScheduleAfter(delay, [this, from, to, m = std::move(chopped)]() {
+      if (observer_ != nullptr) observer_->OnDeliver(Now(), from, to, m);
       nodes_[to]->HandleMessage(from, m);
     });
   } else {
     queue_.ScheduleAfter(delay, [this, from, to, msg]() {
+      if (observer_ != nullptr) observer_->OnDeliver(Now(), from, to, *msg);
       nodes_[to]->HandleMessage(from, *msg);
     });
   }
@@ -131,7 +138,9 @@ int Network::SendRouted(int from, int to, Message msg) {
   ELINK_CHECK(nodes_[to] != nullptr);
   if (from == to) {
     if (fault_.enabled() && fault_.IsCrashed(to, Now())) return 0;
+    if (observer_ != nullptr) observer_->OnSend(Now(), from, to, msg, 0.0);
     queue_.ScheduleAfter(0.0, [this, from, to, m = std::move(msg)]() {
+      if (observer_ != nullptr) observer_->OnDeliver(Now(), from, to, m);
       nodes_[to]->HandleMessage(from, m);
     });
     return 0;
@@ -157,15 +166,21 @@ int Network::SendRouted(int from, int to, Message msg) {
          fault_.DropTransmission(cur, next, Now() + delay) ||
          fault_.IsCrashed(next, Now() + delay + hop_delay))) {
       stats_.RecordDropped(msg.category, msg.CostUnits());
+      if (observer_ != nullptr) {
+        observer_->OnDrop(Now() + delay, cur, next, msg);
+      }
       return hops;
     }
     stats_.Record(msg.category, msg.CostUnits());
+    if (observer_ != nullptr) observer_->OnHop(Now() + delay, cur, next, msg);
     delay += hop_delay;
     prev = cur;
     cur = next;
   }
+  if (observer_ != nullptr) observer_->OnSend(Now(), from, to, msg, delay);
   // The penultimate node on the path is the sender seen by `to`.
   queue_.ScheduleAfter(delay, [this, prev, to, m = std::move(msg)]() {
+    if (observer_ != nullptr) observer_->OnDeliver(Now(), prev, to, m);
     nodes_[to]->HandleMessage(prev, m);
   });
   return hops;
@@ -182,6 +197,7 @@ void Network::SetTimer(int id, double delay, int timer_id) {
     // A crashed node's timers are suppressed (it recovers with no pending
     // timers; protocols re-arm on recovery if they support it).
     if (fault_.enabled() && fault_.IsCrashed(id, queue_.Now())) return;
+    if (observer_ != nullptr) observer_->OnTimerFire(queue_.Now(), id, timer_id);
     nodes_[id]->HandleTimer(timer_id);
   });
 }

@@ -18,6 +18,7 @@
 #include "sim/fault.h"
 #include "sim/graph.h"
 #include "sim/message.h"
+#include "sim/observer.h"
 #include "sim/stats.h"
 #include "sim/topology.h"
 
@@ -136,6 +137,21 @@ class Network {
   Rng& rng() { return rng_; }
   const FaultInjector& fault() const { return fault_; }
 
+  /// Installs (or clears, with nullptr) the observability hook.  Observers
+  /// are read-only witnesses: attaching one never changes a run's outcome,
+  /// and with none attached every emission site is a single null check.
+  void set_observer(SimObserver* observer) { observer_ = observer; }
+  SimObserver* observer() const { return observer_; }
+
+  /// Counts a delivered-but-undecodable frame against `category` and reports
+  /// it to the observer.  `node` is the rejecting receiver.
+  void NoteDecodeError(int node, const std::string& category) {
+    stats_.RecordDecodeError(category);
+    if (observer_ != nullptr) {
+      observer_->OnDecodeError(queue_.Now(), node, category);
+    }
+  }
+
  private:
   double NextHopDelay();
   const RoutingTable& TableFor(int root);
@@ -154,6 +170,7 @@ class Network {
   FaultInjector fault_;
   std::vector<std::unique_ptr<Node>> nodes_;
   MessageStats stats_;
+  SimObserver* observer_ = nullptr;
   bool hit_event_cap_ = false;
   // Lazily built per-destination routing tables for SendRouted/HopDistance,
   // indexed by destination node id (built at most once per destination).

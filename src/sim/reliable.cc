@@ -77,6 +77,9 @@ bool ReliableChannel::OnMessage(int from, const Message& msg) {
   ack.rel_seq = msg.rel_seq;
   ack.rel_from = self_;
   ack.category = BaseCategory(msg.category) + ".ack";
+  if (SimObserver* obs = network_->observer()) {
+    obs->OnTransportAck(network_->Now(), self_, msg.rel_from, msg.rel_seq);
+  }
   if (msg.rel_from == from) {
     network_->Send(self_, from, std::move(ack));
   } else {
@@ -99,6 +102,10 @@ bool ReliableChannel::OnTimer(int timer_id) {
     ++gave_up_count_;
     Pending abandoned = std::move(p);
     pending_.erase(it);
+    if (SimObserver* obs = network_->observer()) {
+      obs->OnTransportGiveUp(network_->Now(), self_, abandoned.to,
+                             abandoned.msg);
+    }
     if (give_up_) give_up_(abandoned.to, abandoned.msg);
     return true;
   }
@@ -107,6 +114,9 @@ bool ReliableChannel::OnTimer(int timer_id) {
   p.timeout *= config_.backoff;
   Message copy = p.msg;
   copy.category = p.retx_category;
+  if (SimObserver* obs = network_->observer()) {
+    obs->OnRetransmit(network_->Now(), self_, p.to, copy, p.attempts);
+  }
   Dispatch(p.to, p.routed, copy);
   network_->SetTimer(self_, p.timeout, timer_id);
   return true;

@@ -468,6 +468,49 @@ TEST(MessageStatsTest, DroppedSendsStayOutOfDeliveredTotals) {
   EXPECT_TRUE(s.dropped_by_category().empty());
 }
 
+TEST(MessageStatsTest, MergeCarriesPerCategoryDropsAndDecodeErrors) {
+  // Regression: a merge must carry every per-category counter — dropped
+  // units/sends and decode errors — not just delivered units, for both
+  // disjoint categories (interned fresh in the destination) and overlapping
+  // ones (ids differ between the two ledgers).
+  MessageStats a;
+  a.Record("shared", 1);
+  a.RecordDropped("shared", 2);
+  a.RecordDecodeError("shared");
+  a.RecordDropped("only_a", 4);
+
+  MessageStats b;
+  b.RecordDropped("only_b", 7);     // Disjoint: never seen by `a`.
+  b.RecordDropped("shared", 3);     // Overlapping, different id in `b`.
+  b.RecordDecodeError("shared");
+  b.RecordDecodeError("only_b");
+  b.Record("only_b", 5);
+
+  a.Merge(b);
+  EXPECT_EQ(a.dropped("shared"), 5u);
+  EXPECT_EQ(a.dropped("only_a"), 4u);
+  EXPECT_EQ(a.dropped("only_b"), 7u);
+  EXPECT_EQ(a.dropped_units(), 16u);
+  EXPECT_EQ(a.dropped_sends(), 4u);
+  EXPECT_EQ(a.decode_errors(), 3u);
+  EXPECT_EQ(a.decode_errors("shared"), 2u);
+  EXPECT_EQ(a.decode_errors("only_b"), 1u);
+  EXPECT_EQ(a.units("shared"), 1u);
+  EXPECT_EQ(a.units("only_b"), 5u);
+  const auto& dropped_view = a.dropped_by_category();
+  ASSERT_EQ(dropped_view.size(), 3u);
+  EXPECT_EQ(dropped_view.at("only_b"), 7u);
+
+  // Merging into a fresh ledger (all categories disjoint) preserves the
+  // combined picture too.
+  MessageStats fresh;
+  fresh.Merge(a);
+  EXPECT_EQ(fresh.dropped("shared"), 5u);
+  EXPECT_EQ(fresh.decode_errors("shared"), 2u);
+  EXPECT_EQ(fresh.dropped_units(), a.dropped_units());
+  EXPECT_EQ(fresh.decode_errors(), a.decode_errors());
+}
+
 TEST(MessageStatsTest, ToStringMentionsDropsOnlyWhenPresent) {
   MessageStats s;
   s.Record("x", 1);
