@@ -1,0 +1,268 @@
+#include "check/invariants.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace elink {
+namespace check {
+
+Status CheckClusterAssignments(const Clustering& clustering, int num_nodes) {
+  if (static_cast<int>(clustering.root_of.size()) != num_nodes) {
+    return Status::FailedPrecondition(StringPrintf(
+        "clustering covers %zu nodes, topology has %d",
+        clustering.root_of.size(), num_nodes));
+  }
+  for (int i = 0; i < num_nodes; ++i) {
+    const int r = clustering.root_of[i];
+    if (r < 0 || r >= num_nodes) {
+      return Status::FailedPrecondition(
+          StringPrintf("node %d has out-of-range root %d", i, r));
+    }
+    if (clustering.root_of[r] != r) {
+      return Status::FailedPrecondition(StringPrintf(
+          "node %d's root %d is not self-rooted (root_of[%d] = %d)", i, r, r,
+          clustering.root_of[r]));
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckDeltaClustering(const Clustering& clustering,
+                            const AdjacencyList& adjacency,
+                            const std::vector<Feature>& features,
+                            const DistanceMetric& metric, double delta) {
+  Status s =
+      CheckClusterAssignments(clustering, static_cast<int>(adjacency.size()));
+  if (!s.ok()) return s;
+  return ValidateDeltaClustering(clustering, adjacency, features, metric,
+                                 delta);
+}
+
+Status CheckMTreeInvariants(const ClusterIndex& index,
+                            const Clustering& clustering,
+                            const std::vector<int>& tree_parent,
+                            const std::vector<Feature>& features,
+                            const DistanceMetric& metric) {
+  const int n = index.num_nodes();
+  if (n != static_cast<int>(tree_parent.size()) ||
+      n != static_cast<int>(features.size()) ||
+      n != static_cast<int>(clustering.root_of.size())) {
+    return Status::FailedPrecondition(StringPrintf(
+        "index size %d disagrees with tree_parent %zu / features %zu / "
+        "clustering %zu",
+        n, tree_parent.size(), features.size(), clustering.root_of.size()));
+  }
+
+  for (int i = 0; i < n; ++i) {
+    // Parent links mirror the cluster trees; roots are self-parented.
+    if (index.parent(i) != tree_parent[i]) {
+      return Status::FailedPrecondition(
+          StringPrintf("index.parent(%d) = %d, cluster tree says %d", i,
+                       index.parent(i), tree_parent[i]));
+    }
+    const bool is_root = tree_parent[i] == i;
+    if (is_root && clustering.root_of[i] != i) {
+      return Status::FailedPrecondition(StringPrintf(
+          "tree root %d is not its cluster's root (root_of = %d)", i,
+          clustering.root_of[i]));
+    }
+    if (is_root != (index.depth(i) == 0)) {
+      return Status::FailedPrecondition(StringPrintf(
+          "node %d: depth %d inconsistent with root status %d", i,
+          index.depth(i), is_root ? 1 : 0));
+    }
+    if (!is_root && index.depth(i) != index.depth(tree_parent[i]) + 1) {
+      return Status::FailedPrecondition(StringPrintf(
+          "node %d: depth %d != parent %d's depth %d + 1", i, index.depth(i),
+          tree_parent[i], index.depth(tree_parent[i])));
+    }
+
+    // Children lists: exactly the nodes naming i as parent, ascending.
+    const std::vector<int>& kids = index.children(i);
+    if (!std::is_sorted(kids.begin(), kids.end())) {
+      return Status::FailedPrecondition(
+          StringPrintf("children(%d) not ascending", i));
+    }
+    for (const int c : kids) {
+      if (c < 0 || c >= n || c == i || tree_parent[c] != i) {
+        return Status::FailedPrecondition(
+            StringPrintf("children(%d) lists %d whose parent is %d", i, c,
+                         c >= 0 && c < n ? tree_parent[c] : -1));
+      }
+    }
+    if (!is_root) {
+      const std::vector<int>& pk = index.children(tree_parent[i]);
+      if (!std::binary_search(pk.begin(), pk.end(), i)) {
+        return Status::FailedPrecondition(StringPrintf(
+            "node %d missing from children(%d)", i, tree_parent[i]));
+      }
+    }
+
+    // Covering radius: 0 at leaves, the Section 7.1 aggregation elsewhere.
+    const double r_i = index.covering_radius(i);
+    if (kids.empty()) {
+      if (r_i != 0.0) {
+        return Status::FailedPrecondition(
+            StringPrintf("leaf %d has covering radius %g != 0", i, r_i));
+      }
+    } else {
+      double want = 0.0;
+      for (const int c : kids) {
+        const double reach =
+            metric.Distance(index.routing_feature(i),
+                            index.routing_feature(c)) +
+            index.covering_radius(c);
+        want = std::max(want, reach);
+        if (r_i + kCheckEps < reach) {
+          return Status::FailedPrecondition(StringPrintf(
+              "node %d: covering radius %.12g < d(F_%d, F_%d) + R_%d = %.12g",
+              i, r_i, i, c, c, reach));
+        }
+      }
+      if (r_i > want + kCheckEps) {
+        return Status::FailedPrecondition(StringPrintf(
+            "node %d: covering radius %.12g overshoots child aggregate %.12g",
+            i, r_i, want));
+      }
+    }
+
+    // Subtree containment: every member within the covering radius, every
+    // member's parent chain passing through i.
+    for (const int m : index.subtree(i)) {
+      const double d =
+          metric.Distance(index.routing_feature(i), index.routing_feature(m));
+      if (d > r_i + kCheckEps) {
+        return Status::FailedPrecondition(StringPrintf(
+            "subtree(%d) member %d at distance %.12g > covering radius %.12g",
+            i, m, d, r_i));
+      }
+      int walk = m;
+      int steps = 0;
+      while (walk != i && tree_parent[walk] != walk && steps++ <= n) {
+        walk = tree_parent[walk];
+      }
+      if (walk != i) {
+        return Status::FailedPrecondition(StringPrintf(
+            "subtree(%d) member %d does not descend from %d", i, m, i));
+      }
+    }
+  }
+
+  // Root ball radii: exact max member distance per cluster.
+  for (const auto& [root, members] : clustering.Groups()) {
+    double want = 0.0;
+    for (const int m : members) {
+      want = std::max(want, metric.Distance(features[root], features[m]));
+    }
+    const double got = index.root_ball_radius(root);
+    if (std::abs(got - want) > kCheckEps) {
+      return Status::FailedPrecondition(StringPrintf(
+          "root_ball_radius(%d) = %.12g, exact member max is %.12g", root,
+          got, want));
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<int> RangeOracle(const std::vector<Feature>& features,
+                             const DistanceMetric& metric, const Feature& q,
+                             double r) {
+  std::vector<int> matches;
+  for (int i = 0; i < static_cast<int>(features.size()); ++i) {
+    // Exact inclusion tolerance of RangeQueryEngine::LinearScan.
+    if (metric.Distance(features[i], q) <= r + 1e-12) matches.push_back(i);
+  }
+  return matches;
+}
+
+bool NodeIsSafe(const Feature& feature, const DistanceMetric& metric,
+                const Feature& danger, double gamma) {
+  // Exact IsSafe tolerance of PathQueryEngine (index/path_query.cc).
+  return metric.Distance(feature, danger) >= gamma - 1e-12;
+}
+
+bool SafePathExists(const AdjacencyList& adjacency,
+                    const std::vector<Feature>& features,
+                    const DistanceMetric& metric, const Feature& danger,
+                    double gamma, int source, int destination) {
+  const int n = static_cast<int>(adjacency.size());
+  if (!NodeIsSafe(features[source], metric, danger, gamma) ||
+      !NodeIsSafe(features[destination], metric, danger, gamma)) {
+    return false;
+  }
+  std::vector<char> seen(n, 0);
+  std::vector<int> frontier{source};
+  seen[source] = 1;
+  while (!frontier.empty()) {
+    std::vector<int> next;
+    for (const int u : frontier) {
+      if (u == destination) return true;
+      for (const int v : adjacency[u]) {
+        if (seen[v] || !NodeIsSafe(features[v], metric, danger, gamma)) {
+          continue;
+        }
+        seen[v] = 1;
+        next.push_back(v);
+      }
+    }
+    frontier = std::move(next);
+  }
+  return seen[destination] != 0;
+}
+
+Status CheckPathResult(const PathQueryResult& result,
+                       const AdjacencyList& adjacency,
+                       const std::vector<Feature>& features,
+                       const DistanceMetric& metric, const Feature& danger,
+                       double gamma, int source, int destination,
+                       bool require_exact) {
+  if (!result.found) {
+    if (!result.path.empty()) {
+      return Status::FailedPrecondition(StringPrintf(
+          "not-found result carries a %zu-node path", result.path.size()));
+    }
+    if (require_exact && SafePathExists(adjacency, features, metric, danger,
+                                        gamma, source, destination)) {
+      return Status::FailedPrecondition(StringPrintf(
+          "query (%d -> %d) reported no path but the oracle finds one",
+          source, destination));
+    }
+    return Status::OK();
+  }
+
+  // Soundness of a found path: real endpoints, real edges, all nodes safe.
+  if (result.path.empty() || result.path.front() != source ||
+      result.path.back() != destination) {
+    return Status::FailedPrecondition(StringPrintf(
+        "path endpoints do not match query (%d -> %d)", source, destination));
+  }
+  const int n = static_cast<int>(adjacency.size());
+  for (size_t k = 0; k < result.path.size(); ++k) {
+    const int u = result.path[k];
+    if (u < 0 || u >= n) {
+      return Status::FailedPrecondition(
+          StringPrintf("path node %d out of range", u));
+    }
+    if (!NodeIsSafe(features[u], metric, danger, gamma)) {
+      return Status::FailedPrecondition(StringPrintf(
+          "path node %d is unsafe (d = %.12g < gamma = %.12g)", u,
+          metric.Distance(features[u], danger), gamma));
+    }
+    if (k > 0) {
+      const int prev = result.path[k - 1];
+      const auto& nbrs = adjacency[prev];
+      if (prev == u ||
+          !std::binary_search(nbrs.begin(), nbrs.end(), u)) {
+        return Status::FailedPrecondition(StringPrintf(
+            "path step %d -> %d is not a communication edge", prev, u));
+      }
+    }
+  }
+  // A found path IS the existence proof; with exactness required there is
+  // nothing further to compare (the oracle must agree, and does).
+  return Status::OK();
+}
+
+}  // namespace check
+}  // namespace elink

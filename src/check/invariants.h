@@ -1,0 +1,103 @@
+// Invariant checkers over finished runs — the machine-checkable form of the
+// paper's guarantees (elink_check).
+//
+// Every checker is a pure function: it inspects final state (a clustering,
+// an index, a query result) and returns OK or FailedPrecondition describing
+// the first violation found.  Checkers never mutate anything and never
+// consult an RNG, so a failing check reproduces bit-identically from the
+// scenario seed that produced the state.
+//
+// The catalog (see DESIGN.md §9 for the paper citations):
+//   * CheckClusterAssignments  — partition sanity (Definition 1 preamble).
+//   * CheckDeltaClustering     — full Definition 1: connectivity + pairwise
+//                                delta-compactness + cover (Lemma 1 is what
+//                                makes ELink's delta/2 join rule imply it).
+//   * CheckMTreeInvariants     — Section 7.1: leaves R = 0, parent radius
+//                                aggregation, subtree containment, exact
+//                                root ball radii.
+//   * RangeOracle              — brute-force Section 7.2 answer.
+//   * CheckPathResult          — Section 7.3 soundness (returned path is
+//                                real and safe) and optional exactness
+//                                against the BFS-over-safe-nodes oracle.
+#ifndef ELINK_CHECK_INVARIANTS_H_
+#define ELINK_CHECK_INVARIANTS_H_
+
+#include <vector>
+
+#include "cluster/clustering.h"
+#include "common/status.h"
+#include "index/mtree.h"
+#include "index/path_query.h"
+#include "metric/distance.h"
+#include "metric/feature.h"
+#include "sim/graph.h"
+
+namespace elink {
+namespace check {
+
+/// Tolerance used by the floating-point comparisons below.  The M-tree radii
+/// are aggregated by the same double arithmetic the checker replays, so the
+/// slack only has to absorb association-order differences.
+inline constexpr double kCheckEps = 1e-9;
+
+/// Partition sanity that must hold even on degraded (watchdog-cut) runs:
+/// every node assigned a root in range, roots self-rooted.
+Status CheckClusterAssignments(const Clustering& clustering, int num_nodes);
+
+/// Full Definition 1 check: assignment sanity, induced-subgraph connectivity
+/// per cluster, and exhaustive pairwise delta-compactness.  Delegates the
+/// heavy part to ValidateDeltaClustering (cluster/clustering.h).
+Status CheckDeltaClustering(const Clustering& clustering,
+                            const AdjacencyList& adjacency,
+                            const std::vector<Feature>& features,
+                            const DistanceMetric& metric, double delta);
+
+/// Section 7.1 structural invariants of a built ClusterIndex:
+///  * parent/children/depth agree with `tree_parent` (roots self-parented,
+///    children ascending, depth = parent depth + 1);
+///  * leaves have covering radius 0;
+///  * every parent's radius equals max_j (d(F_p, F_j) + R_j) over its
+///    children (within kCheckEps, both directions);
+///  * every subtree member lies within the subtree root's covering radius;
+///  * root_ball_radius(leader) is exactly the max distance from the leader's
+///    feature to any member of its cluster.
+Status CheckMTreeInvariants(const ClusterIndex& index,
+                            const Clustering& clustering,
+                            const std::vector<int>& tree_parent,
+                            const std::vector<Feature>& features,
+                            const DistanceMetric& metric);
+
+/// Brute-force range-query answer: ids of all nodes within `r` of `q`,
+/// ascending — the oracle the Section 7.2 engines and protocols must match.
+std::vector<int> RangeOracle(const std::vector<Feature>& features,
+                             const DistanceMetric& metric, const Feature& q,
+                             double r);
+
+/// Node safety under (danger, gamma), with the exact tolerance
+/// PathQueryEngine::IsSafe uses.
+bool NodeIsSafe(const Feature& feature, const DistanceMetric& metric,
+                const Feature& danger, double gamma);
+
+/// Oracle: does a path from `source` to `destination` exist whose every node
+/// is safe?  BFS over the safe-node-induced subgraph.
+bool SafePathExists(const AdjacencyList& adjacency,
+                    const std::vector<Feature>& features,
+                    const DistanceMetric& metric, const Feature& danger,
+                    double gamma, int source, int destination);
+
+/// Validates one path-query result.  Soundness always: when `found`, the
+/// path must start at source, end at destination, walk real communication
+/// edges, and contain only safe nodes; when not found, the path must be
+/// empty.  With `require_exact` (fault-free runs), `found` must additionally
+/// equal the SafePathExists oracle.
+Status CheckPathResult(const PathQueryResult& result,
+                       const AdjacencyList& adjacency,
+                       const std::vector<Feature>& features,
+                       const DistanceMetric& metric, const Feature& danger,
+                       double gamma, int source, int destination,
+                       bool require_exact);
+
+}  // namespace check
+}  // namespace elink
+
+#endif  // ELINK_CHECK_INVARIANTS_H_

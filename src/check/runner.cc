@@ -1,0 +1,426 @@
+#include "check/runner.h"
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "check/conservation.h"
+#include "check/invariants.h"
+#include "cluster/elink.h"
+#include "cluster/maintenance.h"
+#include "cluster/maintenance_protocol.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "index/backbone.h"
+#include "index/mtree.h"
+#include "index/path_query.h"
+#include "index/path_query_protocol.h"
+#include "index/query_protocol.h"
+#include "index/range_query.h"
+#include "obs/telemetry.h"
+
+namespace elink {
+namespace check {
+
+namespace {
+
+// Workload streams, disjoint from the scenario's aspect streams (1-5 in
+// scenario.cc): the update and query batches are part of the trial but not
+// of the Scenario struct, so they fork their own sub-streams of the seed.
+constexpr uint64_t kUpdateStream = 16;
+constexpr uint64_t kRangeQueryStream = 17;
+constexpr uint64_t kPathQueryStream = 18;
+
+void Add(CheckOutcome* out, const char* checkname, std::string detail) {
+  out->violations.push_back(CheckViolation{checkname, std::move(detail)});
+}
+
+void AddIfBad(CheckOutcome* out, const char* checkname, const Status& s) {
+  if (!s.ok()) Add(out, checkname, s.ToString());
+}
+
+// The fault-tolerance tunings the repo's robustness bench validated: the
+// retransmit span stays inside ELink's completion watchdog, and the query
+// deadlines clear the longest routed leg's retransmissions.
+void TuneElinkForFaults(const Scenario& s, ElinkConfig* cfg) {
+  if (!s.fault.enabled()) return;
+  if (s.reliable) {
+    cfg->reliable_transport = true;
+    cfg->reliable.rto = 8.0;
+    cfg->reliable.backoff = 1.5;
+    cfg->reliable.max_retries = 8;
+  }
+  cfg->completion_timeout = 450.0;
+}
+
+void TuneQueryForFaults(const Scenario& s,
+                        DistributedRangeQuery::ProtocolOptions* opt) {
+  if (!s.fault.enabled()) return;
+  opt->node_deadline = 2500.0;
+  opt->query_deadline = 30000.0;
+  if (s.reliable) {
+    opt->reliable_transport = true;
+    opt->reliable.rto = 40.0;
+    opt->reliable.backoff = 1.5;
+    opt->reliable.max_retries = 10;
+  }
+}
+
+// The fault-free world (clustering + trees + index + backbone) that the
+// maintenance and query trials start from.  Built with explicit-mode ELink
+// on a synchronous fault-free network — the configuration whose completion
+// is unconditional.  Returns nullopt after recording a violation.
+struct World {
+  Clustering clustering;
+  std::vector<int> tree_parent;
+  std::optional<ClusterIndex> index;
+  std::optional<Backbone> backbone;
+};
+
+std::optional<World> BuildWorld(const Scenario& s, CheckOutcome* out) {
+  ElinkConfig cfg;
+  cfg.delta = s.delta;
+  cfg.slack = s.slack;
+  cfg.synchronous = true;
+  cfg.seed = s.seed;
+  Result<ElinkResult> r =
+      RunElink(s.topology, s.features, *s.metric, cfg, ElinkMode::kExplicit);
+  if (!r.ok()) {
+    Add(out, "world_build", r.status().ToString());
+    return std::nullopt;
+  }
+  World w;
+  w.clustering = std::move(r).value().clustering;
+  w.tree_parent = BuildClusterTrees(w.clustering, s.topology.adjacency);
+  w.index = ClusterIndex::Build(w.clustering, w.tree_parent, s.features,
+                                *s.metric);
+  w.backbone = Backbone::Build(w.clustering, s.topology.adjacency, nullptr,
+                               &s.features, s.metric.get());
+  return w;
+}
+
+void RunElinkTrial(const Scenario& s, CheckOutcome* out) {
+  ConservationLedger ledger;
+  obs::RunTelemetry tele;
+  ledger.set_next(&tele);
+
+  ElinkConfig cfg;
+  cfg.delta = s.delta;
+  cfg.slack = s.slack;
+  cfg.synchronous = s.synchronous;
+  cfg.seed = s.seed;
+  cfg.fault = s.fault;
+  cfg.observer = &ledger;
+  TuneElinkForFaults(s, &cfg);
+
+  Result<ElinkResult> r =
+      RunElink(s.topology, s.features, *s.metric, cfg, s.elink_mode);
+  if (!r.ok()) {
+    Add(out, "elink_run", r.status().ToString());
+    return;
+  }
+  const ElinkResult& res = r.value();
+  // The RunElink contract: the output is a valid delta-clustering even on
+  // degraded (watchdog-cut) runs — Definition 1, via Lemma 1's delta/2 join
+  // rule plus the connectivity repair.
+  AddIfBad(out, "delta_clustering",
+           CheckDeltaClustering(res.clustering, s.topology.adjacency,
+                                s.features, *s.metric, s.delta));
+  if (!s.fault.enabled()) {
+    if (!res.completed) {
+      Add(out, "elink_completed", "fault-free run reported completed=false");
+    }
+    if (res.unclustered_nodes != 0) {
+      Add(out, "elink_unclustered",
+          StringPrintf("fault-free run left %d node(s) unclustered",
+                       res.unclustered_nodes));
+    }
+  }
+  AddIfBad(out, "conservation",
+           CheckConservation(ledger, res.stats, /*drained=*/true));
+  AddIfBad(out, "telemetry",
+           CheckTelemetryConsistency(ledger, tele.metrics()));
+}
+
+void RunMaintenanceTrial(const Scenario& s, CheckOutcome* out) {
+  std::optional<World> w = BuildWorld(s, out);
+  if (!w.has_value()) return;
+
+  MaintenanceConfig mcfg;
+  mcfg.delta = s.delta;
+  mcfg.slack = s.slack;
+
+  // Maintenance carries no transport/watchdog recovery, so its fault
+  // exposure is the message-level classes it is built to survive: loss and
+  // truncation.  Crashes and outages stay with the protocols that have
+  // deadlines or watchdogs.
+  FaultPlan plan;
+  plan.drop_probability = s.fault.drop_probability;
+  plan.truncate_probability = s.fault.truncate_probability;
+
+  DistributedMaintenance dm(s.topology, w->clustering, s.features, s.metric,
+                            mcfg, s.synchronous, s.seed, plan);
+  ConservationLedger ledger;
+  obs::RunTelemetry tele;
+  ledger.set_next(&tele);
+  dm.set_observer(&ledger);
+
+  const int n = s.topology.num_nodes();
+  const int dim = s.feature_dim;
+  Rng urng = Rng(s.seed).Fork(kUpdateStream);
+  for (int u = 0; u < s.num_updates; ++u) {
+    const int node = static_cast<int>(urng.UniformInt(n));
+    Feature f = dm.CurrentFeatures()[node];
+    if (urng.Bernoulli(0.7)) {
+      // Small drift, scaled so the A1-A3 absorption conditions actually
+      // trigger when slack is on.
+      const double span = s.slack > 0.0 ? s.slack : 0.1 * s.delta;
+      for (int k = 0; k < dim; ++k) f[k] += urng.Uniform(-span, span);
+    } else {
+      // A jump toward another node's feature: provokes escalation, detach,
+      // and re-merge.
+      const Feature& target = s.features[urng.UniformInt(n)];
+      for (int k = 0; k < dim; ++k) {
+        f[k] = target[k] + urng.Uniform(-0.1, 0.1) * s.delta;
+      }
+    }
+    dm.ApplyUpdate(node, f);
+  }
+
+  // Correctness of the maintained state is only guaranteed when no protocol
+  // message was actually lost or mangled; conservation holds regardless.
+  if (dm.stats().dropped_sends() == 0 && dm.stats().decode_errors() == 0) {
+    AddIfBad(out, "maintenance_assignments",
+             CheckClusterAssignments(dm.CurrentClustering(), n));
+    AddIfBad(out, "maintenance_invariant",
+             dm.ValidateRootDistanceInvariant(s.delta + 2.0 * s.slack));
+  }
+  AddIfBad(out, "conservation",
+           CheckConservation(ledger, dm.stats(), /*drained=*/true));
+  AddIfBad(out, "telemetry",
+           CheckTelemetryConsistency(ledger, tele.metrics()));
+}
+
+void RunRangeQueryTrial(const Scenario& s, CheckOutcome* out) {
+  std::optional<World> w = BuildWorld(s, out);
+  if (!w.has_value()) return;
+  const int n = s.topology.num_nodes();
+
+  AddIfBad(out, "mtree",
+           CheckMTreeInvariants(*w->index, w->clustering, w->tree_parent,
+                                s.features, *s.metric));
+
+  RangeQueryEngine engine(w->clustering, *w->index, *w->backbone, s.features,
+                          *s.metric, s.delta);
+  Rng qrng = Rng(s.seed).Fork(kRangeQueryStream);
+  for (int t = 0; t < s.num_queries; ++t) {
+    const int initiator = static_cast<int>(qrng.UniformInt(n));
+    Feature q = s.features[qrng.UniformInt(n)];
+    for (double& v : q) v += qrng.Uniform(-0.3, 0.3) * s.delta;
+    const double r = qrng.Uniform(0.2, 1.2) * s.delta;
+
+    const std::vector<int> truth = RangeOracle(s.features, *s.metric, q, r);
+    const RangeQueryResult eres = engine.Query(initiator, q, r);
+    if (eres.matches != truth) {
+      Add(out, "range_engine",
+          StringPrintf("query %d: engine found %zu matches, oracle %zu", t,
+                       eres.matches.size(), truth.size()));
+    }
+    if (engine.LinearScan(q, r) != truth) {
+      Add(out, "range_scan",
+          StringPrintf("query %d: LinearScan disagrees with the oracle", t));
+    }
+
+    DistributedRangeQuery::ProtocolOptions qopt;
+    qopt.synchronous = s.synchronous;
+    qopt.seed = s.seed;
+    qopt.fault = s.fault;
+    TuneQueryForFaults(s, &qopt);
+    ConservationLedger ledger;
+    obs::RunTelemetry tele;
+    ledger.set_next(&tele);
+    qopt.observer = &ledger;
+    DistributedRangeQuery protocol(s.topology, w->clustering, *w->index,
+                                   *w->backbone, s.features, s.metric, qopt);
+    Result<DistributedQueryOutcome> run = protocol.Run(initiator, q, r);
+    if (!run.ok()) {
+      Add(out, "range_protocol_run", run.status().ToString());
+      continue;
+    }
+    const DistributedQueryOutcome& o = run.value();
+    if (o.answer_received &&
+        o.match_count > static_cast<long long>(truth.size())) {
+      Add(out, "range_soundness",
+          StringPrintf("query %d: match_count %lld exceeds the true %zu", t,
+                       o.match_count, truth.size()));
+    }
+    if (!s.fault.enabled()) {
+      if (!o.answer_received || !o.complete ||
+          o.match_count != static_cast<long long>(truth.size()) ||
+          o.unreachable_subtrees != 0) {
+        Add(out, "range_exactness",
+            StringPrintf("fault-free query %d: match_count %lld vs truth "
+                         "%zu (complete=%d answered=%d unreachable=%lld)",
+                         t, o.match_count, truth.size(), o.complete ? 1 : 0,
+                         o.answer_received ? 1 : 0, o.unreachable_subtrees));
+      }
+    }
+    AddIfBad(out, "conservation",
+             CheckConservation(ledger, o.stats, /*drained=*/true));
+    AddIfBad(out, "telemetry",
+             CheckTelemetryConsistency(ledger, tele.metrics()));
+  }
+}
+
+void RunPathQueryTrial(const Scenario& s, CheckOutcome* out) {
+  std::optional<World> w = BuildWorld(s, out);
+  if (!w.has_value()) return;
+  const int n = s.topology.num_nodes();
+
+  PathQueryEngine engine(w->clustering, *w->index, *w->backbone,
+                         s.topology.adjacency, s.features, *s.metric,
+                         s.delta);
+  Rng qrng = Rng(s.seed).Fork(kPathQueryStream);
+  for (int t = 0; t < s.num_queries; ++t) {
+    const int source = static_cast<int>(qrng.UniformInt(n));
+    const int destination = static_cast<int>(qrng.UniformInt(n));
+    Feature danger = s.features[qrng.UniformInt(n)];
+    for (double& v : danger) v += qrng.Uniform(-0.3, 0.3) * s.delta;
+    const double gamma = qrng.Uniform(0.2, 1.0) * s.delta;
+
+    const PathQueryResult eres =
+        engine.Query(source, destination, danger, gamma);
+    AddIfBad(out, "path_engine",
+             CheckPathResult(eres, s.topology.adjacency, s.features,
+                             *s.metric, danger, gamma, source, destination,
+                             /*require_exact=*/true));
+    const PathQueryResult bfs =
+        engine.BfsBaseline(source, destination, danger, gamma);
+    if (bfs.found != eres.found) {
+      Add(out, "path_bfs_parity",
+          StringPrintf("query %d: engine found=%d, BFS baseline found=%d", t,
+                       eres.found ? 1 : 0, bfs.found ? 1 : 0));
+    }
+    AddIfBad(out, "path_bfs",
+             CheckPathResult(bfs, s.topology.adjacency, s.features, *s.metric,
+                             danger, gamma, source, destination,
+                             /*require_exact=*/true));
+
+    PathProtocolOptions popt;
+    popt.synchronous = s.synchronous;
+    popt.seed = s.seed;
+    popt.fault = s.fault;
+    ConservationLedger ledger;
+    obs::RunTelemetry tele;
+    ledger.set_next(&tele);
+    popt.observer = &ledger;
+    DistributedPathQuery protocol(s.topology, w->clustering, *w->index,
+                                  *w->backbone, s.features, s.metric, popt);
+    Result<PathQueryResult> run =
+        protocol.Run(source, destination, danger, gamma);
+    if (!run.ok()) {
+      Add(out, "path_protocol_run", run.status().ToString());
+      continue;
+    }
+    AddIfBad(out, "path_protocol",
+             CheckPathResult(run.value(), s.topology.adjacency, s.features,
+                             *s.metric, danger, gamma, source, destination,
+                             /*require_exact=*/!s.fault.enabled()));
+    // "path_search"/"path_trace" are the engine-parity categories the
+    // protocol records outside the Network (the classification walk).
+    AddIfBad(out, "conservation",
+             CheckConservation(ledger, run.value().stats, /*drained=*/true,
+                               {"path_search", "path_trace"}));
+    AddIfBad(out, "telemetry",
+             CheckTelemetryConsistency(ledger, tele.metrics()));
+  }
+}
+
+}  // namespace
+
+const char* ProtocolName(Protocol protocol) {
+  switch (protocol) {
+    case Protocol::kElink:
+      return "elink";
+    case Protocol::kMaintenance:
+      return "maintenance";
+    case Protocol::kRangeQuery:
+      return "range_query";
+    case Protocol::kPathQuery:
+      return "path_query";
+  }
+  return "?";
+}
+
+Result<Protocol> ProtocolFromName(const std::string& name) {
+  for (const Protocol p : AllProtocols()) {
+    if (name == ProtocolName(p)) return p;
+  }
+  return Status::InvalidArgument(StringPrintf(
+      "unknown protocol '%s' (expected elink, maintenance, range_query, "
+      "path_query)",
+      name.c_str()));
+}
+
+const std::vector<Protocol>& AllProtocols() {
+  static const std::vector<Protocol> kAll = {
+      Protocol::kElink, Protocol::kMaintenance, Protocol::kRangeQuery,
+      Protocol::kPathQuery};
+  return kAll;
+}
+
+std::string CheckOutcome::Summary() const {
+  std::string out;
+  for (const CheckViolation& v : violations) {
+    if (!out.empty()) out += "; ";
+    out += v.check + ": " + v.detail;
+  }
+  return out;
+}
+
+CheckOutcome RunScenario(Protocol protocol, uint64_t seed,
+                         const ScenarioKnobs& knobs) {
+  CheckOutcome out;
+  Result<Scenario> scenario = MakeScenario(seed, knobs);
+  if (!scenario.ok()) {
+    Add(&out, "scenario", scenario.status().ToString());
+    return out;
+  }
+  out.scenario = std::move(scenario).value();
+  switch (protocol) {
+    case Protocol::kElink:
+      RunElinkTrial(out.scenario, &out);
+      break;
+    case Protocol::kMaintenance:
+      RunMaintenanceTrial(out.scenario, &out);
+      break;
+    case Protocol::kRangeQuery:
+      RunRangeQueryTrial(out.scenario, &out);
+      break;
+    case Protocol::kPathQuery:
+      RunPathQueryTrial(out.scenario, &out);
+      break;
+  }
+  return out;
+}
+
+ScenarioKnobs ShrinkFailure(Protocol protocol, uint64_t seed,
+                            const ScenarioKnobs& start) {
+  ScenarioKnobs current = start;
+  const std::vector<bool ScenarioKnobs::*> order = {
+      &ScenarioKnobs::faults,   &ScenarioKnobs::async,
+      &ScenarioKnobs::reliable, &ScenarioKnobs::slack,
+      &ScenarioKnobs::features, &ScenarioKnobs::random_topology,
+  };
+  for (const auto member : order) {
+    if (!(current.*member)) continue;
+    ScenarioKnobs trial = current;
+    trial.*member = false;
+    if (!RunScenario(protocol, seed, trial).ok()) current = trial;
+  }
+  return current;
+}
+
+}  // namespace check
+}  // namespace elink

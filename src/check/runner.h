@@ -1,0 +1,84 @@
+// One fuzz trial end to end: scenario -> protocol run -> every applicable
+// invariant checker (elink_check).
+//
+// RunScenario derives the scenario for (seed, knobs), runs the chosen
+// protocol inside the simulator with a ConservationLedger and a
+// obs::RunTelemetry chained as observers, and evaluates the check matrix:
+//
+//   protocol     | always                       | fault-free only
+//   -------------+------------------------------+--------------------------
+//   elink        | Definition 1 validity,       | completed, zero
+//                | conservation, telemetry      | unclustered nodes
+//   maintenance  | conservation, telemetry      | assignment sanity +
+//                |                              | root-distance invariant
+//                |                              | (gated on zero realized
+//                |                              | drops/decode errors)
+//   range_query  | M-tree invariants, engine    | protocol exactness vs
+//                | parity vs oracle, soundness  | the brute-force oracle
+//                | (match_count <= truth),      |
+//                | conservation, telemetry      |
+//   path_query   | M-tree-backed engine parity, | protocol exactness vs
+//                | path soundness, conservation,| the BFS oracle
+//                | telemetry                    |
+//
+// Every violation is collected (not first-failure), so one failing seed
+// reports everything it breaks.  ShrinkFailure greedily disables scenario
+// knobs one at a time and keeps each disable that still reproduces a
+// failure, yielding the minimal failing configuration for the repro line.
+#ifndef ELINK_CHECK_RUNNER_H_
+#define ELINK_CHECK_RUNNER_H_
+
+#include <string>
+#include <vector>
+
+#include "check/scenario.h"
+#include "common/status.h"
+
+namespace elink {
+namespace check {
+
+enum class Protocol { kElink, kMaintenance, kRangeQuery, kPathQuery };
+
+/// "elink", "maintenance", "range_query", "path_query".
+const char* ProtocolName(Protocol protocol);
+
+/// Inverse of ProtocolName; InvalidArgument on unknown names.
+Result<Protocol> ProtocolFromName(const std::string& name);
+
+/// All four protocols, in fuzzing order.
+const std::vector<Protocol>& AllProtocols();
+
+struct CheckViolation {
+  /// Which checker failed ("delta_clustering", "conservation", ...).
+  std::string check;
+  /// The checker's message.
+  std::string detail;
+};
+
+struct CheckOutcome {
+  Scenario scenario;
+  std::vector<CheckViolation> violations;
+  bool ok() const { return violations.empty(); }
+  /// All violations as "check: detail" lines joined by "; ".
+  std::string Summary() const;
+};
+
+/// Runs one trial.  Scenario-generation and protocol-run errors are reported
+/// as violations (a protocol returning Internal on a fuzzed input is exactly
+/// the kind of bug the fuzzer exists to find), so this never throws away a
+/// finding.
+CheckOutcome RunScenario(Protocol protocol, uint64_t seed,
+                         const ScenarioKnobs& knobs = {});
+
+/// Greedy minimization of a failing (protocol, seed, knobs) triple: tries
+/// disabling each still-enabled knob in a fixed order (faults, async,
+/// reliable, slack, features, topology), keeping each disable under which
+/// the trial still fails.  Returns the minimal knob set (== `start` when
+/// nothing can be disabled).
+ScenarioKnobs ShrinkFailure(Protocol protocol, uint64_t seed,
+                            const ScenarioKnobs& start);
+
+}  // namespace check
+}  // namespace elink
+
+#endif  // ELINK_CHECK_RUNNER_H_

@@ -1,0 +1,288 @@
+#include "check/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace elink {
+namespace check {
+
+namespace {
+
+// Dedicated Fork stream ids, one per scenario aspect (see header: disabling
+// a knob must not reshuffle the other aspects).
+enum Stream : uint64_t {
+  kTopologyStream = 1,
+  kFeatureStream = 2,
+  kParamStream = 3,
+  kFaultStream = 4,
+  kWorkloadStream = 5,
+};
+
+const char* KindName(TopologyKind k) {
+  switch (k) {
+    case TopologyKind::kGrid:
+      return "grid";
+    case TopologyKind::kRandomGeometric:
+      return "random";
+    case TopologyKind::kLinear:
+      return "linear";
+  }
+  return "?";
+}
+
+const char* ModeName(ElinkMode m) {
+  switch (m) {
+    case ElinkMode::kImplicit:
+      return "implicit";
+    case ElinkMode::kExplicit:
+      return "explicit";
+    case ElinkMode::kUnordered:
+      return "unordered";
+  }
+  return "?";
+}
+
+Result<Topology> DeriveTopology(Rng* rng, const ScenarioKnobs& knobs,
+                                TopologyKind* kind) {
+  uint64_t pick = rng->UniformInt(3);
+  if (!knobs.random_topology) pick = 0;
+  switch (pick) {
+    case 1: {
+      *kind = TopologyKind::kRandomGeometric;
+      const int n = static_cast<int>(rng->UniformIntRange(24, 72));
+      const double side = std::sqrt(static_cast<double>(n));
+      Rng place = rng->Fork(7);
+      return MakeRandomTopology(n, side, 1.4, &place,
+                                /*force_connectivity=*/true);
+    }
+    case 2: {
+      *kind = TopologyKind::kLinear;
+      const int n = static_cast<int>(rng->UniformIntRange(8, 32));
+      return Result<Topology>(MakeGridTopology(1, n));
+    }
+    default: {
+      *kind = TopologyKind::kGrid;
+      const int rows = static_cast<int>(rng->UniformIntRange(3, 7));
+      const int cols = static_cast<int>(rng->UniformIntRange(3, 7));
+      return Result<Topology>(MakeGridTopology(rows, cols));
+    }
+  }
+}
+
+std::vector<Feature> DeriveFeatures(Rng* rng, const ScenarioKnobs& knobs,
+                                    const Topology& topology, int dim) {
+  const int n = topology.num_nodes();
+  std::vector<Feature> features(n, Feature(dim, 0.0));
+  const bool smooth = rng->Bernoulli(0.6);
+  // Per-coordinate field parameters (drawn whether or not they end up used,
+  // to keep this stream's draw sequence knob-independent).
+  std::vector<double> amp_x(dim), amp_y(dim), freq_x(dim), freq_y(dim),
+      phase_x(dim), phase_y(dim);
+  for (int k = 0; k < dim; ++k) {
+    amp_x[k] = rng->Uniform(0.5, 1.5);
+    amp_y[k] = rng->Uniform(0.5, 1.5);
+    freq_x[k] = rng->Uniform(0.3, 1.2);
+    freq_y[k] = rng->Uniform(0.3, 1.2);
+    phase_x[k] = rng->Uniform(0.0, 6.28318530717958647692);
+    phase_y[k] = rng->Uniform(0.0, 6.28318530717958647692);
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int k = 0; k < dim; ++k) {
+      const double rough_draw = rng->Uniform01();
+      if (!knobs.features) {
+        features[i][k] = 0.5;  // Constant field: the simplest input.
+      } else if (smooth) {
+        features[i][k] =
+            amp_x[k] * std::sin(freq_x[k] * topology.positions[i].x +
+                                phase_x[k]) +
+            amp_y[k] * std::cos(freq_y[k] * topology.positions[i].y +
+                                phase_y[k]) +
+            0.05 * rough_draw;
+      } else {
+        features[i][k] = rough_draw;
+      }
+    }
+  }
+  return features;
+}
+
+FaultPlan DeriveFaultPlan(Rng* rng, const ScenarioKnobs& knobs,
+                          const Topology& topology) {
+  FaultPlan plan;
+  // All draws happen regardless of the knob so the stream stays aligned; the
+  // knob only decides whether the drawn plan is kept.
+  const bool any = rng->Bernoulli(0.55);
+  const bool loss = rng->Bernoulli(0.7);
+  const double drop_p = rng->Uniform(0.02, 0.2);
+  const bool trunc = rng->Bernoulli(0.3);
+  const double trunc_p = rng->Uniform(0.02, 0.12);
+  const bool outage = rng->Bernoulli(0.35);
+  const bool crash = rng->Bernoulli(0.35);
+
+  const int n = topology.num_nodes();
+  if (loss || !(trunc || outage || crash)) plan.drop_probability = drop_p;
+  if (trunc) plan.truncate_probability = trunc_p;
+  if (outage) {
+    const int count = static_cast<int>(rng->UniformIntRange(1, 2));
+    for (int k = 0; k < count; ++k) {
+      const int u = static_cast<int>(rng->UniformInt(n));
+      if (topology.adjacency[u].empty()) continue;
+      const int v = topology.adjacency[u][rng->UniformInt(
+          topology.adjacency[u].size())];
+      FaultPlan::LinkOutage o;
+      o.from = u;
+      o.to = v;
+      o.down_at = rng->Uniform(5.0, 40.0);
+      o.up_at = o.down_at + rng->Uniform(10.0, 80.0);
+      plan.link_outages.push_back(o);
+    }
+  }
+  if (crash) {
+    const int count = static_cast<int>(rng->UniformIntRange(1, 2));
+    for (int k = 0; k < count; ++k) {
+      FaultPlan::NodeCrash c;
+      c.node = static_cast<int>(rng->UniformInt(n));
+      c.crash_at = rng->Uniform(10.0, 60.0);
+      if (rng->Bernoulli(0.5)) {
+        c.recover_at = c.crash_at + rng->Uniform(20.0, 100.0);
+      }
+      plan.node_crashes.push_back(c);
+    }
+  }
+  if (!knobs.faults || !any) return FaultPlan{};
+  return plan;
+}
+
+}  // namespace
+
+Result<ScenarioKnobs> ScenarioKnobs::FromDisableList(const std::string& csv) {
+  ScenarioKnobs knobs;
+  size_t pos = 0;
+  while (pos < csv.size()) {
+    size_t comma = csv.find(',', pos);
+    if (comma == std::string::npos) comma = csv.size();
+    const std::string item = csv.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    if (item == "faults") {
+      knobs.faults = false;
+    } else if (item == "async") {
+      knobs.async = false;
+    } else if (item == "reliable") {
+      knobs.reliable = false;
+    } else if (item == "slack") {
+      knobs.slack = false;
+    } else if (item == "features") {
+      knobs.features = false;
+    } else if (item == "topology") {
+      knobs.random_topology = false;
+    } else {
+      return Status::InvalidArgument(
+          StringPrintf("unknown --disable knob '%s' (expected faults, async, "
+                       "reliable, slack, features, topology)",
+                       item.c_str()));
+    }
+  }
+  return knobs;
+}
+
+std::string ScenarioKnobs::DisableList() const {
+  std::string out;
+  const auto add = [&out](const char* name) {
+    if (!out.empty()) out += ',';
+    out += name;
+  };
+  if (!faults) add("faults");
+  if (!async) add("async");
+  if (!reliable) add("reliable");
+  if (!slack) add("slack");
+  if (!features) add("features");
+  if (!random_topology) add("topology");
+  return out;
+}
+
+std::string Scenario::Describe() const {
+  std::string fault_desc = "none";
+  if (fault.enabled()) {
+    fault_desc = StringPrintf(
+        "drop=%.2f trunc=%.2f outages=%zu crashes=%zu",
+        fault.drop_probability, fault.truncate_probability,
+        fault.link_outages.size(), fault.node_crashes.size());
+  }
+  return StringPrintf(
+      "seed=%llu topo=%s n=%d dim=%d delta=%.4f slack=%.4f sync=%d mode=%s "
+      "fault=[%s] reliable=%d updates=%d queries=%d",
+      static_cast<unsigned long long>(seed), KindName(topology_kind),
+      topology.num_nodes(), feature_dim, delta, slack, synchronous ? 1 : 0,
+      ModeName(elink_mode), fault_desc.c_str(), reliable ? 1 : 0, num_updates,
+      num_queries);
+}
+
+Result<Scenario> MakeScenario(uint64_t seed, const ScenarioKnobs& knobs) {
+  Scenario s;
+  s.seed = seed;
+  s.knobs = knobs;
+  Rng master(seed);
+  Rng topo_rng = master.Fork(kTopologyStream);
+  Rng feat_rng = master.Fork(kFeatureStream);
+  Rng param_rng = master.Fork(kParamStream);
+  Rng fault_rng = master.Fork(kFaultStream);
+  Rng work_rng = master.Fork(kWorkloadStream);
+
+  Result<Topology> topo = DeriveTopology(&topo_rng, knobs, &s.topology_kind);
+  if (!topo.ok()) return topo.status();
+  s.topology = std::move(topo).value();
+
+  s.feature_dim = static_cast<int>(param_rng.UniformIntRange(2, 3));
+  s.weights.resize(s.feature_dim);
+  for (double& w : s.weights) w = param_rng.Uniform(0.25, 2.0);
+  s.metric = std::make_shared<WeightedEuclidean>(s.weights);
+  s.features = DeriveFeatures(&feat_rng, knobs, s.topology, s.feature_dim);
+
+  s.feature_diameter = 0.0;
+  const int n = s.topology.num_nodes();
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      s.feature_diameter = std::max(
+          s.feature_diameter, s.metric->Distance(s.features[i], s.features[j]));
+    }
+  }
+
+  const double delta_frac = param_rng.Uniform(0.2, 0.6);
+  s.delta = s.feature_diameter > 0.0 ? delta_frac * s.feature_diameter : 1.0;
+  const bool use_slack = param_rng.Bernoulli(0.5);
+  const double slack_frac = param_rng.Uniform(0.05, 0.2);
+  if (knobs.slack && use_slack) s.slack = slack_frac * s.delta;
+
+  const bool want_async = param_rng.Bernoulli(0.5);
+  s.synchronous = !(knobs.async && want_async);
+
+  s.fault = DeriveFaultPlan(&fault_rng, knobs, s.topology);
+
+  // Mode: implicit's timing guarantees need synchrony, and only explicit
+  // carries the completion watchdog faults require; unordered is the
+  // synchronous fault-free ablation.
+  const uint64_t mode_pick = param_rng.UniformInt(5);
+  if (s.fault.enabled() || !s.synchronous) {
+    s.elink_mode = ElinkMode::kExplicit;
+  } else if (mode_pick < 2) {
+    s.elink_mode = ElinkMode::kImplicit;
+  } else if (mode_pick < 4) {
+    s.elink_mode = ElinkMode::kExplicit;
+  } else {
+    s.elink_mode = ElinkMode::kUnordered;
+  }
+
+  const bool want_reliable = param_rng.Bernoulli(0.7);
+  s.reliable = knobs.reliable && s.fault.enabled() && want_reliable;
+
+  s.num_updates = static_cast<int>(work_rng.UniformIntRange(8, 30));
+  s.num_queries = static_cast<int>(work_rng.UniformIntRange(2, 5));
+  return s;
+}
+
+}  // namespace check
+}  // namespace elink

@@ -1,0 +1,88 @@
+// Seeded scenario generation for the fuzzing harness (elink_check).
+//
+// A Scenario is everything one fuzz trial needs — topology, feature field,
+// metric, delta/slack, delay regime, fault plan, transport choice, update
+// and query workloads — derived deterministically from a single uint64 seed.
+// Each aspect draws from its own forked RNG stream (common/rng.h Fork), so
+// disabling one knob never reshuffles the others: the shrunk repro differs
+// from the original run only in the disabled aspect.
+//
+// ScenarioKnobs are the shrinking dimensions.  check_fuzz disables them one
+// at a time (`--disable=faults,async,...`) to report the minimal failing
+// configuration; a disabled knob pins its aspect to the simplest value
+// (inert fault plan, synchronous delays, zero slack, a constant feature
+// field, a regular grid, plain transport).
+#ifndef ELINK_CHECK_SCENARIO_H_
+#define ELINK_CHECK_SCENARIO_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/elink.h"
+#include "common/status.h"
+#include "metric/distance.h"
+#include "metric/feature.h"
+#include "sim/fault.h"
+#include "sim/topology.h"
+
+namespace elink {
+namespace check {
+
+/// Shrinking dimensions.  All-true is the full scenario space; each false
+/// pins one aspect to its simplest value.
+struct ScenarioKnobs {
+  bool faults = true;           // false: inert FaultPlan.
+  bool async = true;            // false: synchronous (unit) delays.
+  bool reliable = true;         // false: never use ReliableChannel.
+  bool slack = true;            // false: maintenance slack 0.
+  bool features = true;         // false: constant feature field.
+  bool random_topology = true;  // false: regular grid only.
+
+  /// Parses "faults,async,reliable,slack,features,topology" items (the
+  /// check_fuzz --disable spelling); unknown names are an error.
+  static Result<ScenarioKnobs> FromDisableList(const std::string& csv);
+
+  /// The --disable list reproducing this knob set ("" when all enabled).
+  std::string DisableList() const;
+};
+
+enum class TopologyKind { kGrid, kRandomGeometric, kLinear };
+
+/// One fully derived fuzz trial.
+struct Scenario {
+  uint64_t seed = 0;
+  ScenarioKnobs knobs;
+
+  TopologyKind topology_kind = TopologyKind::kGrid;
+  Topology topology;
+  std::vector<Feature> features;
+  std::shared_ptr<const DistanceMetric> metric;  // Weighted Euclidean.
+  std::vector<double> weights;
+  int feature_dim = 2;
+
+  double feature_diameter = 0.0;
+  double delta = 1.0;
+  double slack = 0.0;
+
+  bool synchronous = true;
+  ElinkMode elink_mode = ElinkMode::kImplicit;
+  FaultPlan fault;
+  /// Carry protocol waves over ReliableChannel when the plan is enabled.
+  bool reliable = false;
+
+  int num_updates = 0;  // Maintenance workload.
+  int num_queries = 0;  // Range/path workload.
+
+  /// One-line human summary for failure reports.
+  std::string Describe() const;
+};
+
+/// Derives the scenario for `seed` under `knobs`.  Deterministic: identical
+/// (seed, knobs) pairs yield identical scenarios on every platform.
+Result<Scenario> MakeScenario(uint64_t seed, const ScenarioKnobs& knobs = {});
+
+}  // namespace check
+}  // namespace elink
+
+#endif  // ELINK_CHECK_SCENARIO_H_

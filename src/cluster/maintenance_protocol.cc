@@ -169,6 +169,13 @@ class MaintNode : public proto::ProtocolNode {
     children_.clear();
     root_ = id();
     parent_ = id();
+    // While probing we are a singleton root; the root-role fields must be
+    // self-consistent immediately, not only when the probe resolves: a lost
+    // ProbeReply can leave the node in this state indefinitely, and a later
+    // local update then reads announced_/stored_root_ through RootUpdate.
+    announced_ = feature_;
+    stored_root_ = feature_;
+    verified_ = feature_;
     reattach_mode_ = false;
     StartProbing();
   }

@@ -103,6 +103,21 @@ void ClusteredSensorNetwork::EnsureIndex() {
   if (!index_valid_) RebuildIndex();
 }
 
+const ClusterIndex& ClusteredSensorNetwork::cluster_index() {
+  EnsureIndex();
+  return *index_;
+}
+
+const Backbone& ClusteredSensorNetwork::backbone() {
+  EnsureIndex();
+  return *backbone_;
+}
+
+const std::vector<int>& ClusteredSensorNetwork::cluster_tree_parent() {
+  EnsureIndex();
+  return tree_parent_;
+}
+
 RangeQueryResult ClusteredSensorNetwork::RangeQuery(int initiator,
                                                     const Feature& q,
                                                     double r) {

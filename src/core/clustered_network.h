@@ -73,6 +73,21 @@ class ClusteredSensorNetwork {
   /// update_*, query_*, path_*).
   const MessageStats& total_stats() const { return stats_; }
 
+  // -- Checker hooks (elink_check) --------------------------------------------
+  //
+  // The invariant checkers validate final cluster/index state from outside;
+  // these accessors expose it (rebuilding lazily first, like the queries do).
+
+  /// The current M-tree index over the cluster trees (Section 7.1).
+  const ClusterIndex& cluster_index();
+
+  /// The current leader backbone (Section 7.2).
+  const Backbone& backbone();
+
+  /// Per-node cluster-tree parent (parent[root] == root), matching
+  /// cluster_index().
+  const std::vector<int>& cluster_tree_parent();
+
   /// Cost of the initial clustering alone (paper message units).
   uint64_t clustering_cost_units() const { return clustering_cost_units_; }
 

@@ -80,11 +80,13 @@ bool ReliableChannel::OnMessage(int from, const Message& msg) {
   if (SimObserver* obs = network_->observer()) {
     obs->OnTransportAck(network_->Now(), self_, msg.rel_from, msg.rel_seq);
   }
-  if (msg.rel_from == from) {
+  if (msg.rel_from == from && from != self_) {
     network_->Send(self_, from, std::move(ack));
   } else {
-    // Data arrived over a multi-hop route (`from` is just the last relay);
-    // the ack routes back to the logical originator.
+    // Data arrived over a multi-hop route (`from` is just the last relay)
+    // or was a routed self-delivery (from == self_, which Network::Send
+    // would reject — there is no self edge); the ack routes back to the
+    // logical originator.
     network_->SendRouted(self_, msg.rel_from, std::move(ack));
   }
   auto [it, first_delivery] = delivered_[msg.rel_from].insert(msg.rel_seq);

@@ -44,6 +44,39 @@ TEST(WeightedEuclideanTest, SatisfiesMetricAxiomsOnRandomSamples) {
   EXPECT_TRUE(CheckMetricAxioms(d, samples).ok());
 }
 
+TEST(WeightedEuclideanTest, RandomWeightVectorsSatisfyAxioms) {
+  // Property test: every strictly positive weight vector yields a metric
+  // (identity, symmetry, triangle inequality), across dimensions and weight
+  // scales — the assumption Definition 1 and the M-tree pruning rest on.
+  Rng rng(4242);
+  for (int trial = 0; trial < 25; ++trial) {
+    const int dim = 1 + static_cast<int>(rng.UniformInt(5));
+    std::vector<double> weights(dim);
+    for (double& w : weights) w = rng.Uniform(0.01, 8.0);
+    WeightedEuclidean d(weights);
+    std::vector<Feature> samples;
+    for (int i = 0; i < 8; ++i) {
+      Feature f(dim);
+      for (double& v : f) v = rng.Uniform(-5.0, 5.0);
+      samples.push_back(std::move(f));
+    }
+    EXPECT_TRUE(CheckMetricAxioms(d, samples).ok())
+        << "trial " << trial << " dim " << dim;
+  }
+}
+
+TEST(WeightedEuclideanTest, ExtremeWeightRatiosStayMetric) {
+  // Severely anisotropic weights stress the triangle inequality's floating
+  // point headroom; the checker tolerance must absorb the rounding.
+  WeightedEuclidean d({1e-6, 1e6});
+  Rng rng(97);
+  std::vector<Feature> samples;
+  for (int i = 0; i < 10; ++i) {
+    samples.push_back({rng.Uniform(-100, 100), rng.Uniform(-100, 100)});
+  }
+  EXPECT_TRUE(CheckMetricAxioms(d, samples).ok());
+}
+
 TEST(ManhattanTest, BasicsAndAxioms) {
   ManhattanDistance d;
   EXPECT_DOUBLE_EQ(d.Distance({1, 2}, {4, 0}), 5.0);

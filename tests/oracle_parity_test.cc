@@ -1,0 +1,117 @@
+// Brute-force oracle parity for the distributed query protocols under a
+// fault-free network: on 50 fuzzer-derived scenarios, every answer from
+// RangeQueryDistributed must match the linear-scan oracle exactly, and every
+// SafePathDistributed answer must agree with the BFS reachability oracle and
+// return a genuinely safe, connected path.  Runs through the
+// ClusteredSensorNetwork facade, which also exercises the checker hooks
+// (cluster_index / cluster_tree_parent) against the M-tree invariants.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "check/invariants.h"
+#include "check/scenario.h"
+#include "common/rng.h"
+#include "core/clustered_network.h"
+
+namespace elink {
+namespace check {
+namespace {
+
+// The facade's protocols run on an inert fault plan by construction (its
+// Options carry no FaultPlan), so "0% loss" holds for every scenario here
+// regardless of the scenario's own (unused) fault fields.
+std::unique_ptr<ClusteredSensorNetwork> BuildNetwork(const Scenario& s) {
+  SensorDataset ds;
+  ds.name = "fuzz";
+  ds.topology = s.topology;
+  ds.features = s.features;
+  ds.metric = s.metric;
+  ClusteredSensorNetwork::Options opts;
+  opts.delta = s.delta;
+  opts.slack = s.slack;
+  opts.mode = ElinkMode::kExplicit;
+  opts.synchronous = s.synchronous;
+  opts.seed = s.seed;
+  Result<std::unique_ptr<ClusteredSensorNetwork>> net =
+      ClusteredSensorNetwork::Build(ds, opts);
+  EXPECT_TRUE(net.ok()) << net.status().ToString();
+  return net.ok() ? std::move(net).value() : nullptr;
+}
+
+TEST(OracleParityTest, DistributedRangeQueryMatchesLinearScan) {
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    Result<Scenario> sc = MakeScenario(seed);
+    ASSERT_TRUE(sc.ok()) << sc.status().ToString();
+    const Scenario& s = sc.value();
+    std::unique_ptr<ClusteredSensorNetwork> net = BuildNetwork(s);
+    ASSERT_NE(net, nullptr) << "seed " << seed;
+
+    // The facade's index must satisfy the structural M-tree invariants
+    // before any query consults it.
+    ASSERT_TRUE(CheckMTreeInvariants(net->cluster_index(), net->clustering(),
+                                     net->cluster_tree_parent(), s.features,
+                                     *s.metric)
+                    .ok())
+        << "seed " << seed;
+
+    Rng rng = Rng(seed).Fork(91);
+    const int n = s.topology.num_nodes();
+    for (int t = 0; t < 3; ++t) {
+      const int initiator = static_cast<int>(rng.UniformInt(n));
+      Feature q = s.features[rng.UniformInt(n)];
+      for (double& v : q) v += rng.Uniform(-0.3, 0.3) * s.delta;
+      const double r = rng.Uniform(0.2, 1.2) * s.delta;
+      const std::vector<int> truth = RangeOracle(s.features, *s.metric, q, r);
+
+      Result<DistributedQueryOutcome> out =
+          net->RangeQueryDistributed(initiator, q, r);
+      ASSERT_TRUE(out.ok()) << "seed " << seed << ": "
+                            << out.status().ToString();
+      EXPECT_TRUE(out.value().answer_received)
+          << "seed " << seed << " query " << t;
+      EXPECT_TRUE(out.value().complete) << "seed " << seed << " query " << t;
+      EXPECT_EQ(out.value().match_count,
+                static_cast<long long>(truth.size()))
+          << "seed " << seed << " query " << t;
+      EXPECT_EQ(out.value().unreachable_subtrees, 0)
+          << "seed " << seed << " query " << t;
+    }
+  }
+}
+
+TEST(OracleParityTest, SafePathDistributedMatchesBfsOracle) {
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    Result<Scenario> sc = MakeScenario(seed);
+    ASSERT_TRUE(sc.ok()) << sc.status().ToString();
+    const Scenario& s = sc.value();
+    std::unique_ptr<ClusteredSensorNetwork> net = BuildNetwork(s);
+    ASSERT_NE(net, nullptr) << "seed " << seed;
+
+    Rng rng = Rng(seed).Fork(92);
+    const int n = s.topology.num_nodes();
+    for (int t = 0; t < 3; ++t) {
+      const int source = static_cast<int>(rng.UniformInt(n));
+      const int destination = static_cast<int>(rng.UniformInt(n));
+      Feature danger = s.features[rng.UniformInt(n)];
+      for (double& v : danger) v += rng.Uniform(-0.3, 0.3) * s.delta;
+      const double gamma = rng.Uniform(0.2, 1.0) * s.delta;
+
+      Result<PathQueryResult> out =
+          net->SafePathDistributed(source, destination, danger, gamma);
+      ASSERT_TRUE(out.ok()) << "seed " << seed << ": "
+                            << out.status().ToString();
+      // Fault-free: found must equal BFS reachability, and any returned
+      // path must be valid end to end (require_exact covers both).
+      const Status st = CheckPathResult(
+          out.value(), s.topology.adjacency, s.features, *s.metric, danger,
+          gamma, source, destination, /*require_exact=*/true);
+      EXPECT_TRUE(st.ok()) << "seed " << seed << " query " << t << ": "
+                           << st.ToString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace check
+}  // namespace elink

@@ -4,6 +4,7 @@
 // protocol built on the runtime.
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -18,6 +19,7 @@
 #include "index/path_wire.h"
 #include "index/query_protocol.h"
 #include "index/query_wire.h"
+#include "obs/telemetry.h"
 #include "proto/codec.h"
 #include "proto/harness.h"
 
@@ -412,6 +414,96 @@ TEST(RunHarnessTraceTest, DeterministicOrderWithAcksAndDuplicates) {
 
   // Same seed, same trace — byte for byte.
   EXPECT_EQ(trace, RunTracedPing(/*seed=*/5));
+}
+
+// -- RunHarness watchdog boundary behavior -----------------------------------
+//
+// The quiet-period watchdog compares an activity *counter* snapshot, not
+// timestamps, so events landing exactly on the expiry instant are resolved
+// by the event queue's (time, insertion) order: protocol events scheduled
+// before Run() beat the watchdog tick, the horizon no-op (armed after the
+// watchdog inside Run()) never does.  These tests pin all four boundaries.
+
+class WatchdogProbeNode : public proto::ProtocolNode {
+ public:
+  explicit WatchdogProbeNode(std::function<void()> on_timer = nullptr)
+      : on_timer_(std::move(on_timer)) {}
+
+ protected:
+  void OnProtocolTimer(int) override {
+    if (on_timer_) on_timer_();
+  }
+
+ private:
+  std::function<void()> on_timer_;
+};
+
+TEST(RunHarnessWatchdogTest, ActivityTieAtExpiryRearmsInsteadOfFiring) {
+  proto::RunHarness::Options hopt;
+  hopt.quiet_timeout = 10.0;
+  proto::RunHarness harness(MakeGridTopology(1, 2), hopt);
+  harness.InstallNodes(
+      [](int) { return std::make_unique<WatchdogProbeNode>(); });
+  // A protocol timer at exactly the watchdog expiry.  It was scheduled
+  // before Run() armed the watchdog, so the (time, insertion) tie-break
+  // delivers it first: the tick sees fresh activity and re-arms instead of
+  // declaring a false timeout at t=10.
+  harness.net().SetTimer(0, 10.0, /*timer_id=*/1);
+  const proto::RunHarness::Report report = harness.Run();
+  EXPECT_TRUE(report.timed_out);  // The 10..20 window really was quiet.
+  EXPECT_DOUBLE_EQ(report.end_time, 20.0)
+      << "first tick must re-arm, not fire";
+}
+
+TEST(RunHarnessWatchdogTest, DoneAtExpiryTieStandsDownWithoutTimeout) {
+  proto::RunHarness::Options hopt;
+  hopt.quiet_timeout = 10.0;
+  proto::RunHarness harness(MakeGridTopology(1, 2), hopt);
+  bool done = false;
+  harness.InstallNodes([&](int) {
+    return std::make_unique<WatchdogProbeNode>([&done] { done = true; });
+  });
+  harness.set_done([&done] { return done; });
+  // Completion lands on the expiry instant; the watchdog must consult done()
+  // before comparing activity and stand down entirely (no re-arm: the run
+  // ends at 10, not 20).
+  harness.net().SetTimer(0, 10.0, /*timer_id=*/1);
+  const proto::RunHarness::Report report = harness.Run();
+  EXPECT_FALSE(report.timed_out);
+  EXPECT_DOUBLE_EQ(report.end_time, 10.0);
+}
+
+TEST(RunHarnessWatchdogTest, HorizonNoOpAtExpiryIsNotActivity) {
+  proto::RunHarness::Options hopt;
+  hopt.quiet_timeout = 10.0;
+  hopt.run_horizon = 10.0;  // Same instant as the watchdog expiry.
+  proto::RunHarness harness(MakeGridTopology(1, 2), hopt);
+  harness.InstallNodes(
+      [](int) { return std::make_unique<WatchdogProbeNode>(); });
+  const proto::RunHarness::Report report = harness.Run();
+  // The horizon's clock-keeping no-op shares the expiry instant but touches
+  // no handler: the run is genuinely quiet and must time out.
+  EXPECT_TRUE(report.timed_out);
+  EXPECT_DOUBLE_EQ(report.end_time, 10.0);
+}
+
+TEST(RunHarnessWatchdogTest, ReArmIsFromExpiryNotFromLastActivity) {
+  proto::RunHarness::Options hopt;
+  hopt.quiet_timeout = 10.0;
+  proto::RunHarness harness(MakeGridTopology(1, 2), hopt);
+  obs::RunTelemetry tele;
+  harness.set_observer(&tele);
+  harness.InstallNodes(
+      [](int) { return std::make_unique<WatchdogProbeNode>(); });
+  // Activity at t=9.5, inside the first window.  The tick at t=10 re-arms
+  // for a full window from the *expiry* (next tick t=20), not from the last
+  // activity (t=19.5): the ELink watchdog semantics the harness inherited.
+  harness.net().SetTimer(0, 9.5, /*timer_id=*/1);
+  const proto::RunHarness::Report report = harness.Run();
+  EXPECT_TRUE(report.timed_out);
+  EXPECT_DOUBLE_EQ(report.end_time, 20.0);
+  EXPECT_EQ(tele.metrics().counter("harness.watchdog_arms"), 2u);
+  EXPECT_EQ(tele.metrics().counter("harness.watchdog_fires"), 1u);
 }
 
 }  // namespace
