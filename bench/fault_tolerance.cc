@@ -7,7 +7,9 @@
 // the same seed (pairwise Rand index).  It then replays a fixed batch of
 // range queries through the distributed protocol under the same fault plan
 // with aggregation deadlines, reporting how much of the true answer
-// survives.  Output is CSV, one row per cell.
+// survives.  Crashy cells run twice — permanent crashes and a paired
+// crash-with-recovery variant (same victims, back after 60 time units) —
+// isolating what recovery alone buys.  Output is CSV, one row per cell.
 #include <algorithm>
 #include <set>
 
@@ -121,16 +123,19 @@ int main(int argc, char** argv) {
   }
 
   std::printf(
-      "drop_p,crash_frac,crashed,elink_completed,rand_index,unclustered,"
-      "completion_time,retx_units,ack_units,dropped_units,"
+      "drop_p,crash_frac,recovery,crashed,elink_completed,rand_index,"
+      "unclustered,completion_time,retx_units,ack_units,dropped_units,"
       "query_recall,query_complete_frac,query_answered_frac\n");
 
   // Every cell's fault plan is drawn serially from one RNG up front, so the
   // plans (and hence every number below) are independent of how many threads
-  // later run the cells.
+  // later run the cells.  Each crashy cell is paired with a recovery twin:
+  // the same victims and crash times, but every node comes back 60 time
+  // units later — isolating what recovery alone buys.
   struct SweepCell {
     double drop_p;
     double crash_frac;
+    bool recovery = false;
     int crashed;
     FaultPlan plan;
     std::string row;
@@ -144,7 +149,17 @@ int main(int argc, char** argv) {
       cell.crash_frac = crash_frac;
       cell.crashed = static_cast<int>(crash_frac * n);
       cell.plan = MakePlan(drop_p, cell.crashed, n, spared, &crash_rng);
-      cells.push_back(std::move(cell));
+      if (cell.crashed > 0) {
+        SweepCell twin = cell;
+        twin.recovery = true;
+        for (auto& crash : twin.plan.node_crashes) {
+          crash.recover_at = crash.crash_at + 60.0;
+        }
+        cells.push_back(std::move(cell));
+        cells.push_back(std::move(twin));
+      } else {
+        cells.push_back(std::move(cell));
+      }
     }
   }
 
@@ -219,6 +234,7 @@ int main(int argc, char** argv) {
         elink_tele.MakeReport("elink_explicit", cfg.seed, run.stats);
     erep.SetParam("drop_p", cell.drop_p);
     erep.SetParam("crash_frac", cell.crash_frac);
+    erep.SetParam("recovery", cell.recovery ? 1 : 0);
     erep.SetParam("crashed", cell.crashed);
     erep.metrics.SetGauge("rand_index",
                           RandIndex(baseline.clustering, run.clustering));
@@ -229,6 +245,7 @@ int main(int argc, char** argv) {
         query_tele.MakeReport("range_query", qopt.seed, query_stats);
     qrep.SetParam("drop_p", cell.drop_p);
     qrep.SetParam("crash_frac", cell.crash_frac);
+    qrep.SetParam("recovery", cell.recovery ? 1 : 0);
     qrep.SetParam("trials", kTrials);
     qrep.metrics.SetGauge("recall", recall / kTrials);
     qrep.metrics.SetGauge("complete_fraction",
@@ -239,10 +256,10 @@ int main(int argc, char** argv) {
 
     char row[256];
     std::snprintf(row, sizeof(row),
-                  "%.2f,%.2f,%d,%d,%.4f,%d,%.1f,%llu,%llu,%llu,%.3f,"
+                  "%.2f,%.2f,%d,%d,%d,%.4f,%d,%.1f,%llu,%llu,%llu,%.3f,"
                   "%.2f,%.2f\n",
-                  cell.drop_p, cell.crash_frac, cell.crashed,
-                  run.completed ? 1 : 0,
+                  cell.drop_p, cell.crash_frac, cell.recovery ? 1 : 0,
+                  cell.crashed, run.completed ? 1 : 0,
                   RandIndex(baseline.clustering, run.clustering),
                   run.unclustered_nodes, run.completion_time,
                   (unsigned long long)UnitsWithSuffix(run.stats, ".retx"),

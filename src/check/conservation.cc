@@ -91,6 +91,10 @@ void ConservationLedger::OnPhase(double now, int node, const char* phase,
   if (next_ != nullptr) next_->OnPhase(now, node, phase, value);
 }
 
+void ConservationLedger::OnChurn(double now, const char* kind, int a, int b) {
+  if (next_ != nullptr) next_->OnChurn(now, kind, a, b);
+}
+
 void ConservationLedger::OnWatchdogArm(double now, double window) {
   if (next_ != nullptr) next_->OnWatchdogArm(now, window);
 }

@@ -94,6 +94,7 @@ class ConservationLedger : public SimObserver {
                          const Message& msg) override;
   void OnPhase(double now, int node, const char* phase,
                long long value) override;
+  void OnChurn(double now, const char* kind, int a, int b) override;
   void OnWatchdogArm(double now, double window) override;
   void OnWatchdogFire(double now) override;
   void OnRunEnd(double end_time, uint64_t events, bool timed_out,

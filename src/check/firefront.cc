@@ -1,0 +1,66 @@
+#include "check/firefront.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/status.h"
+
+namespace elink {
+namespace check {
+
+FireFrontEffects SweepFireFront(const Topology& topology,
+                                const std::vector<Feature>& features,
+                                const FireFrontConfig& config, Rng* rng) {
+  const int n = topology.num_nodes();
+  ELINK_CHECK(static_cast<int>(features.size()) == n);
+  ELINK_CHECK(config.speed > 0.0);
+  ELINK_CHECK(config.start_time >= 0.0);
+  ELINK_CHECK(config.crash_fraction >= 0.0 && config.crash_fraction <= 1.0);
+  ELINK_CHECK(config.repair_delay_max >= config.repair_delay_min);
+  ELINK_CHECK(config.repair_delay_min > 0.0);
+  ELINK_CHECK(config.burn_lag > 0.0);
+
+  FireFrontEffects fx;
+  if (n == 0) return fx;
+
+  double min_x = std::numeric_limits<double>::infinity();
+  for (const Point2D& p : topology.positions) min_x = std::min(min_x, p.x);
+
+  // Visit nodes in front-arrival order (x, then id for ties) so the emitted
+  // updates and crashes read as the sweep they are.
+  std::vector<int> order(n);
+  for (int i = 0; i < n; ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return topology.positions[a].x < topology.positions[b].x;
+  });
+
+  for (const int i : order) {
+    ELINK_CHECK(features[i].size() == config.shift.size());
+    const double hit =
+        config.start_time + (topology.positions[i].x - min_x) / config.speed;
+    TimedUpdate u;
+    u.at = hit;
+    u.node = i;
+    u.feature = features[i];
+    for (size_t k = 0; k < u.feature.size(); ++k) {
+      u.feature[k] += config.shift[k];
+    }
+    fx.updates.push_back(std::move(u));
+    // Both draws happen for every node so crash_fraction never shifts the
+    // repair-delay stream (see header).
+    const bool burns = rng->Bernoulli(config.crash_fraction);
+    const double repair_after =
+        rng->Uniform(config.repair_delay_min, config.repair_delay_max);
+    if (burns) {
+      ChurnPlan::NodeCrash c;
+      c.node = i;
+      c.crash_at = hit + config.burn_lag;
+      c.recover_at = c.crash_at + repair_after;
+      fx.churn.crashes.push_back(c);
+    }
+  }
+  return fx;
+}
+
+}  // namespace check
+}  // namespace elink

@@ -1,0 +1,73 @@
+// Moving-phenomenon scenario generation: a "fire front" sweeping across the
+// deployment field (elink_check).
+//
+// The front enters the field at its min-x edge at a configured start time
+// and advances along +x at constant speed.  Every node it passes observes a
+// correlated feature shift (the phenomenon) at the instant the front
+// reaches its position, and a configured fraction of passed nodes also
+// burns out — a churn crash at the front, repaired after a random delay
+// (the redeploy).  The result is the archetypal dynamic-topology workload:
+// feature updates and faults that are *spatially and temporally
+// correlated*, unlike the independent draws of the plain fuzz streams.
+//
+// Generation is deterministic in (topology, features, config, rng state);
+// the sweep itself consumes exactly two draws per node (burn decision and
+// repair delay) regardless of their outcome, so configs that differ only in
+// crash_fraction keep every other draw aligned.
+#ifndef ELINK_CHECK_FIREFRONT_H_
+#define ELINK_CHECK_FIREFRONT_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "metric/feature.h"
+#include "sim/churn.h"
+#include "sim/topology.h"
+
+namespace elink {
+namespace check {
+
+/// One feature update scheduled at an absolute simulation time (consumed by
+/// DistributedMaintenance::ScheduleUpdate).
+struct TimedUpdate {
+  double at = 0.0;
+  int node = 0;
+  Feature feature;
+};
+
+struct FireFrontConfig {
+  /// Simulation time the front crosses the field's min-x edge.
+  double start_time = 5.0;
+  /// Field distance the front advances per simulation time unit (> 0).
+  double speed = 1.0;
+  /// Added to a node's feature when the front passes it; dimension must
+  /// match the feature field.
+  Feature shift;
+  /// Probability a passed node burns out (churn crash), drawn per node.
+  double crash_fraction = 0.0;
+  /// A burned node is redeployed (churn repair) after a delay drawn
+  /// uniformly from [repair_delay_min, repair_delay_max].
+  double repair_delay_min = 20.0;
+  double repair_delay_max = 60.0;
+  /// A burned node still observes the shift before dying: its crash lags
+  /// the front's passage by this much.
+  double burn_lag = 0.5;
+};
+
+/// What one sweep does to the network: crashes for the churn plan plus the
+/// correlated feature updates, both in front-arrival (x) order.
+struct FireFrontEffects {
+  ChurnPlan churn;
+  std::vector<TimedUpdate> updates;
+};
+
+/// Sweeps the front over every node of `topology`.  `features` is the field
+/// the shifts apply to (one update per node: feature + shift).
+FireFrontEffects SweepFireFront(const Topology& topology,
+                                const std::vector<Feature>& features,
+                                const FireFrontConfig& config, Rng* rng);
+
+}  // namespace check
+}  // namespace elink
+
+#endif  // ELINK_CHECK_FIREFRONT_H_

@@ -1,6 +1,7 @@
 #include "check/runner.h"
 
 #include <algorithm>
+#include <map>
 #include <memory>
 #include <optional>
 #include <utility>
@@ -19,6 +20,7 @@
 #include "index/query_protocol.h"
 #include "index/range_query.h"
 #include "obs/telemetry.h"
+#include "sim/graph.h"
 
 namespace elink {
 namespace check {
@@ -31,6 +33,7 @@ namespace {
 constexpr uint64_t kUpdateStream = 16;
 constexpr uint64_t kRangeQueryStream = 17;
 constexpr uint64_t kPathQueryStream = 18;
+constexpr uint64_t kUpdateTimeStream = 19;
 
 void Add(CheckOutcome* out, const char* checkname, std::string detail) {
   out->violations.push_back(CheckViolation{checkname, std::move(detail)});
@@ -160,7 +163,7 @@ void RunMaintenanceTrial(const Scenario& s, CheckOutcome* out) {
   plan.truncate_probability = s.fault.truncate_probability;
 
   DistributedMaintenance dm(s.topology, w->clustering, s.features, s.metric,
-                            mcfg, s.synchronous, s.seed, plan);
+                            mcfg, s.synchronous, s.seed, plan, s.churn);
   ConservationLedger ledger;
   obs::RunTelemetry tele;
   ledger.set_next(&tele);
@@ -168,7 +171,16 @@ void RunMaintenanceTrial(const Scenario& s, CheckOutcome* out) {
 
   const int n = s.topology.num_nodes();
   const int dim = s.feature_dim;
+  const bool churny = s.churn.enabled();
+  // The fire front's correlated shifts land at the times the front passes,
+  // interleaved with the crashes it causes.
+  for (const TimedUpdate& u : s.scheduled_updates) {
+    dm.ScheduleUpdate(u.at, u.node, u.feature);
+  }
   Rng urng = Rng(s.seed).Fork(kUpdateStream);
+  // Schedule times come from their own stream so churn-free trials replay
+  // exactly the workload the pre-churn sweeps pinned down.
+  Rng trng = Rng(s.seed).Fork(kUpdateTimeStream);
   for (int u = 0; u < s.num_updates; ++u) {
     const int node = static_cast<int>(urng.UniformInt(n));
     Feature f = dm.CurrentFeatures()[node];
@@ -185,16 +197,66 @@ void RunMaintenanceTrial(const Scenario& s, CheckOutcome* out) {
         f[k] = target[k] + urng.Uniform(-0.1, 0.1) * s.delta;
       }
     }
-    dm.ApplyUpdate(node, f);
+    // Drawn for every update so disabling churn never reshuffles the
+    // stream; only churny trials use it.
+    const double at = trng.Uniform(1.0, 100.0);
+    if (churny) {
+      // Updates must race the churn events, so they are spread across the
+      // churn window and drained in one run instead of each being applied
+      // (and fully quiesced) before the clock reaches any churn.
+      dm.ScheduleUpdate(at, node, f);
+    } else {
+      dm.ApplyUpdate(node, f);
+    }
   }
+  dm.RunToQuiescence();
 
-  // Correctness of the maintained state is only guaranteed when no protocol
-  // message was actually lost or mangled; conservation holds regardless.
-  if (dm.stats().dropped_sends() == 0 && dm.stats().decode_errors() == 0) {
-    AddIfBad(out, "maintenance_assignments",
-             CheckClusterAssignments(dm.CurrentClustering(), n));
+  // Correctness of the maintained state is only guaranteed when nothing was
+  // *silently* lost: fault drops and mangled messages void the warranty,
+  // while churn drops are announced topology changes the self-healing layer
+  // is built to absorb.  Conservation holds regardless.
+  if (dm.stats().dropped_sends() == dm.churn_drops() &&
+      dm.stats().decode_errors() == 0) {
+    const Clustering c = dm.CurrentClustering();
     AddIfBad(out, "maintenance_invariant",
              dm.ValidateRootDistanceInvariant(s.delta + 2.0 * s.slack));
+    if (!churny) {
+      AddIfBad(out, "maintenance_assignments", CheckClusterAssignments(c, n));
+    } else {
+      // Departed nodes keep their last (stale) assignment, so the full-view
+      // check does not apply; the live view must be self-consistent.
+      const std::vector<char> live = dm.LiveMask();
+      std::map<int, std::vector<char>> members;  // root -> live member mask.
+      for (int i = 0; i < n; ++i) {
+        if (!live[i]) continue;
+        const int r = c.root_of[i];
+        if (r < 0 || r >= n) {
+          Add(out, "maintenance_assignments",
+              StringPrintf("present node %d has out-of-range root %d", i, r));
+          continue;
+        }
+        if (live[r] && c.root_of[r] != r) {
+          Add(out, "maintenance_assignments",
+              StringPrintf("present node %d's root %d is not self-rooted "
+                           "(root_of[%d] = %d)",
+                           i, r, r, c.root_of[r]));
+        }
+        auto [it, inserted] = members.emplace(r, std::vector<char>());
+        if (inserted) it->second.assign(n, 0);
+        it->second[i] = 1;
+      }
+      // Self-healing convergence: the live members of every maintained
+      // cluster stay connected through live radio links.
+      const AdjacencyList live_adj = dm.LiveAdjacency();
+      for (const auto& [root, mask] : members) {
+        if (!IsInducedConnected(live_adj, mask)) {
+          Add(out, "maintenance_live_connectivity",
+              StringPrintf(
+                  "cluster rooted at %d is disconnected on the live topology",
+                  root));
+        }
+      }
+    }
   }
   AddIfBad(out, "conservation",
            CheckConservation(ledger, dm.stats(), /*drained=*/true));
@@ -236,6 +298,7 @@ void RunRangeQueryTrial(const Scenario& s, CheckOutcome* out) {
     qopt.synchronous = s.synchronous;
     qopt.seed = s.seed;
     qopt.fault = s.fault;
+    qopt.churn = s.churn;
     TuneQueryForFaults(s, &qopt);
     ConservationLedger ledger;
     obs::RunTelemetry tele;
@@ -255,7 +318,7 @@ void RunRangeQueryTrial(const Scenario& s, CheckOutcome* out) {
           StringPrintf("query %d: match_count %lld exceeds the true %zu", t,
                        o.match_count, truth.size()));
     }
-    if (!s.fault.enabled()) {
+    if (!s.fault.enabled() && !s.churn.enabled()) {
       if (!o.answer_received || !o.complete ||
           o.match_count != static_cast<long long>(truth.size()) ||
           o.unreachable_subtrees != 0) {
@@ -311,6 +374,7 @@ void RunPathQueryTrial(const Scenario& s, CheckOutcome* out) {
     popt.synchronous = s.synchronous;
     popt.seed = s.seed;
     popt.fault = s.fault;
+    popt.churn = s.churn;
     ConservationLedger ledger;
     obs::RunTelemetry tele;
     ledger.set_next(&tele);
@@ -326,7 +390,8 @@ void RunPathQueryTrial(const Scenario& s, CheckOutcome* out) {
     AddIfBad(out, "path_protocol",
              CheckPathResult(run.value(), s.topology.adjacency, s.features,
                              *s.metric, danger, gamma, source, destination,
-                             /*require_exact=*/!s.fault.enabled()));
+                             /*require_exact=*/!s.fault.enabled() &&
+                                 !s.churn.enabled()));
     // "path_search"/"path_trace" are the engine-parity categories the
     // protocol records outside the Network (the classification walk).
     AddIfBad(out, "conservation",
@@ -409,9 +474,10 @@ ScenarioKnobs ShrinkFailure(Protocol protocol, uint64_t seed,
                             const ScenarioKnobs& start) {
   ScenarioKnobs current = start;
   const std::vector<bool ScenarioKnobs::*> order = {
-      &ScenarioKnobs::faults,   &ScenarioKnobs::async,
-      &ScenarioKnobs::reliable, &ScenarioKnobs::slack,
-      &ScenarioKnobs::features, &ScenarioKnobs::random_topology,
+      &ScenarioKnobs::faults,   &ScenarioKnobs::churn,
+      &ScenarioKnobs::async,    &ScenarioKnobs::reliable,
+      &ScenarioKnobs::slack,    &ScenarioKnobs::features,
+      &ScenarioKnobs::random_topology,
   };
   for (const auto member : order) {
     if (!(current.*member)) continue;

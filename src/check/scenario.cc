@@ -19,6 +19,7 @@ enum Stream : uint64_t {
   kParamStream = 3,
   kFaultStream = 4,
   kWorkloadStream = 5,
+  kChurnStream = 6,
 };
 
 const char* KindName(TopologyKind k) {
@@ -156,6 +157,108 @@ FaultPlan DeriveFaultPlan(Rng* rng, const ScenarioKnobs& knobs,
   return plan;
 }
 
+// Derives the topology dynamics.  Same alignment discipline as the fault
+// plan: every draw happens regardless of the knob and of earlier picks, so
+// --disable=churn (or an "inert" coin) never reshuffles anything else.
+// Link churn only removes-and-readds edges the topology already has, so the
+// live graph never gains geometry the scenario didn't place.  A quarter of
+// churny seeds run a fire-front sweep (check/firefront.h) whose correlated
+// feature shifts land in `updates`.
+ChurnPlan DeriveChurnPlan(Rng* rng, const ScenarioKnobs& knobs,
+                          const Topology& topology,
+                          const std::vector<Feature>& features, double delta,
+                          std::vector<TimedUpdate>* updates,
+                          bool* fire_front) {
+  ChurnPlan plan;
+  updates->clear();
+  *fire_front = false;
+  const int n = topology.num_nodes();
+  const bool any = rng->Bernoulli(0.5);
+
+  // Crash-with-repair is the prominent class: it exercises the full
+  // down-notification / restart-as-singleton / re-probe cycle.
+  const bool crashes = rng->Bernoulli(0.7);
+  {
+    const int count = static_cast<int>(rng->UniformIntRange(1, 3));
+    for (int k = 0; k < count; ++k) {
+      ChurnPlan::NodeCrash c;
+      c.node = static_cast<int>(rng->UniformInt(n));
+      c.crash_at = rng->Uniform(5.0, 60.0);
+      const double repair_after = rng->Uniform(10.0, 60.0);
+      if (rng->Bernoulli(0.8)) c.recover_at = c.crash_at + repair_after;
+      if (crashes) plan.crashes.push_back(c);
+    }
+  }
+  const bool leave = rng->Bernoulli(0.35);
+  {
+    ChurnPlan::NodeLeave l;
+    l.node = static_cast<int>(rng->UniformInt(n));
+    l.at = rng->Uniform(30.0, 90.0);
+    if (leave) plan.leaves.push_back(l);
+  }
+  const bool join = rng->Bernoulli(0.35);
+  {
+    ChurnPlan::NodeJoin j;
+    j.node = static_cast<int>(rng->UniformInt(n));
+    j.at = rng->Uniform(5.0, 30.0);
+    if (join) plan.joins.push_back(j);
+  }
+  const bool links = rng->Bernoulli(0.5);
+  {
+    const int u = static_cast<int>(rng->UniformInt(n));
+    const double down_at = rng->Uniform(5.0, 50.0);
+    const double up_after = rng->Uniform(10.0, 60.0);
+    if (!topology.adjacency[u].empty()) {
+      const int v = topology.adjacency[u][rng->UniformInt(
+          topology.adjacency[u].size())];
+      if (links) {
+        plan.link_changes.push_back({u, v, down_at, /*add=*/false});
+        plan.link_changes.push_back({u, v, down_at + up_after, /*add=*/true});
+      }
+    }
+  }
+
+  const bool fire = rng->Bernoulli(0.25);
+  {
+    double min_x = topology.positions.empty() ? 0.0 : topology.positions[0].x;
+    double max_x = min_x;
+    for (const Point2D& p : topology.positions) {
+      min_x = std::min(min_x, p.x);
+      max_x = std::max(max_x, p.x);
+    }
+    FireFrontConfig fcfg;
+    fcfg.start_time = rng->Uniform(5.0, 20.0);
+    const double width = max_x - min_x;
+    const double sweep_duration = rng->Uniform(30.0, 80.0);
+    fcfg.speed = width > 0.0 ? width / sweep_duration : 1.0;
+    const int dim = features.empty() ? 0 : static_cast<int>(features[0].size());
+    fcfg.shift = Feature(dim, 0.0);
+    for (int k = 0; k < dim; ++k) {
+      const double magnitude = rng->Uniform(0.2, 0.6) * delta;
+      fcfg.shift[k] = rng->Bernoulli(0.5) ? magnitude : -magnitude;
+    }
+    fcfg.crash_fraction = rng->Uniform(0.05, 0.25);
+    fcfg.repair_delay_min = 15.0;
+    fcfg.repair_delay_max = 50.0;
+    Rng fire_rng = rng->Fork(11);
+    FireFrontEffects fx = SweepFireFront(topology, features, fcfg, &fire_rng);
+    if (fire) {
+      for (const ChurnPlan::NodeCrash& c : fx.churn.crashes) {
+        plan.crashes.push_back(c);
+      }
+      *updates = std::move(fx.updates);
+      *fire_front = true;
+    }
+  }
+
+  if (!knobs.churn || !any) {
+    updates->clear();
+    *fire_front = false;
+    return ChurnPlan{};
+  }
+  return plan;
+}
+
 }  // namespace
 
 Result<ScenarioKnobs> ScenarioKnobs::FromDisableList(const std::string& csv) {
@@ -179,10 +282,12 @@ Result<ScenarioKnobs> ScenarioKnobs::FromDisableList(const std::string& csv) {
       knobs.features = false;
     } else if (item == "topology") {
       knobs.random_topology = false;
+    } else if (item == "churn") {
+      knobs.churn = false;
     } else {
       return Status::InvalidArgument(
           StringPrintf("unknown --disable knob '%s' (expected faults, async, "
-                       "reliable, slack, features, topology)",
+                       "reliable, slack, features, topology, churn)",
                        item.c_str()));
     }
   }
@@ -201,6 +306,7 @@ std::string ScenarioKnobs::DisableList() const {
   if (!slack) add("slack");
   if (!features) add("features");
   if (!random_topology) add("topology");
+  if (!churn) add("churn");
   return out;
 }
 
@@ -212,13 +318,20 @@ std::string Scenario::Describe() const {
         fault.drop_probability, fault.truncate_probability,
         fault.link_outages.size(), fault.node_crashes.size());
   }
+  std::string churn_desc = "none";
+  if (churn.enabled()) {
+    churn_desc = StringPrintf(
+        "joins=%zu leaves=%zu crashes=%zu links=%zu%s", churn.joins.size(),
+        churn.leaves.size(), churn.crashes.size(), churn.link_changes.size(),
+        fire_front ? " fire" : "");
+  }
   return StringPrintf(
       "seed=%llu topo=%s n=%d dim=%d delta=%.4f slack=%.4f sync=%d mode=%s "
-      "fault=[%s] reliable=%d updates=%d queries=%d",
+      "fault=[%s] churn=[%s] reliable=%d updates=%d queries=%d",
       static_cast<unsigned long long>(seed), KindName(topology_kind),
       topology.num_nodes(), feature_dim, delta, slack, synchronous ? 1 : 0,
-      ModeName(elink_mode), fault_desc.c_str(), reliable ? 1 : 0, num_updates,
-      num_queries);
+      ModeName(elink_mode), fault_desc.c_str(), churn_desc.c_str(),
+      reliable ? 1 : 0, num_updates, num_queries);
 }
 
 Result<Scenario> MakeScenario(uint64_t seed, const ScenarioKnobs& knobs) {
@@ -231,6 +344,7 @@ Result<Scenario> MakeScenario(uint64_t seed, const ScenarioKnobs& knobs) {
   Rng param_rng = master.Fork(kParamStream);
   Rng fault_rng = master.Fork(kFaultStream);
   Rng work_rng = master.Fork(kWorkloadStream);
+  Rng churn_rng = master.Fork(kChurnStream);
 
   Result<Topology> topo = DeriveTopology(&topo_rng, knobs, &s.topology_kind);
   if (!topo.ok()) return topo.status();
@@ -261,6 +375,8 @@ Result<Scenario> MakeScenario(uint64_t seed, const ScenarioKnobs& knobs) {
   s.synchronous = !(knobs.async && want_async);
 
   s.fault = DeriveFaultPlan(&fault_rng, knobs, s.topology);
+  s.churn = DeriveChurnPlan(&churn_rng, knobs, s.topology, s.features,
+                            s.delta, &s.scheduled_updates, &s.fire_front);
 
   // Mode: implicit's timing guarantees need synchrony, and only explicit
   // carries the completion watchdog faults require; unordered is the

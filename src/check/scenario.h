@@ -1,8 +1,9 @@
 // Seeded scenario generation for the fuzzing harness (elink_check).
 //
 // A Scenario is everything one fuzz trial needs — topology, feature field,
-// metric, delta/slack, delay regime, fault plan, transport choice, update
-// and query workloads — derived deterministically from a single uint64 seed.
+// metric, delta/slack, delay regime, fault plan, churn plan (possibly a
+// fire-front sweep), transport choice, update and query workloads — derived
+// deterministically from a single uint64 seed.
 // Each aspect draws from its own forked RNG stream (common/rng.h Fork), so
 // disabling one knob never reshuffles the others: the shrunk repro differs
 // from the original run only in the disabled aspect.
@@ -11,7 +12,7 @@
 // at a time (`--disable=faults,async,...`) to report the minimal failing
 // configuration; a disabled knob pins its aspect to the simplest value
 // (inert fault plan, synchronous delays, zero slack, a constant feature
-// field, a regular grid, plain transport).
+// field, a regular grid, plain transport, a static topology).
 #ifndef ELINK_CHECK_SCENARIO_H_
 #define ELINK_CHECK_SCENARIO_H_
 
@@ -19,10 +20,12 @@
 #include <string>
 #include <vector>
 
+#include "check/firefront.h"
 #include "cluster/elink.h"
 #include "common/status.h"
 #include "metric/distance.h"
 #include "metric/feature.h"
+#include "sim/churn.h"
 #include "sim/fault.h"
 #include "sim/topology.h"
 
@@ -38,9 +41,10 @@ struct ScenarioKnobs {
   bool slack = true;            // false: maintenance slack 0.
   bool features = true;         // false: constant feature field.
   bool random_topology = true;  // false: regular grid only.
+  bool churn = true;            // false: inert ChurnPlan, no fire front.
 
-  /// Parses "faults,async,reliable,slack,features,topology" items (the
-  /// check_fuzz --disable spelling); unknown names are an error.
+  /// Parses "faults,async,reliable,slack,features,topology,churn" items
+  /// (the check_fuzz --disable spelling); unknown names are an error.
   static Result<ScenarioKnobs> FromDisableList(const std::string& csv);
 
   /// The --disable list reproducing this knob set ("" when all enabled).
@@ -70,6 +74,15 @@ struct Scenario {
   FaultPlan fault;
   /// Carry protocol waves over ReliableChannel when the plan is enabled.
   bool reliable = false;
+  /// Topology dynamics: joins, leaves, crash/repair cycles, link churn.
+  /// Inert for roughly half the seeds (and always under --disable=churn).
+  ChurnPlan churn;
+  /// Set when the churn plan came from a fire-front sweep (check/firefront.h).
+  bool fire_front = false;
+  /// Feature updates correlated with `churn` (the fire front's shifts),
+  /// scheduled at absolute times by the maintenance trial.  Empty unless
+  /// fire_front.
+  std::vector<TimedUpdate> scheduled_updates;
 
   int num_updates = 0;  // Maintenance workload.
   int num_queries = 0;  // Range/path workload.

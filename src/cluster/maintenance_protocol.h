@@ -29,17 +29,27 @@ namespace elink {
 /// Construction deploys the per-node state (verified feature, stored root
 /// feature, cluster-tree links).  Each ApplyUpdate injects one feature
 /// update at a node and runs the network to quiescence.
+///
+/// With a non-inert `churn` plan the session becomes *churn-aware*: nodes
+/// react to join/leave/crash-repair/link events with local self-healing —
+/// orphan adoption when a parent vanishes, restart-as-singleton plus
+/// re-probe on repair, cluster split when churn disconnects a tree — and
+/// every membership repair bumps a per-cluster epoch observable through
+/// cluster_epoch().  A default-constructed plan leaves behavior (and every
+/// message) bit-identical to the pre-churn protocol.
 class DistributedMaintenance {
  public:
   /// `fault` injects message-level faults (loss, truncation, ...) into the
-  /// protocol's network; the default plan is inert.
+  /// protocol's network; `churn` schedules topology dynamics.  Both default
+  /// plans are inert.
   DistributedMaintenance(const Topology& topology,
                          const Clustering& clustering,
                          const std::vector<Feature>& features,
                          std::shared_ptr<const DistanceMetric> metric,
                          const MaintenanceConfig& config,
                          bool synchronous = true, uint64_t seed = 1,
-                         const FaultPlan& fault = {});
+                         const FaultPlan& fault = {},
+                         const ChurnPlan& churn = {});
 
   ~DistributedMaintenance();
 
@@ -47,14 +57,48 @@ class DistributedMaintenance {
   /// activity (escalation, detach, probes, pushes, re-attachment) finishes.
   void ApplyUpdate(int node, const Feature& updated);
 
+  /// Schedules a feature update at absolute simulation time `at` (>= now);
+  /// it is injected when the clock reaches `at` — interleaving with churn
+  /// events — and silently skipped if the node is absent at that instant
+  /// (a sensor that left cannot observe anything).  Drive with
+  /// RunToQuiescence (or the next ApplyUpdate).
+  void ScheduleUpdate(double at, int node, const Feature& updated);
+
+  /// Drains all pending activity (scheduled updates, churn events, repair
+  /// traffic) without injecting anything new.
+  void RunToQuiescence();
+
   /// Current clustering as held by the nodes themselves.
   Clustering CurrentClustering() const;
 
   /// Current feature per node.
   std::vector<Feature> CurrentFeatures() const;
 
+  /// True when `node` is currently deployed under the churn plan (always
+  /// true for churn-free sessions).
+  bool NodeLive(int node) const;
+
+  /// 0/1 mask of currently-present nodes, sized num_nodes.
+  std::vector<char> LiveMask() const;
+
+  /// Radio adjacency as of now (after any link churn), indexed by node.
+  /// Identical to the deployment topology for churn-free sessions.
+  std::vector<std::vector<int>> LiveAdjacency() const;
+
+  /// Restart count of `node` (churn joins/repairs so far).
+  long long node_epoch(int node) const;
+
+  /// Epoch of `node`'s cluster, as counted by its current root: bumped on
+  /// every churn-repair membership change the root observed.  0 until the
+  /// first re-clustering event.
+  long long cluster_epoch(int node) const;
+
   /// All protocol transmissions so far.
   const MessageStats& stats() const;
+
+  /// Transmissions lost to churn (absent endpoint / removed link); see
+  /// Network::churn_drops.
+  uint64_t churn_drops() const;
 
   /// Installs a read-only SimObserver (telemetry/tracer) on the session's
   /// network; subsequent ApplyUpdate calls report through it.  Not owned;
@@ -62,7 +106,9 @@ class DistributedMaintenance {
   void set_observer(SimObserver* observer);
 
   /// The Section-6 invariant, evaluated over the nodes' live state:
-  /// every node within `bound` of its root's current feature.
+  /// every present node within `bound` of its (present) root's current
+  /// feature.  Churn-absent nodes are skipped; a present node whose root is
+  /// absent is a violation (self-healing should have re-rooted it).
   Status ValidateRootDistanceInvariant(double bound) const;
 
  private:

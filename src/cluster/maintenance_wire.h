@@ -111,6 +111,60 @@ struct RootChanged {
   bool operator==(const RootChanged&) const = default;
 };
 
+/// Root-custody verification, sent by a freshly adopted node up the parent
+/// chain (churn-aware sessions only).  Reaching a live root proves the
+/// adoption joined a real tree; the root bumps its cluster epoch (the
+/// observable re-clustering) and acks with its current feature.  A chain
+/// that cycles (ttl exhausted), dead-ends, or reaches a different root
+/// exposes a stale claim resurrected across a crash, and the origin
+/// dissolves its branch.
+struct EpochReport {
+  static constexpr int kType = 10;
+  static constexpr const char* kCategory = "update_repair";
+  long long root = 0;    // The root the origin believes it attached under.
+  long long origin = 0;  // Node awaiting the verdict.
+  long long seq = 0;     // Origin-local sequence; stale walks are ignored.
+  long long ttl = 0;     // Hop budget; 0 at a non-root means a cycle.
+  template <class V>
+  void VisitFields(V& v) {
+    v.I64(root);
+    v.I64(origin);
+    v.I64(seq);
+    v.I64(ttl);
+  }
+  bool operator==(const EpochReport&) const = default;
+};
+
+/// The root an EpochReport walk actually reached, routed back to the
+/// origin with the root's live feature.
+struct VerifyAck {
+  static constexpr int kType = 11;
+  static constexpr const char* kCategory = "update_repair";
+  long long root = 0;
+  long long seq = 0;
+  std::vector<double> feature;
+  template <class V>
+  void VisitFields(V& v) {
+    v.I64(root);
+    v.I64(seq);
+    v.Block(feature);
+  }
+  bool operator==(const VerifyAck&) const = default;
+};
+
+/// An EpochReport walk ran out of ttl before reaching any root: the
+/// origin's custody chain is a cycle of stale believers.
+struct VerifyGone {
+  static constexpr int kType = 12;
+  static constexpr const char* kCategory = "update_repair";
+  long long seq = 0;
+  template <class V>
+  void VisitFields(V& v) {
+    v.I64(seq);
+  }
+  bool operator==(const VerifyGone&) const = default;
+};
+
 }  // namespace maint_wire
 }  // namespace elink
 

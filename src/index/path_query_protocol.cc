@@ -311,6 +311,7 @@ Result<PathQueryResult> DistributedPathQuery::Run(int source, int destination,
   hopt.net.synchronous = options_.synchronous;
   hopt.net.seed = options_.seed;
   hopt.net.fault = options_.fault;
+  hopt.net.churn = options_.churn;
   proto::RunHarness harness(topology_, hopt);
   harness.set_observer(options_.observer);
   harness.InstallNodes(
@@ -322,7 +323,7 @@ Result<PathQueryResult> DistributedPathQuery::Run(int source, int destination,
     return Status::Internal("path query protocol hit the event cap");
   }
   if (!ctx.suppressed && !ctx.classification_done) {
-    if (!options_.fault.enabled()) {
+    if (!options_.fault.enabled() && !options_.churn.enabled()) {
       return Status::Internal(
           "path query classification did not complete on a fault-free run");
     }

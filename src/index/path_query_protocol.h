@@ -24,6 +24,7 @@
 #include "index/mtree.h"
 #include "index/path_query.h"
 #include "metric/distance.h"
+#include "sim/churn.h"
 #include "sim/fault.h"
 #include "sim/observer.h"
 #include "sim/topology.h"
@@ -36,6 +37,9 @@ struct PathProtocolOptions {
   uint64_t seed = 1;
   /// Message-level fault plan (loss, truncation, ...); inert by default.
   FaultPlan fault;
+  /// Topology dynamics (sim/churn.h); inert by default.  Churn degrades a
+  /// query into a (counted) failed one, never into a wrong answer.
+  ChurnPlan churn;
   /// Read-only observer (telemetry/tracer) bound to every Run's network.
   /// Not owned; attaching never changes the query's outcome.
   SimObserver* observer = nullptr;

@@ -487,6 +487,7 @@ Result<DistributedQueryOutcome> DistributedRangeQuery::Run(int initiator,
   hopt.net.synchronous = options_.synchronous;
   hopt.net.seed = options_.seed;
   hopt.net.fault = options_.fault;
+  hopt.net.churn = options_.churn;
   // Keeps the clock honest when the query dies en route: the initiator
   // gives up at this time, which is what the reported latency shows.
   hopt.run_horizon = options_.query_deadline;
@@ -504,7 +505,7 @@ Result<DistributedQueryOutcome> DistributedRangeQuery::Run(int initiator,
     return Status::Internal("distributed range query hit the event cap");
   }
   if (!ctx.done) {
-    if (!options_.fault.enabled()) {
+    if (!options_.fault.enabled() && !options_.churn.enabled()) {
       // No faults were injected, so this is a protocol bug, not degradation.
       return Status::Internal("distributed range query did not terminate");
     }

@@ -65,6 +65,11 @@ class DistributedRangeQuery {
     uint64_t seed = 1;
     /// Fault model applied to every Run (sim/fault.h).  Inert by default.
     FaultPlan fault;
+    /// Topology dynamics applied to every Run (sim/churn.h): nodes joining,
+    /// leaving, crashing-with-repair, links appearing or vanishing.  Inert
+    /// by default.  A query racing churn degrades like one racing faults
+    /// (partial or absent answers), never miscounts.
+    ChurnPlan churn;
     /// When > 0, every aggregation point (leader or M-tree descent node)
     /// flushes a *partial* reply after waiting this long for its children,
     /// counting the missing subtrees as unreachable.  Pick a value larger

@@ -1,6 +1,7 @@
 #include "obs/telemetry.h"
 
 #include <algorithm>
+#include <cstring>
 
 namespace elink {
 namespace obs {
@@ -19,6 +20,12 @@ RunTelemetry::RunTelemetry() {
   c_watchdog_arms_ = metrics_.CounterId("harness.watchdog_arms");
   c_watchdog_fires_ = metrics_.CounterId("harness.watchdog_fires");
   c_runs_ = metrics_.CounterId("harness.runs");
+  c_churn_join_ = metrics_.CounterId("churn.join");
+  c_churn_leave_ = metrics_.CounterId("churn.leave");
+  c_churn_crash_ = metrics_.CounterId("churn.crash");
+  c_churn_repair_ = metrics_.CounterId("churn.repair");
+  c_churn_link_add_ = metrics_.CounterId("churn.link_add");
+  c_churn_link_remove_ = metrics_.CounterId("churn.link_remove");
   h_message_delay_ = metrics_.HistogramId("message_delay");
   h_watchdog_slack_ = metrics_.HistogramId("watchdog_slack");
 }
@@ -101,6 +108,26 @@ void RunTelemetry::OnPhase(double now, int node, const char* phase,
                            long long value) {
   metrics_.AddCounter(std::string("phase.") + phase);
   if (next_ != nullptr) next_->OnPhase(now, node, phase, value);
+}
+
+void RunTelemetry::OnChurn(double now, const char* kind, int a, int b) {
+  // `kind` is one of ChurnSchedule::KindName's six literals.
+  if (std::strcmp(kind, "join") == 0) {
+    metrics_.Add(c_churn_join_);
+  } else if (std::strcmp(kind, "leave") == 0) {
+    metrics_.Add(c_churn_leave_);
+  } else if (std::strcmp(kind, "crash") == 0) {
+    metrics_.Add(c_churn_crash_);
+  } else if (std::strcmp(kind, "repair") == 0) {
+    metrics_.Add(c_churn_repair_);
+  } else if (std::strcmp(kind, "link_add") == 0) {
+    metrics_.Add(c_churn_link_add_);
+  } else if (std::strcmp(kind, "link_remove") == 0) {
+    metrics_.Add(c_churn_link_remove_);
+  } else {
+    metrics_.AddCounter(std::string("churn.") + kind);
+  }
+  if (next_ != nullptr) next_->OnChurn(now, kind, a, b);
 }
 
 void RunTelemetry::OnWatchdogArm(double now, double window) {

@@ -62,6 +62,7 @@ class RunTelemetry : public SimObserver {
                          const Message& msg) override;
   void OnPhase(double now, int node, const char* phase,
                long long value) override;
+  void OnChurn(double now, const char* kind, int a, int b) override;
   void OnWatchdogArm(double now, double window) override;
   void OnWatchdogFire(double now) override;
   void OnRunEnd(double end_time, uint64_t events, bool timed_out,
@@ -89,6 +90,10 @@ class RunTelemetry : public SimObserver {
   MetricsRegistry::MetricId c_sends_, c_send_units_, c_hops_, c_delivers_,
       c_drops_, c_timer_fires_, c_decode_errors_, c_retx_, c_acks_,
       c_give_ups_, c_watchdog_arms_, c_watchdog_fires_, c_runs_;
+  // Topology-plane counters ("churn.join", "churn.leave", ...), one per
+  // ChurnSchedule event kind.
+  MetricsRegistry::MetricId c_churn_join_, c_churn_leave_, c_churn_crash_,
+      c_churn_repair_, c_churn_link_add_, c_churn_link_remove_;
   MetricsRegistry::MetricId h_message_delay_, h_watchdog_slack_;
 
   SimObserver* next_ = nullptr;

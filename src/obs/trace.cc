@@ -30,6 +30,8 @@ const char* TraceKindName(TraceKind kind) {
       return "give_up";
     case TraceKind::kPhase:
       return "phase";
+    case TraceKind::kChurn:
+      return "churn";
     case TraceKind::kWatchdogArm:
       return "watchdog_arm";
     case TraceKind::kWatchdogFire:
@@ -168,6 +170,16 @@ void Tracer::OnPhase(double now, int node, const char* phase,
   e.node = node;
   e.label = Intern(phase);
   e.value = value;
+  Push(e);
+}
+
+void Tracer::OnChurn(double now, const char* kind, int a, int b) {
+  TraceEvent e;
+  e.kind = TraceKind::kChurn;
+  e.time = now;
+  e.node = a;
+  e.peer = b;
+  e.label = Intern(kind);
   Push(e);
 }
 

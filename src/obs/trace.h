@@ -45,6 +45,7 @@ enum class TraceKind : uint8_t {
   kTransportAck,
   kTransportGiveUp,
   kPhase,
+  kChurn,
   kWatchdogArm,
   kWatchdogFire,
   kRunEnd,
@@ -89,6 +90,7 @@ class Tracer : public SimObserver {
                          const Message& msg) override;
   void OnPhase(double now, int node, const char* phase,
                long long value) override;
+  void OnChurn(double now, const char* kind, int a, int b) override;
   void OnWatchdogArm(double now, double window) override;
   void OnWatchdogFire(double now) override;
   void OnRunEnd(double end_time, uint64_t events, bool timed_out,

@@ -19,6 +19,19 @@ void ProtocolNode::HandleTimer(int timer_id) {
   OnProtocolTimer(timer_id);
 }
 
+void ProtocolNode::OnRestart() {
+  // A restart is activity: a run is not quiet while nodes are still being
+  // repaired and re-integrating.
+  if (activity_ != nullptr) ++*activity_;
+  if (channel_.attached()) channel_.Reset();
+  OnNodeRestart();
+}
+
+void ProtocolNode::OnNeighborChange(int neighbor, bool up) {
+  if (activity_ != nullptr) ++*activity_;
+  OnNeighborUpdate(neighbor, up);
+}
+
 void ProtocolNode::OnInstall() {
   if (reliable_enabled_) {
     channel_.Attach(network(), id(), channel_config_);

@@ -47,6 +47,8 @@ class ProtocolNode : public Node {
   void HandleMessage(int from, const Message& msg) final;
   void HandleTimer(int timer_id) final;
   void OnInstall() final;
+  void OnRestart() final;
+  void OnNeighborChange(int neighbor, bool up) final;
 
  protected:
   /// Called once at install time, after the reliable channel (if any) is
@@ -55,6 +57,18 @@ class ProtocolNode : public Node {
 
   /// A timer that does not belong to the reliable channel.
   virtual void OnProtocolTimer(int timer_id) { (void)timer_id; }
+
+  /// The node restarted (churn join/repair, or fault-plan crash recovery).
+  /// The runtime has already voided the reliable channel's in-flight sends
+  /// (ReliableChannel::Reset) and the network orphaned all pre-restart
+  /// timers; the protocol resets its own state and re-arms here.
+  virtual void OnNodeRestart() {}
+
+  /// First-class churn changed this node's neighborhood (see
+  /// Node::OnNeighborChange).  Fault-plan crashes are never announced.
+  virtual void OnNeighborUpdate(int neighbor, bool up) {
+    (void)neighbor, (void)up;
+  }
 
   /// The reliable channel exhausted its retries sending `msg` to `to`.
   virtual void OnGiveUp(int to, const Message& msg) {

@@ -1,0 +1,92 @@
+#include "sim/churn.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace elink {
+namespace {
+
+bool EventBefore(const ChurnSchedule::Event& a, const ChurnSchedule::Event& b) {
+  return a.at < b.at;
+}
+
+}  // namespace
+
+ChurnSchedule::ChurnSchedule(const ChurnPlan& plan, int num_nodes) {
+  enabled_ = plan.enabled();
+  if (!enabled_) return;
+
+  auto check_node = [num_nodes](int node) {
+    ELINK_CHECK(node >= 0 && node < num_nodes);
+  };
+
+  for (const ChurnPlan::NodeJoin& j : plan.joins) {
+    check_node(j.node);
+    ELINK_CHECK(j.at >= 0.0);
+    absences_.push_back({j.node, 0.0, j.at});
+    events_.push_back({Event::kJoin, j.at, j.node, -1});
+  }
+  for (const ChurnPlan::NodeLeave& l : plan.leaves) {
+    check_node(l.node);
+    ELINK_CHECK(l.at >= 0.0);
+    absences_.push_back(
+        {l.node, l.at, std::numeric_limits<double>::infinity()});
+    events_.push_back({Event::kLeave, l.at, l.node, -1});
+  }
+  for (const ChurnPlan::NodeCrash& c : plan.crashes) {
+    check_node(c.node);
+    ELINK_CHECK(c.recover_at > c.crash_at);
+    absences_.push_back({c.node, c.crash_at, c.recover_at});
+    events_.push_back({Event::kCrash, c.crash_at, c.node, -1});
+    if (c.recover_at < std::numeric_limits<double>::infinity()) {
+      events_.push_back({Event::kRepair, c.recover_at, c.node, -1});
+    }
+  }
+  for (const ChurnPlan::LinkChange& lc : plan.link_changes) {
+    check_node(lc.u);
+    check_node(lc.v);
+    ELINK_CHECK(lc.u != lc.v);
+    ELINK_CHECK(lc.at >= 0.0);
+    events_.push_back(
+        {lc.add ? Event::kLinkAdd : Event::kLinkRemove, lc.at, lc.u, lc.v});
+  }
+
+  std::stable_sort(absences_.begin(), absences_.end(),
+                   [](const AbsenceInterval& a, const AbsenceInterval& b) {
+                     return a.node < b.node;
+                   });
+  std::stable_sort(events_.begin(), events_.end(), EventBefore);
+}
+
+bool ChurnSchedule::IsAbsent(int node, double now) const {
+  if (!enabled_) return false;
+  auto it = std::lower_bound(absences_.begin(), absences_.end(), node,
+                             [](const AbsenceInterval& iv, int target) {
+                               return iv.node < target;
+                             });
+  for (; it != absences_.end() && it->node == node; ++it) {
+    if (now >= it->from && now < it->to) return true;
+  }
+  return false;
+}
+
+const char* ChurnSchedule::KindName(Event::Kind kind) {
+  switch (kind) {
+    case Event::kJoin:
+      return "join";
+    case Event::kLeave:
+      return "leave";
+    case Event::kCrash:
+      return "crash";
+    case Event::kRepair:
+      return "repair";
+    case Event::kLinkAdd:
+      return "link_add";
+    case Event::kLinkRemove:
+      return "link_remove";
+  }
+  return "unknown";
+}
+
+}  // namespace elink

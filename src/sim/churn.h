@@ -1,0 +1,126 @@
+// Deterministic topology churn for the simulated network.
+//
+// A ChurnPlan describes, per run, how the deployment itself changes over
+// time: nodes joining late, leaving for good, crashing and later being
+// repaired, and radio links appearing or disappearing.  It complements
+// FaultPlan (sim/fault.h), which models *message-level* misbehavior on a
+// frozen topology; churn changes the topology the protocols run on.
+//
+// Semantics:
+//  * NodeJoin   — the node is absent during [0, at) and present afterwards.
+//    On join the node's protocol state is reset through Node::OnRestart.
+//  * NodeLeave  — the node is present until `at` and absent forever after.
+//  * NodeCrash  — absent during [crash_at, recover_at); a finite recover_at
+//    is a *repair*: the node restarts with reset protocol state (OnRestart)
+//    instead of silently resuming, and its live neighbors are notified.
+//  * LinkChange — the (u, v) radio edge is added or removed at `at`.
+//
+// Unlike fault injection, churn evaluation consumes no randomness at all —
+// plans are fully scheduled — so enabling churn never perturbs the delay,
+// drop, or truncation RNG streams.  A default-constructed plan is inert:
+// the Network skips the churn layer entirely and runs byte-identically to a
+// build without it.
+#ifndef ELINK_SIM_CHURN_H_
+#define ELINK_SIM_CHURN_H_
+
+#include <limits>
+#include <vector>
+
+namespace elink {
+
+/// \brief Declarative description of the topology dynamics of one run.
+struct ChurnPlan {
+  /// The node is absent during [0, at); it joins (with fresh protocol
+  /// state) at `at`.
+  struct NodeJoin {
+    int node = -1;
+    double at = 0.0;
+  };
+  std::vector<NodeJoin> joins;
+
+  /// The node departs permanently at `at`.
+  struct NodeLeave {
+    int node = -1;
+    double at = 0.0;
+  };
+  std::vector<NodeLeave> leaves;
+
+  /// The node is absent during [crash_at, recover_at).  A finite recover_at
+  /// repairs the node: protocol state is reset via Node::OnRestart.  Omit
+  /// recover_at for a permanent crash (equivalent to a leave, kept separate
+  /// so plans read like their scenario).
+  struct NodeCrash {
+    int node = -1;
+    double crash_at = 0.0;
+    double recover_at = std::numeric_limits<double>::infinity();
+  };
+  std::vector<NodeCrash> crashes;
+
+  /// The undirected (u, v) radio edge is added (`add`) or removed at `at`.
+  struct LinkChange {
+    int u = -1;
+    int v = -1;
+    double at = 0.0;
+    bool add = false;
+  };
+  std::vector<LinkChange> link_changes;
+
+  /// True when the plan can affect any run at all.
+  bool enabled() const {
+    return !joins.empty() || !leaves.empty() || !crashes.empty() ||
+           !link_changes.empty();
+  }
+};
+
+/// \brief Evaluates a ChurnPlan during a simulation run.
+///
+/// Two query surfaces: interval evaluation (IsAbsent, consulted on every
+/// send/timer like FaultInjector::IsCrashed) and a deterministic, time-sorted
+/// event timeline the Network schedules once at construction (neighbor
+/// notifications, restarts, link edits, observer emissions).
+class ChurnSchedule {
+ public:
+  struct Event {
+    enum Kind { kJoin, kLeave, kCrash, kRepair, kLinkAdd, kLinkRemove };
+    Kind kind = kJoin;
+    double at = 0.0;
+    int a = -1;  // The node (or link endpoint u).
+    int b = -1;  // Link endpoint v; -1 for node events.
+  };
+
+  ChurnSchedule() = default;
+  /// `num_nodes` bounds-checks the plan's node ids (dies on violations,
+  /// exactly like a malformed FaultPlan would surface as a CHECK).
+  ChurnSchedule(const ChurnPlan& plan, int num_nodes);
+
+  /// False for an inert plan; callers skip all other queries then.
+  bool enabled() const { return enabled_; }
+
+  /// True when `node` is absent (not yet joined, left, or crashed) at `now`.
+  bool IsAbsent(int node, double now) const;
+
+  /// All plan events sorted by time (stable within one timestamp: joins,
+  /// leaves, crashes, repairs, link changes in plan order).
+  const std::vector<Event>& events() const { return events_; }
+
+  /// "join", "leave", "crash", "repair", "link_add", "link_remove" — the
+  /// spelling used by SimObserver::OnChurn and the telemetry counters.
+  static const char* KindName(Event::Kind kind);
+
+ private:
+  /// One absence interval [from, to) of `node`; sorted by node (stable, so a
+  /// node's intervals stay in plan order), mirroring FaultInjector's layout.
+  struct AbsenceInterval {
+    int node;
+    double from;
+    double to;
+  };
+
+  bool enabled_ = false;
+  std::vector<AbsenceInterval> absences_;
+  std::vector<Event> events_;
+};
+
+}  // namespace elink
+
+#endif  // ELINK_SIM_CHURN_H_

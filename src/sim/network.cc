@@ -1,5 +1,6 @@
 #include "sim/network.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/logging.h"
@@ -8,13 +9,108 @@ namespace elink {
 
 Network::Network(Topology topology, Config config)
     : topology_(std::move(topology)),
-      config_(config),
-      rng_(config.seed),
-      fault_(config.fault, config.seed),
+      config_(std::move(config)),
+      rng_(config_.seed),
+      fault_(config_.fault, config_.seed),
+      churn_(config_.churn, topology_.num_nodes()),
+      restart_gen_(topology_.num_nodes(), 0),
       nodes_(topology_.num_nodes()),
       routing_tables_(topology_.num_nodes()) {
   ELINK_CHECK(config_.async_delay_min > 0.0);
   ELINK_CHECK(config_.async_delay_max >= config_.async_delay_min);
+  if (churn_.enabled()) {
+    live_adjacency_ = topology_.adjacency;
+    // The whole plan is scheduled up front; event callbacks draw no
+    // randomness, so enabling churn perturbs no RNG stream.
+    for (const ChurnSchedule::Event& ev : churn_.events()) {
+      queue_.ScheduleAfter(ev.at, [this, ev]() { ApplyChurnEvent(ev); });
+    }
+    // Neighbors of a late joiner see it down from the start; scheduled at
+    // t=0 (before any protocol event: the constructor runs first) rather
+    // than called here because nodes are not installed yet.
+    for (const ChurnSchedule::Event& ev : churn_.events()) {
+      if (ev.kind == ChurnSchedule::Event::kJoin && ev.at > 0.0) {
+        queue_.ScheduleAfter(
+            0.0, [this, n = ev.a]() { NotifyNeighbors(n, /*up=*/false); });
+      }
+    }
+  }
+  if (fault_.enabled()) {
+    // A fault-plan crash with a finite recover_at is a repair: the node
+    // restarts with reset protocol state (and no stale pre-crash timers)
+    // instead of silently resuming where it left off.  Unlike churn, the
+    // repair is not announced to neighbors — fault-plan crashes stay
+    // protocol-invisible.
+    for (const FaultPlan::NodeCrash& c : config_.fault.node_crashes) {
+      if (c.recover_at < std::numeric_limits<double>::infinity()) {
+        queue_.ScheduleAfter(c.recover_at,
+                             [this, n = c.node]() { RestartNode(n); });
+      }
+    }
+  }
+}
+
+bool Network::HasLiveEdge(int from, int to) const {
+  const std::vector<int>& adj = live_adjacency_[from];
+  return std::binary_search(adj.begin(), adj.end(), to);
+}
+
+void Network::RestartNode(int node) {
+  ++restart_gen_[node];
+  if (nodes_[node] != nullptr) nodes_[node]->OnRestart();
+}
+
+void Network::NotifyNeighbors(int node, bool up) {
+  for (int nb : neighbors(node)) {
+    if (churn_.IsAbsent(nb, Now())) continue;
+    if (nodes_[nb] != nullptr) nodes_[nb]->OnNeighborChange(node, up);
+  }
+}
+
+void Network::ApplyChurnEvent(const ChurnSchedule::Event& ev) {
+  using Event = ChurnSchedule::Event;
+  switch (ev.kind) {
+    case Event::kJoin:
+    case Event::kRepair:
+      // The absence set changed, so cached routes (which must not relay
+      // through absent nodes) are stale.
+      for (std::unique_ptr<RoutingTable>& t : routing_tables_) t.reset();
+      RestartNode(ev.a);
+      NotifyNeighbors(ev.a, /*up=*/true);
+      break;
+    case Event::kLeave:
+    case Event::kCrash:
+      for (std::unique_ptr<RoutingTable>& t : routing_tables_) t.reset();
+      NotifyNeighbors(ev.a, /*up=*/false);
+      break;
+    case Event::kLinkAdd:
+    case Event::kLinkRemove: {
+      const bool add = ev.kind == Event::kLinkAdd;
+      auto edit = [add](std::vector<int>* adj, int other) {
+        auto it = std::lower_bound(adj->begin(), adj->end(), other);
+        if (add && (it == adj->end() || *it != other)) {
+          adj->insert(it, other);
+        } else if (!add && it != adj->end() && *it == other) {
+          adj->erase(it);
+        }
+      };
+      edit(&live_adjacency_[ev.a], ev.b);
+      edit(&live_adjacency_[ev.b], ev.a);
+      // Routed paths must not cross a removed edge (or miss a shortcut), so
+      // every cached table is rebuilt on demand from the edited adjacency.
+      for (std::unique_ptr<RoutingTable>& t : routing_tables_) t.reset();
+      if (!churn_.IsAbsent(ev.a, Now()) && nodes_[ev.a] != nullptr) {
+        nodes_[ev.a]->OnNeighborChange(ev.b, add);
+      }
+      if (!churn_.IsAbsent(ev.b, Now()) && nodes_[ev.b] != nullptr) {
+        nodes_[ev.b]->OnNeighborChange(ev.a, add);
+      }
+      break;
+    }
+  }
+  if (observer_ != nullptr) {
+    observer_->OnChurn(Now(), ChurnSchedule::KindName(ev.kind), ev.a, ev.b);
+  }
 }
 
 void Network::InstallNode(int id, std::unique_ptr<Node> node) {
@@ -47,7 +143,10 @@ void Network::MaybeTruncate(Message* msg) {
 }
 
 void Network::Send(int from, int to, Message msg) {
-  ELINK_CHECK(topology_.HasEdge(from, to));
+  // Under churn a protocol may legitimately address a link that no longer
+  // (or does not yet) exist — that transmission is lost below, not a bug.
+  ELINK_CHECK(topology_.HasEdge(from, to) ||
+              (churn_.enabled() && HasLiveEdge(from, to)));
   ELINK_CHECK(nodes_[to] != nullptr);
   const double delay = NextHopDelay();
   // Truncation is decided first (the chopped frame is what is on the air, so
@@ -57,11 +156,19 @@ void Network::Send(int from, int to, Message msg) {
   if (fault_.enabled()) MaybeTruncate(&msg);
   // All fault decisions are made at send time (the receiver's crash state is
   // evaluated at the arrival instant), so runs stay deterministic and the
-  // drop is charged to the ledger exactly once.
-  if (fault_.enabled() &&
-      (fault_.IsCrashed(from, Now()) ||
-       fault_.DropTransmission(from, to, Now()) ||
-       fault_.IsCrashed(to, Now() + delay))) {
+  // drop is charged to the ledger exactly once.  The fault decision is
+  // always evaluated first — churn is schedule-only and draws nothing, so
+  // adding it cannot perturb the fault RNG stream.
+  const bool fault_drop =
+      fault_.enabled() && (fault_.IsCrashed(from, Now()) ||
+                           fault_.DropTransmission(from, to, Now()) ||
+                           fault_.IsCrashed(to, Now() + delay));
+  const bool churn_drop =
+      churn_.enabled() &&
+      (churn_.IsAbsent(from, Now()) || churn_.IsAbsent(to, Now() + delay) ||
+       !HasLiveEdge(from, to));
+  if (fault_drop || churn_drop) {
+    if (churn_drop) ++churn_drops_;
     stats_.RecordDropped(msg.category, msg.CostUnits());
     if (observer_ != nullptr) observer_->OnDrop(Now(), from, to, msg);
     return;
@@ -76,7 +183,8 @@ void Network::Send(int from, int to, Message msg) {
 
 void Network::SendShared(int from, int to,
                          const std::shared_ptr<const Message>& msg) {
-  ELINK_CHECK(topology_.HasEdge(from, to));
+  ELINK_CHECK(topology_.HasEdge(from, to) ||
+              (churn_.enabled() && HasLiveEdge(from, to)));
   ELINK_CHECK(nodes_[to] != nullptr);
   // Mirrors Send exactly — same RNG draw order (delay first, then truncate,
   // then loss), same charging — so a Broadcast is bit-identical to the N
@@ -94,10 +202,16 @@ void Network::SendShared(int from, int to,
     chopped.doubles.resize(keep_doubles);
     wire = &chopped;
   }
-  if (fault_.enabled() &&
-      (fault_.IsCrashed(from, Now()) ||
-       fault_.DropTransmission(from, to, Now()) ||
-       fault_.IsCrashed(to, Now() + delay))) {
+  const bool fault_drop =
+      fault_.enabled() && (fault_.IsCrashed(from, Now()) ||
+                           fault_.DropTransmission(from, to, Now()) ||
+                           fault_.IsCrashed(to, Now() + delay));
+  const bool churn_drop =
+      churn_.enabled() &&
+      (churn_.IsAbsent(from, Now()) || churn_.IsAbsent(to, Now() + delay) ||
+       !HasLiveEdge(from, to));
+  if (fault_drop || churn_drop) {
+    if (churn_drop) ++churn_drops_;
     stats_.RecordDropped(wire->category, wire->CostUnits());
     if (observer_ != nullptr) observer_->OnDrop(Now(), from, to, *wire);
     return;
@@ -118,7 +232,7 @@ void Network::SendShared(int from, int to,
 }
 
 void Network::Broadcast(int from, Message msg) {
-  const std::vector<int>& nbrs = topology_.adjacency[from];
+  const std::vector<int>& nbrs = neighbors(from);
   if (nbrs.empty()) return;
   // One immutable payload shared by every fan-out leg; receivers get a
   // const& into it, so nothing is copied per neighbor.
@@ -129,7 +243,22 @@ void Network::Broadcast(int from, Message msg) {
 const RoutingTable& Network::TableFor(int root) {
   std::unique_ptr<RoutingTable>& slot = routing_tables_[root];
   if (slot == nullptr) {
-    slot = std::make_unique<RoutingTable>(topology_.adjacency, root);
+    if (!churn_.enabled()) {
+      slot = std::make_unique<RoutingTable>(topology_.adjacency, root);
+    } else {
+      // Routes must not relay through churn-absent nodes: an absent relay
+      // sinks every frame that crosses it, so a path "through" one is no
+      // path at all.  Build over the live links between present nodes; the
+      // table cache is invalidated on every churn event (link or node).
+      AdjacencyList live(live_adjacency_.size());
+      for (int u = 0; u < static_cast<int>(live_adjacency_.size()); ++u) {
+        if (churn_.IsAbsent(u, Now())) continue;
+        for (int v : live_adjacency_[u]) {
+          if (!churn_.IsAbsent(v, Now())) live[u].push_back(v);
+        }
+      }
+      slot = std::make_unique<RoutingTable>(live, root);
+    }
   }
   return *slot;
 }
@@ -138,6 +267,7 @@ int Network::SendRouted(int from, int to, Message msg) {
   ELINK_CHECK(nodes_[to] != nullptr);
   if (from == to) {
     if (fault_.enabled() && fault_.IsCrashed(to, Now())) return 0;
+    if (churn_.enabled() && churn_.IsAbsent(to, Now())) return 0;
     if (observer_ != nullptr) observer_->OnSend(Now(), from, to, msg, 0.0);
     queue_.ScheduleAfter(0.0, [this, from, to, m = std::move(msg)]() {
       if (observer_ != nullptr) observer_->OnDeliver(Now(), from, to, m);
@@ -147,6 +277,14 @@ int Network::SendRouted(int from, int to, Message msg) {
   }
   const RoutingTable& table = TableFor(to);
   const int hops = table.HopsToRoot(from);
+  if (churn_.enabled() && hops <= 0) {
+    // Churn link removals can partition the live graph; a routed message
+    // with no path is lost (and charged once, like any other lost frame).
+    ++churn_drops_;
+    stats_.RecordDropped(msg.category, msg.CostUnits());
+    if (observer_ != nullptr) observer_->OnDrop(Now(), from, to, msg);
+    return 0;
+  }
   ELINK_CHECK(hops > 0);  // Connected networks only.
   // End-to-end payload corruption: one truncation decision per routed
   // message, drawn before the per-hop loss draws.
@@ -161,10 +299,19 @@ int Network::SendRouted(int from, int to, Message msg) {
   while (cur != to) {
     const int next = table.NextHopToRoot(cur);
     const double hop_delay = NextHopDelay();
-    if (fault_.enabled() &&
+    const bool fault_drop =
+        fault_.enabled() &&
         (fault_.IsCrashed(cur, Now() + delay) ||
          fault_.DropTransmission(cur, next, Now() + delay) ||
-         fault_.IsCrashed(next, Now() + delay + hop_delay))) {
+         fault_.IsCrashed(next, Now() + delay + hop_delay));
+    // The routing table reflects live links at send time, so only endpoint
+    // absence (at the hop's own instants) can sink a hop here.
+    const bool churn_drop =
+        churn_.enabled() &&
+        (churn_.IsAbsent(cur, Now() + delay) ||
+         churn_.IsAbsent(next, Now() + delay + hop_delay));
+    if (fault_drop || churn_drop) {
+      if (churn_drop) ++churn_drops_;
       stats_.RecordDropped(msg.category, msg.CostUnits());
       if (observer_ != nullptr) {
         observer_->OnDrop(Now() + delay, cur, next, msg);
@@ -193,10 +340,17 @@ int Network::HopDistance(int from, int to) {
 
 void Network::SetTimer(int id, double delay, int timer_id) {
   ELINK_CHECK(nodes_[id] != nullptr);
-  queue_.ScheduleAfter(delay, [this, id, timer_id]() {
-    // A crashed node's timers are suppressed (it recovers with no pending
-    // timers; protocols re-arm on recovery if they support it).
+  const uint32_t gen = restart_gen_[id];
+  queue_.ScheduleAfter(delay, [this, id, timer_id, gen]() {
+    // Timers set before a restart (churn join/repair, or a fault-plan crash
+    // recovery) belong to the previous incarnation and never fire — the
+    // restart bumped the node's generation.  OnRestart re-arms whatever the
+    // new incarnation needs.
+    if (restart_gen_[id] != gen) return;
+    // A crashed/absent node's timers are suppressed (it recovers with no
+    // pending timers; protocols re-arm on recovery if they support it).
     if (fault_.enabled() && fault_.IsCrashed(id, queue_.Now())) return;
+    if (churn_.enabled() && churn_.IsAbsent(id, queue_.Now())) return;
     if (observer_ != nullptr) observer_->OnTimerFire(queue_.Now(), id, timer_id);
     nodes_[id]->HandleTimer(timer_id);
   });

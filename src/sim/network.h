@@ -14,6 +14,7 @@
 
 #include "common/rng.h"
 #include "common/status.h"
+#include "sim/churn.h"
 #include "sim/event_queue.h"
 #include "sim/fault.h"
 #include "sim/graph.h"
@@ -45,6 +46,22 @@ class Node {
   /// ReliableChannel) attach them here.
   virtual void OnInstall() {}
 
+  /// The node came back with reset protocol state: a churn join/repair, or a
+  /// fault-plan crash whose recover_at arrived.  Timers set before the
+  /// restart never fire (the Network bumps the node's restart generation),
+  /// so implementations re-arm whatever they need and drop in-flight
+  /// bookkeeping.  The default keeps legacy resume-as-if-nothing-happened
+  /// behavior for protocols that predate churn.
+  virtual void OnRestart() {}
+
+  /// First-class churn changed this node's neighborhood: `neighbor` became
+  /// reachable (`up`) or unreachable (`!up`) through a join/leave/crash/
+  /// repair/link change.  Fault-plan crashes and outages are NOT announced —
+  /// those stay invisible at the protocol level, exactly as before.
+  virtual void OnNeighborChange(int neighbor, bool up) {
+    (void)neighbor, (void)up;
+  }
+
   int id() const { return id_; }
 
  protected:
@@ -69,6 +86,10 @@ class Network {
     /// The default plan is inert: delivery is perfectly reliable and the run
     /// is byte-identical to a build without the fault layer.
     FaultPlan fault;
+    /// Topology dynamics of the run (joins, leaves, crash/repair cycles,
+    /// link add/remove).  The default plan is inert: the topology is frozen
+    /// and the run is byte-identical to a build without the churn layer.
+    ChurnPlan churn;
   };
 
   Network(Topology topology, Config config);
@@ -87,8 +108,12 @@ class Network {
 
   int num_nodes() const { return topology_.num_nodes(); }
   const Topology& topology() const { return topology_; }
+  /// Current radio neighborhood of `id`: the deployment adjacency, edited by
+  /// any churn link changes that have taken effect.  Absent/crashed
+  /// neighbors still appear — presence is a per-node property (IsPresent),
+  /// not an edge property.
   const std::vector<int>& neighbors(int id) const {
-    return topology_.adjacency[id];
+    return churn_.enabled() ? live_adjacency_[id] : topology_.adjacency[id];
   }
 
   /// Sends `msg` over the single radio hop from `from` to neighbor `to`.
@@ -136,6 +161,22 @@ class Network {
   const MessageStats& stats() const { return stats_; }
   Rng& rng() { return rng_; }
   const FaultInjector& fault() const { return fault_; }
+  const ChurnSchedule& churn() const { return churn_; }
+
+  /// True when `id` is deployed right now under the churn plan (joined, not
+  /// left, not in a churn crash window).  Fault-plan crashes do NOT count:
+  /// they are protocol-invisible.  Always true without churn.  This is the
+  /// directory knowledge a membership layer would give protocols — it is
+  /// deterministic and consumes no randomness.
+  bool IsPresent(int id) const {
+    return !churn_.enabled() || !churn_.IsAbsent(id, queue_.Now());
+  }
+
+  /// Transmissions lost because of churn (absent endpoint or removed link).
+  /// A transmission that would also have been lost to the fault plan still
+  /// counts here, so `stats().dropped_sends() == churn_drops()` identifies
+  /// runs whose only losses were topological.
+  uint64_t churn_drops() const { return churn_drops_; }
 
   /// Installs (or clears, with nullptr) the observability hook.  Observers
   /// are read-only witnesses: attaching one never changes a run's outcome,
@@ -155,6 +196,17 @@ class Network {
  private:
   double NextHopDelay();
   const RoutingTable& TableFor(int root);
+  /// True when (from, to) is an edge of the *current* (churn-edited)
+  /// adjacency.  Only meaningful while churn is enabled.
+  bool HasLiveEdge(int from, int to) const;
+  /// Applies one scheduled churn event: restarts/notifies nodes, edits the
+  /// live adjacency, invalidates routing tables, reports to the observer.
+  void ApplyChurnEvent(const ChurnSchedule::Event& ev);
+  /// Bumps `node`'s restart generation (orphaning its pending timers) and
+  /// invokes Node::OnRestart.
+  void RestartNode(int node);
+  /// Delivers OnNeighborChange(node, up) to every present live neighbor.
+  void NotifyNeighbors(int node, bool up);
   /// Applies the fault plan's in-flight payload truncation to `msg` (no-op
   /// unless the plan enables it; draws from the fault RNG stream only then).
   void MaybeTruncate(Message* msg);
@@ -168,6 +220,15 @@ class Network {
   EventQueue queue_;
   Rng rng_;
   FaultInjector fault_;
+  ChurnSchedule churn_;
+  // Deployment adjacency with churn link changes applied; populated (and
+  // consulted) only while churn is enabled.  Neighbor lists stay sorted
+  // ascending, matching Topology::adjacency's contract.
+  std::vector<std::vector<int>> live_adjacency_;
+  // Per-node restart generation: bumped by RestartNode so timers set before
+  // a restart are orphaned instead of firing on the new incarnation.
+  std::vector<uint32_t> restart_gen_;
+  uint64_t churn_drops_ = 0;
   std::vector<std::unique_ptr<Node>> nodes_;
   MessageStats stats_;
   SimObserver* observer_ = nullptr;

@@ -78,6 +78,16 @@ class SimObserver {
     (void)now, (void)node, (void)to, (void)msg;
   }
 
+  // -- Topology plane (Network, churn) -----------------------------------
+  /// A scheduled ChurnPlan event took effect.  `kind` is one of the
+  /// ChurnSchedule::KindName spellings ("join", "leave", "crash", "repair",
+  /// "link_add", "link_remove"); `a` is the node (or link endpoint u) and
+  /// `b` the other link endpoint (-1 for node events).  Fault-plan crash
+  /// recoveries are NOT reported here — only first-class churn.
+  virtual void OnChurn(double now, const char* kind, int a, int b) {
+    (void)now, (void)kind, (void)a, (void)b;
+  }
+
   // -- Protocol plane (drivers, via ProtocolNode::TracePhase) ------------
   /// A named protocol phase transition on `node` (ELink round starts and
   /// completions, maintenance detach/adopt, query fan-out/collect, ...).

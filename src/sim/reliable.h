@@ -73,6 +73,12 @@ class ReliableChannel {
   /// (a retransmit deadline, handled internally).
   bool OnTimer(int timer_id);
 
+  /// Drops all in-flight sends without retransmitting or invoking give-up —
+  /// the node restarted (churn repair/join) and its previous incarnation's
+  /// traffic is void.  Delivery history and the sequence counter survive, so
+  /// pre-restart duplicates stay suppressed and new sends stay unique.
+  void Reset() { pending_.clear(); }
+
   /// Messages currently awaiting acknowledgment.
   size_t in_flight() const { return pending_.size(); }
 

@@ -31,6 +31,25 @@ TEST(CheckFuzzRegressionTest, MaintenanceDetachUnderLossSeed12) {
   EXPECT_TRUE(out.ok()) << out.Summary();
 }
 
+TEST(CheckFuzzRegressionTest, MaintenanceMutualAdoptionCycleSeed412) {
+  // Found by the churn-isolated sweep, but a pure legacy-path bug (the
+  // minimal repro disables churn too): on a linear topology under async
+  // delays, a root's feature push evicted node 1, whose re-probe read
+  // neighbor 0's not-yet-updated stored root feature and re-adopted into
+  // the stale cluster; node 0's own eviction then crossed node 1's Attach,
+  // and 0 adopted 1 back — a parent 2-cycle disconnected from the real
+  // tree, forwarding RootChanged to each other forever (event-cap
+  // livelock).  Fixed three ways: the RootChanged idempotence guard is
+  // unconditional, a node never adopts its own current child, and a
+  // relabel that lands out of range evicts unconditionally.
+  ScenarioKnobs knobs;
+  knobs.faults = false;
+  knobs.reliable = false;
+  knobs.slack = false;
+  const CheckOutcome out = RunScenario(Protocol::kMaintenance, 412, knobs);
+  EXPECT_TRUE(out.ok()) << out.Summary();
+}
+
 TEST(CheckFuzzRegressionTest, ReliableRoutedSelfAckSeed62) {
   // Found by check_fuzz: ReliableChannel acked a routed self-delivery
   // (rel_from == from == self) with Network::Send(self, self), which fails

@@ -1,0 +1,173 @@
+// Convergence oracle for churn-aware maintenance (the ISSUE-6 acceptance
+// gate): across fuzzed churn-only scenarios, after the self-healing protocol
+// quiesces the live-view clustering must still be a valid clustering
+// (Definition 1 on the live topology), the query stack rebuilt from it must
+// satisfy the M-tree invariants and answer range queries oracle-exactly, and
+// a from-scratch engine recomputation over the post-churn topology must
+// agree query for query.
+//
+// The scenarios run pure topology churn — static features, no fault
+// injection — so the only force reshaping the clustering is churn repair
+// itself.  With merge_fraction = 0.5 every churn-era adoption lands within
+// delta/2 of its new root's feature, so any member pair is within
+// delta (construction) + delta/2 (adoptee) of each other: the maintained
+// live clustering is a 1.5*delta-clustering by composition, and that is the
+// bound the oracle checks.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "check/invariants.h"
+#include "check/scenario.h"
+#include "cluster/elink.h"
+#include "cluster/maintenance_protocol.h"
+#include "common/rng.h"
+#include "index/backbone.h"
+#include "index/mtree.h"
+#include "index/range_query.h"
+#include "sim/graph.h"
+
+namespace elink {
+namespace check {
+namespace {
+
+/// The live view of a quiesced maintenance session, with ids compacted to
+/// 0..m-1 so the engine stack can be rebuilt on it directly.
+struct LiveView {
+  Topology topology;
+  std::vector<Feature> features;
+  Clustering clustering;
+};
+
+LiveView CompactLiveView(const DistributedMaintenance& dm,
+                         const Scenario& s) {
+  const int n = s.topology.num_nodes();
+  const std::vector<char> live = dm.LiveMask();
+  const auto live_adj = dm.LiveAdjacency();
+  const Clustering full = dm.CurrentClustering();
+  std::vector<int> remap(n, -1);
+  LiveView view;
+  for (int i = 0; i < n; ++i) {
+    if (!live[i]) continue;
+    remap[i] = static_cast<int>(view.topology.positions.size());
+    view.topology.positions.push_back(s.topology.positions[i]);
+    view.features.push_back(s.features[i]);
+  }
+  view.topology.adjacency.resize(view.topology.positions.size());
+  view.clustering.root_of.resize(view.topology.positions.size());
+  for (int i = 0; i < n; ++i) {
+    if (remap[i] < 0) continue;
+    for (int nb : live_adj[i]) {
+      if (remap[nb] >= 0) {
+        view.topology.adjacency[remap[i]].push_back(remap[nb]);
+      }
+    }
+    const int r = full.root_of[i];
+    EXPECT_TRUE(r >= 0 && r < n && live[r])
+        << "live node " << i << " points at absent root " << r;
+    view.clustering.root_of[remap[i]] = remap[r];
+  }
+  return view;
+}
+
+TEST(ChurnParityTest, MaintainedClusteringMatchesEngineRecomputation) {
+  ScenarioKnobs knobs;
+  knobs.faults = false;
+  knobs.reliable = false;
+  knobs.slack = false;
+
+  int churny = 0;       // Scenarios where churn actually fired.
+  int engine_runs = 0;  // Scenarios that also ran the full engine parity.
+  for (uint64_t seed = 1; seed <= 400 && (churny < 50 || engine_runs < 50);
+       ++seed) {
+    const Scenario s = std::move(MakeScenario(seed, knobs)).value();
+    if (!s.churn.enabled()) continue;
+    ++churny;
+    SCOPED_TRACE(s.Describe());
+
+    ElinkConfig ecfg;
+    ecfg.delta = s.delta;
+    ecfg.seed = 3;
+    const ElinkResult base = std::move(
+        RunElink(s.topology, s.features, *s.metric, ecfg, ElinkMode::kExplicit))
+        .value();
+
+    MaintenanceConfig mcfg;
+    mcfg.delta = s.delta;
+    mcfg.merge_fraction = 0.5;
+    DistributedMaintenance dm(s.topology, base.clustering, s.features,
+                              s.metric, mcfg, s.synchronous, s.seed,
+                              FaultPlan{}, s.churn);
+    dm.RunToQuiescence();
+    ASSERT_EQ(dm.stats().dropped_sends(), dm.churn_drops());
+    ASSERT_EQ(dm.stats().decode_errors(), 0u);
+    ASSERT_TRUE(dm.ValidateRootDistanceInvariant(s.delta).ok());
+
+    // -- The maintained clustering is a valid clustering of the live
+    //    deployment (Definition 1 at the composed 1.5*delta bound). --------
+    const LiveView view = CompactLiveView(dm, s);
+    ASSERT_TRUE(CheckDeltaClustering(view.clustering,
+                                     view.topology.adjacency, view.features,
+                                     *s.metric, 1.5 * s.delta + kCheckEps)
+                    .ok());
+
+    // -- The query stack rebuilds cleanly on top of it. -------------------
+    const std::vector<int> tree =
+        BuildClusterTrees(view.clustering, view.topology.adjacency);
+    const ClusterIndex index =
+        ClusterIndex::Build(view.clustering, tree, view.features, *s.metric);
+    ASSERT_TRUE(CheckMTreeInvariants(index, view.clustering, tree,
+                                     view.features, *s.metric)
+                    .ok());
+
+    // The backbone (and a from-scratch ELink) need a connected deployment;
+    // churn may legitimately have partitioned the survivors.
+    if (!IsConnected(view.topology.adjacency)) continue;
+    ++engine_runs;
+    const Backbone backbone =
+        Backbone::Build(view.clustering, view.topology.adjacency, nullptr,
+                        &view.features, s.metric.get());
+    RangeQueryEngine maintained(view.clustering, index, backbone,
+                                view.features, *s.metric, s.delta);
+
+    // -- Engine recomputation on the post-churn topology. -----------------
+    const ElinkResult fresh =
+        std::move(RunElink(view.topology, view.features, *s.metric, ecfg,
+                           ElinkMode::kExplicit))
+            .value();
+    ASSERT_TRUE(CheckDeltaClustering(fresh.clustering,
+                                     view.topology.adjacency, view.features,
+                                     *s.metric, s.delta + kCheckEps)
+                    .ok());
+    const std::vector<int> fresh_tree =
+        BuildClusterTrees(fresh.clustering, view.topology.adjacency);
+    const ClusterIndex fresh_index = ClusterIndex::Build(
+        fresh.clustering, fresh_tree, view.features, *s.metric);
+    const Backbone fresh_backbone =
+        Backbone::Build(fresh.clustering, view.topology.adjacency, nullptr,
+                        &view.features, s.metric.get());
+    RangeQueryEngine recomputed(fresh.clustering, fresh_index, fresh_backbone,
+                                view.features, *s.metric, s.delta);
+
+    // Query-for-query parity: both engines must answer oracle-exactly, so
+    // maintaining incrementally loses nothing over rebuilding from scratch.
+    Rng qrng = Rng(seed).Fork(77);
+    const int m = view.topology.num_nodes();
+    for (int t = 0; t < 3; ++t) {
+      Feature q = view.features[qrng.UniformInt(m)];
+      for (double& v : q) v += qrng.Uniform(-0.3, 0.3) * s.delta;
+      const double r = qrng.Uniform(0.3, 1.0) * s.delta;
+      const std::vector<int> oracle =
+          RangeOracle(view.features, *s.metric, q, r);
+      EXPECT_EQ(maintained.Query(0, q, r).matches, oracle);
+      EXPECT_EQ(recomputed.Query(0, q, r).matches, oracle);
+    }
+  }
+  EXPECT_GE(churny, 50) << "scenario generator stopped producing churn";
+  EXPECT_GE(engine_runs, 50) << "too few post-churn deployments stayed "
+                                "connected for the engine parity leg";
+}
+
+}  // namespace
+}  // namespace check
+}  // namespace elink

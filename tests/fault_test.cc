@@ -4,6 +4,7 @@
 // distributed range query returning flagged partial answers.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <memory>
 #include <set>
 #include <vector>
@@ -154,11 +155,104 @@ TEST(NetworkFaultTest, CrashedNodeTimersAreSuppressed) {
   FaultPlan plan;
   plan.node_crashes.push_back({2, 0.0, 10.0});
   auto net = MakeFaultyGrid(plan);
+  Network* n = net.get();
   net->SetTimer(2, 5.0, 1);   // Fires while crashed: suppressed.
-  net->SetTimer(2, 15.0, 2);  // Fires after recovery: delivered.
+  net->SetTimer(2, 15.0, 2);  // Set before the crash, fires after recovery:
+                              // the repair restarts the node, so this stale
+                              // timer is orphaned (it used to fire, leaking
+                              // pre-crash state into the new incarnation).
+  // Timers set by the recovered incarnation fire normally.
+  net->ScheduleAfter(12.0, [n]() { n->SetTimer(2, 3.0, 3); });
   net->Run();
   EXPECT_EQ(static_cast<SinkNode*>(net->node(2))->timers,
-            (std::vector<int>{2}));
+            (std::vector<int>{3}));
+}
+
+// Regression for the recovered-crash staleness fix: a NodeCrash with a
+// finite recover_at must reset protocol state through Node::OnRestart at the
+// recovery instant instead of silently resuming.  Permanent crashes never
+// restart.
+TEST(NetworkFaultTest, FiniteRecoveryInvokesOnRestart) {
+  class RestartProbe : public SinkNode {
+   public:
+    void OnRestart() override { restarts.push_back(network()->Now()); }
+    std::vector<double> restarts;
+  };
+  FaultPlan plan;
+  plan.node_crashes.push_back({2, 5.0, 30.0});
+  plan.node_crashes.push_back({4, 10.0});  // Permanent: no restart.
+  Network::Config cfg;
+  cfg.seed = 5;
+  cfg.fault = std::move(plan);
+  Network net(MakeGridTopology(3, 3), cfg);
+  net.InstallNodes([](int) { return std::make_unique<RestartProbe>(); });
+  net.SetTimer(0, 40.0, 9);  // Keeps the run alive past both recover_ats.
+  net.Run();
+  EXPECT_EQ(static_cast<RestartProbe*>(net.node(2))->restarts,
+            (std::vector<double>{30.0}));
+  EXPECT_TRUE(static_cast<RestartProbe*>(net.node(4))->restarts.empty());
+}
+
+// -- FaultInjector interval edges ---------------------------------------------
+
+TEST(FaultInjectorTest, CrashBoundariesAreHalfOpen) {
+  // [crash_at, recover_at): dead at exactly crash_at, alive at exactly
+  // recover_at.
+  FaultPlan plan;
+  plan.node_crashes.push_back({1, 10.0, 20.0});
+  FaultInjector inj(plan, 1);
+  EXPECT_FALSE(inj.IsCrashed(1, std::nextafter(10.0, 0.0)));
+  EXPECT_TRUE(inj.IsCrashed(1, 10.0));
+  EXPECT_TRUE(inj.IsCrashed(1, std::nextafter(20.0, 0.0)));
+  EXPECT_FALSE(inj.IsCrashed(1, 20.0));
+}
+
+TEST(FaultInjectorTest, OutageBoundariesAreHalfOpen) {
+  FaultPlan plan;
+  plan.link_outages.push_back({0, 1, 10.0, 20.0});
+  FaultInjector inj(plan, 1);
+  EXPECT_FALSE(inj.LinkDown(0, 1, std::nextafter(10.0, 0.0)));
+  EXPECT_TRUE(inj.LinkDown(0, 1, 10.0));
+  EXPECT_TRUE(inj.LinkDown(1, 0, std::nextafter(20.0, 0.0)));
+  EXPECT_FALSE(inj.LinkDown(0, 1, 20.0));
+}
+
+TEST(FaultInjectorTest, OverlappingCrashIntervalsUnion) {
+  // Two overlapping windows on one node behave as their union; the gap
+  // between disjoint windows is alive.
+  FaultPlan plan;
+  plan.node_crashes.push_back({1, 10.0, 20.0});
+  plan.node_crashes.push_back({1, 15.0, 25.0});
+  plan.node_crashes.push_back({1, 40.0, 50.0});
+  FaultInjector inj(plan, 1);
+  EXPECT_TRUE(inj.IsCrashed(1, 12.0));
+  EXPECT_TRUE(inj.IsCrashed(1, 20.0));  // Covered by the second window.
+  EXPECT_TRUE(inj.IsCrashed(1, 24.9));
+  EXPECT_FALSE(inj.IsCrashed(1, 25.0));
+  EXPECT_FALSE(inj.IsCrashed(1, 30.0));  // Between windows.
+  EXPECT_TRUE(inj.IsCrashed(1, 45.0));
+}
+
+TEST(NetworkFaultTest, RepairAtHorizonStillRestarts) {
+  // recover_at exactly at the last queued event's time: the restart is
+  // scheduled up front, so it still runs (and a timer set at the restart
+  // instant by the old incarnation stays orphaned).
+  class RestartProbe : public SinkNode {
+   public:
+    void OnRestart() override { ++restarts; }
+    int restarts = 0;
+  };
+  FaultPlan plan;
+  plan.node_crashes.push_back({2, 5.0, 30.0});
+  Network::Config cfg;
+  cfg.seed = 5;
+  cfg.fault = std::move(plan);
+  Network net(MakeGridTopology(3, 3), cfg);
+  net.InstallNodes([](int) { return std::make_unique<RestartProbe>(); });
+  net.SetTimer(2, 30.0, 1);  // Horizon == recover_at; pre-crash timer.
+  net.Run();
+  EXPECT_EQ(static_cast<RestartProbe*>(net.node(2))->restarts, 1);
+  EXPECT_TRUE(static_cast<RestartProbe*>(net.node(2))->timers.empty());
 }
 
 TEST(NetworkFaultTest, OutageSeversRoutedPath) {

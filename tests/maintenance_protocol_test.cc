@@ -205,5 +205,121 @@ TEST(MaintenanceProtocolTest, PlumeEpisodeKeepsInvariant) {
   }
 }
 
+// -- Churn-aware self-healing -----------------------------------------------
+
+TEST(MaintenanceChurnTest, CrashRepairRejoinsAndBumpsEpochs) {
+  // Path 0-1-2-3, clusters {0,1} and {2,3}.  Node 3 crashes and is later
+  // repaired: it must rejoin a valid cluster with its restart counted, the
+  // membership change must bump a cluster epoch, and every transmission
+  // lost along the way must be accounted as a churn drop.
+  PathFixture fx;
+  MaintenanceConfig cfg;
+  cfg.delta = 4.0;
+  cfg.slack = 1.0;
+  ChurnPlan churn;
+  churn.crashes.push_back({3, 5.0, 20.0});
+  DistributedMaintenance m(fx.topology, fx.clustering, fx.features, OneDim(),
+                           cfg, /*synchronous=*/true, /*seed=*/1, FaultPlan{},
+                           churn);
+  m.RunToQuiescence();
+  EXPECT_TRUE(m.NodeLive(3));
+  EXPECT_EQ(m.node_epoch(3), 1);
+  EXPECT_GE(m.cluster_epoch(3), 1);
+  // Back with its old peer (either side may end up the root: the repair is
+  // a mutual-probe race settled by the staggered retry).
+  const Clustering after = m.CurrentClustering();
+  EXPECT_EQ(after.root_of[3], after.root_of[2]);
+  EXPECT_TRUE(after.root_of[3] == 2 || after.root_of[3] == 3);
+  EXPECT_TRUE(m.ValidateRootDistanceInvariant(4.0 + 2.0).ok());
+  EXPECT_EQ(m.stats().dropped_sends(), m.churn_drops());
+}
+
+TEST(MaintenanceChurnTest, ParentLeaveOrphansAndPromotes) {
+  // Path 0-1-2, one cluster rooted at 0.  The middle node leaves for good:
+  // node 2 loses its only route to the root and must promote itself.
+  Topology t = MakeGridTopology(1, 3);
+  Clustering c;
+  c.root_of = {0, 0, 0};
+  std::vector<Feature> f = {{0.0}, {0.0}, {0.0}};
+  MaintenanceConfig cfg;
+  cfg.delta = 2.0;
+  ChurnPlan churn;
+  churn.leaves.push_back({1, 5.0});
+  DistributedMaintenance m(t, c, f, OneDim(), cfg, /*synchronous=*/true,
+                           /*seed=*/1, FaultPlan{}, churn);
+  m.RunToQuiescence();
+  EXPECT_FALSE(m.NodeLive(1));
+  const Clustering after = m.CurrentClustering();
+  EXPECT_EQ(after.root_of[0], 0);
+  EXPECT_EQ(after.root_of[2], 2);
+  EXPECT_TRUE(m.ValidateRootDistanceInvariant(2.0).ok());
+}
+
+TEST(MaintenanceChurnTest, LinkCutSplitsCluster) {
+  // Path 0-1-2-3, one cluster rooted at 0.  Churn severs the 1-2 edge: the
+  // far half can no longer reach the root and must re-cluster on its own,
+  // while the near half keeps its tree.
+  Topology t = MakeGridTopology(1, 4);
+  Clustering c;
+  c.root_of = {0, 0, 0, 0};
+  std::vector<Feature> f = {{0.0}, {0.0}, {0.0}, {0.0}};
+  MaintenanceConfig cfg;
+  cfg.delta = 2.0;
+  ChurnPlan churn;
+  churn.link_changes.push_back({1, 2, 5.0, /*add=*/false});
+  DistributedMaintenance m(t, c, f, OneDim(), cfg, /*synchronous=*/true,
+                           /*seed=*/1, FaultPlan{}, churn);
+  m.RunToQuiescence();
+  const Clustering after = m.CurrentClustering();
+  EXPECT_EQ(after.root_of[0], 0);
+  EXPECT_EQ(after.root_of[1], 0);
+  EXPECT_EQ(after.root_of[2], after.root_of[3]);
+  EXPECT_TRUE(after.root_of[2] == 2 || after.root_of[2] == 3);
+  EXPECT_TRUE(m.ValidateRootDistanceInvariant(2.0).ok());
+  const auto live_adj = m.LiveAdjacency();
+  EXPECT_EQ(live_adj[1], std::vector<int>{0});
+  EXPECT_EQ(live_adj[2], std::vector<int>{3});
+}
+
+TEST(MaintenanceChurnTest, LateJoinFindsAHome) {
+  // Node 3 is absent from the start and joins at t = 5 with a compatible
+  // feature: it must probe its way into the adjacent cluster.
+  PathFixture fx;
+  MaintenanceConfig cfg;
+  cfg.delta = 4.0;
+  ChurnPlan churn;
+  churn.joins.push_back({3, 5.0});
+  DistributedMaintenance m(fx.topology, fx.clustering, fx.features, OneDim(),
+                           cfg, /*synchronous=*/true, /*seed=*/1, FaultPlan{},
+                           churn);
+  m.RunToQuiescence();
+  EXPECT_TRUE(m.NodeLive(3));
+  const Clustering after = m.CurrentClustering();
+  EXPECT_EQ(after.root_of[3], after.root_of[2]);
+  EXPECT_TRUE(after.root_of[3] == 2 || after.root_of[3] == 3);
+  EXPECT_EQ(m.node_epoch(3), 1);
+  EXPECT_TRUE(m.ValidateRootDistanceInvariant(4.0).ok());
+}
+
+TEST(MaintenanceChurnTest, InertPlanMatchesChurnFreeRun) {
+  // A default ChurnPlan must leave the protocol bit-identical to a session
+  // built without one: same messages, same outcome.
+  PathFixture fx;
+  DistributedMaintenance plain = fx.Make(4.0, 1.0);
+  MaintenanceConfig cfg;
+  cfg.delta = 4.0;
+  cfg.slack = 1.0;
+  DistributedMaintenance inert(fx.topology, fx.clustering, fx.features,
+                               OneDim(), cfg, /*synchronous=*/true, /*seed=*/1,
+                               FaultPlan{}, ChurnPlan{});
+  for (DistributedMaintenance* m : {&plain, &inert}) {
+    m->ApplyUpdate(1, {9.0});
+    m->ApplyUpdate(0, {6.0});
+  }
+  EXPECT_EQ(plain.CurrentClustering().root_of, inert.CurrentClustering().root_of);
+  EXPECT_EQ(plain.stats().total_units(), inert.stats().total_units());
+  EXPECT_EQ(inert.churn_drops(), 0u);
+}
+
 }  // namespace
 }  // namespace elink

@@ -138,6 +138,20 @@ TEST(ProtoCodecTest, MaintenanceSchemasRoundTrip) {
     rc.root = FuzzI64(rng);
     rc.feature = FuzzBlock(rng, 6);
     CheckRoundTrip(rc);
+    maint_wire::EpochReport er;
+    er.root = FuzzI64(rng);
+    er.origin = FuzzI64(rng);
+    er.seq = FuzzI64(rng);
+    er.ttl = FuzzI64(rng);
+    CheckRoundTrip(er);
+    maint_wire::VerifyAck va;
+    va.root = FuzzI64(rng);
+    va.seq = FuzzI64(rng);
+    va.feature = FuzzBlock(rng, 6);
+    CheckRoundTrip(va);
+    maint_wire::VerifyGone vg;
+    vg.seq = FuzzI64(rng);
+    CheckRoundTrip(vg);
   }
 }
 
