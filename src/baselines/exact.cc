@@ -14,6 +14,7 @@ class ExactSearch {
       : adjacency_(adjacency),
         features_(features),
         metric_(metric),
+        pool_(features),
         delta_(delta),
         n_(static_cast<int>(adjacency.size())),
         assignment_(n_, -1),
@@ -56,11 +57,18 @@ class ExactSearch {
   }
 
   bool CompatibleWithCluster(int node, int c) const {
+    // One indexed batch over the cluster's current members (bit-identical
+    // distances, so the search explores exactly the same tree).
+    scratch_idx_.clear();
     for (int j = 0; j < node; ++j) {
-      if (assignment_[j] == c &&
-          metric_.Distance(features_[node], features_[j]) > delta_ + 1e-12) {
-        return false;
-      }
+      if (assignment_[j] == c) scratch_idx_.push_back(j);
+    }
+    if (scratch_idx_.empty()) return true;
+    scratch_dist_.resize(scratch_idx_.size());
+    metric_.BatchDistanceIndexed(features_[node], pool_, scratch_idx_.data(),
+                                 scratch_idx_.size(), scratch_dist_.data());
+    for (const double d : scratch_dist_) {
+      if (d > delta_ + 1e-12) return false;
     }
     return true;
   }
@@ -79,6 +87,9 @@ class ExactSearch {
   const AdjacencyList& adjacency_;
   const std::vector<Feature>& features_;
   const DistanceMetric& metric_;
+  const FeaturePool pool_;
+  mutable std::vector<int> scratch_idx_;
+  mutable std::vector<double> scratch_dist_;
   const double delta_;
   const int n_;
   std::vector<int> assignment_;

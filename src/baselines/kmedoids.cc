@@ -19,19 +19,22 @@ struct PamOutcome {
 };
 
 PamOutcome RunPam(const std::vector<Feature>& features,
-                  const DistanceMetric& metric, int k, int max_rounds,
-                  Rng* rng) {
+                  const FeaturePool& pool, const DistanceMetric& metric, int k,
+                  int max_rounds, Rng* rng) {
   const int n = static_cast<int>(features.size());
   PamOutcome out;
   // Seeding: first medoid uniform, then farthest-point-style proportional
-  // to distance from the nearest chosen medoid.
+  // to distance from the nearest chosen medoid.  Each candidate medoid is
+  // measured against the whole set with one batch scan (bit-identical
+  // distances, so seeding draws and picks are unchanged).
   out.medoids.push_back(static_cast<int>(rng->UniformInt(n)));
   std::vector<double> nearest(n, std::numeric_limits<double>::infinity());
+  std::vector<double> d_medoid(n);
   while (static_cast<int>(out.medoids.size()) < k) {
+    metric.BatchDistance(features[out.medoids.back()], pool, d_medoid.data());
     double total = 0.0;
     for (int i = 0; i < n; ++i) {
-      nearest[i] = std::min(
-          nearest[i], metric.Distance(features[i], features[out.medoids.back()]));
+      nearest[i] = std::min(nearest[i], d_medoid[i]);
       total += nearest[i];
     }
     if (total <= 0) {
@@ -50,14 +53,22 @@ PamOutcome RunPam(const std::vector<Feature>& features,
     out.medoids.push_back(pick);
   }
 
+  // k whole-set batch scans (one per medoid), then the same nearest-medoid
+  // selection loop in the same c order — identical ties, identical
+  // assignment.
+  std::vector<double> d_all(static_cast<size_t>(k) * n);
   auto assign_cost = [&](const std::vector<int>& medoids,
                          std::vector<int>* assignment) {
+    for (int c = 0; c < k; ++c) {
+      metric.BatchDistance(features[medoids[c]], pool,
+                           d_all.data() + static_cast<size_t>(c) * n);
+    }
     double cost = 0.0;
     assignment->assign(n, 0);
     for (int i = 0; i < n; ++i) {
       double best = std::numeric_limits<double>::infinity();
       for (int c = 0; c < k; ++c) {
-        const double d = metric.Distance(features[i], features[medoids[c]]);
+        const double d = d_all[static_cast<size_t>(c) * n + i];
         if (d < best) {
           best = d;
           (*assignment)[i] = c;
@@ -108,6 +119,7 @@ Result<KMedoidsResult> KMedoidsDeltaClustering(
     return Status::InvalidArgument("delta must be non-negative");
   }
   Rng rng(config.seed);
+  const FeaturePool pool(features);
   const int dim = static_cast<int>(features[0].size());
 
   KMedoidsResult result;
@@ -147,7 +159,7 @@ Result<KMedoidsResult> KMedoidsDeltaClustering(
   const int k_cap = std::min(n, 128);
   for (int k = 1; k <= k_cap && k < best_count; ++k) {
     const PamOutcome pam =
-        RunPam(features, metric, k, config.max_swap_rounds, &rng);
+        RunPam(features, pool, metric, k, config.max_swap_rounds, &rng);
     result.total_iterations += pam.iterations;
     // Distributed cost of this k: every iteration floods the k medoid
     // features through the network (N - 1 spanning-tree transmissions per

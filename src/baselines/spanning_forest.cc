@@ -21,18 +21,33 @@ Result<SpanningForestResult> SpanningForestClustering(
   // Every node broadcasts its feature once so neighbors can compute feature
   // distances, then picks the nearest smaller-id neighbor as parent.
   result.forest_parent.assign(n, -1);
+  // One indexed batch per node over its smaller-id neighbors; the selection
+  // loop then replays the original order and tie-breaks over bit-identical
+  // distances, so the forest is unchanged.
+  const FeaturePool pool(features);
+  std::vector<int> cand;
+  std::vector<double> dists;
   for (int i = 0; i < n; ++i) {
     for (size_t nb = 0; nb < adjacency[i].size(); ++nb) {
       result.stats.Record("sf_feature_exchange", dim);
     }
+    cand.clear();
+    for (int j : adjacency[i]) {
+      if (j < i) cand.push_back(j);
+    }
     int parent = i;  // Forest root by default.
     double best = 0.0;
-    for (int j : adjacency[i]) {
-      if (j >= i) continue;
-      const double d = metric.Distance(features[i], features[j]);
-      if (parent == i || d < best || (d == best && j < parent)) {
-        parent = j;
-        best = d;
+    if (!cand.empty()) {
+      dists.resize(cand.size());
+      metric.BatchDistanceIndexed(features[i], pool, cand.data(), cand.size(),
+                                  dists.data());
+      for (size_t c = 0; c < cand.size(); ++c) {
+        const int j = cand[c];
+        const double d = dists[c];
+        if (parent == i || d < best || (d == best && j < parent)) {
+          parent = j;
+          best = d;
+        }
       }
     }
     result.forest_parent[i] = parent;

@@ -168,10 +168,15 @@ Status CheckMTreeInvariants(const ClusterIndex& index,
 std::vector<int> RangeOracle(const std::vector<Feature>& features,
                              const DistanceMetric& metric, const Feature& q,
                              double r) {
+  // One batched whole-set scan (bit-identical to the per-feature Distance
+  // loop, so oracle verdicts are unchanged).
+  const FeaturePool pool(features);
+  std::vector<double> dists(pool.size());
+  metric.BatchDistance(q, pool, dists.data());
   std::vector<int> matches;
-  for (int i = 0; i < static_cast<int>(features.size()); ++i) {
+  for (int i = 0; i < static_cast<int>(dists.size()); ++i) {
     // Exact inclusion tolerance of RangeQueryEngine::LinearScan.
-    if (metric.Distance(features[i], q) <= r + 1e-12) matches.push_back(i);
+    if (dists[i] <= r + 1e-12) matches.push_back(i);
   }
   return matches;
 }

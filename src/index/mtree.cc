@@ -39,12 +39,24 @@ ClusterIndex ClusterIndex::Build(const Clustering& clustering,
     return a < b;
   });
 
+  // Covering radii are batch scans: one SoA transpose of the feature set,
+  // then each parent measures all its children with one indexed batch call
+  // (bit-identical to per-child Distance, so radii — and everything derived
+  // from them — are unchanged).
+  const FeaturePool pool(features);
+  std::vector<double> dists;
   const int dim = n > 0 ? static_cast<int>(features[0].size()) : 0;
   for (int i : order) {
     index.subtree_[i].push_back(i);
-    for (int child : index.children_[i]) {
-      const double reach = metric.Distance(features[i], features[child]) +
-                           index.radius_[child];
+    const std::vector<int>& kids = index.children_[i];
+    if (!kids.empty()) {
+      dists.resize(kids.size());
+      metric.BatchDistanceIndexed(features[i], pool, kids.data(), kids.size(),
+                                  dists.data());
+    }
+    for (size_t c = 0; c < kids.size(); ++c) {
+      const int child = kids[c];
+      const double reach = dists[c] + index.radius_[child];
       index.radius_[i] = std::max(index.radius_[i], reach);
       index.subtree_[i].insert(index.subtree_[i].end(),
                                index.subtree_[child].begin(),
@@ -57,12 +69,19 @@ ClusterIndex ClusterIndex::Build(const Clustering& clustering,
     std::sort(index.subtree_[i].begin(), index.subtree_[i].end());
   }
 
-  // Exact root-ball radii, one per cluster root.
+  // Exact root-ball radii, one per cluster root: batch each root against its
+  // members (max over the same distance values, so order cannot matter).
   index.root_ball_.assign(n, 0.0);
-  for (int i = 0; i < n; ++i) {
-    const int root = clustering.root_of[i];
-    index.root_ball_[root] = std::max(
-        index.root_ball_[root], metric.Distance(features[root], features[i]));
+  std::vector<std::vector<int>> members(n);
+  for (int i = 0; i < n; ++i) members[clustering.root_of[i]].push_back(i);
+  for (int root = 0; root < n; ++root) {
+    if (members[root].empty()) continue;
+    dists.resize(members[root].size());
+    metric.BatchDistanceIndexed(features[root], pool, members[root].data(),
+                                members[root].size(), dists.data());
+    for (const double d : dists) {
+      index.root_ball_[root] = std::max(index.root_ball_[root], d);
+    }
   }
   return index;
 }

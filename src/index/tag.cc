@@ -5,7 +5,10 @@ namespace elink {
 TagAggregator::TagAggregator(const AdjacencyList& adjacency, int base_station,
                              const std::vector<Feature>& features,
                              const DistanceMetric& metric)
-    : features_(features), metric_(metric), base_station_(base_station) {
+    : features_(features),
+      metric_(metric),
+      pool_(features),
+      base_station_(base_station) {
   const std::vector<int> parents = BfsTreeParents(adjacency, base_station);
   int edges = 0;
   for (size_t i = 0; i < parents.size(); ++i) {
@@ -26,10 +29,10 @@ std::vector<int> TagAggregator::RangeQuery(const Feature& q, double r,
     }
   }
   std::vector<int> matches;
-  for (size_t i = 0; i < features_.size(); ++i) {
-    if (metric_.Distance(q, features_[i]) <= r + 1e-12) {
-      matches.push_back(static_cast<int>(i));
-    }
+  std::vector<double> dists(pool_.size());
+  metric_.BatchDistance(q, pool_, dists.data());
+  for (size_t i = 0; i < dists.size(); ++i) {
+    if (dists[i] <= r + 1e-12) matches.push_back(static_cast<int>(i));
   }
   return matches;
 }

@@ -41,6 +41,9 @@ class TagAggregator {
  private:
   const std::vector<Feature>& features_;
   const DistanceMetric& metric_;
+  // SoA transpose of `features_`, built once: every query is one batched
+  // whole-network scan (TAG has no pruning, by design).
+  FeaturePool pool_;
   int base_station_;
   int num_tree_edges_;
   int feature_dim_;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/strings.h"
+#include "metric/simd.h"
 
 namespace elink {
 
@@ -34,6 +35,44 @@ double WeightedEuclidean::Distance(const Feature& a, const Feature& b) const {
     s += weights_[i] * d * d;
   }
   return std::sqrt(s);
+}
+
+void DistanceMetric::BatchDistance(const Feature& q, const FeaturePool& pool,
+                                   double* out) const {
+  Feature scratch;
+  for (size_t j = 0; j < pool.size(); ++j) {
+    pool.CopyTo(j, &scratch);
+    out[j] = Distance(q, scratch);
+  }
+}
+
+void DistanceMetric::BatchDistanceIndexed(const Feature& q,
+                                          const FeaturePool& pool,
+                                          const int* idx, size_t count,
+                                          double* out) const {
+  Feature scratch;
+  for (size_t j = 0; j < count; ++j) {
+    pool.CopyTo(static_cast<size_t>(idx[j]), &scratch);
+    out[j] = Distance(q, scratch);
+  }
+}
+
+void WeightedEuclidean::BatchDistance(const Feature& q, const FeaturePool& pool,
+                                      double* out) const {
+  if (pool.empty()) return;
+  ELINK_CHECK(q.size() == weights_.size() && pool.dim() == weights_.size());
+  WeightedL2SoA()(pool.soa(), pool.stride(), pool.size(), pool.dim(), q.data(),
+                  weights_.data(), out);
+}
+
+void WeightedEuclidean::BatchDistanceIndexed(const Feature& q,
+                                             const FeaturePool& pool,
+                                             const int* idx, size_t count,
+                                             double* out) const {
+  if (count == 0) return;
+  ELINK_CHECK(q.size() == weights_.size() && pool.dim() == weights_.size());
+  WeightedL2Indexed()(pool.soa(), pool.stride(), idx, count, pool.dim(),
+                      q.data(), weights_.data(), out);
 }
 
 double ManhattanDistance::Distance(const Feature& a, const Feature& b) const {

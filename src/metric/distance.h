@@ -12,6 +12,7 @@
 
 #include "common/status.h"
 #include "metric/feature.h"
+#include "metric/feature_pool.h"
 
 namespace elink {
 
@@ -25,6 +26,20 @@ class DistanceMetric {
 
   /// Distance between two features.  Must be symmetric and non-negative.
   virtual double Distance(const Feature& a, const Feature& b) const = 0;
+
+  /// Batch form: out[j] = Distance(q, pool[j]) for every candidate in
+  /// `pool`.  The default loops over Distance; metrics with a vectorized
+  /// kernel (WeightedEuclidean) override it with a bit-identical SIMD path,
+  /// so callers may switch between the forms freely without perturbing any
+  /// deterministic output.  `out` must hold pool.size() doubles.
+  virtual void BatchDistance(const Feature& q, const FeaturePool& pool,
+                             double* out) const;
+
+  /// Indexed batch form: out[j] = Distance(q, pool[idx[j]]) for j in
+  /// [0, count).  Same bit-identity contract as BatchDistance.
+  virtual void BatchDistanceIndexed(const Feature& q, const FeaturePool& pool,
+                                    const int* idx, size_t count,
+                                    double* out) const;
 };
 
 /// \brief Weighted Euclidean distance: sqrt(sum_i w_i (a_i - b_i)^2).
@@ -40,6 +55,14 @@ class WeightedEuclidean : public DistanceMetric {
   static WeightedEuclidean Euclidean(int dim);
 
   double Distance(const Feature& a, const Feature& b) const override;
+
+  /// SIMD-batched (runtime-dispatched AVX2/SSE2, scalar fallback); results
+  /// are bit-identical to the scalar Distance loop on every path.
+  void BatchDistance(const Feature& q, const FeaturePool& pool,
+                     double* out) const override;
+  void BatchDistanceIndexed(const Feature& q, const FeaturePool& pool,
+                            const int* idx, size_t count,
+                            double* out) const override;
 
   const std::vector<double>& weights() const { return weights_; }
 

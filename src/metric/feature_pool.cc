@@ -1,0 +1,31 @@
+#include "metric/feature_pool.h"
+
+#include "common/status.h"
+
+namespace elink {
+
+namespace {
+// Widest SIMD group the kernels use (4 doubles for AVX2).
+constexpr size_t kGroup = 4;
+}  // namespace
+
+FeaturePool::FeaturePool(const std::vector<Feature>& features) {
+  size_ = features.size();
+  if (size_ == 0) return;
+  dim_ = features[0].size();
+  stride_ = (size_ + kGroup - 1) / kGroup * kGroup;
+  data_.assign(dim_ * stride_, 0.0);
+  for (size_t j = 0; j < size_; ++j) {
+    ELINK_CHECK(features[j].size() == dim_);
+    for (size_t d = 0; d < dim_; ++d) {
+      data_[d * stride_ + j] = features[j][d];
+    }
+  }
+}
+
+void FeaturePool::CopyTo(size_t j, Feature* out) const {
+  out->resize(dim_);
+  for (size_t d = 0; d < dim_; ++d) (*out)[d] = data_[d * stride_ + j];
+}
+
+}  // namespace elink

@@ -1,0 +1,57 @@
+// Structure-of-arrays storage for a set of feature vectors.
+//
+// Batch candidate scans (range queries, M-tree covering-radius checks,
+// brute-force oracles) read "coordinate d of candidates j, j+1, j+2, j+3" —
+// with the usual vector<Feature> (array-of-structures) layout those loads
+// are scattered across per-feature heap blocks.  FeaturePool transposes the
+// set once into one contiguous dimension-major block: coordinate d of
+// candidate j lives at soa()[d * stride() + j], so a SIMD kernel's
+// four-candidate group is one contiguous load per dimension.
+//
+// stride() is size() rounded up to the widest SIMD group (4 doubles); the
+// padding candidates hold zeros so full-width loads past size() read finite
+// values (their results are never written out).
+#ifndef ELINK_METRIC_FEATURE_POOL_H_
+#define ELINK_METRIC_FEATURE_POOL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "metric/feature.h"
+
+namespace elink {
+
+/// \brief Immutable dimension-major (SoA) copy of a feature set.
+class FeaturePool {
+ public:
+  FeaturePool() = default;
+
+  /// Transposes `features` (all the same dimension) into SoA layout.
+  explicit FeaturePool(const std::vector<Feature>& features);
+
+  size_t size() const { return size_; }
+  size_t dim() const { return dim_; }
+  /// Padded candidate count: the row length of the SoA block.
+  size_t stride() const { return stride_; }
+  bool empty() const { return size_ == 0; }
+
+  /// The dimension-major block: coordinate d of candidate j is
+  /// soa()[d * stride() + j].
+  const double* soa() const { return data_.data(); }
+
+  /// Coordinate d of candidate j.
+  double At(size_t j, size_t d) const { return data_[d * stride_ + j]; }
+
+  /// Copies candidate j back out as a Feature (diagnostics/slow paths).
+  void CopyTo(size_t j, Feature* out) const;
+
+ private:
+  std::vector<double> data_;
+  size_t size_ = 0;
+  size_t dim_ = 0;
+  size_t stride_ = 0;
+};
+
+}  // namespace elink
+
+#endif  // ELINK_METRIC_FEATURE_POOL_H_

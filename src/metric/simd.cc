@@ -1,0 +1,159 @@
+#include "metric/simd.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+namespace elink {
+
+void WeightedL2SoAScalar(const double* soa, size_t stride, size_t count,
+                         size_t dim, const double* q, const double* w,
+                         double* out) {
+  for (size_t j = 0; j < count; ++j) {
+    double s = 0.0;
+    for (size_t d = 0; d < dim; ++d) {
+      const double diff = q[d] - soa[d * stride + j];
+      s += w[d] * diff * diff;
+    }
+    out[j] = std::sqrt(s);
+  }
+}
+
+void WeightedL2IndexedScalar(const double* soa, size_t stride, const int* idx,
+                             size_t count, size_t dim, const double* q,
+                             const double* w, double* out) {
+  for (size_t j = 0; j < count; ++j) {
+    const size_t c = static_cast<size_t>(idx[j]);
+    double s = 0.0;
+    for (size_t d = 0; d < dim; ++d) {
+      const double diff = q[d] - soa[d * stride + c];
+      s += w[d] * diff * diff;
+    }
+    out[j] = std::sqrt(s);
+  }
+}
+
+// SSE2/AVX2 implementations live in their own translation units so only
+// those are built with the wider instruction sets; on non-x86 targets the
+// weak stubs below keep the dispatch table well-defined.
+#if defined(__x86_64__) || defined(_M_X64)
+namespace simd_internal {
+void WeightedL2SoASse2(const double* soa, size_t stride, size_t count,
+                       size_t dim, const double* q, const double* w,
+                       double* out);
+void WeightedL2IndexedSse2(const double* soa, size_t stride, const int* idx,
+                           size_t count, size_t dim, const double* q,
+                           const double* w, double* out);
+void WeightedL2SoAAvx2(const double* soa, size_t stride, size_t count,
+                       size_t dim, const double* q, const double* w,
+                       double* out);
+void WeightedL2IndexedAvx2(const double* soa, size_t stride, const int* idx,
+                           size_t count, size_t dim, const double* q,
+                           const double* w, double* out);
+}  // namespace simd_internal
+#endif
+
+namespace {
+
+SimdLevel HardwareLevel() {
+#if defined(__x86_64__) || defined(_M_X64)
+#if defined(__GNUC__) || defined(__clang__)
+  if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
+#endif
+  return SimdLevel::kSse2;  // Baseline for every x86-64 CPU.
+#else
+  return SimdLevel::kScalar;
+#endif
+}
+
+SimdLevel DecideLevel() {
+  SimdLevel level = HardwareLevel();
+  const char* env = std::getenv("ELINK_SIMD");
+  if (env != nullptr && *env != '\0') {
+    SimdLevel requested = level;
+    if (std::strcmp(env, "scalar") == 0) {
+      requested = SimdLevel::kScalar;
+    } else if (std::strcmp(env, "sse2") == 0) {
+      requested = SimdLevel::kSse2;
+    } else if (std::strcmp(env, "avx2") == 0) {
+      requested = SimdLevel::kAvx2;
+    }
+    // The override can only narrow: forcing a level the CPU lacks would
+    // fault, so such a request is clamped to the hardware level.
+    if (static_cast<int>(requested) < static_cast<int>(level)) {
+      level = requested;
+    }
+  }
+  return level;
+}
+
+}  // namespace
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kSse2:
+      return "sse2";
+    case SimdLevel::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+SimdLevel ActiveSimdLevel() {
+  static const SimdLevel level = DecideLevel();
+  return level;
+}
+
+WeightedL2SoAFn WeightedL2SoAAt(SimdLevel level) {
+  if (static_cast<int>(level) > static_cast<int>(HardwareLevel())) {
+    return nullptr;
+  }
+  switch (level) {
+    case SimdLevel::kScalar:
+      return &WeightedL2SoAScalar;
+#if defined(__x86_64__) || defined(_M_X64)
+    case SimdLevel::kSse2:
+      return &simd_internal::WeightedL2SoASse2;
+    case SimdLevel::kAvx2:
+      return &simd_internal::WeightedL2SoAAvx2;
+#else
+    default:
+      break;
+#endif
+  }
+  return &WeightedL2SoAScalar;
+}
+
+WeightedL2IndexedFn WeightedL2IndexedAt(SimdLevel level) {
+  if (static_cast<int>(level) > static_cast<int>(HardwareLevel())) {
+    return nullptr;
+  }
+  switch (level) {
+    case SimdLevel::kScalar:
+      return &WeightedL2IndexedScalar;
+#if defined(__x86_64__) || defined(_M_X64)
+    case SimdLevel::kSse2:
+      return &simd_internal::WeightedL2IndexedSse2;
+    case SimdLevel::kAvx2:
+      return &simd_internal::WeightedL2IndexedAvx2;
+#else
+    default:
+      break;
+#endif
+  }
+  return &WeightedL2IndexedScalar;
+}
+
+WeightedL2SoAFn WeightedL2SoA() {
+  static const WeightedL2SoAFn fn = WeightedL2SoAAt(ActiveSimdLevel());
+  return fn;
+}
+
+WeightedL2IndexedFn WeightedL2Indexed() {
+  static const WeightedL2IndexedFn fn = WeightedL2IndexedAt(ActiveSimdLevel());
+  return fn;
+}
+
+}  // namespace elink

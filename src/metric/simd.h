@@ -1,0 +1,75 @@
+// Runtime-dispatched SIMD kernels for the weighted-Euclidean hot path.
+//
+// The simulator's dominant distance workload is "one query feature against a
+// batch of candidate features" (range scans, M-tree covering-radius checks,
+// brute-force oracles).  These kernels vectorize across *candidates*, one
+// SIMD lane per candidate: every lane accumulates its sum in exactly the
+// scalar order (dimension 0, 1, 2, ...), with separate multiply and add
+// instructions (no FMA), so each lane's result is bit-identical to the
+// scalar reference.  The scalar kernel is therefore the exactness oracle:
+// the AVX2 and SSE2 paths must produce *equal bytes*, not merely close
+// values, and tests/simd_kernel_test.cc enforces that on every dispatchable
+// path.  (The metric library is compiled with -ffp-contract=off so an
+// -march=native build cannot silently contract the scalar reference into
+// FMA and break the contract.)
+//
+// Dispatch is decided once per process: highest level the CPU supports,
+// clamped down by the ELINK_SIMD environment variable ("scalar", "sse2",
+// "avx2") — the forced-scalar CI pass keeps the fallback tested everywhere.
+#ifndef ELINK_METRIC_SIMD_H_
+#define ELINK_METRIC_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace elink {
+
+/// Instruction-set level of the dispatched weighted-L2 kernels.
+enum class SimdLevel : int { kScalar = 0, kSse2 = 1, kAvx2 = 2 };
+
+/// "scalar" / "sse2" / "avx2".
+const char* SimdLevelName(SimdLevel level);
+
+/// The level the process dispatches to: min(CPU capability, ELINK_SIMD
+/// override).  Decided on first call, constant afterwards.
+SimdLevel ActiveSimdLevel();
+
+/// Batch weighted Euclidean distance, structure-of-arrays candidates:
+/// out[j] = sqrt(sum_d w[d] * (q[d] - soa[d * stride + j])^2) for
+/// j in [0, count).  `stride` is the pool's padded candidate count; the
+/// padding lanes beyond `count` are read (they hold finite values by the
+/// FeaturePool contract) but never written to `out`.
+using WeightedL2SoAFn = void (*)(const double* soa, size_t stride,
+                                 size_t count, size_t dim, const double* q,
+                                 const double* w, double* out);
+
+/// Indexed batch over a structure-of-arrays pool:
+/// out[j] = sqrt(sum_d w[d] * (q[d] - soa[d * stride + idx[j]])^2).
+/// Candidate coordinates are gathered lane by lane, so any subset of a pool
+/// (cluster members, M-tree children) batches without repacking.
+using WeightedL2IndexedFn = void (*)(const double* soa, size_t stride,
+                                     const int* idx, size_t count, size_t dim,
+                                     const double* q, const double* w,
+                                     double* out);
+
+/// The dispatched kernels (resolved through ActiveSimdLevel on first use).
+WeightedL2SoAFn WeightedL2SoA();
+WeightedL2IndexedFn WeightedL2Indexed();
+
+/// Kernels of a specific level, for parity tests and the microbench.
+/// Requesting a level above the CPU's capability returns nullptr.
+WeightedL2SoAFn WeightedL2SoAAt(SimdLevel level);
+WeightedL2IndexedFn WeightedL2IndexedAt(SimdLevel level);
+
+/// The scalar exactness oracle (always available; identical accumulation
+/// order to WeightedEuclidean::Distance).
+void WeightedL2SoAScalar(const double* soa, size_t stride, size_t count,
+                         size_t dim, const double* q, const double* w,
+                         double* out);
+void WeightedL2IndexedScalar(const double* soa, size_t stride, const int* idx,
+                             size_t count, size_t dim, const double* q,
+                             const double* w, double* out);
+
+}  // namespace elink
+
+#endif  // ELINK_METRIC_SIMD_H_

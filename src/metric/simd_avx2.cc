@@ -1,0 +1,76 @@
+// AVX2 weighted-L2 batch kernels: four candidates per 256-bit register.
+//
+// This translation unit (alone) is compiled with -mavx2; it must only be
+// reached through the dispatch table after __builtin_cpu_supports("avx2").
+// Exactness contract (see simd.h): per-lane scalar accumulation order,
+// separate VMULPD/VADDPD (the FMA units are deliberately unused), and
+// VSQRTPD is correctly rounded — bytes equal the scalar oracle's.
+#include "metric/simd.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <immintrin.h>
+
+#include <cmath>
+
+namespace elink {
+namespace simd_internal {
+
+void WeightedL2SoAAvx2(const double* soa, size_t stride, size_t count,
+                       size_t dim, const double* q, const double* w,
+                       double* out) {
+  size_t j = 0;
+  for (; j + 4 <= count; j += 4) {
+    __m256d acc = _mm256_setzero_pd();
+    for (size_t d = 0; d < dim; ++d) {
+      const __m256d x = _mm256_loadu_pd(soa + d * stride + j);
+      const __m256d diff = _mm256_sub_pd(_mm256_set1_pd(q[d]), x);
+      const __m256d t = _mm256_mul_pd(_mm256_set1_pd(w[d]), diff);
+      acc = _mm256_add_pd(acc, _mm256_mul_pd(t, diff));
+    }
+    _mm256_storeu_pd(out + j, _mm256_sqrt_pd(acc));
+  }
+  for (; j < count; ++j) {
+    double s = 0.0;
+    for (size_t d = 0; d < dim; ++d) {
+      const double diff = q[d] - soa[d * stride + j];
+      s += w[d] * diff * diff;
+    }
+    out[j] = std::sqrt(s);
+  }
+}
+
+void WeightedL2IndexedAvx2(const double* soa, size_t stride, const int* idx,
+                           size_t count, size_t dim, const double* q,
+                           const double* w, double* out) {
+  size_t j = 0;
+  for (; j + 4 <= count; j += 4) {
+    const size_t c0 = static_cast<size_t>(idx[j]);
+    const size_t c1 = static_cast<size_t>(idx[j + 1]);
+    const size_t c2 = static_cast<size_t>(idx[j + 2]);
+    const size_t c3 = static_cast<size_t>(idx[j + 3]);
+    __m256d acc = _mm256_setzero_pd();
+    for (size_t d = 0; d < dim; ++d) {
+      const double* row = soa + d * stride;
+      const __m256d x = _mm256_set_pd(row[c3], row[c2], row[c1], row[c0]);
+      const __m256d diff = _mm256_sub_pd(_mm256_set1_pd(q[d]), x);
+      const __m256d t = _mm256_mul_pd(_mm256_set1_pd(w[d]), diff);
+      acc = _mm256_add_pd(acc, _mm256_mul_pd(t, diff));
+    }
+    _mm256_storeu_pd(out + j, _mm256_sqrt_pd(acc));
+  }
+  for (; j < count; ++j) {
+    const size_t c = static_cast<size_t>(idx[j]);
+    double s = 0.0;
+    for (size_t d = 0; d < dim; ++d) {
+      const double diff = q[d] - soa[d * stride + c];
+      s += w[d] * diff * diff;
+    }
+    out[j] = std::sqrt(s);
+  }
+}
+
+}  // namespace simd_internal
+}  // namespace elink
+
+#endif  // x86-64

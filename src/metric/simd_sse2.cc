@@ -1,0 +1,73 @@
+// SSE2 weighted-L2 batch kernels: two candidates per 128-bit lane pair.
+//
+// Exactness contract (see simd.h): each lane accumulates in scalar dimension
+// order with separate multiply/add (MULPD + ADDPD, never FMA), and SQRTPD is
+// IEEE-754 correctly rounded like std::sqrt — so every lane's bytes equal
+// the scalar oracle's.
+#include "metric/simd.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <emmintrin.h>
+
+#include <cmath>
+
+namespace elink {
+namespace simd_internal {
+
+void WeightedL2SoASse2(const double* soa, size_t stride, size_t count,
+                       size_t dim, const double* q, const double* w,
+                       double* out) {
+  size_t j = 0;
+  for (; j + 2 <= count; j += 2) {
+    __m128d acc = _mm_setzero_pd();
+    for (size_t d = 0; d < dim; ++d) {
+      const __m128d x = _mm_loadu_pd(soa + d * stride + j);
+      const __m128d diff = _mm_sub_pd(_mm_set1_pd(q[d]), x);
+      const __m128d t = _mm_mul_pd(_mm_set1_pd(w[d]), diff);
+      acc = _mm_add_pd(acc, _mm_mul_pd(t, diff));
+    }
+    _mm_storeu_pd(out + j, _mm_sqrt_pd(acc));
+  }
+  for (; j < count; ++j) {
+    double s = 0.0;
+    for (size_t d = 0; d < dim; ++d) {
+      const double diff = q[d] - soa[d * stride + j];
+      s += w[d] * diff * diff;
+    }
+    out[j] = std::sqrt(s);
+  }
+}
+
+void WeightedL2IndexedSse2(const double* soa, size_t stride, const int* idx,
+                           size_t count, size_t dim, const double* q,
+                           const double* w, double* out) {
+  size_t j = 0;
+  for (; j + 2 <= count; j += 2) {
+    const size_t c0 = static_cast<size_t>(idx[j]);
+    const size_t c1 = static_cast<size_t>(idx[j + 1]);
+    __m128d acc = _mm_setzero_pd();
+    for (size_t d = 0; d < dim; ++d) {
+      const double* row = soa + d * stride;
+      const __m128d x = _mm_set_pd(row[c1], row[c0]);
+      const __m128d diff = _mm_sub_pd(_mm_set1_pd(q[d]), x);
+      const __m128d t = _mm_mul_pd(_mm_set1_pd(w[d]), diff);
+      acc = _mm_add_pd(acc, _mm_mul_pd(t, diff));
+    }
+    _mm_storeu_pd(out + j, _mm_sqrt_pd(acc));
+  }
+  for (; j < count; ++j) {
+    const size_t c = static_cast<size_t>(idx[j]);
+    double s = 0.0;
+    for (size_t d = 0; d < dim; ++d) {
+      const double diff = q[d] - soa[d * stride + c];
+      s += w[d] * diff * diff;
+    }
+    out[j] = std::sqrt(s);
+  }
+}
+
+}  // namespace simd_internal
+}  // namespace elink
+
+#endif  // x86-64

@@ -23,18 +23,27 @@ constexpr uint32_t kMaxSlots = 0xFFFFFFFFu;
 
 uint32_t EventQueue::AllocSlot() {
   if (free_slots_.empty()) {
-    ELINK_CHECK(slots_.size() < kMaxSlots);
-    slots_.emplace_back();
-    return static_cast<uint32_t>(slots_.size() - 1);
+    ELINK_CHECK(slots_in_use_ < kMaxSlots);
+    if ((slots_in_use_ >> kSlotChunkShift) >= slot_chunks_.size()) {
+      slot_chunks_.push_back(std::make_unique<Callback[]>(kSlotChunkSize));
+    }
+    return slots_in_use_++;
   }
   const uint32_t slot = free_slots_.back();
   free_slots_.pop_back();
   return slot;
 }
 
-void EventQueue::Enqueue(uint64_t time_bits, uint32_t slot) {
-  const uint32_t b = BucketFor(time_bits);
-  buckets_[b].items.push_back(slot);
+void EventQueue::Enqueue(uint64_t time_bits, Item item) {
+  uint32_t b;
+  if (time_bits == memo_time_bits_) {
+    b = memo_bucket_;
+  } else {
+    b = BucketFor(time_bits);
+    memo_time_bits_ = time_bits;
+    memo_bucket_ = b;
+  }
+  buckets_[b].items.push_back(item);
   ++size_;
   if (size_ > peak_size_) peak_size_ = size_;
 }
@@ -134,45 +143,110 @@ void EventQueue::SiftDown(size_t i) {
   heap_[i] = entry;
 }
 
+void EventQueue::Dispatch(const Item& item) {
+  switch (item.a >> kKindShift) {
+    case kKindCallback: {
+      // Invoked *in place*: slot chunks never move, so reentrant scheduling
+      // from inside the closure cannot invalidate it.  InvokeOnce fuses the
+      // call with the closure's destruction.
+      const uint32_t slot = item.b;
+      SlotRef(slot).InvokeOnce();
+      free_slots_.push_back(slot);
+      break;
+    }
+    case kKindDelivery:
+      on_delivery_(handler_ctx_, static_cast<int>(item.a & kArgMask),
+                   static_cast<int>(item.b),
+                   reinterpret_cast<void*>(item.c));
+      break;
+    default:
+      on_timer_(handler_ctx_, static_cast<int>(item.a & kArgMask),
+                static_cast<int>(item.b), static_cast<uint32_t>(item.c));
+      break;
+  }
+}
+
+void EventQueue::RetireFrontBucket(uint64_t time_bits, uint32_t bucket) {
+  Bucket& bk = buckets_[bucket];
+  bk.items.clear();
+  bk.cursor = 0;
+  free_buckets_.push_back(bucket);
+  // The retired bucket id may be recycled for a different timestamp.
+  if (memo_time_bits_ == time_bits) memo_time_bits_ = ~0ULL;
+  TableErase(time_bits);
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) SiftDown(0);
+}
+
 bool EventQueue::RunOne() {
   if (size_ == 0) return false;
   const TimeEntry top = heap_.front();
   Bucket& bk = buckets_[top.bucket];
-  const uint32_t slot = bk.items[bk.cursor++];
+  const Item item = bk.items[bk.cursor++];
   --size_;
   if (bk.cursor == bk.items.size()) {
     // Timestamp exhausted: retire the bucket *before* dispatch, so a callback
     // scheduling at exactly Now() opens a fresh bucket (which sorts ahead of
     // every strictly-later pending time, preserving (time, seq) order).
-    bk.items.clear();
-    bk.cursor = 0;
-    free_buckets_.push_back(top.bucket);
-    TableErase(top.time_bits);
-    heap_.front() = heap_.back();
-    heap_.pop_back();
-    if (!heap_.empty()) SiftDown(0);
+    RetireFrontBucket(top.time_bits, top.bucket);
   }
-  // Move the callback out of its arena slot (no copy) and recycle the slot;
-  // the pop completes before the dispatch so a callback that schedules new
-  // events sees a consistent queue.
   now_ = TimeFromBits(top.time_bits);
-  Callback cb = std::move(slots_[slot]);
-  free_slots_.push_back(slot);
-  cb.InvokeOnce();
+  Dispatch(item);
   return true;
 }
 
 uint64_t EventQueue::RunAll(uint64_t max_events) {
+  // Bulk-synchronous drain: resolve the front bucket once per distinct
+  // timestamp and sweep its FIFO.  Dispatch can append to the *current*
+  // bucket (a callback scheduling at exactly Now()): the size is re-read
+  // every iteration and append order is (time, seq) order, so such events
+  // fire in this same sweep, exactly as the one-at-a-time path would.
+  // Dispatch can also grow buckets_/heap_ (scheduling at new timestamps),
+  // so the bucket is re-resolved by index after every dispatch.
   uint64_t n = 0;
-  while (n < max_events && RunOne()) ++n;
+  while (size_ != 0 && n < max_events) {
+    const TimeEntry top = heap_.front();
+    now_ = TimeFromBits(top.time_bits);
+    for (;;) {
+      Bucket& bk = buckets_[top.bucket];
+      const uint32_t cursor = bk.cursor;
+      if (cursor >= bk.items.size()) {
+        RetireFrontBucket(top.time_bits, top.bucket);
+        break;
+      }
+      if (n >= max_events) return n;  // Bucket stays front, cursor kept.
+      bk.cursor = cursor + 1;
+      const Item item = bk.items[cursor];
+      --size_;
+      ++n;
+      Dispatch(item);
+    }
+  }
   return n;
 }
 
 uint64_t EventQueue::RunUntil(double until) {
   const uint64_t until_bits = TimeBits(until);
   uint64_t n = 0;
-  while (size_ != 0 && heap_.front().time_bits <= until_bits && RunOne()) {
-    ++n;
+  while (size_ != 0 && heap_.front().time_bits <= until_bits) {
+    // Same bucket-at-a-time drain as RunAll; the horizon check happens once
+    // per distinct timestamp, not once per event.
+    const TimeEntry top = heap_.front();
+    now_ = TimeFromBits(top.time_bits);
+    for (;;) {
+      Bucket& bk = buckets_[top.bucket];
+      const uint32_t cursor = bk.cursor;
+      if (cursor >= bk.items.size()) {
+        RetireFrontBucket(top.time_bits, top.bucket);
+        break;
+      }
+      bk.cursor = cursor + 1;
+      const Item item = bk.items[cursor];
+      --size_;
+      ++n;
+      Dispatch(item);
+    }
   }
   // Advance to the horizon: the caller simulated "up to `until`", so that is
   // the current time even when the last event fired earlier (or none did).

@@ -22,15 +22,26 @@
 //    Heap sifts therefore move two machine words once per *distinct time*,
 //    never per event and never a callback.  Bucket lookup by timestamp is a
 //    flat open-addressing hash table sized to the live distinct times.
-//  * Callbacks are UniqueFunction (move-only, ~48 bytes of inline storage)
-//    parked in a stable slot arena with a free list.  Scheduling constructs
-//    the closure directly in its slot; dispatch moves it out — nothing is
-//    ever copied.
+//  * A bucket item is a 16-byte POD of three kinds.  The dominant simulator
+//    events — message deliveries and protocol timers — are stored *inline*
+//    (endpoints plus a payload pointer / generation) and dispatched through
+//    a handler installed once by the Network: no closure is constructed,
+//    moved, or destroyed for them at all.  Everything else is a generic
+//    callback: a UniqueFunction (move-only, ~48 bytes inline) parked in a
+//    chunk-stable slot arena, constructed in place at schedule time and
+//    invoked *in place* at dispatch (chunks never move, so reentrant
+//    scheduling cannot invalidate the executing closure).
+//  * RunAll/RunUntil drain bucket-at-a-time: the front bucket is resolved
+//    once per distinct timestamp and its FIFO is swept in a tight loop —
+//    the bulk-synchronous fast path.  In synchronous-round mode every
+//    delivery of a round lands in one bucket, so a whole round dispatches
+//    with a single heap pop at its end and no per-event heap traffic.
 #ifndef ELINK_SIM_EVENT_QUEUE_H_
 #define ELINK_SIM_EVENT_QUEUE_H_
 
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -39,10 +50,25 @@
 
 namespace elink {
 
-/// \brief Priority queue of timestamped callbacks.
+/// \brief Priority queue of timestamped callbacks and inline POD events.
 class EventQueue {
  public:
   using Callback = UniqueFunction;
+
+  /// Handler for inline delivery events (installed once by the Network).
+  using DeliveryHandler = void (*)(void* ctx, int from, int to, void* payload);
+  /// Handler for inline timer events.
+  using TimerHandler = void (*)(void* ctx, int node, int timer_id,
+                                uint32_t generation);
+
+  /// Installs the dispatch target for inline delivery/timer events.  Must be
+  /// set before the first ScheduleDeliveryAfter/ScheduleTimerAfter.
+  void SetInlineHandlers(DeliveryHandler on_delivery, TimerHandler on_timer,
+                         void* ctx) {
+    on_delivery_ = on_delivery;
+    on_timer_ = on_timer;
+    handler_ctx_ = ctx;
+  }
 
   /// Schedules `f` to run at absolute time `time` (must be >= Now()).
   /// Accepts any void() callable, including move-only closures; the closure
@@ -51,8 +77,8 @@ class EventQueue {
   void ScheduleAt(double time, F&& f) {
     ELINK_CHECK(time >= now_);
     const uint32_t slot = AllocSlot();
-    slots_[slot] = std::forward<F>(f);
-    Enqueue(TimeBits(time), slot);
+    SlotRef(slot) = std::forward<F>(f);
+    Enqueue(TimeBits(time), Item{kKindCallback << kKindShift, slot, 0});
   }
 
   /// Schedules `f` to run `delay` from now (delay >= 0).
@@ -60,6 +86,26 @@ class EventQueue {
   void ScheduleAfter(double delay, F&& f) {
     ELINK_CHECK(delay >= 0.0);
     ScheduleAt(now_ + delay, std::forward<F>(f));
+  }
+
+  /// Schedules an inline delivery event: at `delay` from now the installed
+  /// DeliveryHandler fires with (from, to, payload).  No closure exists; the
+  /// three words are the whole event.
+  void ScheduleDeliveryAfter(double delay, int from, int to, void* payload) {
+    ELINK_CHECK(delay >= 0.0);
+    Enqueue(TimeBits(now_ + delay),
+            Item{(kKindDelivery << kKindShift) | static_cast<uint32_t>(from),
+                 static_cast<uint32_t>(to),
+                 reinterpret_cast<uint64_t>(payload)});
+  }
+
+  /// Schedules an inline timer event for the installed TimerHandler.
+  void ScheduleTimerAfter(double delay, int node, int timer_id,
+                          uint32_t generation) {
+    ELINK_CHECK(delay >= 0.0);
+    Enqueue(TimeBits(now_ + delay),
+            Item{(kKindTimer << kKindShift) | static_cast<uint32_t>(node),
+                 static_cast<uint32_t>(timer_id), generation});
   }
 
   /// Current simulated time.  Advances to each event's timestamp as it is
@@ -76,7 +122,8 @@ class EventQueue {
   /// Dispatches the next event; returns false when the queue is empty.
   bool RunOne();
 
-  /// Runs events until the queue empties or `max_events` dispatches.
+  /// Runs events until the queue empties or `max_events` dispatches,
+  /// draining bucket-at-a-time (the bulk-synchronous fast path).
   /// Returns the number of events dispatched.
   uint64_t RunAll(uint64_t max_events = UINT64_MAX);
 
@@ -88,6 +135,24 @@ class EventQueue {
   uint64_t RunUntil(double until);
 
  private:
+  // Item kinds, stored in the top bits of Item::a.  Node ids therefore top
+  // out at 2^30 - 1 — three orders of magnitude past the 1M-node target.
+  static constexpr uint32_t kKindCallback = 0;
+  static constexpr uint32_t kKindDelivery = 1;
+  static constexpr uint32_t kKindTimer = 2;
+  static constexpr uint32_t kKindShift = 30;
+  static constexpr uint32_t kArgMask = (1u << kKindShift) - 1;
+
+  /// One scheduled event, 16 bytes, trivially copyable.
+  ///  kind == callback: b is the slot of the parked UniqueFunction.
+  ///  kind == delivery: a&mask = from, b = to, c = payload pointer.
+  ///  kind == timer:    a&mask = node, b = timer id, c = restart generation.
+  struct Item {
+    uint32_t a;
+    uint32_t b;
+    uint64_t c;
+  };
+
   /// One distinct pending timestamp in the time heap.  `time_bits` is the
   /// IEEE-754 pattern of the timestamp — for non-negative doubles (NaN
   /// excluded; both enforced by the time >= Now() >= 0 check) the unsigned
@@ -98,9 +163,9 @@ class EventQueue {
     uint32_t bucket;
   };
 
-  /// FIFO of the arena slots scheduled for one distinct timestamp.
+  /// FIFO of the items scheduled for one distinct timestamp.
   struct Bucket {
-    std::vector<uint32_t> items;
+    std::vector<Item> items;
     uint32_t cursor = 0;
   };
 
@@ -126,17 +191,35 @@ class EventQueue {
     return time;
   }
 
+  // Callback slots live in fixed-size chunks so their addresses are stable
+  // across arena growth: a closure can be invoked in place even when it
+  // schedules (and thereby allocates) reentrantly.
+  static constexpr uint32_t kSlotChunkShift = 8;
+  static constexpr uint32_t kSlotChunkSize = 1u << kSlotChunkShift;
+
+  Callback& SlotRef(uint32_t slot) {
+    return slot_chunks_[slot >> kSlotChunkShift]
+                       [slot & (kSlotChunkSize - 1)];
+  }
+
   /// Claims an arena slot for the caller to fill.  Out-of-line together
   /// with Enqueue so the template schedule entry points stay tiny.
   uint32_t AllocSlot();
 
-  /// Appends `slot` to the bucket for `time_bits`, creating the bucket (and
+  /// Appends `item` to the bucket for `time_bits`, creating the bucket (and
   /// its time-heap entry) on first use of that timestamp.
-  void Enqueue(uint64_t time_bits, uint32_t slot);
+  void Enqueue(uint64_t time_bits, Item item);
 
   /// Returns the bucket id for `time_bits`, inserting a fresh bucket into
   /// the hash table and the time heap on miss.
   uint32_t BucketFor(uint64_t time_bits);
+
+  /// Dispatches one dequeued item (after all queue state is consistent).
+  void Dispatch(const Item& item);
+
+  /// Retires the exhausted front bucket: recycles it, erases its timestamp,
+  /// pops the time heap.
+  void RetireFrontBucket(uint64_t time_bits, uint32_t bucket);
 
   /// Removes `time_bits` from the hash table (backward-shift deletion).
   void TableErase(uint64_t time_bits);
@@ -153,9 +236,22 @@ class EventQueue {
   // timestamp -> bucket id; open addressing, linear probing, power-of-two.
   std::vector<TableEntry> table_;
   size_t table_used_ = 0;
-  // Stable callback arena indexed by bucket items, recycled via a free list.
-  std::vector<Callback> slots_;
+  // Single-entry memo of the last timestamp resolved by Enqueue.  In the
+  // synchronous regime every delivery scheduled during round k lands at
+  // k + 1, so consecutive enqueues hit one bucket and the memo replaces the
+  // hash probe with a single compare.  Invalidated when its timestamp
+  // retires (the bucket id may be recycled for a different time).  The
+  // initial value is a NaN bit pattern, which no schedulable time equals.
+  uint64_t memo_time_bits_ = ~0ULL;
+  uint32_t memo_bucket_ = 0;
+  // Chunk-stable callback arena addressed by slot index, recycled via a
+  // free list.
+  std::vector<std::unique_ptr<Callback[]>> slot_chunks_;
+  uint32_t slots_in_use_ = 0;  // High-water mark of allocated slot indices.
   std::vector<uint32_t> free_slots_;
+  DeliveryHandler on_delivery_ = nullptr;
+  TimerHandler on_timer_ = nullptr;
+  void* handler_ctx_ = nullptr;
   double now_ = 0.0;
   size_t size_ = 0;
   size_t peak_size_ = 0;

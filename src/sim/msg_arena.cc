@@ -1,0 +1,68 @@
+#include "sim/msg_arena.h"
+
+#include "common/status.h"
+
+namespace elink {
+
+MessageArena::~MessageArena() {
+  // Payloads still referenced here were scheduled but never dispatched (a
+  // queue torn down with events pending).  The arena owns their storage, so
+  // it destroys them; live_mask_ marks exactly the constructed slots.
+  for (size_t s = 0; s < slabs_.size(); ++s) {
+    Slab& slab = slabs_[s];
+    if (slab.live == 0) continue;
+    for (uint32_t i = 0; i < slab.bump; ++i) {
+      if (live_mask_[s * kSlotsPerSlab + i]) SlabSlot(slab, i)->~Slot();
+    }
+  }
+}
+
+void MessageArena::EnsureActiveSlab() {
+  if (!slabs_.empty() && slabs_[active_].bump < kSlotsPerSlab) return;
+  if (!drained_.empty()) {
+    active_ = drained_.back();
+    drained_.pop_back();
+    ++slab_recycles_;
+    return;
+  }
+  Slab slab;
+  slab.storage =
+      std::make_unique<unsigned char[]>(kSlotsPerSlab * sizeof(Slot));
+  slabs_.push_back(std::move(slab));
+  live_mask_.resize(slabs_.size() * kSlotsPerSlab, 0);
+  active_ = slabs_.size() - 1;
+}
+
+MessageArena::Slot* MessageArena::Create(Message&& msg) {
+  EnsureActiveSlab();
+  Slab& slab = slabs_[active_];
+  Slot* slot = SlabSlot(slab, slab.bump);
+  ::new (static_cast<void*>(slot))
+      Slot{std::move(msg), 1, static_cast<uint32_t>(active_)};
+  live_mask_[active_ * kSlotsPerSlab + slab.bump] = 1;
+  ++slab.bump;
+  ++slab.live;
+  ++live_;
+  return slot;
+}
+
+void MessageArena::Release(Slot* slot) {
+  if (--slot->refs != 0) return;
+  const uint32_t s = slot->slab;
+  Slab& slab = slabs_[s];
+  const uint32_t i = static_cast<uint32_t>(
+      (reinterpret_cast<unsigned char*>(slot) - slab.storage.get()) /
+      sizeof(Slot));
+  slot->~Slot();
+  live_mask_[s * kSlotsPerSlab + i] = 0;
+  --live_;
+  ELINK_CHECK(slab.live > 0);
+  if (--slab.live == 0) {
+    // Epoch flip: every payload bump-allocated from this slab has been
+    // delivered (or dropped), so the whole slab rewinds at once.
+    slab.bump = 0;
+    if (s != active_) drained_.push_back(s);
+  }
+}
+
+}  // namespace elink

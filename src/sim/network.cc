@@ -7,6 +7,8 @@
 
 namespace elink {
 
+bool Network::default_arena_messages_ = true;
+
 Network::Network(Topology topology, Config config)
     : topology_(std::move(topology)),
       config_(std::move(config)),
@@ -18,6 +20,8 @@ Network::Network(Topology topology, Config config)
       routing_tables_(topology_.num_nodes()) {
   ELINK_CHECK(config_.async_delay_min > 0.0);
   ELINK_CHECK(config_.async_delay_max >= config_.async_delay_min);
+  queue_.SetInlineHandlers(&Network::OnDeliveryEvent, &Network::OnTimerEvent,
+                           this);
   if (churn_.enabled()) {
     live_adjacency_ = topology_.adjacency;
     // The whole plan is scheduled up front; event callbacks draw no
@@ -175,10 +179,46 @@ void Network::Send(int from, int to, Message msg) {
   }
   stats_.Record(msg.category, msg.CostUnits());
   if (observer_ != nullptr) observer_->OnSend(Now(), from, to, msg, delay);
-  queue_.ScheduleAfter(delay, [this, from, to, m = std::move(msg)]() {
-    if (observer_ != nullptr) observer_->OnDeliver(Now(), from, to, m);
-    nodes_[to]->HandleMessage(from, m);
-  });
+  ScheduleDelivery(delay, from, to, std::move(msg));
+}
+
+void Network::ScheduleDelivery(double delay, int from, int to, Message&& msg) {
+  if (config_.arena_messages) {
+    queue_.ScheduleDeliveryAfter(delay, from, to, arena_.Create(std::move(msg)));
+  } else {
+    queue_.ScheduleAfter(delay, [this, from, to, m = std::move(msg)]() {
+      if (observer_ != nullptr) observer_->OnDeliver(Now(), from, to, m);
+      nodes_[to]->HandleMessage(from, m);
+    });
+  }
+}
+
+void Network::OnDeliveryEvent(void* ctx, int from, int to, void* payload) {
+  Network* net = static_cast<Network*>(ctx);
+  auto* slot = static_cast<MessageArena::Slot*>(payload);
+  if (net->observer_ != nullptr) {
+    net->observer_->OnDeliver(net->Now(), from, to, slot->msg);
+  }
+  net->nodes_[to]->HandleMessage(from, slot->msg);
+  net->arena_.Release(slot);
+}
+
+void Network::OnTimerEvent(void* ctx, int node, int timer_id, uint32_t gen) {
+  Network* net = static_cast<Network*>(ctx);
+  // Timers set before a restart (churn join/repair, or a fault-plan crash
+  // recovery) belong to the previous incarnation and never fire — the
+  // restart bumped the node's generation.  OnRestart re-arms whatever the
+  // new incarnation needs.
+  if (net->restart_gen_[node] != gen) return;
+  // A crashed/absent node's timers are suppressed (it recovers with no
+  // pending timers; protocols re-arm on recovery if they support it).
+  const double now = net->queue_.Now();
+  if (net->fault_.enabled() && net->fault_.IsCrashed(node, now)) return;
+  if (net->churn_.enabled() && net->churn_.IsAbsent(node, now)) return;
+  if (net->observer_ != nullptr) {
+    net->observer_->OnTimerFire(now, node, timer_id);
+  }
+  net->nodes_[node]->HandleTimer(timer_id);
 }
 
 void Network::SendShared(int from, int to,
@@ -231,13 +271,72 @@ void Network::SendShared(int from, int to,
   }
 }
 
+void Network::SendSharedArena(int from, int to, MessageArena::Slot* shared) {
+  ELINK_CHECK(topology_.HasEdge(from, to) ||
+              (churn_.enabled() && HasLiveEdge(from, to)));
+  ELINK_CHECK(nodes_[to] != nullptr);
+  // Mirrors Send (and the heap-path SendShared) exactly — same RNG draw
+  // order (delay first, then truncate, then loss), same charging — so a
+  // Broadcast is bit-identical to the N independent Sends it replaces.  A
+  // truncated leg gets a private arena copy of the payload; intact legs
+  // reference the shared slot (one AddRef per scheduled delivery).
+  const Message& msg = shared->msg;
+  const double delay = NextHopDelay();
+  Message chopped;
+  const Message* wire = &msg;
+  size_t keep_ints = 0, keep_doubles = 0;
+  bool truncated = false;
+  if (fault_.enabled() && fault_.truncates() &&
+      fault_.TruncatePayload(msg.ints.size(), msg.doubles.size(), &keep_ints,
+                             &keep_doubles)) {
+    chopped = msg;
+    chopped.ints.resize(keep_ints);
+    chopped.doubles.resize(keep_doubles);
+    wire = &chopped;
+    truncated = true;
+  }
+  const bool fault_drop =
+      fault_.enabled() && (fault_.IsCrashed(from, Now()) ||
+                           fault_.DropTransmission(from, to, Now()) ||
+                           fault_.IsCrashed(to, Now() + delay));
+  const bool churn_drop =
+      churn_.enabled() &&
+      (churn_.IsAbsent(from, Now()) || churn_.IsAbsent(to, Now() + delay) ||
+       !HasLiveEdge(from, to));
+  if (fault_drop || churn_drop) {
+    // The leg never schedules, so it takes no reference: a fan-out whose
+    // legs all drop releases the payload when Broadcast drops its own ref.
+    if (churn_drop) ++churn_drops_;
+    stats_.RecordDropped(wire->category, wire->CostUnits());
+    if (observer_ != nullptr) observer_->OnDrop(Now(), from, to, *wire);
+    return;
+  }
+  stats_.Record(wire->category, wire->CostUnits());
+  if (observer_ != nullptr) observer_->OnSend(Now(), from, to, *wire, delay);
+  if (truncated) {
+    queue_.ScheduleDeliveryAfter(delay, from, to,
+                                 arena_.Create(std::move(chopped)));
+  } else {
+    MessageArena::AddRef(shared);
+    queue_.ScheduleDeliveryAfter(delay, from, to, shared);
+  }
+}
+
 void Network::Broadcast(int from, Message msg) {
   const std::vector<int>& nbrs = neighbors(from);
   if (nbrs.empty()) return;
   // One immutable payload shared by every fan-out leg; receivers get a
   // const& into it, so nothing is copied per neighbor.
-  const auto shared = std::make_shared<const Message>(std::move(msg));
-  for (int nb : nbrs) SendShared(from, nb, shared);
+  if (config_.arena_messages) {
+    MessageArena::Slot* shared = arena_.Create(std::move(msg));
+    for (int nb : nbrs) SendSharedArena(from, nb, shared);
+    // Drop the creator's reference; the payload now lives exactly as long
+    // as its last scheduled delivery (or dies here if every leg dropped).
+    arena_.Release(shared);
+  } else {
+    const auto shared = std::make_shared<const Message>(std::move(msg));
+    for (int nb : nbrs) SendShared(from, nb, shared);
+  }
 }
 
 const RoutingTable& Network::TableFor(int root) {
@@ -269,10 +368,7 @@ int Network::SendRouted(int from, int to, Message msg) {
     if (fault_.enabled() && fault_.IsCrashed(to, Now())) return 0;
     if (churn_.enabled() && churn_.IsAbsent(to, Now())) return 0;
     if (observer_ != nullptr) observer_->OnSend(Now(), from, to, msg, 0.0);
-    queue_.ScheduleAfter(0.0, [this, from, to, m = std::move(msg)]() {
-      if (observer_ != nullptr) observer_->OnDeliver(Now(), from, to, m);
-      nodes_[to]->HandleMessage(from, m);
-    });
+    ScheduleDelivery(0.0, from, to, std::move(msg));
     return 0;
   }
   const RoutingTable& table = TableFor(to);
@@ -326,10 +422,7 @@ int Network::SendRouted(int from, int to, Message msg) {
   }
   if (observer_ != nullptr) observer_->OnSend(Now(), from, to, msg, delay);
   // The penultimate node on the path is the sender seen by `to`.
-  queue_.ScheduleAfter(delay, [this, prev, to, m = std::move(msg)]() {
-    if (observer_ != nullptr) observer_->OnDeliver(Now(), prev, to, m);
-    nodes_[to]->HandleMessage(prev, m);
-  });
+  ScheduleDelivery(delay, prev, to, std::move(msg));
   return hops;
 }
 
@@ -340,20 +433,9 @@ int Network::HopDistance(int from, int to) {
 
 void Network::SetTimer(int id, double delay, int timer_id) {
   ELINK_CHECK(nodes_[id] != nullptr);
-  const uint32_t gen = restart_gen_[id];
-  queue_.ScheduleAfter(delay, [this, id, timer_id, gen]() {
-    // Timers set before a restart (churn join/repair, or a fault-plan crash
-    // recovery) belong to the previous incarnation and never fire — the
-    // restart bumped the node's generation.  OnRestart re-arms whatever the
-    // new incarnation needs.
-    if (restart_gen_[id] != gen) return;
-    // A crashed/absent node's timers are suppressed (it recovers with no
-    // pending timers; protocols re-arm on recovery if they support it).
-    if (fault_.enabled() && fault_.IsCrashed(id, queue_.Now())) return;
-    if (churn_.enabled() && churn_.IsAbsent(id, queue_.Now())) return;
-    if (observer_ != nullptr) observer_->OnTimerFire(queue_.Now(), id, timer_id);
-    nodes_[id]->HandleTimer(timer_id);
-  });
+  // Inline POD event: the generation/crash/absence gating lives in
+  // OnTimerEvent, so no closure is built per timer.
+  queue_.ScheduleTimerAfter(delay, id, timer_id, restart_gen_[id]);
 }
 
 void Network::ScheduleAfter(double delay, EventQueue::Callback cb) {

@@ -19,6 +19,7 @@
 #include "sim/fault.h"
 #include "sim/graph.h"
 #include "sim/message.h"
+#include "sim/msg_arena.h"
 #include "sim/observer.h"
 #include "sim/stats.h"
 #include "sim/topology.h"
@@ -90,7 +91,24 @@ class Network {
     /// link add/remove).  The default plan is inert: the topology is frozen
     /// and the run is byte-identical to a build without the churn layer.
     ChurnPlan churn;
+    /// When true (the default), in-flight payloads live in the slab arena
+    /// and deliveries are inline POD events; when false, every delivery
+    /// parks its payload in a heap-backed closure (the pre-arena layout).
+    /// The two paths are observably identical — same RNG draws, same
+    /// (time, seq) order, same bytes in every report — and the knob exists
+    /// so tests can prove exactly that.
+    bool arena_messages = Network::default_arena_messages();
   };
+
+  /// Process-wide default for Config::arena_messages.  Protocols construct
+  /// their Network::Config internally, so the arena-vs-heap equivalence
+  /// suite flips this to run whole protocol stacks on the legacy heap path
+  /// without threading a knob through every protocol's options.  Not a
+  /// production switch: leave it true outside tests.
+  static bool default_arena_messages() { return default_arena_messages_; }
+  static void set_default_arena_messages(bool v) {
+    default_arena_messages_ = v;
+  }
 
   Network(Topology topology, Config config);
 
@@ -157,6 +175,9 @@ class Network {
   bool hit_event_cap() const { return hit_event_cap_; }
 
   Node* node(int id) { return nodes_[id].get(); }
+  /// The payload arena (exposed for tests/diagnostics; empty when the run
+  /// uses heap-backed messages).
+  const MessageArena& arena() const { return arena_; }
   MessageStats& stats() { return stats_; }
   const MessageStats& stats() const { return stats_; }
   Rng& rng() { return rng_; }
@@ -210,14 +231,26 @@ class Network {
   /// Applies the fault plan's in-flight payload truncation to `msg` (no-op
   /// unless the plan enables it; draws from the fault RNG stream only then).
   void MaybeTruncate(Message* msg);
-  /// One fan-out leg of a Broadcast: identical charging/fault/delay logic to
-  /// Send, but the delivery closure holds a reference to the shared payload
-  /// instead of its own Message copy.
+  /// One fan-out leg of a Broadcast (heap path): identical charging/fault/
+  /// delay logic to Send, but the delivery closure holds a reference to the
+  /// shared payload instead of its own Message copy.
   void SendShared(int from, int to, const std::shared_ptr<const Message>& msg);
+  /// One fan-out leg of a Broadcast (arena path): `shared` is the arena
+  /// payload every intact leg references; a truncated leg gets a private
+  /// arena copy.  Charging/fault/delay logic mirrors Send exactly.
+  void SendSharedArena(int from, int to, MessageArena::Slot* shared);
+  /// Schedules the final delivery of `msg` (already charged and fault-
+  /// cleared): an inline arena-backed POD event, or — with arena_messages
+  /// off — the legacy heap-backed closure.
+  void ScheduleDelivery(double delay, int from, int to, Message&& msg);
+  /// Inline-event trampolines installed into the EventQueue.
+  static void OnDeliveryEvent(void* ctx, int from, int to, void* payload);
+  static void OnTimerEvent(void* ctx, int node, int timer_id, uint32_t gen);
 
   Topology topology_;
   Config config_;
   EventQueue queue_;
+  MessageArena arena_;
   Rng rng_;
   FaultInjector fault_;
   ChurnSchedule churn_;
@@ -236,6 +269,8 @@ class Network {
   // Lazily built per-destination routing tables for SendRouted/HopDistance,
   // indexed by destination node id (built at most once per destination).
   std::vector<std::unique_ptr<RoutingTable>> routing_tables_;
+
+  static bool default_arena_messages_;
 };
 
 }  // namespace elink

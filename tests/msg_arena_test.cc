@@ -1,0 +1,357 @@
+// Lifecycle and equivalence tests for the message arena (sim/msg_arena.h).
+//
+// Three layers:
+//  * MessageArena unit tests — refcount-driven destruction, epoch slab
+//    rewind/recycle, destructor teardown of in-flight payloads.  Run under
+//    ASan/LSan these double as leak proofs for every path.
+//  * Network-level release tests — every way a payload can leave flight
+//    (delivery, fault drop, churn drop, all-legs-dropped broadcast) must end
+//    with arena().live() == 0: a send that is never delivered must still
+//    free its payload.
+//  * The arena-vs-heap property test — for 100 fuzzed scenarios, a full
+//    ELink run on the arena fast path and on the legacy heap-closure path
+//    must produce byte-identical RunReports (plus identical clusterings and
+//    ledgers).  This is the strongest statement of the arena's contract:
+//    not "close", the same bits.
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "check/scenario.h"
+#include "cluster/elink.h"
+#include "obs/run_report.h"
+#include "obs/telemetry.h"
+#include "sim/msg_arena.h"
+#include "sim/network.h"
+#include "sim/topology.h"
+
+namespace elink {
+namespace {
+
+Message TestMessage(int type, std::vector<double> doubles = {}) {
+  Message m;
+  m.type = type;
+  m.category = "test";
+  m.doubles = std::move(doubles);
+  return m;
+}
+
+// -- MessageArena unit tests --------------------------------------------------
+
+TEST(MessageArenaTest, CreateReleaseLifecycle) {
+  MessageArena arena;
+  EXPECT_EQ(arena.live(), 0u);
+  EXPECT_EQ(arena.slabs_allocated(), 0u);
+
+  MessageArena::Slot* slot = arena.Create(TestMessage(7, {1.0, 2.5}));
+  ASSERT_NE(slot, nullptr);
+  EXPECT_EQ(arena.live(), 1u);
+  EXPECT_EQ(arena.slabs_allocated(), 1u);
+  EXPECT_EQ(slot->refs, 1u);
+  EXPECT_EQ(slot->msg.type, 7);
+  EXPECT_EQ(slot->msg.category, "test");
+  ASSERT_EQ(slot->msg.doubles.size(), 2u);
+  EXPECT_DOUBLE_EQ(slot->msg.doubles[1], 2.5);
+
+  // One extra ref per additionally scheduled delivery; the payload survives
+  // until the last release.
+  MessageArena::AddRef(slot);
+  EXPECT_EQ(slot->refs, 2u);
+  arena.Release(slot);
+  EXPECT_EQ(arena.live(), 1u);
+  arena.Release(slot);
+  EXPECT_EQ(arena.live(), 0u);
+
+  // The (active) slab rewound: the next payload reuses it, no new slab.
+  arena.Create(TestMessage(8));
+  EXPECT_EQ(arena.slabs_allocated(), 1u);
+}
+
+TEST(MessageArenaTest, SlabGrowthAndWholesaleRecycle) {
+  constexpr size_t kN = MessageArena::kSlotsPerSlab;
+  MessageArena arena;
+
+  // Fill slab 0 completely, then overflow into slab 1.
+  std::vector<MessageArena::Slot*> first(kN);
+  for (size_t i = 0; i < kN; ++i) {
+    first[i] = arena.Create(TestMessage(static_cast<int>(i)));
+  }
+  EXPECT_EQ(arena.slabs_allocated(), 1u);
+  MessageArena::Slot* overflow = arena.Create(TestMessage(-1));
+  EXPECT_EQ(arena.slabs_allocated(), 2u);
+  EXPECT_EQ(arena.live(), kN + 1);
+
+  // Payloads survive slab growth untouched (out-of-order spot check).
+  EXPECT_EQ(first[3]->msg.type, 3);
+  EXPECT_EQ(first[kN - 1]->msg.type, static_cast<int>(kN - 1));
+
+  // Drain slab 0 out of order: it rewinds wholesale only when the *last*
+  // live payload goes, then waits as a drained slab.
+  for (size_t i = kN; i-- > 1;) arena.Release(first[i]);
+  EXPECT_EQ(arena.live(), 2u);
+  arena.Release(first[0]);
+  EXPECT_EQ(arena.live(), 1u);
+  EXPECT_EQ(arena.slab_recycles(), 0u);
+
+  // Fill slab 1 to capacity; the next Create must recycle drained slab 0
+  // instead of allocating slab 2.
+  std::vector<MessageArena::Slot*> second;
+  for (size_t i = 1; i < kN; ++i) second.push_back(arena.Create(TestMessage(0)));
+  EXPECT_EQ(arena.slabs_allocated(), 2u);
+  MessageArena::Slot* recycled = arena.Create(TestMessage(42));
+  EXPECT_EQ(arena.slabs_allocated(), 2u);
+  EXPECT_EQ(arena.slab_recycles(), 1u);
+  EXPECT_EQ(recycled->msg.type, 42);
+
+  arena.Release(recycled);
+  arena.Release(overflow);
+  for (MessageArena::Slot* s : second) arena.Release(s);
+  EXPECT_EQ(arena.live(), 0u);
+}
+
+TEST(MessageArenaTest, SteadyChurnNeverGrowsPastHighWaterMark) {
+  // A long run with bounded in-flight population must not keep allocating:
+  // slabs recycle through the drained list, the heap is touched only while
+  // the high-water mark grows.
+  MessageArena arena;
+  std::vector<MessageArena::Slot*> window;
+  for (int i = 0; i < 20000; ++i) {
+    window.push_back(arena.Create(TestMessage(i, {1.0})));
+    if (window.size() > 300) {
+      arena.Release(window.front());
+      window.erase(window.begin());
+    }
+  }
+  // 300 in flight needs ceil(300/256) + 1 slabs at most (the +1 because a
+  // slab only rewinds when fully drained, so two partial slabs can coexist
+  // with the active one).
+  EXPECT_LE(arena.slabs_allocated(), 3u);
+  EXPECT_GT(arena.slab_recycles(), 0u);
+  for (MessageArena::Slot* s : window) arena.Release(s);
+  EXPECT_EQ(arena.live(), 0u);
+}
+
+TEST(MessageArenaTest, DestructorTearsDownInFlightPayloads) {
+  // Payloads scheduled but never dispatched (a queue torn down mid-run) are
+  // destroyed by ~MessageArena.  Under ASan/LSan this test fails if any
+  // Message (or its heap-owned vectors) leaks.
+  MessageArena arena;
+  for (int i = 0; i < 10; ++i) {
+    MessageArena::Slot* s =
+        arena.Create(TestMessage(i, {1.0, 2.0, 3.0, 4.0}));
+    if (i % 2 == 0) MessageArena::AddRef(s);  // Still live either way.
+    if (i == 3) arena.Release(s), arena.Release(s);  // This one fully dies.
+  }
+  EXPECT_EQ(arena.live(), 9u);
+  // ~MessageArena runs here and must destroy exactly the 9 live payloads.
+}
+
+// -- Network-level release tests ----------------------------------------------
+
+class SinkNode : public Node {
+ public:
+  void HandleMessage(int from, const Message& msg) override {
+    (void)from;
+    ++received;
+    payload_doubles += msg.doubles.size();
+  }
+  int received = 0;
+  size_t payload_doubles = 0;
+};
+
+TEST(NetworkArenaTest, DeliveredPayloadsAreReleased) {
+  Network::Config cfg;
+  cfg.seed = 11;
+  Network net(MakeGridTopology(3, 3), cfg);
+  net.InstallNodes([](int) { return std::make_unique<SinkNode>(); });
+
+  net.Send(0, 1, TestMessage(1, {1.0, 2.0}));
+  net.Broadcast(4, TestMessage(2, {3.0}));  // Center node: 4 neighbors.
+  net.SendRouted(0, 8, TestMessage(3));     // Multi-hop relay.
+  net.SendRouted(2, 2, TestMessage(4));     // Self-delivery.
+  net.Run();
+
+  EXPECT_EQ(net.arena().live(), 0u);
+  int total = 0;
+  for (int i = 0; i < net.num_nodes(); ++i) {
+    total += static_cast<SinkNode*>(net.node(i))->received;
+  }
+  EXPECT_EQ(total, 1 + 4 + 1 + 1);
+}
+
+TEST(NetworkArenaTest, FaultDroppedSendsReleasePayloads) {
+  Network::Config cfg;
+  cfg.seed = 12;
+  cfg.fault.drop_probability = 1.0;  // Every transmission is lost.
+  Network net(MakeGridTopology(3, 3), cfg);
+  net.InstallNodes([](int) { return std::make_unique<SinkNode>(); });
+
+  for (int i = 0; i < 20; ++i) net.Send(0, 1, TestMessage(i, {1.0, 2.0}));
+  // All-legs-dropped broadcast: the shared payload's only remaining ref is
+  // the creator's, released at the end of the fan-out loop.
+  net.Broadcast(4, TestMessage(99, {5.0, 6.0, 7.0}));
+  net.Run();
+
+  EXPECT_EQ(net.arena().live(), 0u);
+  EXPECT_GT(net.stats().dropped_sends(), 0u);
+  for (int i = 0; i < net.num_nodes(); ++i) {
+    EXPECT_EQ(static_cast<SinkNode*>(net.node(i))->received, 0);
+  }
+}
+
+TEST(NetworkArenaTest, PartiallyDroppedBroadcastReleasesOnLastDelivery) {
+  Network::Config cfg;
+  cfg.seed = 13;
+  cfg.fault.drop_probability = 0.5;
+  Network net(MakeGridTopology(4, 4), cfg);
+  net.InstallNodes([](int) { return std::make_unique<SinkNode>(); });
+
+  for (int round = 0; round < 30; ++round) {
+    for (int from = 0; from < net.num_nodes(); ++from) {
+      net.Broadcast(from, TestMessage(round, {1.0, 2.0}));
+    }
+  }
+  net.Run();
+  // Some legs delivered, some dropped; either way every payload is dead.
+  EXPECT_EQ(net.arena().live(), 0u);
+  EXPECT_GT(net.stats().dropped_sends(), 0u);
+}
+
+TEST(NetworkArenaTest, ChurnAbsentEndpointDropsReleasePayloads) {
+  Network::Config cfg;
+  cfg.seed = 14;
+  // Node 4 (grid center) is absent until t = 100: every leg to it before
+  // then is a churn drop, taken before any arena ref is added.
+  cfg.churn.joins.push_back({4, 100.0});
+  Network net(MakeGridTopology(3, 3), cfg);
+  net.InstallNodes([](int) { return std::make_unique<SinkNode>(); });
+
+  net.Broadcast(1, TestMessage(1, {1.0}));  // One leg aimed at absent 4.
+  net.Send(3, 4, TestMessage(2, {2.0}));    // Unicast into the void.
+  net.Run();
+
+  EXPECT_EQ(net.arena().live(), 0u);
+  EXPECT_GE(net.churn_drops(), 2u);
+  EXPECT_EQ(static_cast<SinkNode*>(net.node(4))->received, 0);
+}
+
+TEST(NetworkArenaTest, TeardownWithQueuedDeliveriesDoesNotLeak) {
+  // Destroy the network with deliveries still scheduled: the arena's
+  // destructor must reap the in-flight payloads (LSan-visible otherwise).
+  Network::Config cfg;
+  cfg.seed = 15;
+  Network net(MakeGridTopology(3, 3), cfg);
+  net.InstallNodes([](int) { return std::make_unique<SinkNode>(); });
+  for (int i = 0; i < 50; ++i) net.Send(0, 1, TestMessage(i, {1.0, 2.0}));
+  net.Broadcast(4, TestMessage(99, {3.0}));
+  EXPECT_GT(net.arena().live(), 0u);
+  // ~Network (and ~MessageArena) run here with every payload undelivered.
+}
+
+// -- Arena vs heap equivalence ------------------------------------------------
+
+/// Flips the process-wide arena default for one scope.
+class ScopedArenaDefault {
+ public:
+  explicit ScopedArenaDefault(bool v)
+      : saved_(Network::default_arena_messages()) {
+    Network::set_default_arena_messages(v);
+  }
+  ~ScopedArenaDefault() { Network::set_default_arena_messages(saved_); }
+
+ private:
+  bool saved_;
+};
+
+// FNV-1a over the cluster-root assignment (same fold as determinism_test).
+uint64_t HashClustering(const Clustering& c) {
+  uint64_t h = 1469598103934665603ULL;
+  for (int r : c.root_of) {
+    h ^= static_cast<uint64_t>(static_cast<uint32_t>(r));
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+struct RunFingerprint {
+  std::string report_json;
+  std::string stats;
+  uint64_t clustering_hash = 0;
+  double completion_time = 0.0;
+  bool ok = false;
+};
+
+/// One full ELink run over the fuzzed scenario, fingerprinted via the same
+/// RunTelemetry -> RunReport pipeline the observability layer serializes.
+RunFingerprint RunScenarioOnce(const check::Scenario& s) {
+  obs::RunTelemetry tele;
+  ElinkConfig cfg;
+  cfg.delta = s.delta;
+  cfg.slack = s.slack;
+  cfg.synchronous = s.synchronous;
+  cfg.seed = s.seed;
+  cfg.fault = s.fault;
+  cfg.observer = &tele;
+  if (s.fault.enabled()) {  // Mirrors the fuzzer's TuneElinkForFaults.
+    if (s.reliable) {
+      cfg.reliable_transport = true;
+      cfg.reliable.rto = 8.0;
+      cfg.reliable.backoff = 1.5;
+      cfg.reliable.max_retries = 8;
+    }
+    cfg.completion_timeout = 450.0;
+  }
+
+  RunFingerprint fp;
+  Result<ElinkResult> r =
+      RunElink(s.topology, s.features, *s.metric, cfg, s.elink_mode);
+  if (!r.ok()) return fp;
+  const ElinkResult& res = r.value();
+  fp.ok = true;
+  fp.report_json = tele.MakeReport("elink", s.seed, res.stats).ToJson();
+  fp.stats = res.stats.ToString();
+  fp.clustering_hash = HashClustering(res.clustering);
+  fp.completion_time = res.completion_time;
+  return fp;
+}
+
+TEST(ArenaHeapEquivalenceTest, FuzzedScenariosProduceByteIdenticalRunReports) {
+  // The property the whole overhaul rests on: for any scenario the fuzzer
+  // can generate, running on the arena fast path and on the legacy
+  // heap-closure path yields the same bytes in every observable — the
+  // serialized RunReport (every counter, histogram bucket, and outcome
+  // field), the message ledger, the clustering, the completion time.
+  int compared = 0;
+  for (uint64_t seed = 1; seed <= 100; ++seed) {
+    Result<check::Scenario> s = check::MakeScenario(seed);
+    ASSERT_TRUE(s.ok()) << "seed " << seed;
+
+    RunFingerprint arena_fp, heap_fp;
+    {
+      ScopedArenaDefault on(true);
+      arena_fp = RunScenarioOnce(s.value());
+    }
+    {
+      ScopedArenaDefault off(false);
+      heap_fp = RunScenarioOnce(s.value());
+    }
+    ASSERT_EQ(arena_fp.ok, heap_fp.ok) << "seed " << seed;
+    if (!arena_fp.ok) continue;  // Both failed identically; nothing to diff.
+    ++compared;
+    EXPECT_EQ(arena_fp.clustering_hash, heap_fp.clustering_hash)
+        << "seed " << seed;
+    EXPECT_EQ(arena_fp.stats, heap_fp.stats) << "seed " << seed;
+    EXPECT_DOUBLE_EQ(arena_fp.completion_time, heap_fp.completion_time)
+        << "seed " << seed;
+    EXPECT_EQ(arena_fp.report_json, heap_fp.report_json) << "seed " << seed;
+  }
+  // The property is vacuous if RunElink failed everywhere.
+  EXPECT_GE(compared, 90);
+}
+
+}  // namespace
+}  // namespace elink

@@ -1,0 +1,211 @@
+// Exact-equality parity of the SIMD weighted-L2 kernels vs the scalar
+// oracle, on every code path the running CPU can dispatch to.
+//
+// The contract under test (metric/simd.h): the AVX2 and SSE2 kernels
+// accumulate per lane in scalar dimension order with separate multiply/add,
+// so their outputs are *byte-identical* to WeightedL2SoAScalar — which in
+// turn matches WeightedEuclidean::Distance exactly.  "Close" is a failure:
+// every comparison here is ==, including on denormals and extreme weight
+// ratios.  The dispatched-level selection itself (ELINK_SIMD env clamp) is
+// exercised by the forced-scalar ctest pass in CI; here every level the CPU
+// supports is driven explicitly through WeightedL2SoAAt/WeightedL2IndexedAt.
+#include "metric/simd.h"
+
+#include <cmath>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "metric/distance.h"
+#include "metric/feature_pool.h"
+
+namespace elink {
+namespace {
+
+std::vector<SimdLevel> SupportedLevels() {
+  std::vector<SimdLevel> levels = {SimdLevel::kScalar};
+  if (WeightedL2SoAAt(SimdLevel::kSse2) != nullptr) {
+    levels.push_back(SimdLevel::kSse2);
+  }
+  if (WeightedL2SoAAt(SimdLevel::kAvx2) != nullptr) {
+    levels.push_back(SimdLevel::kAvx2);
+  }
+  return levels;
+}
+
+/// Runs one (query, candidates, weights) instance through the scalar oracle,
+/// the virtual batch interface, and every supported kernel level (both SoA
+/// and indexed forms, including a non-trivial index permutation), requiring
+/// byte equality everywhere.
+void ExpectAllPathsExact(const Feature& q, const std::vector<Feature>& cands,
+                         const std::vector<double>& weights) {
+  const FeaturePool pool(cands);
+  const size_t n = cands.size();
+  const size_t dim = weights.size();
+
+  // Ground truth: the member-function scalar loop, element by element.
+  const WeightedEuclidean metric{std::vector<double>(weights)};
+  std::vector<double> want(n);
+  for (size_t j = 0; j < n; ++j) want[j] = metric.Distance(q, cands[j]);
+
+  std::vector<double> got(n, -1.0);
+  WeightedL2SoAScalar(pool.soa(), pool.stride(), n, dim, q.data(),
+                      weights.data(), got.data());
+  for (size_t j = 0; j < n; ++j) {
+    ASSERT_EQ(want[j], got[j]) << "scalar kernel vs Distance at " << j;
+  }
+
+  // Reversed indices exercise the gather path with a real permutation.
+  std::vector<int> idx(n);
+  for (size_t j = 0; j < n; ++j) idx[j] = static_cast<int>(n - 1 - j);
+
+  for (SimdLevel level : SupportedLevels()) {
+    std::vector<double> out(n, -1.0);
+    WeightedL2SoAAt(level)(pool.soa(), pool.stride(), n, dim, q.data(),
+                           weights.data(), out.data());
+    for (size_t j = 0; j < n; ++j) {
+      ASSERT_EQ(want[j], out[j])
+          << SimdLevelName(level) << " SoA lane " << j << " of " << n;
+    }
+    std::vector<double> out_idx(n, -1.0);
+    WeightedL2IndexedAt(level)(pool.soa(), pool.stride(), idx.data(), n, dim,
+                               q.data(), weights.data(), out_idx.data());
+    for (size_t j = 0; j < n; ++j) {
+      ASSERT_EQ(want[idx[j]], out_idx[j])
+          << SimdLevelName(level) << " indexed lane " << j << " of " << n;
+    }
+  }
+
+  // The virtual interface must route to a bit-identical path too.
+  std::vector<double> batch(n, -1.0);
+  metric.BatchDistance(q, pool, batch.data());
+  for (size_t j = 0; j < n; ++j) ASSERT_EQ(want[j], batch[j]);
+  std::vector<double> batch_idx(n, -1.0);
+  metric.BatchDistanceIndexed(q, pool, idx.data(), n, batch_idx.data());
+  for (size_t j = 0; j < n; ++j) ASSERT_EQ(want[idx[j]], batch_idx[j]);
+}
+
+TEST(SimdKernelTest, DispatchReportsAKnownLevel) {
+  const SimdLevel level = ActiveSimdLevel();
+  EXPECT_TRUE(level == SimdLevel::kScalar || level == SimdLevel::kSse2 ||
+              level == SimdLevel::kAvx2);
+  EXPECT_NE(WeightedL2SoA(), nullptr);
+  EXPECT_NE(WeightedL2Indexed(), nullptr);
+  // Whatever was dispatched must be obtainable explicitly.
+  EXPECT_EQ(WeightedL2SoA(), WeightedL2SoAAt(level));
+  EXPECT_EQ(WeightedL2Indexed(), WeightedL2IndexedAt(level));
+}
+
+TEST(SimdKernelTest, RandomVectorsAllDatasetDimensionalities) {
+  // 1 = terrain/AR(1), 2 = synthetic clouds, 4 = Tao model; 3 and 5..8 cover
+  // the remainders mod SIMD width, so every tail length is hit.
+  std::mt19937_64 rng(20260808);
+  std::uniform_real_distribution<double> val(-50.0, 50.0);
+  std::uniform_real_distribution<double> wgt(1e-3, 10.0);
+  for (size_t dim : {1, 2, 3, 4, 5, 6, 7, 8}) {
+    // Batch sizes cover empty tails, partial groups, and multi-group runs.
+    for (size_t n : {1, 2, 3, 4, 5, 7, 8, 31, 64, 257}) {
+      std::vector<double> weights(dim);
+      for (double& w : weights) w = wgt(rng);
+      Feature q(dim);
+      for (double& x : q) x = val(rng);
+      std::vector<Feature> cands(n, Feature(dim));
+      for (Feature& f : cands) {
+        for (double& x : f) x = val(rng);
+      }
+      ExpectAllPathsExact(q, cands, weights);
+    }
+  }
+}
+
+TEST(SimdKernelTest, ExtremeWeightRatios) {
+  // The Tao weights span 5x; stress far beyond that — 1e12 ratios force
+  // catastrophic magnitude differences between accumulation terms, where any
+  // reassociation in a kernel would change the rounded sum.
+  const std::vector<double> weights = {1e-9, 1.0, 1e3, 1e12};
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> val(-1e4, 1e4);
+  Feature q(4);
+  for (double& x : q) x = val(rng);
+  std::vector<Feature> cands(97, Feature(4));
+  for (Feature& f : cands) {
+    for (double& x : f) x = val(rng);
+  }
+  ExpectAllPathsExact(q, cands, weights);
+}
+
+TEST(SimdKernelTest, DenormalsAndTinyDifferences) {
+  const double denorm = std::numeric_limits<double>::denorm_min();
+  const double tiny = std::numeric_limits<double>::min();  // smallest normal
+  const std::vector<double> weights = {1.0, 0.5, 2.0};
+  Feature q = {0.0, denorm, tiny};
+  std::vector<Feature> cands = {
+      {0.0, denorm, tiny},            // identical -> exactly 0
+      {denorm, 0.0, -tiny},           // denormal differences
+      {-denorm, 2 * denorm, tiny},    // sub-ulp spreads
+      {tiny, -denorm, 4 * denorm},
+      {1.0, denorm, -1.0},            // mixed normal/denormal
+      {denorm, denorm, denorm},
+      {0.0, 0.0, 0.0},
+  };
+  ExpectAllPathsExact(q, cands, weights);
+}
+
+TEST(SimdKernelTest, IdenticalFeaturesGiveExactZero) {
+  const std::vector<double> weights = {0.5, 0.3, 0.2, 0.1};
+  Feature q = {1.25, -3.5, 0.0625, 1e-7};
+  std::vector<Feature> cands(13, q);
+  const FeaturePool pool(cands);
+  for (SimdLevel level : SupportedLevels()) {
+    std::vector<double> out(cands.size(), -1.0);
+    WeightedL2SoAAt(level)(pool.soa(), pool.stride(), cands.size(), 4,
+                           q.data(), weights.data(), out.data());
+    for (double d : out) EXPECT_EQ(0.0, d) << SimdLevelName(level);
+  }
+}
+
+TEST(FeaturePoolTest, LayoutAndRoundTrip) {
+  std::vector<Feature> fs = {{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  const FeaturePool pool(fs);
+  EXPECT_EQ(3u, pool.size());
+  EXPECT_EQ(2u, pool.dim());
+  EXPECT_EQ(4u, pool.stride());  // padded to the widest group
+  for (size_t j = 0; j < 3; ++j) {
+    for (size_t d = 0; d < 2; ++d) {
+      EXPECT_EQ(fs[j][d], pool.At(j, d));
+      EXPECT_EQ(fs[j][d], pool.soa()[d * pool.stride() + j]);
+    }
+  }
+  // Padding lanes are finite (zero) so full-width loads are safe.
+  EXPECT_EQ(0.0, pool.soa()[0 * pool.stride() + 3]);
+  EXPECT_EQ(0.0, pool.soa()[1 * pool.stride() + 3]);
+  Feature back;
+  pool.CopyTo(1, &back);
+  EXPECT_EQ(fs[1], back);
+}
+
+TEST(FeaturePoolTest, EmptyPool) {
+  const FeaturePool pool{std::vector<Feature>{}};
+  EXPECT_TRUE(pool.empty());
+  EXPECT_EQ(0u, pool.size());
+  // BatchDistance on an empty pool is a no-op on every metric.
+  const WeightedEuclidean metric = WeightedEuclidean::Euclidean(2);
+  metric.BatchDistance({0.0, 0.0}, pool, nullptr);
+}
+
+TEST(SimdKernelTest, DefaultBatchPathMatchesScalarForOtherMetrics) {
+  // Non-Euclidean metrics take the generic loop; results equal Distance.
+  ManhattanDistance metric;
+  std::vector<Feature> cands = {{1.0, 2.0}, {-3.0, 0.5}, {0.0, 0.0}};
+  const FeaturePool pool(cands);
+  Feature q = {0.25, -1.5};
+  std::vector<double> out(cands.size());
+  metric.BatchDistance(q, pool, out.data());
+  for (size_t j = 0; j < cands.size(); ++j) {
+    EXPECT_EQ(metric.Distance(q, cands[j]), out[j]);
+  }
+}
+
+}  // namespace
+}  // namespace elink
