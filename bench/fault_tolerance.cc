@@ -125,6 +125,7 @@ int main(int argc, char** argv) {
   std::printf(
       "drop_p,crash_frac,recovery,crashed,elink_completed,rand_index,"
       "unclustered,completion_time,retx_units,ack_units,dropped_units,"
+      "elink_bytes,dropped_bytes,query_bytes,"
       "query_recall,query_complete_frac,query_answered_frac\n");
 
   // Every cell's fault plan is drawn serially from one RNG up front, so the
@@ -254,10 +255,10 @@ int main(int argc, char** argv) {
                           static_cast<double>(answered) / kTrials);
     reports[2 * c + 1] = std::move(qrep);
 
-    char row[256];
+    char row[320];
     std::snprintf(row, sizeof(row),
-                  "%.2f,%.2f,%d,%d,%d,%.4f,%d,%.1f,%llu,%llu,%llu,%.3f,"
-                  "%.2f,%.2f\n",
+                  "%.2f,%.2f,%d,%d,%d,%.4f,%d,%.1f,%llu,%llu,%llu,%llu,%llu,"
+                  "%llu,%.3f,%.2f,%.2f\n",
                   cell.drop_p, cell.crash_frac, cell.recovery ? 1 : 0,
                   cell.crashed, run.completed ? 1 : 0,
                   RandIndex(baseline.clustering, run.clustering),
@@ -265,6 +266,9 @@ int main(int argc, char** argv) {
                   (unsigned long long)UnitsWithSuffix(run.stats, ".retx"),
                   (unsigned long long)UnitsWithSuffix(run.stats, ".ack"),
                   (unsigned long long)run.stats.dropped_units(),
+                  (unsigned long long)run.stats.total_bytes(),
+                  (unsigned long long)run.stats.dropped_bytes(),
+                  (unsigned long long)query_stats.total_bytes(),
                   recall / kTrials,
                   static_cast<double>(complete) / kTrials,
                   static_cast<double>(answered) / kTrials);

@@ -30,21 +30,27 @@ std::vector<int> ReportDays(int eval_days) {
   return days;
 }
 
+/// Per-report-day snapshot of a series' cumulative cost in both currencies.
+struct CostSnapshot {
+  uint64_t units = 0;
+  uint64_t bytes = 0;
+};
+
 /// Replays the full eval stream, feeding each 6th-step feature refresh to
 /// `update` and every raw measurement to `raw_measurement` (may be null),
-/// snapshotting `units` after each report day.  Every series replays with
+/// snapshotting `cost` after each report day.  Every series replays with
 /// its own copy of the trained models, so series are independent tasks: the
 /// model updates are deterministic, hence each series sees bit-identical
 /// features whether the replays run in one thread or six.
-std::vector<uint64_t> ReplaySeries(
+std::vector<CostSnapshot> ReplaySeries(
     const SensorDataset& ds, const TaoConfig& tao,
     std::vector<SeasonalArModel> models,
     const std::function<void(int, const Feature&)>& update,
     const std::function<void(int)>& raw_measurement,
-    const std::function<uint64_t()>& units) {
+    const std::function<CostSnapshot()>& cost) {
   const int n = ds.topology.num_nodes();
   const int per_day = tao.measurements_per_day;
-  std::vector<uint64_t> snapshots;
+  std::vector<CostSnapshot> snapshots;
   for (int day = 1; day <= tao.eval_days; ++day) {
     for (int t = (day - 1) * per_day; t < day * per_day; ++t) {
       for (int i = 0; i < n; ++i) {
@@ -53,9 +59,13 @@ std::vector<uint64_t> ReplaySeries(
         if (t % 6 == 5) update(i, models[i].Feature());
       }
     }
-    if (day % 4 == 0 || day == 1) snapshots.push_back(units());
+    if (day % 4 == 0 || day == 1) snapshots.push_back(cost());
   }
   return snapshots;
+}
+
+CostSnapshot StatsCost(const MessageStats& stats) {
+  return {stats.total_units(), stats.total_bytes()};
 }
 
 }  // namespace
@@ -94,15 +104,18 @@ int main(int argc, char** argv) {
   struct Series {
     const char* name;
     uint64_t initial_units;
-    std::vector<uint64_t> snapshots;
+    uint64_t initial_bytes;
+    std::vector<CostSnapshot> snapshots;
   };
   std::vector<Series> series = {
-      {"Central-raw", 0, {}},
-      {"Central-mdl", 0, {}},
-      {"ELink-imp", algos.elink_implicit_units, {}},
-      {"ELink-exp", algos.elink_explicit_units, {}},
-      {"Hierarch", algos.hierarchical_units, {}},
-      {"SpanForest", algos.forest_units, {}},
+      {"Central-raw", 0, 0, {}},
+      {"Central-mdl", 0, 0, {}},
+      {"ELink-imp", algos.elink_implicit_units, algos.elink_implicit_bytes,
+       {}},
+      {"ELink-exp", algos.elink_explicit_units, algos.elink_explicit_bytes,
+       {}},
+      {"Hierarch", algos.hierarchical_units, algos.hierarchical_bytes, {}},
+      {"SpanForest", algos.forest_units, algos.forest_bytes, {}},
   };
   const Clustering* clusterings[4] = {
       &algos.elink_clustering, &algos.elink_clustering,
@@ -115,7 +128,7 @@ int main(int argc, char** argv) {
       series[0].snapshots = ReplaySeries(
           ds, tao, models, [](int, const Feature&) {},
           [&raw](int i) { raw.Measurement(i); },
-          [&raw] { return raw.stats().total_units(); });
+          [&raw] { return StatsCost(raw.stats()); });
     } else if (task == 1) {
       CentralizedModelUpdater central(ds.topology,
                                       PickBaseStation(ds.topology),
@@ -123,14 +136,14 @@ int main(int argc, char** argv) {
       series[1].snapshots = ReplaySeries(
           ds, tao, models,
           [&central](int i, const Feature& f) { central.UpdateFeature(i, f); },
-          nullptr, [&central] { return central.stats().total_units(); });
+          nullptr, [&central] { return StatsCost(central.stats()); });
     } else {
       MaintenanceSession session(ds.topology, *clusterings[task - 2],
                                  ds.features, ds.metric, mcfg);
       series[task].snapshots = ReplaySeries(
           ds, tao, models,
           [&session](int i, const Feature& f) { session.UpdateFeature(i, f); },
-          nullptr, [&session] { return session.stats().total_units(); });
+          nullptr, [&session] { return StatsCost(session.stats()); });
     }
   });
 
@@ -140,7 +153,18 @@ int main(int argc, char** argv) {
   for (size_t row = 0; row < report_days.size(); ++row) {
     std::vector<std::string> cells = {Cell(report_days[row])};
     for (const Series& s : series) {
-      cells.push_back(Cell(s.initial_units + s.snapshots[row]));
+      cells.push_back(Cell(s.initial_units + s.snapshots[row].units));
+    }
+    PrintRow(cells);
+  }
+
+  std::printf("\ncumulative bytes on wire (version-1 frames)\n");
+  PrintRow({"day", "Central-raw", "Central-mdl", "ELink-imp", "ELink-exp",
+            "Hierarch", "SpanForest"});
+  for (size_t row = 0; row < report_days.size(); ++row) {
+    std::vector<std::string> cells = {Cell(report_days[row])};
+    for (const Series& s : series) {
+      cells.push_back(Cell(s.initial_bytes + s.snapshots[row].bytes));
     }
     PrintRow(cells);
   }

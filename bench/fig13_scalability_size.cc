@@ -54,9 +54,11 @@ void ReplayStream(const SensorDataset& ds, int steps,
   }
 }
 
-/// One (network size, topology instance) cell's accumulated unit counts.
+/// One (network size, topology instance) cell's accumulated costs: paper
+/// message units and real bytes on wire (version-1 frames).
 struct CellUnits {
   double imp = 0, exp_units = 0, forest = 0, hier = 0, cent = 0;
+  double imp_b = 0, exp_b = 0, forest_b = 0, hier_b = 0, cent_b = 0;
 };
 
 /// Self-contained: builds its own dataset, clusterings, and maintenance
@@ -106,6 +108,15 @@ CellUnits RunCell(int n, int trial) {
   out.hier = static_cast<double>(r.hierarchical_units +
                                  m_hier.stats().total_units());
   out.cent = static_cast<double>(central.stats().total_units());
+  out.imp_b = static_cast<double>(r.elink_implicit_bytes +
+                                  m_elink.stats().total_bytes());
+  out.exp_b = static_cast<double>(r.elink_explicit_bytes +
+                                  m_elink.stats().total_bytes());
+  out.forest_b = static_cast<double>(r.forest_bytes +
+                                     m_forest.stats().total_bytes());
+  out.hier_b = static_cast<double>(r.hierarchical_bytes +
+                                   m_hier.stats().total_bytes());
+  out.cent_b = static_cast<double>(central.stats().total_bytes());
   return out;
 }
 
@@ -143,6 +154,24 @@ int main(int argc, char** argv) {
     }
     PrintRow({Cell(kSizes[s]), Cell(imp / kTrials, 0),
               Cell(exp_units / kTrials, 0), Cell(forest / kTrials, 0),
+              Cell(hier / kTrials, 0), Cell(cent / kTrials, 0)});
+  }
+
+  std::printf("\ntotal bytes on wire (version-1 frames)\n");
+  PrintRow({"N", "ELink-imp", "ELink-exp", "SpanForest", "Hierarch",
+            "Centralized"});
+  for (size_t s = 0; s < kSizes.size(); ++s) {
+    double imp = 0, exp_b = 0, forest = 0, hier = 0, cent = 0;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      const CellUnits& c = cells[s * kTrials + trial];
+      imp += c.imp_b;
+      exp_b += c.exp_b;
+      forest += c.forest_b;
+      hier += c.hier_b;
+      cent += c.cent_b;
+    }
+    PrintRow({Cell(kSizes[s]), Cell(imp / kTrials, 0),
+              Cell(exp_b / kTrials, 0), Cell(forest / kTrials, 0),
               Cell(hier / kTrials, 0), Cell(cent / kTrials, 0)});
   }
   std::printf("\nexpected shape: implicit < explicit; distributed linear in "

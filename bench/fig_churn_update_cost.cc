@@ -104,7 +104,8 @@ int main(int argc, char** argv) {
   const ElinkResult baseline =
       Unwrap(RunElink(ds, ecfg, ElinkMode::kExplicit), "elink baseline");
 
-  std::printf("events,incremental_units,rebuild_units,rebuild_runs,"
+  std::printf("events,incremental_units,rebuild_units,"
+              "incremental_bytes,rebuild_bytes,rebuild_runs,"
               "rebuild_over_incremental,epoch_bumps\n");
 
   std::vector<obs::RunReport> reports;
@@ -122,6 +123,7 @@ int main(int argc, char** argv) {
     dm.set_observer(&tele);
     dm.RunToQuiescence();
     const uint64_t incremental = dm.stats().total_units();
+    const uint64_t incremental_bytes = dm.stats().total_bytes();
     long long epoch_bumps = 0;
     for (int i = 0; i < n; ++i) {
       if (dm.NodeLive(i) && dm.CurrentClustering().root_of[i] == i) {
@@ -143,6 +145,7 @@ int main(int argc, char** argv) {
     std::sort(timeline.begin(), timeline.end(),
               [](const Change& a, const Change& b) { return a.at < b.at; });
     uint64_t rebuild = 0;
+    uint64_t rebuild_bytes = 0;
     int rebuild_runs = 0;
     std::vector<char> present(n, 1);
     for (const Change& ch : timeline) {
@@ -154,12 +157,14 @@ int main(int argc, char** argv) {
           RunElink(sub, sub_features, *ds.metric, ecfg, ElinkMode::kExplicit),
           "elink rebuild");
       rebuild += run.stats.total_units();
+      rebuild_bytes += run.stats.total_bytes();
       ++rebuild_runs;
     }
 
-    std::printf("%d,%llu,%llu,%d,%.2f,%lld\n", events,
+    std::printf("%d,%llu,%llu,%llu,%llu,%d,%.2f,%lld\n", events,
                 (unsigned long long)incremental, (unsigned long long)rebuild,
-                rebuild_runs,
+                (unsigned long long)incremental_bytes,
+                (unsigned long long)rebuild_bytes, rebuild_runs,
                 incremental ? static_cast<double>(rebuild) / incremental : 0.0,
                 epoch_bumps);
 
@@ -168,6 +173,9 @@ int main(int argc, char** argv) {
     rep.metrics.SetGauge("incremental_units",
                          static_cast<double>(incremental));
     rep.metrics.SetGauge("rebuild_units", static_cast<double>(rebuild));
+    rep.metrics.SetGauge("incremental_bytes",
+                         static_cast<double>(incremental_bytes));
+    rep.metrics.SetGauge("rebuild_bytes", static_cast<double>(rebuild_bytes));
     rep.metrics.SetGauge("epoch_bumps", static_cast<double>(epoch_bumps));
     reports.push_back(std::move(rep));
   }

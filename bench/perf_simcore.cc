@@ -22,16 +22,24 @@
 // report (the repo keeps one at the root as BENCH_simcore.json) and exits
 // non-zero when events/sec or sends/sec regressed more than 10% — the PR
 // perf gate.
+//
+// The wire-format codec gets the same treatment: `--wire-frames N` scales an
+// encode+decode throughput loop over a representative message mix, the
+// numbers land in a second JSON report (BENCH_wire.json by default, override
+// with --wire-out), and `--check-wire-against <baseline.json>` fails the run
+// when either direction regressed more than 10%.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/resource.h>
 #endif
 
+#include "proto/wire.h"
 #include "sim/event_queue.h"
 #include "sim/message.h"
 #include "sim/msg_arena.h"
@@ -204,6 +212,94 @@ double SendFlood(uint64_t num_sends) {
   return static_cast<double>(net.stats().total_sends()) / Seconds(t0, t1);
 }
 
+/// Wire-codec throughput over a representative message mix: a two-int
+/// control frame, an enveloped mid-size reliable frame, and a feature push
+/// — the three shapes that dominate protocol traffic.
+struct WireOutcome {
+  double encode_frames_per_sec = 0.0;
+  double decode_frames_per_sec = 0.0;
+  double encode_mb_per_sec = 0.0;
+  double decode_mb_per_sec = 0.0;
+};
+
+std::vector<Message> WireMix() {
+  std::vector<Message> mix;
+  Message control;
+  control.type = 3;
+  control.ints = {1'000'000'007, 42};
+  mix.push_back(control);
+  Message reliable;
+  reliable.type = 12;
+  reliable.ints = {7, -19, 1 << 20};
+  reliable.doubles = {3.25, -0.5, 1e300};
+  reliable.rel_seq = 4711;
+  reliable.rel_from = 17;
+  reliable.rel_ack = true;
+  mix.push_back(reliable);
+  Message push;
+  push.type = 21;
+  push.ints = {260};
+  push.doubles = {0.125, 2.5, -3.75, 8.0, 1.5, -0.25, 6.5, 0.875};
+  mix.push_back(push);
+  return mix;
+}
+
+WireOutcome WireBench(uint64_t num_frames) {
+  const std::vector<Message> mix = WireMix();
+
+  // Encode: append frames into a reusable buffer, flushed periodically so
+  // the working set stays cache-resident like a real channel's send buffer.
+  std::vector<uint8_t> buf;
+  uint64_t encoded = 0, encoded_bytes = 0;
+  const auto e0 = std::chrono::steady_clock::now();
+  while (encoded < num_frames) {
+    wire::EncodeFrame(mix[encoded % mix.size()], &buf);
+    ++encoded;
+    if (buf.size() > (1u << 16)) {
+      encoded_bytes += buf.size();
+      buf.clear();
+    }
+  }
+  encoded_bytes += buf.size();
+  const auto e1 = std::chrono::steady_clock::now();
+
+  // Decode: stream-frame repeatedly over one pre-encoded buffer of the mix.
+  std::vector<uint8_t> stream;
+  for (int rep = 0; rep < 512; ++rep) {
+    wire::EncodeFrame(mix[rep % mix.size()], &stream);
+  }
+  uint64_t decoded = 0, decoded_bytes = 0, accum = 0;
+  const auto d0 = std::chrono::steady_clock::now();
+  while (decoded < num_frames) {
+    size_t at = 0;
+    while (at < stream.size() && decoded < num_frames) {
+      size_t consumed = 0;
+      Result<Message> m = wire::DecodeFrame(stream.data() + at,
+                                            stream.size() - at, &consumed);
+      if (!m.ok()) {
+        std::fprintf(stderr, "wire decode failed: %s\n",
+                     m.status().ToString().c_str());
+        std::abort();
+      }
+      accum += m.value().ints.size() + m.value().doubles.size();
+      at += consumed;
+      decoded_bytes += consumed;
+      ++decoded;
+    }
+  }
+  const auto d1 = std::chrono::steady_clock::now();
+  if (accum == UINT64_MAX) std::printf("impossible\n");
+
+  WireOutcome out;
+  out.encode_frames_per_sec = static_cast<double>(encoded) / Seconds(e0, e1);
+  out.decode_frames_per_sec = static_cast<double>(decoded) / Seconds(d0, d1);
+  out.encode_mb_per_sec =
+      static_cast<double>(encoded_bytes) / (1e6 * Seconds(e0, e1));
+  out.decode_mb_per_sec =
+      static_cast<double>(decoded_bytes) / (1e6 * Seconds(d0, d1));
+  return out;
+}
+
 uint64_t FlagValue(int argc, char** argv, const char* name, uint64_t dflt) {
   const std::string eq = std::string(name) + "=";
   for (int i = 1; i < argc; ++i) {
@@ -308,21 +404,78 @@ bool CheckAgainst(const std::string& baseline_path, const FloodOutcome& flood,
   return ok;
 }
 
+std::string ReadWholeFile(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return "";
+  std::string json;
+  char buf[4096];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    json.append(buf, got);
+  }
+  std::fclose(f);
+  return json;
+}
+
+/// Wire-codec gate: fails when encode or decode frames/sec regressed more
+/// than 10% against the committed baseline report.
+bool CheckWireAgainst(const std::string& baseline_path,
+                      const WireOutcome& wire) {
+  const std::string json = ReadWholeFile(baseline_path);
+  if (json.empty()) {
+    std::fprintf(stderr, "cannot read baseline %s\n", baseline_path.c_str());
+    return false;
+  }
+  bool ok = true;
+  const struct {
+    const char* key;
+    double measured;
+  } gates[] = {
+      {"encode_frames_per_sec", wire.encode_frames_per_sec},
+      {"decode_frames_per_sec", wire.decode_frames_per_sec},
+  };
+  for (const auto& gate : gates) {
+    const double base = JsonNumber(json, gate.key);
+    if (base <= 0.0) {
+      std::fprintf(stderr, "baseline %s has no %s\n", baseline_path.c_str(),
+                   gate.key);
+      return false;
+    }
+    const double ratio = gate.measured / base;
+    std::printf("check: %s %.0f vs baseline %.0f (%.1f%%)\n", gate.key,
+                gate.measured, base, 100.0 * ratio);
+    if (ratio < 0.9) {
+      std::fprintf(stderr, "FAIL: %s dropped more than 10%% against %s\n",
+                   gate.key, baseline_path.c_str());
+      ok = false;
+    }
+  }
+  if (ok) std::printf("check: wire OK (within 10%% of baseline)\n");
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const uint64_t num_events = FlagValue(argc, argv, "--events", 2'000'000);
   const uint64_t num_sends = FlagValue(argc, argv, "--sends", 500'000);
+  const uint64_t num_frames = FlagValue(argc, argv, "--wire-frames",
+                                        2'000'000);
   const std::string out_path = OutPath(argc, argv);
 
   const FloodOutcome flood = DeliveryFlood(num_events);
   const FloodOutcome legacy = EventFlood(num_events);
   const double sends_per_sec = SendFlood(num_sends);
+  const WireOutcome wire = WireBench(num_frames);
   const size_t peak_rss_kb = PeakRssKb();
 
   std::printf("events/sec          %12.0f\n", flood.events_per_sec);
   std::printf("callback events/sec %12.0f\n", legacy.events_per_sec);
   std::printf("sends/sec           %12.0f\n", sends_per_sec);
+  std::printf("encode frames/sec   %12.0f (%.0f MB/s)\n",
+              wire.encode_frames_per_sec, wire.encode_mb_per_sec);
+  std::printf("decode frames/sec   %12.0f (%.0f MB/s)\n",
+              wire.decode_frames_per_sec, wire.decode_mb_per_sec);
   std::printf("peak queue size     %12zu\n", flood.peak_queue_size);
   std::printf("peak rss kb         %12zu\n", peak_rss_kb);
 
@@ -348,9 +501,37 @@ int main(int argc, char** argv) {
   std::fclose(f);
   std::printf("wrote %s\n", out_path.c_str());
 
-  const std::string baseline = StringFlag(argc, argv, "--check-against");
-  if (!baseline.empty() && !CheckAgainst(baseline, flood, sends_per_sec)) {
+  const std::string wire_out = StringFlag(argc, argv, "--wire-out");
+  const std::string wire_path = wire_out.empty() ? "BENCH_wire.json"
+                                                 : wire_out;
+  FILE* wf = std::fopen(wire_path.c_str(), "w");
+  if (wf == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", wire_path.c_str());
     return 1;
   }
-  return 0;
+  std::fprintf(wf,
+               "{\n"
+               "  \"wire_frames\": %llu,\n"
+               "  \"encode_frames_per_sec\": %.0f,\n"
+               "  \"decode_frames_per_sec\": %.0f,\n"
+               "  \"encode_mb_per_sec\": %.1f,\n"
+               "  \"decode_mb_per_sec\": %.1f\n"
+               "}\n",
+               static_cast<unsigned long long>(num_frames),
+               wire.encode_frames_per_sec, wire.decode_frames_per_sec,
+               wire.encode_mb_per_sec, wire.decode_mb_per_sec);
+  std::fclose(wf);
+  std::printf("wrote %s\n", wire_path.c_str());
+
+  bool ok = true;
+  const std::string baseline = StringFlag(argc, argv, "--check-against");
+  if (!baseline.empty() && !CheckAgainst(baseline, flood, sends_per_sec)) {
+    ok = false;
+  }
+  const std::string wire_baseline =
+      StringFlag(argc, argv, "--check-wire-against");
+  if (!wire_baseline.empty() && !CheckWireAgainst(wire_baseline, wire)) {
+    ok = false;
+  }
+  return ok ? 0 : 1;
 }

@@ -1,0 +1,190 @@
+// Whole-network snapshot capture / inspection / restore-verification CLI.
+//
+// Three modes, one per invocation:
+//
+//   capture   snap_tool --protocol elink --seed 7 --out run.elsn
+//             Runs the fuzz trial with a checkpoint armed at --checkpoint
+//             (default: the middle of the run, counted in dispatched events)
+//             and writes the ELSN archive.  --disable takes the check_fuzz
+//             knob spelling ("faults,async,...").
+//             Add --verify-after to immediately run the restore proof on the
+//             captured archive — the single-command round-trip smoke.
+//
+//   info      snap_tool --info run.elsn
+//             Parses the archive (including the embedded version handshake)
+//             and dumps the manifest, horizon, stats totals, and section
+//             sizes.  Exit 1 on a malformed or version-incompatible archive.
+//
+//   verify    snap_tool --verify run.elsn
+//             Full restore proof (check/snapshot.h): re-derive the scenario
+//             from the manifest, replay to the checkpoint, demand the
+//             recaptured archive byte-identical, then demand the plain run's
+//             reports match the instrumented run's.  Exit 1 on any mismatch.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "check/snapshot.h"
+#include "proto/snapshot.h"
+
+using namespace elink;
+using namespace elink::bench;
+
+namespace {
+
+bool HasFlag(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
+
+std::vector<uint8_t> ReadFileOrDie(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::vector<uint8_t> bytes;
+  uint8_t buf[4096];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    bytes.insert(bytes.end(), buf, buf + got);
+  }
+  std::fclose(f);
+  return bytes;
+}
+
+void WriteFileOrDie(const std::string& path,
+                    const std::vector<uint8_t>& bytes) {
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr || std::fwrite(bytes.data(), 1, bytes.size(), f) !=
+                          bytes.size()) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fclose(f);
+}
+
+int RunInfo(const std::string& path) {
+  const std::vector<uint8_t> archive = ReadFileOrDie(path);
+  Result<proto::SnapshotReader> reader = proto::SnapshotReader::Parse(archive);
+  if (!reader.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                 reader.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s: %zu bytes, wire version %u\n", path.c_str(),
+              archive.size(), reader.value().version());
+  for (const std::string& name : reader.value().section_names()) {
+    std::printf("  section %-12s %6zu bytes\n", name.c_str(),
+                reader.value().section(name)->size());
+  }
+  if (const auto* body = reader.value().section(proto::kSectionManifest)) {
+    const auto kv = proto::DecodeManifestSection(*body);
+    if (!kv.ok()) {
+      std::fprintf(stderr, "bad manifest: %s\n",
+                   kv.status().ToString().c_str());
+      return 1;
+    }
+    for (const auto& [key, value] : kv.value()) {
+      std::printf("  manifest %-12s %s\n", key.c_str(), value.c_str());
+    }
+  }
+  if (const auto* body = reader.value().section(proto::kSectionHorizon)) {
+    const auto h = proto::DecodeHorizonSection(*body);
+    if (!h.ok()) {
+      std::fprintf(stderr, "bad horizon: %s\n", h.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("  horizon: %llu events, clock %.6f\n",
+                (unsigned long long)h.value().events, h.value().now);
+  }
+  if (const auto* body = reader.value().section(proto::kSectionStats)) {
+    const auto st = proto::DecodeStatsSection(*body);
+    if (!st.ok()) {
+      std::fprintf(stderr, "bad stats: %s\n", st.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("  stats: %llu units, %llu bytes on wire, %zu categories\n",
+                (unsigned long long)st.value().total_units,
+                (unsigned long long)st.value().total_bytes,
+                st.value().categories.size());
+  }
+  return 0;
+}
+
+int RunVerify(const std::string& path) {
+  const std::vector<uint8_t> archive = ReadFileOrDie(path);
+  const Status st = check::VerifySnapshot(archive);
+  if (!st.ok()) {
+    std::fprintf(stderr, "restore proof FAILED for %s: %s\n", path.c_str(),
+                 st.ToString().c_str());
+    return 1;
+  }
+  std::printf("restore proof OK: replayed run is byte-identical and the "
+              "checkpoint probe is unobservable\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string info = StringFlag(argc, argv, "--info");
+  if (!info.empty()) return RunInfo(info);
+  const std::string verify = StringFlag(argc, argv, "--verify");
+  if (!verify.empty()) return RunVerify(verify);
+
+  // Capture mode.
+  const std::string proto_name =
+      StringFlag(argc, argv, "--protocol", "elink");
+  const Result<check::Protocol> protocol =
+      check::ProtocolFromName(proto_name);
+  if (!protocol.ok()) {
+    std::fprintf(stderr, "%s\n", protocol.status().ToString().c_str());
+    return 1;
+  }
+  const uint64_t seed =
+      std::strtoull(StringFlag(argc, argv, "--seed", "1").c_str(), nullptr,
+                    10);
+  const std::string out = StringFlag(argc, argv, "--out", "snapshot.elsn");
+  Result<check::ScenarioKnobs> knobs = check::ScenarioKnobs::FromDisableList(
+      StringFlag(argc, argv, "--disable"));
+  if (!knobs.ok()) {
+    std::fprintf(stderr, "%s\n", knobs.status().ToString().c_str());
+    return 1;
+  }
+
+  uint64_t checkpoint = std::strtoull(
+      StringFlag(argc, argv, "--checkpoint", "0").c_str(), nullptr, 10);
+  if (checkpoint == 0) {
+    const uint64_t total =
+        check::CountTrialEvents(protocol.value(), seed, knobs.value());
+    checkpoint = total / 2 + 1;
+    std::printf("trial dispatches %llu events; checkpointing at %llu\n",
+                (unsigned long long)total, (unsigned long long)checkpoint);
+  }
+
+  Result<check::SnapshotCapture> cap = check::CaptureSnapshot(
+      protocol.value(), seed, knobs.value(), checkpoint);
+  if (!cap.ok()) {
+    std::fprintf(stderr, "capture failed: %s\n",
+                 cap.status().ToString().c_str());
+    return 1;
+  }
+  if (!cap.value().outcome.ok()) {
+    std::fprintf(stderr, "warning: trial reported check violations; "
+                         "archive still written\n");
+  }
+  WriteFileOrDie(out, cap.value().archive);
+  std::printf("captured %s at event %llu (%zu bytes, protocol %s, seed "
+              "%llu)\n",
+              out.c_str(), (unsigned long long)cap.value().checkpoint,
+              cap.value().archive.size(), check::ProtocolName(protocol.value()),
+              (unsigned long long)seed);
+
+  if (HasFlag(argc, argv, "--verify-after")) return RunVerify(out);
+  return 0;
+}

@@ -1,5 +1,6 @@
 #include "baselines/centralized_cost.h"
 
+#include "proto/wire.h"
 #include "sim/point.h"
 
 namespace elink {
@@ -26,7 +27,9 @@ CentralizedRawUpdater::CentralizedRawUpdater(const Topology& topology,
 void CentralizedRawUpdater::Measurement(int node) {
   const int hops = routes_.HopsToRoot(node);
   ELINK_CHECK(hops >= 0);
-  for (int h = 0; h < hops; ++h) stats_.Record("central_raw", 1);
+  // One raw measurement per hop: a minimal frame with a single coefficient.
+  const uint64_t frame = wire::NominalFrameSize(0, 1);
+  for (int h = 0; h < hops; ++h) stats_.Record("central_raw", 1, frame);
 }
 
 CentralizedModelUpdater::CentralizedModelUpdater(
@@ -47,7 +50,8 @@ bool CentralizedModelUpdater::UpdateFeature(int node, const Feature& updated) {
   const int hops = routes_.HopsToRoot(node);
   ELINK_CHECK(hops >= 0);
   const int dim = static_cast<int>(updated.size());
-  for (int h = 0; h < hops; ++h) stats_.Record("central_model", dim);
+  const uint64_t frame = wire::NominalFrameSize(0, updated.size());
+  for (int h = 0; h < hops; ++h) stats_.Record("central_model", dim, frame);
   last_sent_[node] = updated;
   return true;
 }

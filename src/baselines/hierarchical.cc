@@ -6,6 +6,8 @@
 #include <map>
 #include <set>
 
+#include "proto/wire.h"
+
 namespace elink {
 
 namespace {
@@ -82,19 +84,21 @@ Result<HierarchicalResult> HierarchicalClustering(
     std::map<int, std::pair<double, int>> best;  // root -> (fitness, partner)
     for (const auto& [pair, witness] : boundary) {
       const auto [ri, rj] = pair;
-      // Boundary nodes exchange (root feature, diameter) across the edge.
-      result.stats.Record("hc_boundary_exchange", dim + 1);
-      result.stats.Record("hc_boundary_exchange", dim + 1);
+      // Boundary nodes exchange (root feature, diameter) across the edge:
+      // dim + 1 coefficients framed with the sender's root id.
+      const uint64_t exchange_frame = wire::NominalFrameSize(1, dim + 1);
+      result.stats.Record("hc_boundary_exchange", dim + 1, exchange_frame);
+      result.stats.Record("hc_boundary_exchange", dim + 1, exchange_frame);
       // Each side relays the candidate info to its cluster leader.
       const int hops_i =
           ClusterTreeHops(adjacency, root_of, witness.first, ri);
       const int hops_j =
           ClusterTreeHops(adjacency, root_of, witness.second, rj);
       for (int h = 0; h < hops_i; ++h) {
-        result.stats.Record("hc_leader_relay", dim + 1);
+        result.stats.Record("hc_leader_relay", dim + 1, exchange_frame);
       }
       for (int h = 0; h < hops_j; ++h) {
-        result.stats.Record("hc_leader_relay", dim + 1);
+        result.stats.Record("hc_leader_relay", dim + 1, exchange_frame);
       }
       const double d_roots =
           metric.Distance(features[ri], features[rj]);
@@ -149,7 +153,8 @@ Result<HierarchicalResult> HierarchicalClustering(
       const size_t total =
           members[keep].size() + members[drop].size();
       for (size_t m = 0; m + 1 < total + 1; ++m) {
-        result.stats.Record("hc_merge_broadcast", 1);
+        result.stats.Record("hc_merge_broadcast", 1,
+                            wire::NominalFrameSize(1, 0));
       }
       // Radius update per the paper's fitness formula: the new leader's
       // radius bound is max(m_keep, m_drop + d(r_keep, r_drop)).  Validity

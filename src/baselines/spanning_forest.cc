@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "proto/wire.h"
+
 namespace elink {
 
 Result<SpanningForestResult> SpanningForestClustering(
@@ -29,7 +31,8 @@ Result<SpanningForestResult> SpanningForestClustering(
   std::vector<double> dists;
   for (int i = 0; i < n; ++i) {
     for (size_t nb = 0; nb < adjacency[i].size(); ++nb) {
-      result.stats.Record("sf_feature_exchange", dim);
+      result.stats.Record("sf_feature_exchange", dim,
+                          wire::NominalFrameSize(0, dim));
     }
     cand.clear();
     for (int j : adjacency[i]) {
@@ -77,7 +80,8 @@ Result<SpanningForestResult> SpanningForestClustering(
     const int p = result.forest_parent[i];
     if (p == i) continue;  // Forest root sends nothing.
     // Child i reports (height, feature) to its parent: height + dim units.
-    result.stats.Record("sf_height_report", 1 + dim);
+    result.stats.Record("sf_height_report", 1 + dim,
+                        wire::NominalFrameSize(0, 1 + dim));
     const double h = height[i] + metric.Distance(features[i], features[p]);
     bool detach_self = false;
     while (h + height[p] > delta + 1e-12) {

@@ -3,6 +3,7 @@
 #include <set>
 
 #include "common/strings.h"
+#include "proto/wire.h"
 
 namespace elink {
 namespace check {
@@ -11,16 +12,22 @@ void ConservationLedger::OnSend(double now, int from, int to,
                                 const Message& msg, double delay) {
   ++logical_sends_;
   logical_units_ += static_cast<uint64_t>(msg.CostUnits());
+  logical_bytes_ += wire::FrameSize(msg);
   if (routed_pending_) {
     // Closing OnSend of a routed message: hops already charged.
     routed_pending_ = false;
   } else if (from != to) {
     // Plain single-hop send: charged exactly like MessageStats::Record.
+    // The observer sees the same (possibly truncated) message the Network
+    // charged, so re-encoding its frame length here reproduces the byte
+    // ledger independently.
     ++charged_sends_;
     charged_units_ += static_cast<uint64_t>(msg.CostUnits());
+    charged_bytes_ += wire::FrameSize(msg);
     Category& c = Cat(msg.category);
     ++c.sends;
     c.units += static_cast<uint64_t>(msg.CostUnits());
+    c.bytes += wire::FrameSize(msg);
   }
   // from == to (routed self-delivery) is free on the wire.
   if (next_ != nullptr) next_->OnSend(now, from, to, msg, delay);
@@ -31,9 +38,11 @@ void ConservationLedger::OnHop(double at, int from, int to,
   ++hops_;
   ++charged_sends_;
   charged_units_ += static_cast<uint64_t>(msg.CostUnits());
+  charged_bytes_ += wire::FrameSize(msg);
   Category& c = Cat(msg.category);
   ++c.sends;
   c.units += static_cast<uint64_t>(msg.CostUnits());
+  c.bytes += wire::FrameSize(msg);
   routed_pending_ = true;
   if (next_ != nullptr) next_->OnHop(at, from, to, msg);
 }
@@ -48,9 +57,11 @@ void ConservationLedger::OnDrop(double at, int from, int to,
                                 const Message& msg) {
   ++drops_;
   dropped_units_ += static_cast<uint64_t>(msg.CostUnits());
+  dropped_bytes_ += wire::FrameSize(msg);
   Category& c = Cat(msg.category);
   ++c.dropped_sends;
   c.dropped_units += static_cast<uint64_t>(msg.CostUnits());
+  c.dropped_bytes += wire::FrameSize(msg);
   // A routed message that died mid-path never emits its closing OnSend.
   routed_pending_ = false;
   if (next_ != nullptr) next_->OnDrop(at, from, to, msg);
@@ -221,6 +232,8 @@ Status CheckTelemetryConsistency(const ConservationLedger& ledger,
       {"transport.retx", ledger.retransmits()},
       {"transport.acks", ledger.transport_acks()},
       {"transport.give_ups", ledger.transport_give_ups()},
+      {"sim.wire_bytes", ledger.logical_bytes()},
+      {"sim.dropped_wire_bytes", ledger.dropped_bytes()},
   };
   for (const auto& row : rows) {
     const uint64_t got = metrics.counter(row.counter);
@@ -229,6 +242,47 @@ Status CheckTelemetryConsistency(const ConservationLedger& ledger,
           "telemetry: %s = %llu, ledger says %llu", row.counter,
           static_cast<unsigned long long>(got),
           static_cast<unsigned long long>(row.want)));
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckByteConservation(const ConservationLedger& ledger,
+                             const MessageStats& stats,
+                             const std::vector<std::string>& ignore_categories) {
+  // Categories recorded outside the Network never ride the radio, so the
+  // stats must carry zero bytes for them and the totals need no subtraction.
+  const std::set<std::string> ignored(ignore_categories.begin(),
+                                      ignore_categories.end());
+  for (const std::string& cat : ignored) {
+    if (stats.bytes(cat) != 0) {
+      return Status::FailedPrecondition(StringPrintf(
+          "byte conservation: ignored category '%s' carries %llu wire bytes",
+          cat.c_str(), static_cast<unsigned long long>(stats.bytes(cat))));
+    }
+  }
+  if (ledger.charged_bytes() != stats.total_bytes()) {
+    return Mismatch("total wire bytes", ledger.charged_bytes(),
+                    stats.total_bytes());
+  }
+  if (ledger.dropped_bytes() != stats.dropped_bytes()) {
+    return Mismatch("dropped wire bytes", ledger.dropped_bytes(),
+                    stats.dropped_bytes());
+  }
+  // Per category, both directions.
+  std::set<std::string> cats;
+  for (const auto& [cat, c] : ledger.by_category()) cats.insert(cat);
+  for (const MessageStats::CategorySnapshot& c : stats.Snapshot()) {
+    cats.insert(c.category);
+  }
+  for (const std::string& cat : cats) {
+    if (ignored.count(cat)) continue;
+    ConservationLedger::Category want;  // Zeroes when the ledger never saw it.
+    const auto it = ledger.by_category().find(cat);
+    if (it != ledger.by_category().end()) want = it->second;
+    if (want.bytes != stats.bytes(cat)) {
+      return Mismatch(("wire bytes of '" + cat + "'").c_str(), want.bytes,
+                      stats.bytes(cat));
     }
   }
   return Status::OK();

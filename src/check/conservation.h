@@ -45,8 +45,10 @@ class ConservationLedger : public SimObserver {
   struct Category {
     uint64_t sends = 0;          // Hop-level transmissions (MessageStats).
     uint64_t units = 0;          // Hop-level units.
+    uint64_t bytes = 0;          // Hop-level frame bytes (wire::FrameSize).
     uint64_t dropped_sends = 0;  // One per OnDrop.
     uint64_t dropped_units = 0;
+    uint64_t dropped_bytes = 0;
     uint64_t decode_errors = 0;
   };
 
@@ -56,6 +58,9 @@ class ConservationLedger : public SimObserver {
   // -- Logical message plane (one per OnSend) -----------------------------
   uint64_t logical_sends() const { return logical_sends_; }
   uint64_t logical_units() const { return logical_units_; }
+  /// Frame bytes of every logical send (one frame per OnSend; what the
+  /// telemetry's "sim.wire_bytes" counter folds).
+  uint64_t logical_bytes() const { return logical_bytes_; }
   uint64_t delivers() const { return delivers_; }
   /// Logical sends not yet delivered; 0 once the queue drained.
   uint64_t in_flight() const { return logical_sends_ - delivers_; }
@@ -63,8 +68,12 @@ class ConservationLedger : public SimObserver {
   // -- Hop-level charges (what MessageStats records) ----------------------
   uint64_t charged_sends() const { return charged_sends_; }
   uint64_t charged_units() const { return charged_units_; }
+  /// Frame bytes re-derived at the hop plane: one frame per plain send plus
+  /// one per routed hop — what MessageStats::total_bytes() records.
+  uint64_t charged_bytes() const { return charged_bytes_; }
   uint64_t drops() const { return drops_; }
   uint64_t dropped_units() const { return dropped_units_; }
+  uint64_t dropped_bytes() const { return dropped_bytes_; }
   uint64_t hops() const { return hops_; }
   uint64_t decode_errors() const { return decode_errors_; }
 
@@ -105,11 +114,14 @@ class ConservationLedger : public SimObserver {
 
   uint64_t logical_sends_ = 0;
   uint64_t logical_units_ = 0;
+  uint64_t logical_bytes_ = 0;
   uint64_t delivers_ = 0;
   uint64_t charged_sends_ = 0;
   uint64_t charged_units_ = 0;
+  uint64_t charged_bytes_ = 0;
   uint64_t drops_ = 0;
   uint64_t dropped_units_ = 0;
+  uint64_t dropped_bytes_ = 0;
   uint64_t hops_ = 0;
   uint64_t decode_errors_ = 0;
   uint64_t timer_fires_ = 0;
@@ -144,6 +156,16 @@ Status CheckConservation(const ConservationLedger& ledger,
 /// attached to the same run) so both saw the same stream.
 Status CheckTelemetryConsistency(const ConservationLedger& ledger,
                                  const obs::MetricsRegistry& metrics);
+
+/// Byte-plane conservation: the encoded frame bytes the ledger re-derived
+/// from the event stream (wire::FrameSize per plain send / routed hop /
+/// drop) must equal the byte counters MessageStats accumulated inside the
+/// Network, per category and in total.  `ignore_categories` follows
+/// CheckConservation: categories recorded outside the Network carry no
+/// wire bytes, and are skipped in the per-category comparison.
+Status CheckByteConservation(
+    const ConservationLedger& ledger, const MessageStats& stats,
+    const std::vector<std::string>& ignore_categories = {});
 
 }  // namespace check
 }  // namespace elink

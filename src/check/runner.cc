@@ -1,6 +1,7 @@
 #include "check/runner.h"
 
 #include <algorithm>
+#include <cstring>
 #include <map>
 #include <memory>
 #include <optional>
@@ -20,6 +21,7 @@
 #include "index/query_protocol.h"
 #include "index/range_query.h"
 #include "obs/telemetry.h"
+#include "proto/wire.h"
 #include "sim/graph.h"
 
 namespace elink {
@@ -34,6 +36,7 @@ constexpr uint64_t kUpdateStream = 16;
 constexpr uint64_t kRangeQueryStream = 17;
 constexpr uint64_t kPathQueryStream = 18;
 constexpr uint64_t kUpdateTimeStream = 19;
+constexpr uint64_t kWireFuzzStream = 20;
 
 void Add(CheckOutcome* out, const char* checkname, std::string detail) {
   out->violations.push_back(CheckViolation{checkname, std::move(detail)});
@@ -103,7 +106,129 @@ std::optional<World> BuildWorld(const Scenario& s, CheckOutcome* out) {
   return w;
 }
 
-void RunElinkTrial(const Scenario& s, CheckOutcome* out) {
+// ---------------------------------------------------------------------------
+// Wire-format frame-mutation sweep (the `wirefuzz` knob).
+//
+// Per scenario: a batch of randomized messages, each proven to (a) round-trip
+// encode -> frame -> CRC -> decode exactly, (b) reject truncation at every
+// byte offset, (c) reject a bit flip at every byte offset (CRC32 detects all
+// bursts shorter than 32 bits, and flips outside the CRC span hit the magic
+// or the stored CRC, so rejection is deterministic — never flaky), and
+// (d) reject non-magic garbage without crashing.
+
+Message RandomWireMessage(Rng* rng) {
+  Message m;
+  m.category = "wirefuzz";
+  m.type = static_cast<int>(rng->UniformInt(2000));
+  const int nints = static_cast<int>(rng->UniformInt(13));
+  for (int i = 0; i < nints; ++i) {
+    switch (rng->UniformInt(4)) {
+      case 0:  // Near-zero ids/levels, the common protocol case.
+        m.ints.push_back(static_cast<long long>(rng->UniformInt(128)) - 16);
+        break;
+      case 1:  // Mid-range values with both signs.
+        m.ints.push_back(rng->UniformIntRange(-1'000'000, 1'000'000));
+        break;
+      case 2:  // Full 64-bit patterns: exercises varint length 10 and the
+               // delta decoder's wrapping arithmetic.
+        m.ints.push_back(static_cast<long long>(rng->Next()));
+        break;
+      default:  // The extremes themselves.
+        m.ints.push_back(rng->Bernoulli(0.5) ? INT64_MAX : INT64_MIN);
+        break;
+    }
+  }
+  const int ndoubles = static_cast<int>(rng->UniformInt(9));
+  for (int i = 0; i < ndoubles; ++i) {
+    m.doubles.push_back(rng->Bernoulli(0.9) ? rng->Uniform(-1e6, 1e6)
+                                            : rng->Uniform(-1e-300, 1e-300));
+  }
+  if (rng->Bernoulli(0.5)) {
+    m.rel_seq = static_cast<long long>(rng->UniformInt(1 << 20));
+    m.rel_from = static_cast<int>(rng->UniformInt(4096));
+    m.rel_ack = rng->Bernoulli(0.3);
+  }
+  return m;
+}
+
+bool SameWirePayload(const Message& a, const Message& b) {
+  if (a.type != b.type || a.ints != b.ints || a.rel_seq != b.rel_seq ||
+      a.rel_from != b.rel_from || a.rel_ack != b.rel_ack) {
+    return false;
+  }
+  // Bitwise double comparison: -0.0 vs 0.0 or a mangled NaN payload must
+  // count as corruption even though operator== would wave them through.
+  if (a.doubles.size() != b.doubles.size()) return false;
+  return a.doubles.empty() ||
+         std::memcmp(a.doubles.data(), b.doubles.data(),
+                     a.doubles.size() * sizeof(double)) == 0;
+}
+
+void RunWireFuzzPass(uint64_t seed, CheckOutcome* out) {
+  Rng rng = Rng(seed).Fork(kWireFuzzStream);
+  constexpr int kMessages = 48;
+  for (int i = 0; i < kMessages; ++i) {
+    const Message msg = RandomWireMessage(&rng);
+    const std::vector<uint8_t> frame = wire::EncodeFrame(msg);
+    if (frame.size() != wire::FrameSize(msg)) {
+      Add(out, "wirefuzz",
+          StringPrintf("message %d: FrameSize says %zu, encoder emitted %zu",
+                       i, wire::FrameSize(msg), frame.size()));
+      continue;
+    }
+    Result<Message> decoded = wire::DecodeFrame(frame);
+    if (!decoded.ok()) {
+      Add(out, "wirefuzz",
+          StringPrintf("message %d: round-trip decode failed: %s", i,
+                       decoded.status().ToString().c_str()));
+      continue;
+    }
+    if (!SameWirePayload(msg, *decoded)) {
+      Add(out, "wirefuzz",
+          StringPrintf("message %d: round-trip changed the payload", i));
+      continue;
+    }
+    // Truncation at every byte offset must reject.
+    for (size_t len = 0; len < frame.size(); ++len) {
+      if (wire::DecodeFrame(frame.data(), len).ok()) {
+        Add(out, "wirefuzz",
+            StringPrintf("message %d: truncation to %zu bytes decoded", i,
+                         len));
+        break;
+      }
+    }
+    // A single flipped bit at every byte offset must reject.
+    std::vector<uint8_t> mutated = frame;
+    for (size_t off = 0; off < mutated.size(); ++off) {
+      const uint8_t bit = static_cast<uint8_t>(1u << rng.UniformInt(8));
+      mutated[off] ^= bit;
+      if (wire::DecodeFrame(mutated).ok()) {
+        Add(out, "wirefuzz",
+            StringPrintf("message %d: bit flip at byte %zu decoded", i, off));
+      }
+      mutated[off] ^= bit;  // Restore for the next offset.
+    }
+    // Non-magic garbage must reject without crashing.
+    std::vector<uint8_t> garbage(rng.UniformInt(64) + 1);
+    for (uint8_t& b : garbage) b = static_cast<uint8_t>(rng.Next());
+    if (garbage[0] == wire::kFrameMagic) garbage[0] ^= 0xFF;
+    if (wire::DecodeFrame(garbage).ok()) {
+      Add(out, "wirefuzz",
+          StringPrintf("message %d: non-magic garbage decoded", i));
+    }
+  }
+}
+
+// Appends the run's report to the trial artifacts (no-op without a sink).
+void CollectReport(TrialArtifacts* artifacts, const obs::RunTelemetry& tele,
+                   const char* protocol, uint64_t seed,
+                   const MessageStats& stats) {
+  if (artifacts == nullptr) return;
+  artifacts->reports.push_back(tele.MakeReport(protocol, seed, stats).ToJson());
+}
+
+void RunElinkTrial(const Scenario& s, CheckOutcome* out,
+                   TrialArtifacts* artifacts) {
   ConservationLedger ledger;
   obs::RunTelemetry tele;
   ledger.set_next(&tele);
@@ -142,11 +267,15 @@ void RunElinkTrial(const Scenario& s, CheckOutcome* out) {
   }
   AddIfBad(out, "conservation",
            CheckConservation(ledger, res.stats, /*drained=*/true));
+  AddIfBad(out, "byte_conservation",
+           CheckByteConservation(ledger, res.stats));
   AddIfBad(out, "telemetry",
            CheckTelemetryConsistency(ledger, tele.metrics()));
+  CollectReport(artifacts, tele, "elink", s.seed, res.stats);
 }
 
-void RunMaintenanceTrial(const Scenario& s, CheckOutcome* out) {
+void RunMaintenanceTrial(const Scenario& s, CheckOutcome* out,
+                         TrialArtifacts* artifacts) {
   std::optional<World> w = BuildWorld(s, out);
   if (!w.has_value()) return;
 
@@ -260,11 +389,15 @@ void RunMaintenanceTrial(const Scenario& s, CheckOutcome* out) {
   }
   AddIfBad(out, "conservation",
            CheckConservation(ledger, dm.stats(), /*drained=*/true));
+  AddIfBad(out, "byte_conservation",
+           CheckByteConservation(ledger, dm.stats()));
   AddIfBad(out, "telemetry",
            CheckTelemetryConsistency(ledger, tele.metrics()));
+  CollectReport(artifacts, tele, "maintenance", s.seed, dm.stats());
 }
 
-void RunRangeQueryTrial(const Scenario& s, CheckOutcome* out) {
+void RunRangeQueryTrial(const Scenario& s, CheckOutcome* out,
+                        TrialArtifacts* artifacts) {
   std::optional<World> w = BuildWorld(s, out);
   if (!w.has_value()) return;
   const int n = s.topology.num_nodes();
@@ -331,12 +464,15 @@ void RunRangeQueryTrial(const Scenario& s, CheckOutcome* out) {
     }
     AddIfBad(out, "conservation",
              CheckConservation(ledger, o.stats, /*drained=*/true));
+    AddIfBad(out, "byte_conservation", CheckByteConservation(ledger, o.stats));
     AddIfBad(out, "telemetry",
              CheckTelemetryConsistency(ledger, tele.metrics()));
+    CollectReport(artifacts, tele, "range_query", s.seed, o.stats);
   }
 }
 
-void RunPathQueryTrial(const Scenario& s, CheckOutcome* out) {
+void RunPathQueryTrial(const Scenario& s, CheckOutcome* out,
+                       TrialArtifacts* artifacts) {
   std::optional<World> w = BuildWorld(s, out);
   if (!w.has_value()) return;
   const int n = s.topology.num_nodes();
@@ -397,8 +533,12 @@ void RunPathQueryTrial(const Scenario& s, CheckOutcome* out) {
     AddIfBad(out, "conservation",
              CheckConservation(ledger, run.value().stats, /*drained=*/true,
                                {"path_search", "path_trace"}));
+    AddIfBad(out, "byte_conservation",
+             CheckByteConservation(ledger, run.value().stats,
+                                   {"path_search", "path_trace"}));
     AddIfBad(out, "telemetry",
              CheckTelemetryConsistency(ledger, tele.metrics()));
+    CollectReport(artifacts, tele, "path_query", s.seed, run.value().stats);
   }
 }
 
@@ -445,7 +585,8 @@ std::string CheckOutcome::Summary() const {
 }
 
 CheckOutcome RunScenario(Protocol protocol, uint64_t seed,
-                         const ScenarioKnobs& knobs) {
+                         const ScenarioKnobs& knobs,
+                         TrialArtifacts* artifacts) {
   CheckOutcome out;
   Result<Scenario> scenario = MakeScenario(seed, knobs);
   if (!scenario.ok()) {
@@ -455,18 +596,19 @@ CheckOutcome RunScenario(Protocol protocol, uint64_t seed,
   out.scenario = std::move(scenario).value();
   switch (protocol) {
     case Protocol::kElink:
-      RunElinkTrial(out.scenario, &out);
+      RunElinkTrial(out.scenario, &out, artifacts);
       break;
     case Protocol::kMaintenance:
-      RunMaintenanceTrial(out.scenario, &out);
+      RunMaintenanceTrial(out.scenario, &out, artifacts);
       break;
     case Protocol::kRangeQuery:
-      RunRangeQueryTrial(out.scenario, &out);
+      RunRangeQueryTrial(out.scenario, &out, artifacts);
       break;
     case Protocol::kPathQuery:
-      RunPathQueryTrial(out.scenario, &out);
+      RunPathQueryTrial(out.scenario, &out, artifacts);
       break;
   }
+  if (knobs.wirefuzz) RunWireFuzzPass(seed, &out);
   return out;
 }
 
@@ -477,7 +619,7 @@ ScenarioKnobs ShrinkFailure(Protocol protocol, uint64_t seed,
       &ScenarioKnobs::faults,   &ScenarioKnobs::churn,
       &ScenarioKnobs::async,    &ScenarioKnobs::reliable,
       &ScenarioKnobs::slack,    &ScenarioKnobs::features,
-      &ScenarioKnobs::random_topology,
+      &ScenarioKnobs::random_topology, &ScenarioKnobs::wirefuzz,
   };
   for (const auto member : order) {
     if (!(current.*member)) continue;

@@ -63,12 +63,21 @@ struct CheckOutcome {
   std::string Summary() const;
 };
 
+/// Byte-comparable final artifacts of one trial: the RunReport JSON of every
+/// protocol run the trial performed, in order.  Two invocations of the same
+/// (protocol, seed, knobs) triple must produce byte-identical artifacts —
+/// the equality the snapshot/restore suite (check/snapshot.h) rests on.
+struct TrialArtifacts {
+  std::vector<std::string> reports;
+};
+
 /// Runs one trial.  Scenario-generation and protocol-run errors are reported
 /// as violations (a protocol returning Internal on a fuzzed input is exactly
 /// the kind of bug the fuzzer exists to find), so this never throws away a
-/// finding.
+/// finding.  `artifacts`, when non-null, collects the trial's run reports.
 CheckOutcome RunScenario(Protocol protocol, uint64_t seed,
-                         const ScenarioKnobs& knobs = {});
+                         const ScenarioKnobs& knobs = {},
+                         TrialArtifacts* artifacts = nullptr);
 
 /// Greedy minimization of a failing (protocol, seed, knobs) triple: tries
 /// disabling each still-enabled knob in a fixed order (faults, async,

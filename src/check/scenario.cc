@@ -284,10 +284,13 @@ Result<ScenarioKnobs> ScenarioKnobs::FromDisableList(const std::string& csv) {
       knobs.random_topology = false;
     } else if (item == "churn") {
       knobs.churn = false;
+    } else if (item == "wirefuzz") {
+      knobs.wirefuzz = false;
     } else {
       return Status::InvalidArgument(
           StringPrintf("unknown --disable knob '%s' (expected faults, async, "
-                       "reliable, slack, features, topology, churn)",
+                       "reliable, slack, features, topology, churn, "
+                       "wirefuzz)",
                        item.c_str()));
     }
   }
@@ -307,6 +310,7 @@ std::string ScenarioKnobs::DisableList() const {
   if (!features) add("features");
   if (!random_topology) add("topology");
   if (!churn) add("churn");
+  if (!wirefuzz) add("wirefuzz");
   return out;
 }
 

@@ -42,9 +42,10 @@ struct ScenarioKnobs {
   bool features = true;         // false: constant feature field.
   bool random_topology = true;  // false: regular grid only.
   bool churn = true;            // false: inert ChurnPlan, no fire front.
+  bool wirefuzz = true;         // false: skip the frame-mutation sweep.
 
-  /// Parses "faults,async,reliable,slack,features,topology,churn" items
-  /// (the check_fuzz --disable spelling); unknown names are an error.
+  /// Parses "faults,async,reliable,slack,features,topology,churn,wirefuzz"
+  /// items (the check_fuzz --disable spelling); unknown names are an error.
   static Result<ScenarioKnobs> FromDisableList(const std::string& csv);
 
   /// The --disable list reproducing this knob set ("" when all enabled).

@@ -1,0 +1,197 @@
+#include "check/snapshot.h"
+
+#include <cstdlib>
+#include <initializer_list>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "check/conservation.h"
+#include "common/strings.h"
+#include "proto/snapshot.h"
+#include "proto/wire.h"
+#include "sim/network.h"
+
+namespace elink {
+namespace check {
+
+namespace {
+
+// Serializes the ledger's complete state: the totals of both planes and
+// every per-category counter, in map (= name) order.
+std::vector<uint8_t> EncodeLedgerSection(const ConservationLedger& ledger) {
+  std::vector<uint8_t> out;
+  const uint64_t totals[] = {
+      ledger.logical_sends(),  ledger.logical_units(),
+      ledger.logical_bytes(),  ledger.delivers(),
+      ledger.charged_sends(),  ledger.charged_units(),
+      ledger.charged_bytes(),  ledger.drops(),
+      ledger.dropped_units(),  ledger.dropped_bytes(),
+      ledger.hops(),           ledger.decode_errors(),
+      ledger.timer_fires(),    ledger.retransmits(),
+      ledger.transport_acks(), ledger.transport_give_ups()};
+  for (const uint64_t v : totals) wire::PutVarint(v, &out);
+  wire::PutVarint(ledger.by_category().size(), &out);
+  for (const auto& [name, c] : ledger.by_category()) {
+    wire::PutString(name, &out);
+    const uint64_t fields[] = {c.sends,         c.units,
+                               c.bytes,         c.dropped_sends,
+                               c.dropped_units, c.dropped_bytes,
+                               c.decode_errors};
+    for (const uint64_t v : fields) wire::PutVarint(v, &out);
+  }
+  return out;
+}
+
+// The capture callback's product: the named sections frozen at the fire
+// point (everything except the manifest, which the driver owns).
+struct CapturedSections {
+  std::vector<uint8_t> horizon;
+  std::vector<uint8_t> stats;
+  std::vector<uint8_t> nodes;
+  std::vector<uint8_t> ledger;
+  bool has_ledger = false;
+};
+
+void CaptureFromNetwork(Network& net, uint64_t dispatched,
+                        CapturedSections* sections) {
+  proto::HorizonImage horizon;
+  horizon.events = dispatched;
+  horizon.now = net.Now();
+  sections->horizon = proto::EncodeHorizonSection(horizon);
+  sections->stats = proto::EncodeStatsSection(net.stats());
+  sections->nodes = proto::EncodeNodeStatesSection(net);
+  // The trials chain their observers ledger-first, so the network observer
+  // is the ledger when one is attached at all.
+  if (const auto* ledger =
+          dynamic_cast<const ConservationLedger*>(net.observer())) {
+    sections->ledger = EncodeLedgerSection(*ledger);
+    sections->has_ledger = true;
+  }
+}
+
+}  // namespace
+
+uint64_t CountTrialEvents(Protocol protocol, uint64_t seed,
+                          const ScenarioKnobs& knobs) {
+  Network::RunCheckpoint cp;  // countdown defaults to "never fire".
+  Network::ArmCheckpoint(&cp);
+  (void)RunScenario(protocol, seed, knobs);
+  Network::ArmCheckpoint(nullptr);
+  return cp.dispatched;
+}
+
+Result<SnapshotCapture> CaptureSnapshot(Protocol protocol, uint64_t seed,
+                                        const ScenarioKnobs& knobs,
+                                        uint64_t event_index) {
+  SnapshotCapture capture;
+  capture.checkpoint = event_index;
+
+  CapturedSections sections;
+  Network::RunCheckpoint cp;
+  cp.countdown = event_index;
+  cp.on_fire = [&sections, &cp](Network& net) {
+    CaptureFromNetwork(net, cp.dispatched, &sections);
+  };
+  Network::ArmCheckpoint(&cp);
+  capture.outcome = RunScenario(protocol, seed, knobs, &capture.artifacts);
+  Network::ArmCheckpoint(nullptr);
+  if (!cp.fired) {
+    return Status::FailedPrecondition(StringPrintf(
+        "snapshot: trial dispatched %llu event(s), checkpoint at %llu never "
+        "fired",
+        static_cast<unsigned long long>(cp.dispatched),
+        static_cast<unsigned long long>(event_index)));
+  }
+
+  std::map<std::string, std::string> manifest;
+  manifest["protocol"] = ProtocolName(protocol);
+  manifest["seed"] = std::to_string(seed);
+  manifest["disable"] = knobs.DisableList();
+  manifest["checkpoint"] = std::to_string(event_index);
+
+  proto::SnapshotWriter writer;
+  Status s = writer.AddSection(proto::kSectionManifest,
+                               proto::EncodeManifestSection(manifest));
+  if (s.ok()) {
+    s = writer.AddSection(proto::kSectionHorizon, std::move(sections.horizon));
+  }
+  if (s.ok()) {
+    s = writer.AddSection(proto::kSectionStats, std::move(sections.stats));
+  }
+  if (s.ok()) {
+    s = writer.AddSection(proto::kSectionNodes, std::move(sections.nodes));
+  }
+  if (s.ok() && sections.has_ledger) {
+    s = writer.AddSection(proto::kSectionLedger, std::move(sections.ledger));
+  }
+  if (!s.ok()) return s;
+  capture.archive = writer.Finish();
+  return capture;
+}
+
+Status VerifySnapshot(const std::vector<uint8_t>& archive) {
+  Result<proto::SnapshotReader> reader = proto::SnapshotReader::Parse(archive);
+  if (!reader.ok()) return reader.status();
+
+  const std::vector<uint8_t>* manifest_bytes =
+      reader->section(proto::kSectionManifest);
+  if (manifest_bytes == nullptr) {
+    return Status::InvalidArgument("snapshot: archive has no manifest");
+  }
+  Result<std::map<std::string, std::string>> manifest =
+      proto::DecodeManifestSection(*manifest_bytes);
+  if (!manifest.ok()) return manifest.status();
+  for (const char* key : {"protocol", "seed", "disable", "checkpoint"}) {
+    if (!manifest->count(key)) {
+      return Status::InvalidArgument(
+          StringPrintf("snapshot: manifest lacks '%s'", key));
+    }
+  }
+  Result<Protocol> protocol = ProtocolFromName(manifest->at("protocol"));
+  if (!protocol.ok()) return protocol.status();
+  Result<ScenarioKnobs> knobs =
+      ScenarioKnobs::FromDisableList(manifest->at("disable"));
+  if (!knobs.ok()) return knobs.status();
+  uint64_t seed = 0, checkpoint = 0;
+  for (const auto& [key, dest] :
+       std::initializer_list<std::pair<const char*, uint64_t*>>{
+           {"seed", &seed}, {"checkpoint", &checkpoint}}) {
+    const std::string& text = manifest->at(key);
+    char* end = nullptr;
+    *dest = std::strtoull(text.c_str(), &end, 10);
+    if (text.empty() || end != text.c_str() + text.size()) {
+      return Status::InvalidArgument(
+          StringPrintf("snapshot: malformed manifest '%s': '%s'", key,
+                       text.c_str()));
+    }
+  }
+
+  // Replay: re-derive the scenario and re-capture at the same event index.
+  Result<SnapshotCapture> replay =
+      CaptureSnapshot(*protocol, seed, *knobs, checkpoint);
+  if (!replay.ok()) {
+    return Status::FailedPrecondition("snapshot: replay failed: " +
+                                      replay.status().message());
+  }
+  if (replay->archive != archive) {
+    return Status::FailedPrecondition(StringPrintf(
+        "snapshot: replayed archive differs (%zu vs %zu bytes) — the "
+        "checkpoint state did not reproduce",
+        replay->archive.size(), archive.size()));
+  }
+
+  // Uninterrupted control run: no checkpoint armed at all.  Its reports
+  // must be byte-identical to the instrumented run's.
+  TrialArtifacts plain;
+  (void)RunScenario(*protocol, seed, *knobs, &plain);
+  if (plain.reports != replay->artifacts.reports) {
+    return Status::FailedPrecondition(
+        "snapshot: instrumented and uninterrupted runs produced different "
+        "reports");
+  }
+  return Status::OK();
+}
+
+}  // namespace check
+}  // namespace elink

@@ -1,0 +1,67 @@
+// Mid-run snapshot capture and restore verification (elink_check).
+//
+// Builds on the proto snapshot container (proto/snapshot.h) and the
+// Network's checkpoint seam (Network::ArmCheckpoint): a fuzz trial is run
+// with a checkpoint armed at a chosen event index, and when the simulator
+// crosses that index the capture callback — a read-only witness — freezes
+// every checkable piece of state into an ELSN archive:
+//
+//   manifest   protocol, seed, disable list, checkpoint index
+//   horizon    events dispatched, simulation clock
+//   stats      full MessageStats dump (units AND bytes, per category)
+//   nodes      every node's protocol/transport state blob
+//   ledger     the ConservationLedger's independent re-derivation
+//
+// Restore is replay-based (the event queue holds closures, which cannot be
+// serialized): VerifySnapshot parses the archive — including the embedded
+// version handshake — re-derives the identical scenario from the manifest,
+// replays to the same event index, and demands the recaptured archive be
+// byte-identical.  It then runs the trial once more WITHOUT a checkpoint
+// and demands the final run reports match the captured run's byte for byte,
+// proving the checkpoint probe is unobservable and the resumed run equals
+// the uninterrupted one.
+#ifndef ELINK_CHECK_SNAPSHOT_H_
+#define ELINK_CHECK_SNAPSHOT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "check/runner.h"
+#include "common/status.h"
+
+namespace elink {
+namespace check {
+
+/// Events the full (protocol, seed, knobs) trial dispatches, summed over
+/// every Network the trial runs.  Uses a count-only checkpoint; the trial's
+/// outcome is discarded.
+uint64_t CountTrialEvents(Protocol protocol, uint64_t seed,
+                          const ScenarioKnobs& knobs = {});
+
+struct SnapshotCapture {
+  /// The complete archive; empty when the checkpoint never fired.
+  std::vector<uint8_t> archive;
+  /// The event index the snapshot was taken at.
+  uint64_t checkpoint = 0;
+  /// Final artifacts of the (instrumented, uninterrupted) capture run.
+  TrialArtifacts artifacts;
+  /// The trial's check outcome (snapshotting must not mask violations).
+  CheckOutcome outcome;
+};
+
+/// Runs the trial with a checkpoint armed at `event_index` (1-based count of
+/// dispatched events) and captures the archive at the fire point.
+/// FailedPrecondition when the trial finishes before reaching the index.
+Result<SnapshotCapture> CaptureSnapshot(Protocol protocol, uint64_t seed,
+                                        const ScenarioKnobs& knobs,
+                                        uint64_t event_index);
+
+/// The full restore proof described in the header comment.  OK means the
+/// replayed run reproduced the archive byte-identically AND the
+/// uninterrupted run's reports equal the instrumented run's.
+Status VerifySnapshot(const std::vector<uint8_t>& archive);
+
+}  // namespace check
+}  // namespace elink
+
+#endif  // ELINK_CHECK_SNAPSHOT_H_

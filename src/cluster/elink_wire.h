@@ -87,6 +87,43 @@ struct Start {
   bool operator==(const Start&) const = default;
 };
 
+/// Applies `fn` to a default instance of every schema in this family — the
+/// generic enumeration the wire-format tests round-trip all schemas through.
+template <class F>
+void ForEachSchema(F&& fn) {
+  fn(Expand{});
+  fn(Ack1{});
+  fn(Nack{});
+  fn(Ack2{});
+  fn(Phase1{});
+  fn(Phase2{});
+  fn(Start{});
+}
+
+/// The accounting category of packet id `type` within this family, or null
+/// for an id the family does not define — how a byte-level receiver
+/// re-derives the category the radio frame deliberately omits.
+inline const char* CategoryForType(int type) {
+  switch (type) {
+    case Expand::kType:
+      return Expand::kCategory;
+    case Ack1::kType:
+      return Ack1::kCategory;
+    case Nack::kType:
+      return Nack::kCategory;
+    case Ack2::kType:
+      return Ack2::kCategory;
+    case Phase1::kType:
+      return Phase1::kCategory;
+    case Phase2::kType:
+      return Phase2::kCategory;
+    case Start::kType:
+      return Start::kCategory;
+    default:
+      return nullptr;
+  }
+}
+
 }  // namespace elink_wire
 }  // namespace elink
 

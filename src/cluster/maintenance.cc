@@ -3,9 +3,24 @@
 #include <deque>
 #include <map>
 
+#include "cluster/maintenance_wire.h"
 #include "common/strings.h"
+#include "proto/codec.h"
+#include "proto/wire.h"
 
 namespace elink {
+
+namespace {
+
+/// Real bytes-on-wire of one logical hop: the version-1 frame of the exact
+/// maint_wire schema the distributed protocol (maintenance_protocol.cc)
+/// would transmit, so the engine cost model's byte column matches the air.
+template <typename M>
+uint64_t HopBytes(const M& m) {
+  return wire::FrameSize(proto::Encode(m));
+}
+
+}  // namespace
 
 MaintenanceSession::MaintenanceSession(
     const Topology& topology, const Clustering& clustering,
@@ -77,9 +92,17 @@ void MaintenanceSession::UpdateFeature(int node, const Feature& updated) {
   // (request up, feature down) and re-evaluate.
   const int root = clustering_.root_of[node];
   const int hops = TreeHopsToRoot(node);
-  for (int h = 0; h < hops; ++h) stats_.Record("update_escalate", 1);
-  for (int h = 0; h < hops; ++h) stats_.Record("update_escalate", dim);
   const Feature live_root = current_[root];
+  maint_wire::FetchUp request;
+  request.origin = node;
+  maint_wire::RootFeature reply;
+  reply.feature = live_root;
+  for (int h = 0; h < hops; ++h) {
+    stats_.Record("update_escalate", 1, HopBytes(request));
+  }
+  for (int h = 0; h < hops; ++h) {
+    stats_.Record("update_escalate", dim, HopBytes(reply));
+  }
   stored_root_[node] = live_root;
   if (metric_->Distance(updated, live_root) <= config_.delta + 1e-12) {
     verified_[node] = updated;
@@ -104,8 +127,10 @@ void MaintenanceSession::HandleRootUpdate(int root) {
   for (int i = 0; i < topology_.num_nodes(); ++i) {
     if (clustering_.root_of[i] == root && i != root) members.push_back(i);
   }
+  maint_wire::Push push;
+  push.feature = updated;
   for (size_t e = 0; e < members.size(); ++e) {
-    stats_.Record("update_root_push", dim);
+    stats_.Record("update_root_push", dim, HopBytes(push));
   }
   // Members refresh their copy and re-evaluate membership.
   std::vector<int> leavers;
@@ -128,8 +153,12 @@ void MaintenanceSession::DetachAndRelocate(int node) {
   bool merged = false;
   for (int nb : topology_.adjacency[node]) {
     if (clustering_.root_of[nb] == node) continue;
-    stats_.Record("update_merge_probe", 1);
-    stats_.Record("update_merge_probe", dim);
+    maint_wire::ProbeReply probe_reply;
+    probe_reply.root = clustering_.root_of[nb];
+    probe_reply.settled = 1;
+    probe_reply.stored_root = stored_root_[nb];
+    stats_.Record("update_merge_probe", 1, HopBytes(maint_wire::Probe{}));
+    stats_.Record("update_merge_probe", dim, HopBytes(probe_reply));
     if (metric_->Distance(current_[node], stored_root_[nb]) <=
         config_.merge_fraction * config_.delta + 1e-12) {
       clustering_.root_of[node] = clustering_.root_of[nb];
@@ -174,7 +203,9 @@ void MaintenanceSession::RepairClusterAround(int old_root) {
     if (!mask[i] || comp[i] == root_comp) continue;
     const int nr = fragment_root[comp[i]];
     clustering_.root_of[i] = nr;
-    stats_.Record("update_repair", 1);
+    maint_wire::RootChanged promote;
+    promote.root = nr;
+    stats_.Record("update_repair", 1, HopBytes(promote));
   }
   for (const auto& [c, nr] : fragment_root) {
     (void)c;

@@ -142,6 +142,49 @@ struct Answer {
   bool operator==(const Answer&) const = default;
 };
 
+/// Applies `fn` to a default instance of every schema in this family — the
+/// generic enumeration the wire-format tests round-trip all schemas through.
+template <class F>
+void ForEachSchema(F&& fn) {
+  fn(Up{});
+  fn(ToBackboneRoot{});
+  fn(Visit{});
+  fn(BackboneInclude{});
+  fn(BackboneReply{});
+  fn(Descend{});
+  fn(DescendInclude{});
+  fn(DescendReply{});
+  fn(Answer{});
+}
+
+/// The accounting category of packet id `type` within this family, or null
+/// for an id the family does not define — how a byte-level receiver
+/// re-derives the category the radio frame deliberately omits.
+inline const char* CategoryForType(int type) {
+  switch (type) {
+    case Up::kType:
+      return Up::kCategory;
+    case ToBackboneRoot::kType:
+      return ToBackboneRoot::kCategory;
+    case Visit::kType:
+      return Visit::kCategory;
+    case BackboneInclude::kType:
+      return BackboneInclude::kCategory;
+    case BackboneReply::kType:
+      return BackboneReply::kCategory;
+    case Descend::kType:
+      return Descend::kCategory;
+    case DescendInclude::kType:
+      return DescendInclude::kCategory;
+    case DescendReply::kType:
+      return DescendReply::kCategory;
+    case Answer::kType:
+      return Answer::kCategory;
+    default:
+      return nullptr;
+  }
+}
+
 }  // namespace query_wire
 }  // namespace elink
 

@@ -36,10 +36,16 @@ void RunReport::SetParam(const std::string& key, bool value) {
 void RunReport::CaptureStats(const MessageStats& stats) {
   total_sends = stats.total_sends();
   total_units = stats.total_units();
+  total_bytes = stats.total_bytes();
   dropped_sends = stats.dropped_sends();
   dropped_units = stats.dropped_units();
+  dropped_bytes = stats.dropped_bytes();
   decode_errors = stats.decode_errors();
   units_by_category = stats.units_by_category();
+  bytes_by_category.clear();
+  for (const MessageStats::CategorySnapshot& c : stats.Snapshot()) {
+    if (c.sends > 0) bytes_by_category[c.category] = c.bytes;
+  }
 }
 
 std::string RunReport::ToJson() const {
@@ -60,8 +66,10 @@ std::string RunReport::ToJson() const {
   out += hit_event_cap ? "true" : "false";
   out += "},\"stats\":{\"total_sends\":" + std::to_string(total_sends);
   out += ",\"total_units\":" + std::to_string(total_units);
+  out += ",\"total_bytes\":" + std::to_string(total_bytes);
   out += ",\"dropped_sends\":" + std::to_string(dropped_sends);
   out += ",\"dropped_units\":" + std::to_string(dropped_units);
+  out += ",\"dropped_bytes\":" + std::to_string(dropped_bytes);
   out += ",\"decode_errors\":" + std::to_string(decode_errors);
   out += ",\"units_by_category\":{";
   first = true;
@@ -69,6 +77,13 @@ std::string RunReport::ToJson() const {
     if (!first) out += ",";
     first = false;
     out += "\"" + JsonEscape(category) + "\":" + std::to_string(units);
+  }
+  out += "},\"bytes_by_category\":{";
+  first = true;
+  for (const auto& [category, bytes] : bytes_by_category) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(category) + "\":" + std::to_string(bytes);
   }
   out += "}},\"metrics\":" + metrics.ToJson();
   out += "}\n";

@@ -36,10 +36,15 @@ struct RunReport {
   // -- Communication snapshot (CaptureStats) -----------------------------
   uint64_t total_sends = 0;
   uint64_t total_units = 0;
+  uint64_t total_bytes = 0;  // Real bytes-on-wire (frame encoding per hop).
   uint64_t dropped_sends = 0;
   uint64_t dropped_units = 0;
+  uint64_t dropped_bytes = 0;
   uint64_t decode_errors = 0;
   std::map<std::string, uint64_t> units_by_category;
+  /// Bytes-on-wire per category, next to the CostUnits columns.  Categories
+  /// recorded outside the Network (engine-parity bookkeeping) report 0.
+  std::map<std::string, uint64_t> bytes_by_category;
 
   MetricsRegistry metrics;
 

@@ -3,15 +3,19 @@
 #include <algorithm>
 #include <cstring>
 
+#include "proto/wire.h"
+
 namespace elink {
 namespace obs {
 
 RunTelemetry::RunTelemetry() {
   c_sends_ = metrics_.CounterId("sim.sends");
   c_send_units_ = metrics_.CounterId("sim.send_units");
+  c_wire_bytes_ = metrics_.CounterId("sim.wire_bytes");
   c_hops_ = metrics_.CounterId("sim.hops");
   c_delivers_ = metrics_.CounterId("sim.delivers");
   c_drops_ = metrics_.CounterId("sim.drops");
+  c_dropped_wire_bytes_ = metrics_.CounterId("sim.dropped_wire_bytes");
   c_timer_fires_ = metrics_.CounterId("sim.timer_fires");
   c_decode_errors_ = metrics_.CounterId("sim.decode_errors");
   c_retx_ = metrics_.CounterId("transport.retx");
@@ -53,6 +57,7 @@ void RunTelemetry::OnSend(double now, int from, int to, const Message& msg,
                           double delay) {
   metrics_.Add(c_sends_);
   metrics_.Add(c_send_units_, static_cast<uint64_t>(msg.CostUnits()));
+  metrics_.Add(c_wire_bytes_, wire::FrameSize(msg));
   metrics_.Record(h_message_delay_, delay);
   if (next_ != nullptr) next_->OnSend(now, from, to, msg, delay);
 }
@@ -71,6 +76,7 @@ void RunTelemetry::OnDeliver(double now, int from, int to,
 
 void RunTelemetry::OnDrop(double at, int from, int to, const Message& msg) {
   metrics_.Add(c_drops_);
+  metrics_.Add(c_dropped_wire_bytes_, wire::FrameSize(msg));
   if (next_ != nullptr) next_->OnDrop(at, from, to, msg);
 }
 

@@ -87,9 +87,10 @@ class RunTelemetry : public SimObserver {
 
   MetricsRegistry metrics_;
   // Pre-interned ids so the per-event cost is one array bump.
-  MetricsRegistry::MetricId c_sends_, c_send_units_, c_hops_, c_delivers_,
-      c_drops_, c_timer_fires_, c_decode_errors_, c_retx_, c_acks_,
-      c_give_ups_, c_watchdog_arms_, c_watchdog_fires_, c_runs_;
+  MetricsRegistry::MetricId c_sends_, c_send_units_, c_wire_bytes_, c_hops_,
+      c_delivers_, c_drops_, c_dropped_wire_bytes_, c_timer_fires_,
+      c_decode_errors_, c_retx_, c_acks_, c_give_ups_, c_watchdog_arms_,
+      c_watchdog_fires_, c_runs_;
   // Topology-plane counters ("churn.join", "churn.leave", ...), one per
   // ChurnSchedule event kind.
   MetricsRegistry::MetricId c_churn_join_, c_churn_leave_, c_churn_crash_,

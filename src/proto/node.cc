@@ -1,7 +1,15 @@
 #include "proto/node.h"
 
+#include "proto/wire.h"
+
 namespace elink {
 namespace proto {
+
+void ProtocolNode::EncodeSnapshotState(std::vector<uint8_t>* out) const {
+  wire::PutU8(reliable_enabled_ ? 1 : 0, out);
+  channel_.EncodeSnapshotState(out);
+  OnEncodeSnapshotState(out);
+}
 
 void ProtocolNode::HandleMessage(int from, const Message& msg) {
   // The activity counter ticks for every handler invocation — including

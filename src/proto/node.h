@@ -50,6 +50,12 @@ class ProtocolNode : public Node {
   void OnRestart() final;
   void OnNeighborChange(int neighbor, bool up) final;
 
+  /// Serializes the runtime's per-node state (reliable-transport channel:
+  /// sequence counter, in-flight frames, delivery history) for a
+  /// whole-network snapshot.  Protocols with additional durable state
+  /// override OnEncodeSnapshotState to append their own bytes after it.
+  void EncodeSnapshotState(std::vector<uint8_t>* out) const final;
+
  protected:
   /// Called once at install time, after the reliable channel (if any) is
   /// attached; the protocol's OnInstall replacement.
@@ -74,6 +80,13 @@ class ProtocolNode : public Node {
   virtual void OnGiveUp(int to, const Message& msg) {
     (void)to;
     (void)msg;
+  }
+
+  /// Appends protocol-specific durable state to the node's snapshot record
+  /// (after the runtime's transport state).  Must be deterministic: equal
+  /// states must emit equal bytes.
+  virtual void OnEncodeSnapshotState(std::vector<uint8_t>* out) const {
+    (void)out;
   }
 
   /// An incoming frame failed to decode (truncated payload, unknown type).

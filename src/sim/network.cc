@@ -4,10 +4,37 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "proto/wire.h"
 
 namespace elink {
 
 bool Network::default_arena_messages_ = true;
+
+namespace {
+
+// The armed-checkpoint slot lives behind this out-of-line accessor: a
+// class-static thread_local inlined into other translation units goes
+// through GCC's TLS wrapper, which UBSan flags as a null-pointer store.
+Network::RunCheckpoint*& CheckpointSlot() {
+  static thread_local Network::RunCheckpoint* slot = nullptr;
+  return slot;
+}
+
+}  // namespace
+
+void Network::ArmCheckpoint(RunCheckpoint* cp) { CheckpointSlot() = cp; }
+Network::RunCheckpoint* Network::armed_checkpoint() { return CheckpointSlot(); }
+
+namespace {
+
+// Real bytes one hop of `msg` occupies on the air.  wire.h is a leaf header
+// (message + status only), so charging actual frame lengths here does not
+// create a sim <-> proto link cycle.
+inline uint64_t FrameBytes(const Message& msg) {
+  return static_cast<uint64_t>(wire::FrameSize(msg));
+}
+
+}  // namespace
 
 Network::Network(Topology topology, Config config)
     : topology_(std::move(topology)),
@@ -173,11 +200,11 @@ void Network::Send(int from, int to, Message msg) {
        !HasLiveEdge(from, to));
   if (fault_drop || churn_drop) {
     if (churn_drop) ++churn_drops_;
-    stats_.RecordDropped(msg.category, msg.CostUnits());
+    stats_.RecordDropped(msg.category, msg.CostUnits(), FrameBytes(msg));
     if (observer_ != nullptr) observer_->OnDrop(Now(), from, to, msg);
     return;
   }
-  stats_.Record(msg.category, msg.CostUnits());
+  stats_.Record(msg.category, msg.CostUnits(), FrameBytes(msg));
   if (observer_ != nullptr) observer_->OnSend(Now(), from, to, msg, delay);
   ScheduleDelivery(delay, from, to, std::move(msg));
 }
@@ -252,11 +279,12 @@ void Network::SendShared(int from, int to,
        !HasLiveEdge(from, to));
   if (fault_drop || churn_drop) {
     if (churn_drop) ++churn_drops_;
-    stats_.RecordDropped(wire->category, wire->CostUnits());
+    stats_.RecordDropped(wire->category, wire->CostUnits(),
+                         FrameBytes(*wire));
     if (observer_ != nullptr) observer_->OnDrop(Now(), from, to, *wire);
     return;
   }
-  stats_.Record(wire->category, wire->CostUnits());
+  stats_.Record(wire->category, wire->CostUnits(), FrameBytes(*wire));
   if (observer_ != nullptr) observer_->OnSend(Now(), from, to, *wire, delay);
   if (wire == &chopped) {
     queue_.ScheduleAfter(delay, [this, from, to, m = std::move(chopped)]() {
@@ -307,11 +335,12 @@ void Network::SendSharedArena(int from, int to, MessageArena::Slot* shared) {
     // The leg never schedules, so it takes no reference: a fan-out whose
     // legs all drop releases the payload when Broadcast drops its own ref.
     if (churn_drop) ++churn_drops_;
-    stats_.RecordDropped(wire->category, wire->CostUnits());
+    stats_.RecordDropped(wire->category, wire->CostUnits(),
+                         FrameBytes(*wire));
     if (observer_ != nullptr) observer_->OnDrop(Now(), from, to, *wire);
     return;
   }
-  stats_.Record(wire->category, wire->CostUnits());
+  stats_.Record(wire->category, wire->CostUnits(), FrameBytes(*wire));
   if (observer_ != nullptr) observer_->OnSend(Now(), from, to, *wire, delay);
   if (truncated) {
     queue_.ScheduleDeliveryAfter(delay, from, to,
@@ -377,7 +406,7 @@ int Network::SendRouted(int from, int to, Message msg) {
     // Churn link removals can partition the live graph; a routed message
     // with no path is lost (and charged once, like any other lost frame).
     ++churn_drops_;
-    stats_.RecordDropped(msg.category, msg.CostUnits());
+    stats_.RecordDropped(msg.category, msg.CostUnits(), FrameBytes(msg));
     if (observer_ != nullptr) observer_->OnDrop(Now(), from, to, msg);
     return 0;
   }
@@ -385,6 +414,9 @@ int Network::SendRouted(int from, int to, Message msg) {
   // End-to-end payload corruption: one truncation decision per routed
   // message, drawn before the per-hop loss draws.
   if (fault_.enabled()) MaybeTruncate(&msg);
+  // The identical frame is on the air at every hop, so its length is
+  // computed once per routed message, not once per relay.
+  const uint64_t frame_bytes = FrameBytes(msg);
   // Walk the path hop by hop: each relay transmission is charged when it
   // happens and any hop can lose the message (relay crashed, link down or
   // lossy, next relay dead on arrival).  Fault-free, this performs exactly
@@ -408,13 +440,13 @@ int Network::SendRouted(int from, int to, Message msg) {
          churn_.IsAbsent(next, Now() + delay + hop_delay));
     if (fault_drop || churn_drop) {
       if (churn_drop) ++churn_drops_;
-      stats_.RecordDropped(msg.category, msg.CostUnits());
+      stats_.RecordDropped(msg.category, msg.CostUnits(), frame_bytes);
       if (observer_ != nullptr) {
         observer_->OnDrop(Now() + delay, cur, next, msg);
       }
       return hops;
     }
-    stats_.Record(msg.category, msg.CostUnits());
+    stats_.Record(msg.category, msg.CostUnits(), frame_bytes);
     if (observer_ != nullptr) observer_->OnHop(Now() + delay, cur, next, msg);
     delay += hop_delay;
     prev = cur;
@@ -447,7 +479,31 @@ uint64_t Network::Run(uint64_t max_events) {
     ELINK_CHECK(nodes_[id] != nullptr);
   }
   hit_event_cap_ = false;
-  const uint64_t dispatched = queue_.RunAll(max_events);
+  uint64_t dispatched = 0;
+  RunCheckpoint* cp = armed_checkpoint();
+  if (cp == nullptr) {
+    dispatched = queue_.RunAll(max_events);
+  } else {
+    // Chunked drain around the checkpoint: RunAll is resumable mid-bucket,
+    // so splitting one drain into two is unobservable to the simulation.
+    while (dispatched < max_events) {
+      uint64_t budget = max_events - dispatched;
+      if (!cp->fired && cp->countdown < budget) budget = cp->countdown;
+      const uint64_t ran = budget == 0 ? 0 : queue_.RunAll(budget);
+      dispatched += ran;
+      cp->dispatched += ran;
+      if (!cp->fired) {
+        cp->countdown -= ran;
+        if (cp->countdown == 0) {
+          cp->fired = true;
+          if (cp->on_fire) cp->on_fire(*this);
+        }
+      }
+      // A short chunk means the queue drained; the checkpoint (if still
+      // unfired) stays armed for the thread's next Run.
+      if (ran < budget) break;
+    }
+  }
   if (dispatched >= max_events && !queue_.Empty()) {
     hit_event_cap_ = true;
     ELINK_LOG(Warning) << "Network::Run hit the event cap (" << max_events

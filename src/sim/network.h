@@ -63,6 +63,16 @@ class Node {
     (void)neighbor, (void)up;
   }
 
+  /// Appends this node's protocol state to `out` for a whole-network
+  /// snapshot (proto/snapshot.h).  The encoding must be deterministic: two
+  /// nodes in identical states must emit identical bytes, since the
+  /// restore path proves state equality by byte comparison.  The base
+  /// emits nothing — stateless relays have nothing to persist; the proto
+  /// runtime overrides this with its transport state.
+  virtual void EncodeSnapshotState(std::vector<uint8_t>* out) const {
+    (void)out;
+  }
+
   int id() const { return id_; }
 
  protected:
@@ -170,6 +180,33 @@ class Network {
   /// a warning is logged — callers turn that into a Status instead of the
   /// process aborting.
   uint64_t Run(uint64_t max_events = 200'000'000ULL);
+
+  /// Mid-run checkpoint seam for the snapshot layer (proto/snapshot.h).
+  ///
+  /// While armed, every Network on the arming thread counts the events it
+  /// dispatches into `dispatched`; when the cumulative count reaches the
+  /// initial `countdown`, `on_fire` runs once, from inside Run between two
+  /// events, with the Network that crossed the threshold.  The callback is
+  /// a read-only witness: it must not send, schedule, or draw randomness —
+  /// runs with and without an armed checkpoint are byte-identical.
+  ///
+  /// Armed Run calls drain in two RunAll chunks instead of one (RunAll is
+  /// resumable mid-bucket, so the split is unobservable); disarmed runs
+  /// pay one thread-local load per Run call and nothing per event.
+  struct RunCheckpoint {
+    /// Events still to dispatch before firing (UINT64_MAX: never fire —
+    /// pure event counting).
+    uint64_t countdown = UINT64_MAX;
+    /// Total events dispatched while this checkpoint was armed.
+    uint64_t dispatched = 0;
+    bool fired = false;
+    std::function<void(Network&)> on_fire;
+  };
+
+  /// Arms `cp` for the calling thread (nullptr disarms).  The caller owns
+  /// the checkpoint and must disarm before it goes out of scope.
+  static void ArmCheckpoint(RunCheckpoint* cp);
+  static RunCheckpoint* armed_checkpoint();
 
   /// True when the last Run() stopped at the event cap with events pending.
   bool hit_event_cap() const { return hit_event_cap_; }

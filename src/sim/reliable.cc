@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "proto/wire.h"
+
 namespace elink {
 
 namespace {
@@ -122,6 +124,36 @@ bool ReliableChannel::OnTimer(int timer_id) {
   Dispatch(p.to, p.routed, copy);
   network_->SetTimer(self_, p.timeout, timer_id);
   return true;
+}
+
+void ReliableChannel::EncodeSnapshotState(std::vector<uint8_t>* out) const {
+  wire::PutU8(attached() ? 1 : 0, out);
+  if (!attached()) return;
+  wire::PutZigzag(self_, out);
+  wire::PutZigzag(next_seq_, out);
+  wire::PutVarint(retransmissions_, out);
+  wire::PutVarint(gave_up_count_, out);
+  // In-flight sends, ascending by sequence number (std::map order).  The
+  // payload travels as a real wire frame plus its accounting category and
+  // retx label (neither is on the radio frame).
+  wire::PutVarint(pending_.size(), out);
+  for (const auto& [seq, p] : pending_) {
+    wire::PutZigzag(seq, out);
+    wire::PutZigzag(p.to, out);
+    wire::PutU8(p.routed ? 1 : 0, out);
+    wire::PutZigzag(p.attempts, out);
+    wire::PutF64Le(p.timeout, out);
+    wire::PutString(p.msg.category, out);
+    wire::PutString(p.retx_category, out);
+    wire::EncodeFrame(p.msg, out);
+  }
+  // Delivery history: originator -> delivered seqs, both in ascending order.
+  wire::PutVarint(delivered_.size(), out);
+  for (const auto& [from, seqs] : delivered_) {
+    wire::PutZigzag(from, out);
+    wire::PutVarint(seqs.size(), out);
+    for (const long long s : seqs) wire::PutZigzag(s, out);
+  }
 }
 
 }  // namespace elink

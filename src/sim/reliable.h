@@ -82,6 +82,14 @@ class ReliableChannel {
   /// Messages currently awaiting acknowledgment.
   size_t in_flight() const { return pending_.size(); }
 
+  /// Appends the channel's full transport state — sequence counter,
+  /// in-flight sends (with their payloads as encoded wire frames), delivery
+  /// history — to `out`, for a whole-network snapshot (proto/snapshot.h).
+  /// Deterministic: equal states emit equal bytes (both maps iterate in key
+  /// order), which is what lets the restore path prove equality by byte
+  /// comparison.
+  void EncodeSnapshotState(std::vector<uint8_t>* out) const;
+
   /// Total retransmissions performed.
   uint64_t retransmissions() const { return retransmissions_; }
 

@@ -1,5 +1,7 @@
 #include "sim/stats.h"
 
+#include <algorithm>
+
 #include "common/strings.h"
 
 namespace elink {
@@ -20,21 +22,27 @@ const MessageStats::Counters* MessageStats::Find(
   return it == index_.end() ? nullptr : &counters_[it->second];
 }
 
-void MessageStats::Record(const std::string& category, int units) {
+void MessageStats::Record(const std::string& category, int units,
+                          uint64_t bytes) {
   total_sends_ += 1;
   total_units_ += static_cast<uint64_t>(units);
+  total_bytes_ += bytes;
   Counters& c = counters_[Intern(category)];
   c.units += static_cast<uint64_t>(units);
   c.sends += 1;
+  c.bytes += bytes;
   views_dirty_ = true;
 }
 
-void MessageStats::RecordDropped(const std::string& category, int units) {
+void MessageStats::RecordDropped(const std::string& category, int units,
+                                 uint64_t bytes) {
   dropped_sends_ += 1;
   dropped_units_ += static_cast<uint64_t>(units);
+  dropped_bytes_ += bytes;
   Counters& c = counters_[Intern(category)];
   c.dropped_units += static_cast<uint64_t>(units);
   c.dropped_sends += 1;
+  c.dropped_bytes += bytes;
   views_dirty_ = true;
 }
 
@@ -64,6 +72,35 @@ uint64_t MessageStats::dropped(const std::string& category) const {
   return c == nullptr ? 0 : c->dropped_units;
 }
 
+uint64_t MessageStats::bytes(const std::string& category) const {
+  const Counters* c = Find(category);
+  return c == nullptr ? 0 : c->bytes;
+}
+
+uint64_t MessageStats::dropped_sends(const std::string& category) const {
+  const Counters* c = Find(category);
+  return c == nullptr ? 0 : c->dropped_sends;
+}
+
+std::vector<MessageStats::CategorySnapshot> MessageStats::Snapshot() const {
+  std::vector<CategorySnapshot> out;
+  out.reserve(names_.size());
+  for (size_t id = 0; id < names_.size(); ++id) {
+    const Counters& c = counters_[id];
+    if (c.sends == 0 && c.dropped_sends == 0 && c.decode_errors == 0) {
+      continue;
+    }
+    out.push_back(CategorySnapshot{names_[id], c.units, c.sends, c.bytes,
+                                   c.dropped_units, c.dropped_sends,
+                                   c.dropped_bytes, c.decode_errors});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const CategorySnapshot& a, const CategorySnapshot& b) {
+              return a.category < b.category;
+            });
+  return out;
+}
+
 const std::map<std::string, uint64_t>& MessageStats::units_by_category()
     const {
   if (views_dirty_) {
@@ -89,8 +126,10 @@ const std::map<std::string, uint64_t>& MessageStats::dropped_by_category()
 void MessageStats::Reset() {
   total_sends_ = 0;
   total_units_ = 0;
+  total_bytes_ = 0;
   dropped_sends_ = 0;
   dropped_units_ = 0;
+  dropped_bytes_ = 0;
   decode_errors_ = 0;
   // The intern table survives a Reset (categories recur across runs); only
   // the counters are zeroed, so nothing is "recorded" afterwards.
@@ -103,8 +142,10 @@ void MessageStats::Reset() {
 void MessageStats::Merge(const MessageStats& other) {
   total_sends_ += other.total_sends_;
   total_units_ += other.total_units_;
+  total_bytes_ += other.total_bytes_;
   dropped_sends_ += other.dropped_sends_;
   dropped_units_ += other.dropped_units_;
+  dropped_bytes_ += other.dropped_bytes_;
   decode_errors_ += other.decode_errors_;
   for (size_t id = 0; id < other.names_.size(); ++id) {
     const Counters& oc = other.counters_[id];
@@ -114,8 +155,10 @@ void MessageStats::Merge(const MessageStats& other) {
     Counters& c = counters_[Intern(other.names_[id])];
     c.units += oc.units;
     c.sends += oc.sends;
+    c.bytes += oc.bytes;
     c.dropped_units += oc.dropped_units;
     c.dropped_sends += oc.dropped_sends;
+    c.dropped_bytes += oc.dropped_bytes;
     c.decode_errors += oc.decode_errors;
   }
   views_dirty_ = true;

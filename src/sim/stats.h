@@ -26,13 +26,16 @@ namespace elink {
 class MessageStats {
  public:
   /// Records one single-hop transmission of `units` payload units under
-  /// `category`.
-  void Record(const std::string& category, int units);
+  /// `category`.  `bytes` is the encoded frame length on the air
+  /// (wire::FrameSize); callers accounting outside the Network pass 0 —
+  /// the byte columns then simply report "never framed".
+  void Record(const std::string& category, int units, uint64_t bytes = 0);
 
   /// Records one transmission of `units` under `category` that was lost to
   /// fault injection (link loss, outage, or a crashed endpoint).  Dropped
   /// sends are tallied separately and never enter the delivered totals.
-  void RecordDropped(const std::string& category, int units);
+  void RecordDropped(const std::string& category, int units,
+                     uint64_t bytes = 0);
 
   /// Records one delivered message that the receiving protocol could not
   /// decode (truncated or malformed payload).  Decode failures are a
@@ -46,11 +49,24 @@ class MessageStats {
   /// Paper-style message units (coefficients/data values, >= sends).
   uint64_t total_units() const { return total_units_; }
 
+  /// Real bytes-on-wire of all delivered transmissions (frame encoding of
+  /// every charged hop; 0 contributions from out-of-network bookkeeping).
+  uint64_t total_bytes() const { return total_bytes_; }
+
+  /// Bytes-on-wire lost to fault injection.
+  uint64_t dropped_bytes() const { return dropped_bytes_; }
+
   /// Units recorded under one category (0 when absent).
   uint64_t units(const std::string& category) const;
 
   /// Sends recorded under one category (0 when absent).
   uint64_t sends(const std::string& category) const;
+
+  /// Bytes-on-wire recorded under one category (0 when absent).
+  uint64_t bytes(const std::string& category) const;
+
+  /// Dropped sends recorded under one category (0 when absent).
+  uint64_t dropped_sends(const std::string& category) const;
 
   /// All categories and their unit counts (materialized view, valid until
   /// the next mutation).
@@ -81,8 +97,23 @@ class MessageStats {
   /// Adds another ledger into this one.
   void Merge(const MessageStats& other);
 
-  /// One-line rendering "total=... (cat1=..., cat2=...)".
+  /// One-line rendering "total=... (cat1=..., cat2=...)".  Byte counters are
+  /// deliberately not rendered: the determinism goldens pin this string.
   std::string ToString() const;
+
+  /// Full per-category counter dump, sorted by category name — the
+  /// serialization/reporting view (snapshot sections, bench byte columns).
+  struct CategorySnapshot {
+    std::string category;
+    uint64_t units = 0;
+    uint64_t sends = 0;
+    uint64_t bytes = 0;
+    uint64_t dropped_units = 0;
+    uint64_t dropped_sends = 0;
+    uint64_t dropped_bytes = 0;
+    uint64_t decode_errors = 0;
+  };
+  std::vector<CategorySnapshot> Snapshot() const;
 
  private:
   /// Dense id of an interned category name.
@@ -95,8 +126,10 @@ class MessageStats {
   struct Counters {
     uint64_t units = 0;
     uint64_t sends = 0;
+    uint64_t bytes = 0;
     uint64_t dropped_units = 0;
     uint64_t dropped_sends = 0;
+    uint64_t dropped_bytes = 0;
     uint64_t decode_errors = 0;
   };
 
@@ -108,8 +141,10 @@ class MessageStats {
 
   uint64_t total_sends_ = 0;
   uint64_t total_units_ = 0;
+  uint64_t total_bytes_ = 0;
   uint64_t dropped_sends_ = 0;
   uint64_t dropped_units_ = 0;
+  uint64_t dropped_bytes_ = 0;
   uint64_t decode_errors_ = 0;
 
   std::vector<std::string> names_;   // CategoryId -> name.

@@ -4,11 +4,14 @@
 // protocol built on the runtime.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
 #include <optional>
+#include <string>
 #include <tuple>
+#include <vector>
 
 #include "cluster/elink.h"
 #include "cluster/elink_wire.h"
@@ -22,6 +25,9 @@
 #include "obs/telemetry.h"
 #include "proto/codec.h"
 #include "proto/harness.h"
+#include "proto/snapshot.h"
+#include "proto/version.h"
+#include "proto/wire.h"
 
 namespace elink {
 namespace {
@@ -229,6 +235,464 @@ TEST(ProtoCodecTest, RejectsMalformedFrames) {
   Result<query_wire::Visit> back = proto::Decode<query_wire::Visit>(no_budget);
   ASSERT_TRUE(back.ok());
   EXPECT_FALSE(back->budget.has_value());
+}
+
+// -- Byte-level wire format (proto/wire.h) ----------------------------------
+
+/// Integer fuzzer spanning every varint regime: tiny deltas, mid-range ids,
+/// full 64-bit values, and the exact two's-complement extremes.
+long long FuzzWireI64(Rng& rng) {
+  switch (rng.UniformInt(4)) {
+    case 0:
+      return static_cast<long long>(rng.UniformInt(16)) - 8;
+    case 1:
+      return FuzzI64(rng);
+    case 2:
+      return static_cast<long long>(rng.Next());
+    default:
+      return rng.Bernoulli(0.5) ? INT64_MAX : INT64_MIN;
+  }
+}
+
+/// Generic field-visitor that fills any schema with fuzzed values — the same
+/// VisitFields walk the codec uses, so it covers every field of all 34
+/// schemas without per-schema code.
+struct WireFuzzFill {
+  Rng* rng;
+  void I64(long long& v) { v = FuzzWireI64(*rng); }
+  void OptI64(std::optional<long long>& v) {
+    if (rng->Bernoulli(0.5)) {
+      v = FuzzWireI64(*rng);
+    } else {
+      v.reset();
+    }
+  }
+  void F64(double& v) { v = rng->Uniform(-1e9, 1e9); }
+  void Block(std::vector<double>& v) { v = FuzzBlock(*rng, 6); }
+};
+
+/// Full byte-level round trip for one schema: typed struct -> Message ->
+/// frame bytes -> Message -> typed struct, with the category re-derived from
+/// the packet id the way a byte-level receiver would.
+template <typename M>
+void CheckByteRoundTrip(M m, Rng& rng, const char* (*category_of)(int)) {
+  WireFuzzFill fill{&rng};
+  m.VisitFields(fill);
+  Message encoded = proto::Encode(m);
+  if (rng.Bernoulli(0.4)) {  // Sometimes ride a reliable-transport envelope.
+    encoded.rel_seq = static_cast<long long>(rng.UniformInt(1u << 20));
+    encoded.rel_from = static_cast<int>(rng.UniformInt(1024));
+    encoded.rel_ack = rng.Bernoulli(0.5);
+  }
+  const std::vector<uint8_t> frame = wire::EncodeFrame(encoded);
+  ASSERT_EQ(frame.size(), wire::FrameSize(encoded));
+  Result<Message> back = wire::DecodeFrame(frame);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(back->category.empty());  // The category never travels.
+  const char* category = category_of(back->type);
+  ASSERT_NE(category, nullptr);
+  EXPECT_STREQ(category, M::kCategory);
+  back->category = category;
+  EXPECT_EQ(back->rel_seq, encoded.rel_seq);
+  EXPECT_EQ(back->rel_from, encoded.rel_from);
+  EXPECT_EQ(back->rel_ack, encoded.rel_ack);
+  Result<M> typed = proto::Decode<M>(*back);
+  ASSERT_TRUE(typed.ok()) << typed.status().ToString();
+  EXPECT_EQ(*typed, m);
+}
+
+TEST(WireFormatTest, AllSchemasByteRoundTrip) {
+  Rng rng(2026);
+  for (int trial = 0; trial < 25; ++trial) {
+    elink_wire::ForEachSchema([&](auto m) {
+      CheckByteRoundTrip(std::move(m), rng, &elink_wire::CategoryForType);
+    });
+    maint_wire::ForEachSchema([&](auto m) {
+      CheckByteRoundTrip(std::move(m), rng, &maint_wire::CategoryForType);
+    });
+    query_wire::ForEachSchema([&](auto m) {
+      CheckByteRoundTrip(std::move(m), rng, &query_wire::CategoryForType);
+    });
+    path_wire::ForEachSchema([&](auto m) {
+      CheckByteRoundTrip(std::move(m), rng, &path_wire::CategoryForType);
+    });
+  }
+}
+
+/// A representative frame with every body feature present: multiple ints
+/// (exercising delta coding), a double block, and the reliable envelope.
+Message DenseWireMessage() {
+  maint_wire::ProbeReply reply;
+  reply.root = 1'000'000'007;
+  reply.settled = 1;
+  reply.stored_root = {3.25, -0.5, 1e300};
+  Message msg = proto::Encode(reply);
+  msg.rel_seq = 41;
+  msg.rel_from = 17;
+  return msg;
+}
+
+TEST(WireFormatTest, TruncationAtEveryByteOffsetRejects) {
+  const std::vector<uint8_t> frame = wire::EncodeFrame(DenseWireMessage());
+  for (size_t len = 0; len < frame.size(); ++len) {
+    EXPECT_FALSE(wire::DecodeFrame(frame.data(), len).ok())
+        << "prefix of " << len << " bytes decoded";
+    size_t consumed = 0;
+    EXPECT_FALSE(wire::DecodeFrame(frame.data(), len, &consumed).ok())
+        << "prefix of " << len << " bytes decoded in stream mode";
+  }
+  ASSERT_TRUE(wire::DecodeFrame(frame).ok());
+}
+
+TEST(WireFormatTest, EveryBitFlipRejects) {
+  // CRC32 detects all bursts shorter than 32 bits, the magic byte is checked
+  // first, and a flip inside the CRC trailer itself mismatches the body: a
+  // single flipped bit anywhere is a guaranteed deterministic reject.
+  std::vector<uint8_t> frame = wire::EncodeFrame(DenseWireMessage());
+  for (size_t off = 0; off < frame.size(); ++off) {
+    for (int bit = 0; bit < 8; ++bit) {
+      frame[off] ^= static_cast<uint8_t>(1u << bit);
+      EXPECT_FALSE(wire::DecodeFrame(frame).ok())
+          << "flip of bit " << bit << " at offset " << off << " decoded";
+      frame[off] ^= static_cast<uint8_t>(1u << bit);
+    }
+  }
+  ASSERT_TRUE(wire::DecodeFrame(frame).ok());
+}
+
+/// Builds a frame by hand around `body`, with a valid CRC — for injecting
+/// defects the public encoder cannot produce.
+std::vector<uint8_t> FrameFromBody(uint8_t version,
+                                   const std::vector<uint8_t>& body) {
+  std::vector<uint8_t> out;
+  out.push_back(wire::kFrameMagic);
+  const size_t covered_start = out.size();
+  out.push_back(version);
+  wire::PutVarint(body.size(), &out);
+  out.insert(out.end(), body.begin(), body.end());
+  wire::PutU32Le(
+      wire::Crc32(out.data() + covered_start, out.size() - covered_start),
+      &out);
+  return out;
+}
+
+/// The body bytes of a valid frame (everything between the length varint and
+/// the CRC), so tests can mutate the body and re-frame it with a good CRC.
+std::vector<uint8_t> BodyOf(const Message& msg) {
+  std::vector<uint8_t> body;
+  wire::EncodeBody(msg, &body);
+  return body;
+}
+
+TEST(WireFormatTest, UnknownVersionRejectsEvenWithValidCrc) {
+  const std::vector<uint8_t> body = BodyOf(DenseWireMessage());
+  for (const uint8_t version : {uint8_t{0}, uint8_t{2}, uint8_t{255}}) {
+    const std::vector<uint8_t> frame = FrameFromBody(version, body);
+    const Result<Message> r = wire::DecodeFrame(frame);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kUnimplemented)
+        << r.status().ToString();
+  }
+  // The same body under the supported version is fine.
+  EXPECT_TRUE(wire::DecodeFrame(FrameFromBody(wire::kWireVersion, body)).ok());
+}
+
+TEST(WireFormatTest, BadMagicRejects) {
+  std::vector<uint8_t> frame = wire::EncodeFrame(DenseWireMessage());
+  frame[0] = 0x00;
+  EXPECT_FALSE(wire::DecodeFrame(frame).ok());
+  EXPECT_FALSE(wire::DecodeFrame(frame.data(), 0).ok());  // Empty span.
+}
+
+TEST(WireFormatTest, UnknownFlagBitsReject) {
+  Message msg = DenseWireMessage();
+  std::vector<uint8_t> body = BodyOf(msg);
+  // The flags byte sits right after the packet-id zigzag varint.
+  const size_t flags_off =
+      wire::VarintSize(wire::ZigzagEncode(msg.type));
+  body[flags_off] |= 0x04;  // An undefined flag bit, CRC made valid again.
+  const Result<Message> r = wire::DecodeFrame(FrameFromBody(wire::kWireVersion, body));
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("flag"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(WireFormatTest, TrailingBytesInsideBodyReject) {
+  std::vector<uint8_t> body = BodyOf(DenseWireMessage());
+  body.push_back(0x00);  // Length varint will claim the extra byte.
+  EXPECT_FALSE(wire::DecodeFrame(FrameFromBody(wire::kWireVersion, body)).ok());
+}
+
+TEST(WireFormatTest, FieldCountCapsReject) {
+  // A body claiming 2^20 + 1 doubles with no data behind the claim.
+  std::vector<uint8_t> body;
+  wire::PutZigzag(1, &body);                       // Packet id.
+  body.push_back(0);                               // Flags.
+  wire::PutVarint(0, &body);                       // nints.
+  wire::PutVarint(wire::kMaxFieldCount + 1, &body);  // ndoubles: over cap.
+  EXPECT_FALSE(wire::DecodeFrame(FrameFromBody(wire::kWireVersion, body)).ok());
+}
+
+TEST(WireFormatTest, StreamFramingConsumesExactly) {
+  const Message a = DenseWireMessage();
+  const Message b = proto::Encode(elink_wire::Start{});
+  std::vector<uint8_t> stream = wire::EncodeFrame(a);
+  const size_t first_len = stream.size();
+  wire::EncodeFrame(b, &stream);
+
+  // Without `consumed`, trailing bytes are an error.
+  EXPECT_FALSE(wire::DecodeFrame(stream).ok());
+
+  // With `consumed`, the stream parses frame by frame.
+  size_t consumed = 0;
+  Result<Message> first = wire::DecodeFrame(stream.data(), stream.size(),
+                                            &consumed);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(consumed, first_len);
+  EXPECT_EQ(first->type, a.type);
+  Result<Message> second = wire::DecodeFrame(stream.data() + consumed,
+                                             stream.size() - consumed,
+                                             &consumed);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(consumed, stream.size() - first_len);
+  EXPECT_EQ(second->type, b.type);
+}
+
+TEST(WireFormatTest, DeltaCodingKeepsNearbyIdsSmall) {
+  // Two billion-scale ids one apart cost five varint bytes for the first and
+  // one for the delta; the same ids with opposite signs pay full freight.
+  elink_wire::Expand near;
+  near.root = 1'000'000'000;
+  near.level = 1'000'000'001;
+  elink_wire::Expand far = near;
+  far.level = -1'000'000'001;
+  const size_t near_bytes = wire::FrameSize(proto::Encode(near));
+  const size_t far_bytes = wire::FrameSize(proto::Encode(far));
+  EXPECT_LT(near_bytes, far_bytes);
+  EXPECT_EQ(far_bytes - near_bytes, 4u);  // 5-byte delta shrinks to 1.
+}
+
+TEST(WireFormatTest, IntExtremesAndDeltaWraparoundRoundTrip) {
+  maint_wire::EpochReport er;
+  er.root = INT64_MAX;
+  er.origin = INT64_MIN;  // Delta wraps the full two's-complement circle.
+  er.seq = -1;
+  er.ttl = INT64_MAX;
+  const Message encoded = proto::Encode(er);
+  Result<Message> back = wire::DecodeFrame(wire::EncodeFrame(encoded));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  back->category = maint_wire::EpochReport::kCategory;
+  Result<maint_wire::EpochReport> typed =
+      proto::Decode<maint_wire::EpochReport>(*back);
+  ASSERT_TRUE(typed.ok());
+  EXPECT_EQ(*typed, er);
+}
+
+// -- Version negotiation (proto/version.h) ----------------------------------
+
+TEST(VersionNegotiationTest, PicksHighestCommonVersion) {
+  Result<uint8_t> v =
+      proto::NegotiateVersion(proto::VersionRange{1, 3}, proto::VersionRange{2, 5});
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 3);
+  v = proto::NegotiateVersion(proto::VersionRange{2, 5}, proto::VersionRange{1, 3});
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 3);
+  v = proto::NegotiateVersion(proto::VersionRange{1, 1}, proto::VersionRange{1, 1});
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 1);
+}
+
+TEST(VersionNegotiationTest, DisjointSpansFailGracefully) {
+  const Result<uint8_t> v =
+      proto::NegotiateVersion(proto::VersionRange{1, 2}, proto::VersionRange{3, 4});
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kFailedPrecondition);
+}
+
+/// Ships a handshake schema through actual frame bytes, the way a deployment
+/// would: Encode -> EncodeFrame -> DecodeFrame -> Decode.
+template <typename M>
+M ShipOverWire(const M& m) {
+  Result<Message> framed = wire::DecodeFrame(wire::EncodeFrame(proto::Encode(m)));
+  EXPECT_TRUE(framed.ok()) << framed.status().ToString();
+  framed->category = M::kCategory;
+  Result<M> back = proto::Decode<M>(*framed);
+  EXPECT_TRUE(back.ok()) << back.status().ToString();
+  return *back;
+}
+
+TEST(VersionNegotiationTest, HandshakeOverWireFramesEstablishes) {
+  proto::VersionHandshake a, b;
+  EXPECT_EQ(a.state(), proto::VersionHandshake::State::kIdle);
+
+  const proto::handshake_wire::Hello hello_a = ShipOverWire(a.MakeHello());
+  EXPECT_EQ(a.state(), proto::VersionHandshake::State::kHelloSent);
+  EXPECT_EQ(hello_a.version_min, wire::kWireVersionMin);
+  EXPECT_EQ(hello_a.version_max, wire::kWireVersionMax);
+
+  // The passive side answers from kIdle and establishes.
+  Result<uint8_t> agreed_b = b.OnHello(hello_a);
+  ASSERT_TRUE(agreed_b.ok());
+  EXPECT_EQ(b.state(), proto::VersionHandshake::State::kEstablished);
+
+  const proto::handshake_wire::Hello hello_b = ShipOverWire(b.MakeHello());
+  Result<uint8_t> agreed_a = a.OnHello(hello_b);
+  ASSERT_TRUE(agreed_a.ok());
+  EXPECT_EQ(a.state(), proto::VersionHandshake::State::kEstablished);
+  EXPECT_EQ(a.agreed_version(), b.agreed_version());
+  EXPECT_EQ(a.agreed_version(), wire::kWireVersion);
+}
+
+TEST(VersionNegotiationTest, DisjointHandshakeRejectsWithSpan) {
+  proto::VersionHandshake low(proto::VersionRange{1, 1});
+  proto::VersionHandshake high(proto::VersionRange{7, 9});
+
+  const proto::handshake_wire::Hello hello = ShipOverWire(low.MakeHello());
+  const Result<uint8_t> agreed = high.OnHello(hello);
+  ASSERT_FALSE(agreed.ok());
+  EXPECT_EQ(agreed.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(high.state(), proto::VersionHandshake::State::kRejected);
+
+  // The reject names the refusing side's span and ends the peer's session.
+  const proto::handshake_wire::Reject reject = ShipOverWire(high.MakeReject());
+  EXPECT_EQ(reject.version_min, 7);
+  EXPECT_EQ(reject.version_max, 9);
+  low.OnReject(reject);
+  EXPECT_EQ(low.state(), proto::VersionHandshake::State::kRejected);
+}
+
+// -- Snapshot container (proto/snapshot.h) ----------------------------------
+
+TEST(SnapshotContainerTest, RoundTripsSectionsInOrder) {
+  proto::SnapshotWriter w;
+  ASSERT_TRUE(w.AddSection("alpha", {1, 2, 3}).ok());
+  ASSERT_TRUE(w.AddSection("beta", {}).ok());  // Empty bodies are legal.
+  ASSERT_TRUE(w.AddSection("gamma", std::vector<uint8_t>(100, 0xAB)).ok());
+  const std::vector<uint8_t> archive = w.Finish();
+
+  Result<proto::SnapshotReader> r = proto::SnapshotReader::Parse(archive);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->version(), wire::kWireVersion);
+  EXPECT_EQ(r->section_names(),
+            (std::vector<std::string>{"alpha", "beta", "gamma"}));
+  ASSERT_NE(r->section("alpha"), nullptr);
+  EXPECT_EQ(*r->section("alpha"), (std::vector<uint8_t>{1, 2, 3}));
+  ASSERT_NE(r->section("beta"), nullptr);
+  EXPECT_TRUE(r->section("beta")->empty());
+  ASSERT_NE(r->section("gamma"), nullptr);
+  EXPECT_EQ(r->section("gamma")->size(), 100u);
+  EXPECT_EQ(r->section("missing"), nullptr);
+}
+
+TEST(SnapshotContainerTest, DuplicateSectionNameRejects) {
+  proto::SnapshotWriter w;
+  ASSERT_TRUE(w.AddSection("alpha", {1}).ok());
+  EXPECT_FALSE(w.AddSection("alpha", {2}).ok());
+}
+
+TEST(SnapshotContainerTest, TruncationAtEveryByteOffsetRejects) {
+  proto::SnapshotWriter w;
+  ASSERT_TRUE(w.AddSection("alpha", {1, 2, 3}).ok());
+  ASSERT_TRUE(w.AddSection("beta", {4}).ok());
+  const std::vector<uint8_t> archive = w.Finish();
+  for (size_t len = 0; len < archive.size(); ++len) {
+    EXPECT_FALSE(proto::SnapshotReader::Parse(archive.data(), len).ok())
+        << "prefix of " << len << " bytes parsed";
+  }
+  EXPECT_TRUE(proto::SnapshotReader::Parse(archive).ok());
+}
+
+TEST(SnapshotContainerTest, SectionCorruptionRejects) {
+  proto::SnapshotWriter w;
+  ASSERT_TRUE(w.AddSection("alpha", {1, 2, 3, 4, 5}).ok());
+  std::vector<uint8_t> archive = w.Finish();
+  // Flip a bit in the last section-body byte (5 lives right before the CRC).
+  const size_t body_byte = archive.size() - 5;
+  archive[body_byte] ^= 0x10;
+  const Result<proto::SnapshotReader> r = proto::SnapshotReader::Parse(archive);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("CRC"), std::string::npos)
+      << r.status().ToString();
+  archive[body_byte] ^= 0x10;
+  EXPECT_TRUE(proto::SnapshotReader::Parse(archive).ok());
+}
+
+TEST(SnapshotContainerTest, BadMagicRejects) {
+  proto::SnapshotWriter w;
+  std::vector<uint8_t> archive = w.Finish();
+  archive[0] = 'X';
+  EXPECT_FALSE(proto::SnapshotReader::Parse(archive).ok());
+}
+
+TEST(SnapshotContainerTest, VersionSpanNegotiatesOrRejects) {
+  proto::SnapshotWriter w(proto::VersionRange{5, 9});
+  const std::vector<uint8_t> archive = w.Finish();
+
+  // A reader that only speaks version 1 refuses the archive gracefully.
+  const Result<proto::SnapshotReader> refused =
+      proto::SnapshotReader::Parse(archive, proto::VersionRange{1, 1});
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kFailedPrecondition);
+
+  // A reader spanning the writer agrees on the highest common version.
+  const Result<proto::SnapshotReader> agreed =
+      proto::SnapshotReader::Parse(archive, proto::VersionRange{1, 7});
+  ASSERT_TRUE(agreed.ok()) << agreed.status().ToString();
+  EXPECT_EQ(agreed->version(), 7);
+}
+
+TEST(SnapshotCodecTest, ManifestRoundTrips) {
+  const std::map<std::string, std::string> kv{
+      {"protocol", "elink"}, {"seed", "42"}, {"disable", ""}};
+  std::vector<uint8_t> body = proto::EncodeManifestSection(kv);
+  const Result<std::map<std::string, std::string>> back =
+      proto::DecodeManifestSection(body);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(*back, kv);
+
+  // Truncated and padded bodies both reject.
+  std::vector<uint8_t> cut = body;
+  cut.pop_back();
+  EXPECT_FALSE(proto::DecodeManifestSection(cut).ok());
+  body.push_back(0x00);
+  EXPECT_FALSE(proto::DecodeManifestSection(body).ok());
+}
+
+TEST(SnapshotCodecTest, HorizonRoundTrips) {
+  proto::HorizonImage h;
+  h.events = 123456789;
+  h.now = 9876.5;
+  const Result<proto::HorizonImage> back =
+      proto::DecodeHorizonSection(proto::EncodeHorizonSection(h));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->events, h.events);
+  EXPECT_EQ(back->now, h.now);
+}
+
+TEST(SnapshotCodecTest, StatsRoundTrips) {
+  MessageStats stats;
+  stats.Record("expand", 4, 37);
+  stats.Record("expand", 1, 21);
+  stats.Record("ack1", 1, 19);
+  stats.RecordDropped("expand", 2, 29);
+  stats.RecordDecodeError("ack1");
+
+  const std::vector<uint8_t> body = proto::EncodeStatsSection(stats);
+  const Result<proto::StatsImage> img = proto::DecodeStatsSection(body);
+  ASSERT_TRUE(img.ok()) << img.status().ToString();
+  EXPECT_EQ(img->total_sends, stats.total_sends());
+  EXPECT_EQ(img->total_units, stats.total_units());
+  EXPECT_EQ(img->total_bytes, 77u);
+  EXPECT_EQ(img->dropped_sends, 1u);
+  EXPECT_EQ(img->dropped_bytes, 29u);
+  EXPECT_EQ(img->decode_errors, 1u);
+  ASSERT_EQ(img->categories.size(), 2u);  // Sorted by category name.
+  EXPECT_EQ(img->categories[0].category, "ack1");
+  EXPECT_EQ(img->categories[0].decode_errors, 1u);
+  EXPECT_EQ(img->categories[1].category, "expand");
+  EXPECT_EQ(img->categories[1].bytes, 58u);
+  EXPECT_EQ(img->categories[1].dropped_bytes, 29u);
 }
 
 SensorDataset Terrain(int n) {

@@ -1,0 +1,175 @@
+// Snapshot/restore equivalence suite (check/snapshot.h).
+//
+// Checkpoints fuzz trials mid-run at fuzzed event indices across all four
+// protocols — churn-active scenarios included — and proves every resumed
+// run byte-identical to its uninterrupted twin: the replayed capture must
+// reproduce the archive bit for bit, and the instrumented run's final
+// reports must equal the plain run's.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "check/runner.h"
+#include "check/scenario.h"
+#include "check/snapshot.h"
+#include "common/rng.h"
+#include "proto/snapshot.h"
+
+namespace elink {
+namespace check {
+namespace {
+
+/// Knobs for the equivalence sweep: the full scenario space, minus the
+/// wire-format mutation pass (orthogonal to snapshotting and covered by
+/// proto_test / check_fuzz).
+ScenarioKnobs SweepKnobs() {
+  ScenarioKnobs knobs;
+  knobs.wirefuzz = false;
+  return knobs;
+}
+
+TEST(SnapshotEquivalenceTest, FuzzedCheckpointsRoundTripAllProtocols) {
+  const ScenarioKnobs knobs = SweepKnobs();
+  Rng rng(77);
+  int verified = 0;
+  int churn_active = 0;
+  for (const Protocol protocol : AllProtocols()) {
+    for (uint64_t seed = 1; seed <= 25; ++seed) {
+      const uint64_t total = CountTrialEvents(protocol, seed, knobs);
+      ASSERT_GT(total, 0u) << ProtocolName(protocol) << " seed " << seed;
+      const uint64_t index = 1 + rng.UniformInt(total);
+      Result<SnapshotCapture> cap =
+          CaptureSnapshot(protocol, seed, knobs, index);
+      ASSERT_TRUE(cap.ok())
+          << ProtocolName(protocol) << " seed " << seed << " index " << index
+          << ": " << cap.status().ToString();
+      EXPECT_TRUE(cap->outcome.ok()) << cap->outcome.Summary();
+      EXPECT_EQ(cap->checkpoint, index);
+      ASSERT_FALSE(cap->archive.empty());
+      const Status restored = VerifySnapshot(cap->archive);
+      EXPECT_TRUE(restored.ok())
+          << ProtocolName(protocol) << " seed " << seed << " index " << index
+          << ": " << restored.ToString();
+      if (cap->outcome.scenario.churn.enabled()) ++churn_active;
+      ++verified;
+    }
+  }
+  EXPECT_EQ(verified, 100);
+  // The sweep must really cover topology dynamics, not just static runs.
+  EXPECT_GT(churn_active, 10);
+}
+
+TEST(SnapshotEquivalenceTest, ArchiveCarriesEveryStandardSection) {
+  const Protocol protocol = Protocol::kElink;
+  const uint64_t seed = 3;
+  const ScenarioKnobs knobs = SweepKnobs();
+  const uint64_t total = CountTrialEvents(protocol, seed, knobs);
+  const uint64_t index = total / 2 + 1;
+  Result<SnapshotCapture> cap = CaptureSnapshot(protocol, seed, knobs, index);
+  ASSERT_TRUE(cap.ok()) << cap.status().ToString();
+
+  Result<proto::SnapshotReader> reader =
+      proto::SnapshotReader::Parse(cap->archive);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  for (const char* name :
+       {proto::kSectionManifest, proto::kSectionHorizon, proto::kSectionStats,
+        proto::kSectionNodes, proto::kSectionLedger}) {
+    EXPECT_NE(reader->section(name), nullptr) << "missing section " << name;
+  }
+
+  const Result<std::map<std::string, std::string>> manifest =
+      proto::DecodeManifestSection(*reader->section(proto::kSectionManifest));
+  ASSERT_TRUE(manifest.ok());
+  EXPECT_EQ(manifest->at("protocol"), ProtocolName(protocol));
+  EXPECT_EQ(manifest->at("seed"), std::to_string(seed));
+  EXPECT_EQ(manifest->at("disable"), knobs.DisableList());
+  EXPECT_EQ(manifest->at("checkpoint"), std::to_string(index));
+
+  const Result<proto::HorizonImage> horizon =
+      proto::DecodeHorizonSection(*reader->section(proto::kSectionHorizon));
+  ASSERT_TRUE(horizon.ok());
+  EXPECT_EQ(horizon->events, index);
+}
+
+TEST(SnapshotEquivalenceTest, CheckpointProbeIsUnobservable) {
+  // The capture run (probe armed, snapshot taken mid-flight) must emit the
+  // exact final reports of a plain run — the byte equality VerifySnapshot's
+  // restore proof rests on.
+  const Protocol protocol = Protocol::kMaintenance;
+  const uint64_t seed = 11;
+  const ScenarioKnobs knobs = SweepKnobs();
+  const uint64_t total = CountTrialEvents(protocol, seed, knobs);
+  Result<SnapshotCapture> cap =
+      CaptureSnapshot(protocol, seed, knobs, total / 3 + 1);
+  ASSERT_TRUE(cap.ok()) << cap.status().ToString();
+
+  TrialArtifacts plain;
+  RunScenario(protocol, seed, knobs, &plain);
+  ASSERT_FALSE(plain.reports.empty());
+  EXPECT_EQ(plain.reports, cap->artifacts.reports);
+}
+
+TEST(SnapshotEquivalenceTest, CheckpointPastEndOfRunFails) {
+  const Protocol protocol = Protocol::kElink;
+  const uint64_t seed = 5;
+  const ScenarioKnobs knobs = SweepKnobs();
+  const uint64_t total = CountTrialEvents(protocol, seed, knobs);
+  const Result<SnapshotCapture> cap =
+      CaptureSnapshot(protocol, seed, knobs, total + 1000);
+  ASSERT_FALSE(cap.ok());
+  EXPECT_EQ(cap.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SnapshotEquivalenceTest, TamperedArchiveFailsVerification) {
+  const ScenarioKnobs knobs = SweepKnobs();
+  const uint64_t total = CountTrialEvents(Protocol::kRangeQuery, 7, knobs);
+  Result<SnapshotCapture> cap =
+      CaptureSnapshot(Protocol::kRangeQuery, 7, knobs, total / 2 + 1);
+  ASSERT_TRUE(cap.ok()) << cap.status().ToString();
+  ASSERT_TRUE(VerifySnapshot(cap->archive).ok());
+
+  std::vector<uint8_t> tampered = cap->archive;
+  tampered[tampered.size() / 2] ^= 0x01;  // Lands in some CRC-covered span.
+  EXPECT_FALSE(VerifySnapshot(tampered).ok());
+}
+
+TEST(SnapshotEquivalenceTest, ForgedManifestFailsReplayComparison) {
+  // An archive whose sections are internally consistent but whose manifest
+  // names a different seed: parsing succeeds, yet the replay of the claimed
+  // scenario cannot reproduce the captured state and the proof must fail.
+  const ScenarioKnobs knobs = SweepKnobs();
+  const uint64_t total = CountTrialEvents(Protocol::kElink, 9, knobs);
+  Result<SnapshotCapture> cap =
+      CaptureSnapshot(Protocol::kElink, 9, knobs, total / 2 + 1);
+  ASSERT_TRUE(cap.ok()) << cap.status().ToString();
+
+  Result<proto::SnapshotReader> reader =
+      proto::SnapshotReader::Parse(cap->archive);
+  ASSERT_TRUE(reader.ok());
+  Result<std::map<std::string, std::string>> manifest =
+      proto::DecodeManifestSection(*reader->section(proto::kSectionManifest));
+  ASSERT_TRUE(manifest.ok());
+  (*manifest)["seed"] = "10";  // Forge the scenario identity.
+
+  proto::SnapshotWriter forger;
+  for (const std::string& name : reader->section_names()) {
+    std::vector<uint8_t> body =
+        name == proto::kSectionManifest
+            ? proto::EncodeManifestSection(*manifest)
+            : *reader->section(name);
+    ASSERT_TRUE(forger.AddSection(name, std::move(body)).ok());
+  }
+  const std::vector<uint8_t> forged = forger.Finish();
+  ASSERT_TRUE(proto::SnapshotReader::Parse(forged).ok());
+
+  const Status verdict = VerifySnapshot(forged);
+  ASSERT_FALSE(verdict.ok());
+  EXPECT_EQ(verdict.code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace check
+}  // namespace elink
