@@ -1,0 +1,33 @@
+# ctest driver: profiles every protocol twice with the same seed and fails
+# unless the critical-path reports and collapsed-stack exports are
+# byte-identical — the determinism contract of the causal id assignment.
+#
+# Expects -DCAUSAL_PROFILE=<path to causal_profile binary>
+#         -DOUT_DIR=<scratch dir>.
+file(MAKE_DIRECTORY ${OUT_DIR})
+foreach(protocol elink maintenance range_query path_query)
+  foreach(pass a b)
+    execute_process(
+      COMMAND ${CAUSAL_PROFILE} --protocol ${protocol} --seed 7 --nodes 60
+              --report-out ${OUT_DIR}/${protocol}_report_${pass}.json
+              --collapsed-out ${OUT_DIR}/${protocol}_${pass}.collapsed
+      OUTPUT_QUIET
+      RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+      message(FATAL_ERROR
+              "causal_profile ${protocol} pass ${pass} failed (exit ${rc})")
+    endif()
+  endforeach()
+  foreach(suffix "report_a.json;report_b.json" "a.collapsed;b.collapsed")
+    list(GET suffix 0 lhs)
+    list(GET suffix 1 rhs)
+    execute_process(
+      COMMAND ${CMAKE_COMMAND} -E compare_files
+              ${OUT_DIR}/${protocol}_${lhs} ${OUT_DIR}/${protocol}_${rhs}
+      RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+      message(FATAL_ERROR
+              "same-seed ${protocol} outputs differ: ${lhs} vs ${rhs}")
+    endif()
+  endforeach()
+endforeach()

@@ -95,7 +95,7 @@ void OnFloodDelivery(void* ctx, int from, int to, void* payload) {
   c->arena->Release(slot);
 }
 
-void OnFloodTimer(void*, int, int, uint32_t) {}
+void OnFloodTimer(void*, int, int, uint64_t) {}
 
 FloodOutcome DeliveryFlood(uint64_t num_events) {
   EventQueue q;

@@ -6,8 +6,15 @@
 //   --trace-out FILE    Chrome trace_event JSON (open in Perfetto /
 //                       chrome://tracing; node id = tid, sim time = ts)
 //   --jsonl-out FILE    one JSON object per trace event, in event order
-//   --report-out FILE   the run's RunReport (metrics + stats snapshot)
+//   --report-out FILE   the run's RunReport (metrics + stats snapshot,
+//                       plus the trace ring's utilization section)
 //   --seed N            network seed (default 11)
+//   --trace-cap N       trace ring capacity in events (default 65536);
+//                       undersizing it is the way to see the overflow
+//                       banners the exporters emit
+//
+// After the run a one-line ring-utilization report goes to stdout; if the
+// ring overflowed, a warning goes to stderr as well.
 //
 // Every output is byte-deterministic for a fixed seed: running twice and
 // diffing the files is the CI check that tracing stays reproducible.
@@ -41,6 +48,12 @@ int main(int argc, char** argv) {
   const std::string report_out = StringFlag(argc, argv, "--report-out");
   const uint64_t seed = static_cast<uint64_t>(
       std::atoll(StringFlag(argc, argv, "--seed", "11").c_str()));
+  const long long trace_cap =
+      std::atoll(StringFlag(argc, argv, "--trace-cap", "65536").c_str());
+  if (trace_cap <= 0) {
+    std::fprintf(stderr, "--trace-cap must be positive\n");
+    return 1;
+  }
 
   TerrainConfig tcfg;
   tcfg.num_nodes = 80;
@@ -48,7 +61,7 @@ int main(int argc, char** argv) {
   tcfg.seed = 9;
   const SensorDataset ds = Unwrap(MakeTerrainDataset(tcfg), "terrain");
 
-  obs::Tracer tracer;
+  obs::Tracer tracer(static_cast<size_t>(trace_cap));
   obs::RunTelemetry telemetry;
   telemetry.set_next(&tracer);
 
@@ -63,12 +76,26 @@ int main(int argc, char** argv) {
       telemetry.MakeReport("elink_explicit", seed, run.stats);
   report.SetParam("nodes", tcfg.num_nodes);
   report.SetParam("delta", cfg.delta);
+  report.SetSectionJson("trace", tracer.StatsJson());
 
   std::printf("traced ELink run: %d nodes, seed %llu -> %d clusters, "
               "%llu units, %zu trace events\n",
               tcfg.num_nodes, (unsigned long long)seed,
               run.clustering.num_clusters(),
               (unsigned long long)run.stats.total_units(), tracer.size());
+  std::printf("trace ring: %zu/%zu events retained (%.1f%% utilization), "
+              "%llu recorded, %llu overwritten\n",
+              tracer.size(), tracer.capacity(),
+              100.0 * static_cast<double>(tracer.size()) /
+                  static_cast<double>(tracer.capacity()),
+              (unsigned long long)tracer.total_recorded(),
+              (unsigned long long)tracer.overwritten());
+  if (tracer.overwritten() > 0) {
+    std::fprintf(stderr,
+                 "warning: trace ring overflowed (%llu events lost); raise "
+                 "--trace-cap to keep the whole run\n",
+                 (unsigned long long)tracer.overwritten());
+  }
 
   if (!trace_out.empty()) WriteOrDie(trace_out, tracer.ExportChromeTrace());
   if (!jsonl_out.empty()) WriteOrDie(jsonl_out, tracer.ExportJsonl());

@@ -1,0 +1,146 @@
+#include "check/causal.h"
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "check/invariants.h"
+#include "common/strings.h"
+#include "obs/causal.h"
+
+namespace elink {
+namespace check {
+
+namespace {
+
+// Compares two category -> count maps over their key union, treating a
+// missing key as 0 and skipping `ignored` keys.  `what` names the counter
+// in the failure message ("units", "bytes", "dropped units").
+Status CompareCategoryMaps(const std::map<std::string, uint64_t>& graph_side,
+                           const std::map<std::string, uint64_t>& stats_side,
+                           const std::set<std::string>& ignored,
+                           const char* what) {
+  std::set<std::string> keys;
+  for (const auto& [k, v] : graph_side) {
+    if (v > 0) keys.insert(k);
+  }
+  for (const auto& [k, v] : stats_side) {
+    if (v > 0) keys.insert(k);
+  }
+  for (const std::string& k : keys) {
+    if (ignored.count(k) > 0) continue;
+    const auto g = graph_side.find(k);
+    const auto s = stats_side.find(k);
+    const uint64_t gv = g == graph_side.end() ? 0 : g->second;
+    const uint64_t sv = s == stats_side.end() ? 0 : s->second;
+    if (gv != sv) {
+      return Status::FailedPrecondition(StringPrintf(
+          "category '%s': causal graph attributes %llu %s, MessageStats "
+          "recorded %llu",
+          k.c_str(), static_cast<unsigned long long>(gv), what,
+          static_cast<unsigned long long>(sv)));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status CheckCausalGraph(const obs::Tracer& tracer, const MessageStats& stats,
+                        const std::vector<std::string>& ignore_categories) {
+  const obs::CausalGraph g = obs::CausalGraph::Build(tracer);
+  const std::vector<obs::CausalNode>& nodes = g.nodes();
+
+  // Structure: the trace stream is emitted in schedule order, so every
+  // cause must have been recorded before its effect (acyclicity), and an
+  // effect can never carry an earlier sim time than its cause.
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const obs::CausalNode& n = nodes[i];
+    if (n.parent < 0) continue;
+    if (static_cast<size_t>(n.parent) >= i) {
+      return Status::FailedPrecondition(StringPrintf(
+          "causal node %zu (seq %llu) points at parent %d, which does not "
+          "precede it: the graph is not a forest in emission order",
+          i, static_cast<unsigned long long>(n.seq), n.parent));
+    }
+    const obs::CausalNode& p = nodes[static_cast<size_t>(n.parent)];
+    if (n.time < p.time - kCheckEps) {
+      return Status::FailedPrecondition(StringPrintf(
+          "causal node %zu happens at t=%.9f before its cause at t=%.9f",
+          i, n.time, p.time));
+    }
+    if (n.kind == obs::CausalNode::Kind::kDeliver) {
+      // A deliver's parent is the send that carried the same message id to
+      // this destination, and it lands exactly at the send's arrival time.
+      if (p.kind != obs::CausalNode::Kind::kSend || p.msg != n.msg ||
+          p.peer != n.node) {
+        return Status::FailedPrecondition(StringPrintf(
+            "deliver node %zu (msg %llu -> node %d) matched a parent that "
+            "is not its send (parent msg %llu, peer %d)",
+            i, static_cast<unsigned long long>(n.msg), n.node,
+            static_cast<unsigned long long>(p.msg), p.peer));
+      }
+      if (n.time < p.end_time - kCheckEps ||
+          n.time > p.end_time + kCheckEps) {
+        return Status::FailedPrecondition(StringPrintf(
+            "deliver node %zu lands at t=%.9f but its send scheduled "
+            "arrival at t=%.9f",
+            i, n.time, p.end_time));
+      }
+    }
+  }
+
+  // Every activation (a handler that actually ran) must land inside the
+  // run.  Drop nodes are exempt: a routed frame lost mid-path is stamped
+  // with its virtual arrival instant, which can lie beyond the drain time
+  // when nothing else was scheduled.  Sends are covered transitively —
+  // their arrival is their deliver child's activation time.
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const obs::CausalNode& n = nodes[i];
+    if (n.kind != obs::CausalNode::Kind::kDeliver &&
+        n.kind != obs::CausalNode::Kind::kTimer) {
+      continue;
+    }
+    if (n.time > g.run_end_time() + kCheckEps) {
+      return Status::FailedPrecondition(StringPrintf(
+          "activation node %zu runs at t=%.9f, after the run end t=%.9f",
+          i, n.time, g.run_end_time()));
+    }
+  }
+
+  // Counting laws only hold over a complete window: an overflowed ring is
+  // an honest suffix, so orphans and partial sums are expected there.
+  if (!g.complete()) return Status::OK();
+
+  if (g.orphans() != 0) {
+    return Status::FailedPrecondition(StringPrintf(
+        "%llu causal node(s) reference a cause that was never recorded, "
+        "but the trace ring never overflowed",
+        static_cast<unsigned long long>(g.orphans())));
+  }
+
+  const std::set<std::string> ignored(ignore_categories.begin(),
+                                      ignore_categories.end());
+  if (Status s = CompareCategoryMaps(g.UnitsByCategory(),
+                                     stats.units_by_category(), ignored,
+                                     "delivered units");
+      !s.ok()) {
+    return s;
+  }
+  std::map<std::string, uint64_t> stats_bytes;
+  for (const MessageStats::CategorySnapshot& c : stats.Snapshot()) {
+    if (c.bytes > 0) stats_bytes[c.category] = c.bytes;
+  }
+  if (Status s = CompareCategoryMaps(g.BytesByCategory(), stats_bytes,
+                                     ignored, "delivered bytes");
+      !s.ok()) {
+    return s;
+  }
+  return CompareCategoryMaps(g.DroppedUnitsByCategory(),
+                             stats.dropped_by_category(), ignored,
+                             "dropped units");
+}
+
+}  // namespace check
+}  // namespace elink

@@ -1,0 +1,47 @@
+// Causal-graph invariants (elink_check).
+//
+// CheckCausalGraph rebuilds an obs::CausalGraph from a Tracer that watched
+// the run and verifies the causal annotations the Network emitted are a
+// consistent history, then cross-checks the graph's cost attribution
+// against the run's own MessageStats ledger:
+//
+//   * structure — the forest is acyclic by construction order (every parent
+//     precedes its child in the trace stream) and causally monotone (a
+//     child never happens before its parent, within kCheckEps);
+//   * completeness — with an un-overflowed ring there are no orphans: every
+//     deliver matches a recorded send of the same message id, every timer
+//     fire's arming activation was seen;
+//   * run bounds — every activation (deliver / timer fire) happens at or
+//     before the run's recorded end time (drops are exempt: a routed frame
+//     lost mid-path carries its virtual arrival instant, which can lie
+//     beyond the drain time);
+//   * attribution — delivered units per category summed over the graph's
+//     send nodes equal MessageStats::units_by_category(), and dropped units
+//     per category equal dropped_by_category() (bytes likewise).
+//
+// When the ring overflowed the counting checks are skipped (the window is
+// an honest suffix, not the whole run) but the structural checks still
+// apply to what was retained.  `ignore_categories` follows
+// CheckConservation: categories recorded into `stats` outside the Network
+// (engine-parity bookkeeping) never appear on the wire, so they are skipped
+// in the per-category comparison.
+#ifndef ELINK_CHECK_CAUSAL_H_
+#define ELINK_CHECK_CAUSAL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/trace.h"
+#include "sim/stats.h"
+
+namespace elink {
+namespace check {
+
+Status CheckCausalGraph(const obs::Tracer& tracer, const MessageStats& stats,
+                        const std::vector<std::string>& ignore_categories = {});
+
+}  // namespace check
+}  // namespace elink
+
+#endif  // ELINK_CHECK_CAUSAL_H_

@@ -8,6 +8,12 @@
 namespace elink {
 namespace check {
 
+void ConservationLedger::OnCausal(const CausalInfo& info) {
+  // Pure pass-through: causal ids do not change any conservation law, but a
+  // tracer chained behind the ledger needs them to annotate its events.
+  if (next_ != nullptr) next_->OnCausal(info);
+}
+
 void ConservationLedger::OnSend(double now, int from, int to,
                                 const Message& msg, double delay) {
   ++logical_sends_;

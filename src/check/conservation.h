@@ -88,6 +88,7 @@ class ConservationLedger : public SimObserver {
   }
 
   // SimObserver implementation (each forwards to the chained observer).
+  void OnCausal(const CausalInfo& info) override;
   void OnSend(double now, int from, int to, const Message& msg,
               double delay) override;
   void OnHop(double at, int from, int to, const Message& msg) override;

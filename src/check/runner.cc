@@ -7,6 +7,7 @@
 #include <optional>
 #include <utility>
 
+#include "check/causal.h"
 #include "check/conservation.h"
 #include "check/invariants.h"
 #include "cluster/elink.h"
@@ -21,6 +22,7 @@
 #include "index/query_protocol.h"
 #include "index/range_query.h"
 #include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "proto/wire.h"
 #include "sim/graph.h"
 
@@ -37,6 +39,11 @@ constexpr uint64_t kRangeQueryStream = 17;
 constexpr uint64_t kPathQueryStream = 18;
 constexpr uint64_t kUpdateTimeStream = 19;
 constexpr uint64_t kWireFuzzStream = 20;
+
+// Trace-ring capacity for the causal cross-check.  Fuzz scenarios are small
+// (tens of nodes), so the ring virtually never wraps; when a pathological
+// seed does wrap it, CheckCausalGraph degrades to structural checks only.
+constexpr size_t kCausalTraceCapacity = 1 << 17;
 
 void Add(CheckOutcome* out, const char* checkname, std::string detail) {
   out->violations.push_back(CheckViolation{checkname, std::move(detail)});
@@ -232,6 +239,8 @@ void RunElinkTrial(const Scenario& s, CheckOutcome* out,
   ConservationLedger ledger;
   obs::RunTelemetry tele;
   ledger.set_next(&tele);
+  obs::Tracer tracer(kCausalTraceCapacity);
+  if (s.knobs.causal) tele.set_next(&tracer);
 
   ElinkConfig cfg;
   cfg.delta = s.delta;
@@ -271,6 +280,9 @@ void RunElinkTrial(const Scenario& s, CheckOutcome* out,
            CheckByteConservation(ledger, res.stats));
   AddIfBad(out, "telemetry",
            CheckTelemetryConsistency(ledger, tele.metrics()));
+  if (s.knobs.causal) {
+    AddIfBad(out, "causal", CheckCausalGraph(tracer, res.stats));
+  }
   CollectReport(artifacts, tele, "elink", s.seed, res.stats);
 }
 
@@ -296,6 +308,8 @@ void RunMaintenanceTrial(const Scenario& s, CheckOutcome* out,
   ConservationLedger ledger;
   obs::RunTelemetry tele;
   ledger.set_next(&tele);
+  obs::Tracer tracer(kCausalTraceCapacity);
+  if (s.knobs.causal) tele.set_next(&tracer);
   dm.set_observer(&ledger);
 
   const int n = s.topology.num_nodes();
@@ -393,6 +407,9 @@ void RunMaintenanceTrial(const Scenario& s, CheckOutcome* out,
            CheckByteConservation(ledger, dm.stats()));
   AddIfBad(out, "telemetry",
            CheckTelemetryConsistency(ledger, tele.metrics()));
+  if (s.knobs.causal) {
+    AddIfBad(out, "causal", CheckCausalGraph(tracer, dm.stats()));
+  }
   CollectReport(artifacts, tele, "maintenance", s.seed, dm.stats());
 }
 
@@ -436,6 +453,8 @@ void RunRangeQueryTrial(const Scenario& s, CheckOutcome* out,
     ConservationLedger ledger;
     obs::RunTelemetry tele;
     ledger.set_next(&tele);
+    obs::Tracer tracer(kCausalTraceCapacity);
+    if (s.knobs.causal) tele.set_next(&tracer);
     qopt.observer = &ledger;
     DistributedRangeQuery protocol(s.topology, w->clustering, *w->index,
                                    *w->backbone, s.features, s.metric, qopt);
@@ -467,6 +486,9 @@ void RunRangeQueryTrial(const Scenario& s, CheckOutcome* out,
     AddIfBad(out, "byte_conservation", CheckByteConservation(ledger, o.stats));
     AddIfBad(out, "telemetry",
              CheckTelemetryConsistency(ledger, tele.metrics()));
+    if (s.knobs.causal) {
+      AddIfBad(out, "causal", CheckCausalGraph(tracer, o.stats));
+    }
     CollectReport(artifacts, tele, "range_query", s.seed, o.stats);
   }
 }
@@ -514,6 +536,8 @@ void RunPathQueryTrial(const Scenario& s, CheckOutcome* out,
     ConservationLedger ledger;
     obs::RunTelemetry tele;
     ledger.set_next(&tele);
+    obs::Tracer tracer(kCausalTraceCapacity);
+    if (s.knobs.causal) tele.set_next(&tracer);
     popt.observer = &ledger;
     DistributedPathQuery protocol(s.topology, w->clustering, *w->index,
                                   *w->backbone, s.features, s.metric, popt);
@@ -538,6 +562,13 @@ void RunPathQueryTrial(const Scenario& s, CheckOutcome* out,
                                    {"path_search", "path_trace"}));
     AddIfBad(out, "telemetry",
              CheckTelemetryConsistency(ledger, tele.metrics()));
+    if (s.knobs.causal) {
+      // "path_search"/"path_trace" never touch the wire, so the causal
+      // graph cannot see them either.
+      AddIfBad(out, "causal",
+               CheckCausalGraph(tracer, run.value().stats,
+                                {"path_search", "path_trace"}));
+    }
     CollectReport(artifacts, tele, "path_query", s.seed, run.value().stats);
   }
 }
@@ -620,6 +651,7 @@ ScenarioKnobs ShrinkFailure(Protocol protocol, uint64_t seed,
       &ScenarioKnobs::async,    &ScenarioKnobs::reliable,
       &ScenarioKnobs::slack,    &ScenarioKnobs::features,
       &ScenarioKnobs::random_topology, &ScenarioKnobs::wirefuzz,
+      &ScenarioKnobs::causal,
   };
   for (const auto member : order) {
     if (!(current.*member)) continue;

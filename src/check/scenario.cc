@@ -286,11 +286,13 @@ Result<ScenarioKnobs> ScenarioKnobs::FromDisableList(const std::string& csv) {
       knobs.churn = false;
     } else if (item == "wirefuzz") {
       knobs.wirefuzz = false;
+    } else if (item == "causal") {
+      knobs.causal = false;
     } else {
       return Status::InvalidArgument(
           StringPrintf("unknown --disable knob '%s' (expected faults, async, "
                        "reliable, slack, features, topology, churn, "
-                       "wirefuzz)",
+                       "wirefuzz, causal)",
                        item.c_str()));
     }
   }
@@ -311,6 +313,7 @@ std::string ScenarioKnobs::DisableList() const {
   if (!random_topology) add("topology");
   if (!churn) add("churn");
   if (!wirefuzz) add("wirefuzz");
+  if (!causal) add("causal");
   return out;
 }
 

@@ -43,9 +43,11 @@ struct ScenarioKnobs {
   bool random_topology = true;  // false: regular grid only.
   bool churn = true;            // false: inert ChurnPlan, no fire front.
   bool wirefuzz = true;         // false: skip the frame-mutation sweep.
+  bool causal = true;           // false: no tracer, no causal-graph check.
 
-  /// Parses "faults,async,reliable,slack,features,topology,churn,wirefuzz"
-  /// items (the check_fuzz --disable spelling); unknown names are an error.
+  /// Parses "faults,async,reliable,slack,features,topology,churn,wirefuzz,
+  /// causal" items (the check_fuzz --disable spelling); unknown names are
+  /// an error.
   static Result<ScenarioKnobs> FromDisableList(const std::string& csv);
 
   /// The --disable list reproducing this knob set ("" when all enabled).

@@ -1,0 +1,551 @@
+#include "obs/causal.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace elink {
+namespace obs {
+
+namespace {
+
+const std::string kEmptyLabel;
+
+/// Frame name of a node in the collapsed-stack export ("kind:category").
+std::string FrameName(const CausalGraph& g, const CausalNode& n) {
+  switch (n.kind) {
+    case CausalNode::Kind::kSend:
+      return "send:" + g.label(n.label);
+    case CausalNode::Kind::kDeliver:
+      return "deliver:" + g.label(n.label);
+    case CausalNode::Kind::kDrop:
+      return "drop:" + g.label(n.label);
+    case CausalNode::Kind::kTimer:
+      return "timer:" + std::to_string(n.value);
+  }
+  return "?";
+}
+
+const char* KindName(CausalNode::Kind kind) {
+  switch (kind) {
+    case CausalNode::Kind::kSend:
+      return "send";
+    case CausalNode::Kind::kDeliver:
+      return "deliver";
+    case CausalNode::Kind::kDrop:
+      return "drop";
+    case CausalNode::Kind::kTimer:
+      return "timer";
+  }
+  return "?";
+}
+
+}  // namespace
+
+const std::string& CausalGraph::label(uint32_t id) const {
+  if (id == TraceEvent::kNoLabel || id >= labels_.size()) return kEmptyLabel;
+  return labels_[id];
+}
+
+CausalGraph CausalGraph::Build(const Tracer& tracer) {
+  CausalGraph g;
+  g.overwritten_ = tracer.overwritten();
+  g.labels_ = tracer.labels();
+
+  // Activation id -> node index, for handler-inherited (send/drop/timer)
+  // edges.  Activation ids are dense and unique per run.
+  std::unordered_map<uint64_t, uint32_t> act_index;
+  // (message id, destination) -> send node index, for send->deliver edges.
+  // One-shot: erased when the deliver claims it, so broadcast fan-out legs
+  // (same id, distinct destinations) each match their own send.
+  std::map<std::pair<uint64_t, int>, uint32_t> send_index;
+
+  // Relay hops of a routed message are emitted back-to-back (the route walk
+  // is synchronous) and always before the send/drop that closes the
+  // journey, so one running accumulator folds them.  The retained ring
+  // window is a suffix of the stream: a retained hop implies its closing
+  // event is retained too.
+  uint64_t hop_msg = 0;
+  uint32_t hop_count = 0;
+  uint64_t hop_units = 0;
+  uint64_t hop_bytes = 0;
+
+  // Last announced protocol phase per sim node, stamped onto graph nodes.
+  std::vector<uint32_t> phase_of;
+  auto phase_for = [&phase_of](int node) -> uint32_t {
+    if (node < 0 || static_cast<size_t>(node) >= phase_of.size()) {
+      return TraceEvent::kNoLabel;
+    }
+    return phase_of[static_cast<size_t>(node)];
+  };
+
+  bool saw_run_end = false;
+  double last_end = 0.0;
+
+  auto resolve_parent = [&g, &act_index](uint64_t cause, CausalNode* n) {
+    if (cause == 0) return;  // Genesis (driver code).
+    auto it = act_index.find(cause);
+    if (it == act_index.end()) {
+      n->orphan = true;  // Cause fell off the ring (or predates tracing).
+      ++g.orphans_;
+      return;
+    }
+    n->parent = static_cast<int32_t>(it->second);
+  };
+
+  auto inherit_depth = [&g](CausalNode* n) {
+    if (n->parent < 0) return;
+    const CausalNode& p = g.nodes_[static_cast<size_t>(n->parent)];
+    n->depth = p.depth + 1;
+    n->msg_depth =
+        p.msg_depth + (n->kind == CausalNode::Kind::kDeliver ? 1 : 0);
+  };
+
+  tracer.ForEach([&](const TraceEvent& e) {
+    switch (e.kind) {
+      case TraceKind::kPhase: {
+        if (e.node >= 0) {
+          if (phase_of.size() <= static_cast<size_t>(e.node)) {
+            phase_of.resize(static_cast<size_t>(e.node) + 1,
+                            TraceEvent::kNoLabel);
+          }
+          phase_of[static_cast<size_t>(e.node)] = e.label;
+        }
+        return;
+      }
+      case TraceKind::kRunEnd:
+        saw_run_end = true;
+        g.run_end_time_ = std::max(g.run_end_time_, e.time);
+        return;
+      case TraceKind::kHop:
+        if (e.causal_msg != hop_msg) {
+          hop_msg = e.causal_msg;
+          hop_count = 0;
+          hop_units = 0;
+          hop_bytes = 0;
+        }
+        ++hop_count;
+        hop_units += static_cast<uint64_t>(e.value);
+        hop_bytes += e.bytes;
+        return;
+      case TraceKind::kSend: {
+        CausalNode n;
+        n.kind = CausalNode::Kind::kSend;
+        n.node = e.node;
+        n.peer = e.peer;
+        n.time = e.time;
+        n.end_time = e.time + e.aux;
+        n.seq = e.seq;
+        n.msg = e.causal_msg;
+        n.label = e.label;
+        n.phase = phase_for(e.node);
+        n.value = e.value;
+        if (e.causal_msg != 0 && e.causal_msg == hop_msg) {
+          // Routed: the relay hops carried the charges; the closing send is
+          // the uncharged delivery bookend.
+          n.hops = hop_count;
+          n.units = hop_units;
+          n.bytes = hop_bytes;
+          hop_msg = 0;
+        } else if (e.node == e.peer) {
+          // Local self-delivery (SendRouted from == to): never charged.
+        } else {
+          n.units = static_cast<uint64_t>(e.value);
+          n.bytes = e.bytes;
+        }
+        resolve_parent(e.causal_parent, &n);
+        inherit_depth(&n);
+        const auto idx = static_cast<uint32_t>(g.nodes_.size());
+        if (e.causal_msg != 0) {
+          send_index[{e.causal_msg, e.peer}] = idx;
+        }
+        last_end = std::max(last_end, n.end_time);
+        g.nodes_.push_back(n);
+        return;
+      }
+      case TraceKind::kDrop: {
+        CausalNode n;
+        n.kind = CausalNode::Kind::kDrop;
+        n.node = e.node;
+        n.peer = e.peer;
+        n.time = e.time;
+        n.end_time = e.time;
+        n.seq = e.seq;
+        n.msg = e.causal_msg;
+        n.label = e.label;
+        n.phase = phase_for(e.node);
+        n.value = e.value;
+        n.dropped_units = static_cast<uint64_t>(e.value);
+        n.dropped_bytes = e.bytes;
+        if (e.causal_msg != 0 && e.causal_msg == hop_msg) {
+          // Relays charged before a mid-route loss stay delivered charges.
+          n.hops = hop_count;
+          n.units = hop_units;
+          n.bytes = hop_bytes;
+          hop_msg = 0;
+        }
+        resolve_parent(e.causal_parent, &n);
+        inherit_depth(&n);
+        last_end = std::max(last_end, n.end_time);
+        g.nodes_.push_back(n);
+        return;
+      }
+      case TraceKind::kDeliver: {
+        CausalNode n;
+        n.kind = CausalNode::Kind::kDeliver;
+        n.node = e.node;  // Receiver.
+        n.peer = e.peer;
+        n.time = e.time;
+        n.end_time = e.time;
+        n.seq = e.seq;
+        n.msg = e.causal_msg;
+        n.label = e.label;
+        n.phase = phase_for(e.node);
+        n.value = e.value;
+        if (e.causal_msg != 0) {
+          auto it = send_index.find({e.causal_msg, e.node});
+          if (it != send_index.end()) {
+            n.parent = static_cast<int32_t>(it->second);
+            send_index.erase(it);
+          } else {
+            n.orphan = true;  // Matching send fell off the ring.
+            ++g.orphans_;
+          }
+        }
+        inherit_depth(&n);
+        if (e.causal_self != 0) {
+          act_index[e.causal_self] = static_cast<uint32_t>(g.nodes_.size());
+        }
+        last_end = std::max(last_end, n.end_time);
+        g.nodes_.push_back(n);
+        return;
+      }
+      case TraceKind::kTimerFire: {
+        CausalNode n;
+        n.kind = CausalNode::Kind::kTimer;
+        n.node = e.node;
+        n.time = e.time;
+        n.end_time = e.time;
+        n.seq = e.seq;
+        n.label = TraceEvent::kNoLabel;
+        n.phase = phase_for(e.node);
+        n.value = e.value;  // Timer id.
+        resolve_parent(e.causal_parent, &n);
+        inherit_depth(&n);
+        if (e.causal_self != 0) {
+          act_index[e.causal_self] = static_cast<uint32_t>(g.nodes_.size());
+        }
+        last_end = std::max(last_end, n.end_time);
+        g.nodes_.push_back(n);
+        return;
+      }
+      default:
+        // Decode errors, transport bookkeeping, churn, watchdog: observed
+        // but not part of the causal forest.
+        return;
+    }
+  });
+
+  if (!saw_run_end) g.run_end_time_ = last_end;
+  return g;
+}
+
+std::vector<uint32_t> CausalGraph::CriticalPathTo(uint32_t index) const {
+  std::vector<uint32_t> path;
+  for (int32_t i = static_cast<int32_t>(index); i >= 0;
+       i = nodes_[static_cast<size_t>(i)].parent) {
+    path.push_back(static_cast<uint32_t>(i));
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::vector<uint32_t> CausalGraph::CriticalPath() const {
+  if (nodes_.empty()) return {};
+  uint32_t best = 0;
+  for (uint32_t i = 1; i < nodes_.size(); ++i) {
+    const CausalNode& n = nodes_[i];
+    const CausalNode& b = nodes_[best];
+    if (n.end_time > b.end_time ||
+        (n.end_time == b.end_time && n.seq > b.seq)) {
+      best = i;
+    }
+  }
+  return CriticalPathTo(best);
+}
+
+std::vector<int32_t> CausalGraph::LastActivation() const {
+  std::vector<int32_t> last;
+  for (uint32_t i = 0; i < nodes_.size(); ++i) {
+    const CausalNode& n = nodes_[i];
+    if (n.kind != CausalNode::Kind::kDeliver &&
+        n.kind != CausalNode::Kind::kTimer) {
+      continue;
+    }
+    if (n.node < 0) continue;
+    if (last.size() <= static_cast<size_t>(n.node)) {
+      last.resize(static_cast<size_t>(n.node) + 1, -1);
+    }
+    int32_t& slot = last[static_cast<size_t>(n.node)];
+    if (slot < 0) {
+      slot = static_cast<int32_t>(i);
+      continue;
+    }
+    const CausalNode& cur = nodes_[static_cast<size_t>(slot)];
+    if (n.end_time > cur.end_time ||
+        (n.end_time == cur.end_time && n.seq > cur.seq)) {
+      slot = static_cast<int32_t>(i);
+    }
+  }
+  return last;
+}
+
+CausalGraph::DepthStats CausalGraph::Stats() const {
+  DepthStats s;
+  for (const CausalNode& n : nodes_) {
+    s.max_depth = std::max(s.max_depth, n.depth);
+    s.max_msg_depth = std::max(s.max_msg_depth, n.msg_depth);
+    if (n.orphan) {
+      ++s.orphans;
+    } else if (n.parent < 0) {
+      ++s.genesis;
+    }
+    switch (n.kind) {
+      case CausalNode::Kind::kSend:
+        ++s.sends;
+        break;
+      case CausalNode::Kind::kDeliver:
+        ++s.delivers;
+        break;
+      case CausalNode::Kind::kDrop:
+        ++s.drops;
+        break;
+      case CausalNode::Kind::kTimer:
+        ++s.timers;
+        break;
+    }
+    if (s.width_by_depth.size() <= n.depth) {
+      s.width_by_depth.resize(n.depth + 1, 0);
+    }
+    ++s.width_by_depth[n.depth];
+  }
+  return s;
+}
+
+std::map<std::string, uint64_t> CausalGraph::UnitsByCategory() const {
+  std::map<std::string, uint64_t> out;
+  for (const CausalNode& n : nodes_) {
+    if (n.units > 0) out[label(n.label)] += n.units;
+  }
+  return out;
+}
+
+std::map<std::string, uint64_t> CausalGraph::BytesByCategory() const {
+  std::map<std::string, uint64_t> out;
+  for (const CausalNode& n : nodes_) {
+    if (n.bytes > 0) out[label(n.label)] += n.bytes;
+  }
+  return out;
+}
+
+std::map<std::string, uint64_t> CausalGraph::DroppedUnitsByCategory() const {
+  std::map<std::string, uint64_t> out;
+  for (const CausalNode& n : nodes_) {
+    if (n.kind == CausalNode::Kind::kDrop && n.dropped_units > 0) {
+      out[label(n.label)] += n.dropped_units;
+    }
+  }
+  return out;
+}
+
+std::string CausalGraph::ExportCollapsed(Weight weight) const {
+  // Stack strings build forward (parents precede children), collapsing a
+  // frame identical to the parent chain's last frame; weights aggregate
+  // per distinct stack and lines sort lexicographically — deterministic
+  // regardless of construction order.
+  std::vector<std::string> stacks(nodes_.size());
+  std::vector<std::string> last_frame(nodes_.size());
+  std::map<std::string, uint64_t> agg;
+  for (uint32_t i = 0; i < nodes_.size(); ++i) {
+    const CausalNode& n = nodes_[i];
+    const std::string frame = FrameName(*this, n);
+    if (n.parent < 0) {
+      stacks[i] = frame;
+      last_frame[i] = frame;
+    } else {
+      const auto p = static_cast<size_t>(n.parent);
+      if (frame == last_frame[p]) {
+        stacks[i] = stacks[p];
+        last_frame[i] = last_frame[p];
+      } else {
+        stacks[i] = stacks[p] + ";" + frame;
+        last_frame[i] = frame;
+      }
+    }
+    uint64_t w = 0;
+    switch (weight) {
+      case Weight::kEvents:
+        w = 1;
+        break;
+      case Weight::kUnits:
+        w = n.units + n.dropped_units;
+        break;
+      case Weight::kBytes:
+        w = n.bytes + n.dropped_bytes;
+        break;
+    }
+    if (w > 0) agg[stacks[i]] += w;
+  }
+  std::string out;
+  if (overwritten_ > 0) {
+    // flamegraph.pl/speedscope skip unparsable lines; the banner records
+    // the truncation without corrupting the profile.
+    out += "# warning: trace ring overflowed (";
+    out += std::to_string(overwritten_);
+    out += " events overwritten); stacks cover a suffix of the run\n";
+  }
+  for (const auto& [stack, w] : agg) {
+    out += stack;
+    out += " ";
+    out += std::to_string(w);
+    out += "\n";
+  }
+  return out;
+}
+
+std::string CausalGraph::CriticalPathJson() const {
+  const std::vector<uint32_t> path = CriticalPath();
+  const DepthStats s = Stats();
+
+  std::string out = "{\"run_end_time\":";
+  out += JsonDouble(run_end_time_);
+  out += ",\"complete\":";
+  out += complete() ? "true" : "false";
+  out += ",\"overwritten\":";
+  out += std::to_string(overwritten_);
+  out += ",\"orphans\":";
+  out += std::to_string(orphans_);
+  out += ",\"max_depth\":";
+  out += std::to_string(s.max_depth);
+  out += ",\"max_msg_depth\":";
+  out += std::to_string(s.max_msg_depth);
+  uint64_t max_width = 0;
+  for (const uint64_t w : s.width_by_depth) max_width = std::max(max_width, w);
+  out += ",\"max_width\":";
+  out += std::to_string(max_width);
+
+  // Per-sim-node completion depth summary (how many causal generations it
+  // took each node to go quiet).
+  const std::vector<int32_t> last = LastActivation();
+  uint64_t completed = 0;
+  uint64_t depth_sum = 0;
+  uint32_t depth_max = 0;
+  for (const int32_t idx : last) {
+    if (idx < 0) continue;
+    ++completed;
+    const uint32_t d = nodes_[static_cast<size_t>(idx)].depth;
+    depth_sum += d;
+    depth_max = std::max(depth_max, d);
+  }
+  out += ",\"completion\":{\"nodes\":";
+  out += std::to_string(completed);
+  out += ",\"max_depth\":";
+  out += std::to_string(depth_max);
+  out += ",\"mean_depth\":";
+  out += JsonDouble(completed == 0
+                        ? 0.0
+                        : static_cast<double>(depth_sum) /
+                              static_cast<double>(completed));
+  out += "}";
+
+  // The chain itself, genesis -> terminal, with per-step elapsed sim time
+  // (telescopes to the terminal's end time for complete chains).
+  struct Agg {
+    uint64_t count = 0;
+    double elapsed = 0.0;
+    uint64_t units = 0;
+    uint64_t bytes = 0;
+  };
+  std::map<std::string, Agg> by_frame;
+  out += ",\"steps\":[";
+  double prev_end = 0.0;
+  bool first = true;
+  for (const uint32_t idx : path) {
+    const CausalNode& n = nodes_[idx];
+    const double elapsed = n.end_time - prev_end;
+    prev_end = n.end_time;
+    Agg& a = by_frame[FrameName(*this, n)];
+    ++a.count;
+    a.elapsed += elapsed;
+    a.units += n.units + n.dropped_units;
+    a.bytes += n.bytes + n.dropped_bytes;
+    if (!first) out += ",";
+    first = false;
+    out += "{\"kind\":\"";
+    out += KindName(n.kind);
+    out += "\",\"node\":";
+    out += std::to_string(n.node);
+    if (n.peer >= 0) {
+      out += ",\"peer\":";
+      out += std::to_string(n.peer);
+    }
+    out += ",\"t\":";
+    out += JsonDouble(n.time);
+    out += ",\"end\":";
+    out += JsonDouble(n.end_time);
+    out += ",\"elapsed\":";
+    out += JsonDouble(elapsed);
+    out += ",\"depth\":";
+    out += std::to_string(n.depth);
+    if (n.kind == CausalNode::Kind::kTimer) {
+      out += ",\"timer_id\":";
+      out += std::to_string(n.value);
+    } else if (n.label != TraceEvent::kNoLabel) {
+      out += ",\"label\":\"";
+      out += JsonEscape(label(n.label));
+      out += "\"";
+    }
+    if (n.phase != TraceEvent::kNoLabel) {
+      out += ",\"phase\":\"";
+      out += JsonEscape(label(n.phase));
+      out += "\"";
+    }
+    if (n.hops > 0) {
+      out += ",\"hops\":";
+      out += std::to_string(n.hops);
+    }
+    if (n.units > 0) {
+      out += ",\"units\":";
+      out += std::to_string(n.units);
+    }
+    if (n.bytes > 0) {
+      out += ",\"bytes\":";
+      out += std::to_string(n.bytes);
+    }
+    out += "}";
+  }
+  out += "],\"by_label\":{";
+  first = true;
+  for (const auto& [frame, a] : by_frame) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    out += JsonEscape(frame);
+    out += "\":{\"count\":";
+    out += std::to_string(a.count);
+    out += ",\"elapsed\":";
+    out += JsonDouble(a.elapsed);
+    out += ",\"units\":";
+    out += std::to_string(a.units);
+    out += ",\"bytes\":";
+    out += std::to_string(a.bytes);
+    out += "}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace elink

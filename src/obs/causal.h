@@ -1,0 +1,154 @@
+// Causal graph over a recorded trace (elink_obs).
+//
+// CausalGraph is built purely from a Tracer's event stream — it needs no
+// cooperation from the simulator beyond the causal annotations the Network
+// already emits (message ids on send/hop/drop/deliver, activation ids on
+// deliver/timer, parent ids linking an emission to the handler that caused
+// it).  The graph is a forest: every activation has at most one cause.
+//
+//  * Send/drop nodes parent to the delivery or timer activation that was
+//    running when the frame went on the air (genesis when driver code sent
+//    it).  The relay hops of a routed message are folded into the send (or
+//    the drop that ended the journey): they are the same frame in flight,
+//    and their per-hop charges become the send's attributed cost.
+//  * Deliver nodes parent to the send carrying the same message id to the
+//    same destination (broadcast legs share an id; the destination
+//    disambiguates).
+//  * Timer nodes parent to the activation that armed them.
+//
+// The trace stream is emitted in schedule order, so every parent precedes
+// its children and the whole build is one forward pass: depth (handler
+// generations from genesis) and message depth (send->deliver edges only —
+// the paper's round complexity) fold as nodes append.  Events that
+// reference a parent lost to ring-buffer overwrite become orphans: they
+// root fresh subtrees and are counted, so consumers know the window was
+// partial instead of silently trusting truncated chains.
+//
+// Consumers: critical-path extraction (to run end, or to any activation),
+// per-category cost/latency attribution along chains, depth/width
+// statistics, and a collapsed-stack export (speedscope / flamegraph.pl
+// compatible) of where units/bytes/events sit causally.
+#ifndef ELINK_OBS_CAUSAL_H_
+#define ELINK_OBS_CAUSAL_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace elink {
+namespace obs {
+
+/// \brief One activation (or transmission) in the causal forest.
+struct CausalNode {
+  enum class Kind : uint8_t { kSend, kDeliver, kDrop, kTimer };
+
+  Kind kind = Kind::kSend;
+  int32_t node = -1;   // Sender / receiver / timer owner.
+  int32_t peer = -1;   // Other endpoint; -1 when none.
+  double time = 0.0;   // When the event happened (send: left the sender).
+  double end_time = 0.0;  // Send: arrival instant (time + delay); else time.
+  uint64_t seq = 0;    // Trace sequence of the underlying event.
+  uint64_t msg = 0;    // In-flight message id (0 for timers).
+  int32_t parent = -1;  // Index into nodes(); -1 = genesis or orphan.
+  bool orphan = false;  // Referenced a cause lost to ring overwrite.
+  uint32_t depth = 0;      // Causal generations from genesis.
+  uint32_t msg_depth = 0;  // Send->deliver edges from genesis (rounds).
+  uint32_t hops = 0;       // Folded relay transmissions (routed sends).
+  uint32_t label = TraceEvent::kNoLabel;  // Category (Tracer label id).
+  uint32_t phase = TraceEvent::kNoLabel;  // Node's phase at event time.
+  long long value = 0;     // Timer id for kTimer, cost units otherwise.
+  uint64_t units = 0;      // Delivered-charged units attributed here.
+  uint64_t bytes = 0;      // Delivered-charged bytes attributed here.
+  uint64_t dropped_units = 0;  // Drop nodes: the lost frame's charge.
+  uint64_t dropped_bytes = 0;
+};
+
+/// \brief Causal forest reconstructed from one Tracer window.
+class CausalGraph {
+ public:
+  /// Builds the graph from the tracer's retained window (one forward pass;
+  /// the tracer is not modified).  Safe on traces without causal
+  /// annotations — everything becomes a genesis leaf.
+  static CausalGraph Build(const Tracer& tracer);
+
+  const std::vector<CausalNode>& nodes() const { return nodes_; }
+
+  /// Label string for CausalNode::label / ::phase ("" for kNoLabel).
+  const std::string& label(uint32_t id) const;
+
+  /// True when the source ring never overwrote (chains are complete).
+  bool complete() const { return overwritten_ == 0; }
+  uint64_t overwritten() const { return overwritten_; }
+
+  /// Deliver/drop/timer events whose cause fell off the ring.
+  uint64_t orphans() const { return orphans_; }
+
+  /// Largest end time of an observed kRunEnd record, falling back to the
+  /// latest node end time when the trace has none.
+  double run_end_time() const { return run_end_time_; }
+
+  /// Node indices of the chain from its genesis (front) to `index` (back).
+  std::vector<uint32_t> CriticalPathTo(uint32_t index) const;
+
+  /// The run's critical path: the chain ending at the node with the
+  /// largest end time (ties: largest seq).  Empty for an empty graph.
+  std::vector<uint32_t> CriticalPath() const;
+
+  /// Index of the causally-last activation on each sim node (delivers and
+  /// timer fires; -1 for nodes with none) — "when and how deep was this
+  /// node's completion".
+  std::vector<int32_t> LastActivation() const;
+
+  /// Depth/width statistics of the whole forest.
+  struct DepthStats {
+    uint32_t max_depth = 0;
+    uint32_t max_msg_depth = 0;
+    uint64_t genesis = 0;  // Nodes with no cause by design (driver code).
+    uint64_t orphans = 0;  // Nodes whose cause was overwritten.
+    uint64_t sends = 0;
+    uint64_t delivers = 0;
+    uint64_t drops = 0;
+    uint64_t timers = 0;
+    /// width_by_depth[d] = number of nodes at causal depth d.
+    std::vector<uint64_t> width_by_depth;
+  };
+  DepthStats Stats() const;
+
+  /// Delivered-charged units/bytes per category, attributed causally (plain
+  /// sends charge their own units; routed journeys charge one unit-batch
+  /// per relay hop, folded into the closing send or drop; local
+  /// self-deliveries charge nothing).  With a complete window these match
+  /// the run's MessageStats per-category ledgers exactly.
+  std::map<std::string, uint64_t> UnitsByCategory() const;
+  std::map<std::string, uint64_t> BytesByCategory() const;
+  /// Fault/churn-dropped units per category (the lost frame's own charge).
+  std::map<std::string, uint64_t> DroppedUnitsByCategory() const;
+
+  /// Collapsed-stack export (one "frame;frame;frame weight" line per
+  /// distinct causal stack, lexicographically sorted): load into speedscope
+  /// or flamegraph.pl to see where the run's cost sits causally.  Frames
+  /// are "kind:category" (timers: "timer:<id>"); consecutive identical
+  /// frames collapse.  `weight` picks the per-node self weight.
+  enum class Weight { kEvents, kUnits, kBytes };
+  std::string ExportCollapsed(Weight weight = Weight::kUnits) const;
+
+  /// Deterministic JSON rendering of CriticalPath(): the step list plus
+  /// per-label elapsed/units/bytes attribution along the chain and the
+  /// forest's depth statistics.  Embeddable via RunReport::SetSectionJson.
+  std::string CriticalPathJson() const;
+
+ private:
+  std::vector<CausalNode> nodes_;
+  std::vector<std::string> labels_;  // Copied from the tracer (dense ids).
+  uint64_t overwritten_ = 0;
+  uint64_t orphans_ = 0;
+  double run_end_time_ = 0.0;
+};
+
+}  // namespace obs
+}  // namespace elink
+
+#endif  // ELINK_OBS_CAUSAL_H_

@@ -33,6 +33,11 @@ void RunReport::SetParam(const std::string& key, bool value) {
   params_json_[key] = value ? "true" : "false";
 }
 
+void RunReport::SetSectionJson(const std::string& key,
+                               const std::string& json) {
+  sections_json_[key] = json;
+}
+
 void RunReport::CaptureStats(const MessageStats& stats) {
   total_sends = stats.total_sends();
   total_units = stats.total_units();
@@ -85,7 +90,11 @@ std::string RunReport::ToJson() const {
     first = false;
     out += "\"" + JsonEscape(category) + "\":" + std::to_string(bytes);
   }
-  out += "}},\"metrics\":" + metrics.ToJson();
+  out += "}}";
+  for (const auto& [key, json] : sections_json_) {
+    out += ",\"" + JsonEscape(key) + "\":" + json;
+  }
+  out += ",\"metrics\":" + metrics.ToJson();
   out += "}\n";
   return out;
 }

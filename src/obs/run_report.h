@@ -61,6 +61,12 @@ struct RunReport {
   /// Copies the ledger's totals and per-category units into the report.
   void CaptureStats(const MessageStats& stats);
 
+  /// Attaches a pre-rendered JSON value as a top-level report section
+  /// (rendered between "stats" and "metrics", sorted by key).  Used for
+  /// structured extras like the causal critical path and trace-ring
+  /// accounting; `json` must be a complete JSON value.
+  void SetSectionJson(const std::string& key, const std::string& json);
+
   /// Single-object JSON rendering (deterministic; sorted keys; ends in \n).
   std::string ToJson() const;
 
@@ -69,6 +75,7 @@ struct RunReport {
 
  private:
   std::map<std::string, std::string> params_json_;
+  std::map<std::string, std::string> sections_json_;
 };
 
 }  // namespace obs

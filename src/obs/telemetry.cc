@@ -53,6 +53,11 @@ void RunTelemetry::NoteSlack(double slack) {
   }
 }
 
+void RunTelemetry::OnCausal(const CausalInfo& info) {
+  // Telemetry aggregates; causality only matters to a chained Tracer.
+  if (next_ != nullptr) next_->OnCausal(info);
+}
+
 void RunTelemetry::OnSend(double now, int from, int to, const Message& msg,
                           double delay) {
   metrics_.Add(c_sends_);

@@ -47,6 +47,7 @@ class RunTelemetry : public SimObserver {
   MetricsRegistry& metrics() { return metrics_; }
 
   // SimObserver implementation.
+  void OnCausal(const CausalInfo& info) override;
   void OnSend(double now, int from, int to, const Message& msg,
               double delay) override;
   void OnHop(double at, int from, int to, const Message& msg) override;

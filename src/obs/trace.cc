@@ -4,6 +4,7 @@
 
 #include "common/status.h"
 #include "obs/metrics.h"
+#include "proto/wire.h"
 
 namespace elink {
 namespace obs {
@@ -55,6 +56,13 @@ uint32_t Tracer::Intern(const std::string& label) {
 }
 
 void Tracer::Push(TraceEvent event) {
+  if (has_pending_causal_) {
+    // The OnCausal emitted just before this event annotates it.
+    event.causal_self = pending_causal_.self;
+    event.causal_msg = pending_causal_.msg;
+    event.causal_parent = pending_causal_.parent;
+    has_pending_causal_ = false;
+  }
   event.seq = next_seq_++;
   if (count_ < buffer_.size()) {
     buffer_[(start_ + count_) % buffer_.size()] = event;
@@ -63,6 +71,11 @@ void Tracer::Push(TraceEvent event) {
     buffer_[start_] = event;  // Overwrite the oldest event.
     start_ = (start_ + 1) % buffer_.size();
   }
+}
+
+void Tracer::OnCausal(const CausalInfo& info) {
+  pending_causal_ = info;
+  has_pending_causal_ = true;
 }
 
 void Tracer::OnSend(double now, int from, int to, const Message& msg,
@@ -75,6 +88,7 @@ void Tracer::OnSend(double now, int from, int to, const Message& msg,
   e.peer = to;
   e.label = Intern(msg.category);
   e.value = msg.CostUnits();
+  e.bytes = static_cast<uint32_t>(wire::FrameSize(msg));
   Push(e);
 }
 
@@ -86,6 +100,7 @@ void Tracer::OnHop(double at, int from, int to, const Message& msg) {
   e.peer = to;
   e.label = Intern(msg.category);
   e.value = msg.CostUnits();
+  e.bytes = static_cast<uint32_t>(wire::FrameSize(msg));
   Push(e);
 }
 
@@ -97,6 +112,7 @@ void Tracer::OnDeliver(double now, int from, int to, const Message& msg) {
   e.peer = from;
   e.label = Intern(msg.category);
   e.value = msg.CostUnits();
+  e.bytes = static_cast<uint32_t>(wire::FrameSize(msg));
   Push(e);
 }
 
@@ -108,6 +124,7 @@ void Tracer::OnDrop(double at, int from, int to, const Message& msg) {
   e.peer = to;
   e.label = Intern(msg.category);
   e.value = msg.CostUnits();
+  e.bytes = static_cast<uint32_t>(wire::FrameSize(msg));
   Push(e);
 }
 
@@ -244,12 +261,39 @@ void Tracer::AppendJsonl(const TraceEvent& e, std::string* out) const {
     *out += ",\"aux\":";
     *out += JsonDouble(e.aux);
   }
+  // Causal annotation and wire bytes render only when present, so untraced
+  // runs (and pre-causal fixtures) export byte-identical lines.
+  if (e.causal_self != 0) {
+    *out += ",\"cid\":";
+    *out += std::to_string(e.causal_self);
+  }
+  if (e.causal_msg != 0) {
+    *out += ",\"mid\":";
+    *out += std::to_string(e.causal_msg);
+  }
+  if (e.causal_parent != 0) {
+    *out += ",\"parent\":";
+    *out += std::to_string(e.causal_parent);
+  }
+  if (e.bytes != 0) {
+    *out += ",\"bytes\":";
+    *out += std::to_string(e.bytes);
+  }
   *out += "}\n";
 }
 
 std::string Tracer::ExportJsonl() const {
   std::string out;
   out.reserve(count_ * 64);
+  if (overwritten() > 0) {
+    // Overflow banner: the retained window is a suffix of the run, so
+    // causal chains that started earlier are truncated.
+    out += "{\"warning\":\"trace ring overflowed\",\"overwritten\":";
+    out += std::to_string(overwritten());
+    out += ",\"capacity\":";
+    out += std::to_string(capacity());
+    out += "}\n";
+  }
   ForEach([&](const TraceEvent& e) { AppendJsonl(e, &out); });
   return out;
 }
@@ -290,6 +334,32 @@ void Tracer::AppendChrome(const TraceEvent& e, std::string* out) const {
   *out += "}}";
 }
 
+void Tracer::AppendChromeFlow(const TraceEvent& e, std::string* out) const {
+  // Flow arrows pair a start at the send with an end at the deliver,
+  // matched by identical name + id.  The id is the message id plus the
+  // receiving endpoint, so every leg of a broadcast fan-out gets its own
+  // arrow off the shared payload.
+  const bool start = e.kind == TraceKind::kSend;
+  const int dest = start ? e.peer : e.node;
+  const char* name = e.label != TraceEvent::kNoLabel
+                         ? labels_[e.label].c_str()
+                         : TraceKindName(e.kind);
+  *out += "{\"name\":\"";
+  *out += JsonEscape(*name != '\0' ? name : TraceKindName(e.kind));
+  *out += "\",\"cat\":\"flow\",\"ph\":\"";
+  *out += start ? "s" : "f";
+  if (!start) *out += "\",\"bp\":\"e";
+  *out += "\",\"id\":\"";
+  *out += std::to_string(e.causal_msg);
+  *out += "-";
+  *out += std::to_string(dest);
+  *out += "\",\"pid\":0,\"tid\":";
+  *out += std::to_string(e.node >= 0 ? e.node : -1);
+  *out += ",\"ts\":";
+  *out += JsonDouble(e.time * 1000.0);
+  *out += "}";
+}
+
 std::string Tracer::ExportChromeTrace() const {
   std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   out.reserve(count_ * 96);
@@ -298,8 +368,39 @@ std::string Tracer::ExportChromeTrace() const {
     if (!first) out += ",\n";
     first = false;
     AppendChrome(e, &out);
+    // Causally-annotated message motion additionally renders as a flow
+    // arrow from the send to its deliver (drops have no end, so no arrow).
+    if (e.causal_msg != 0 &&
+        (e.kind == TraceKind::kSend || e.kind == TraceKind::kDeliver)) {
+      out += ",\n";
+      AppendChromeFlow(e, &out);
+    }
   });
-  out += "]}\n";
+  out += "]";
+  if (overwritten() > 0) {
+    out += ",\"otherData\":{\"warning\":\"trace ring overflowed: oldest ";
+    out += std::to_string(overwritten());
+    out += " of ";
+    out += std::to_string(total_recorded());
+    out += " events were overwritten; causal chains may be truncated\"}";
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string Tracer::StatsJson() const {
+  std::string out = "{\"capacity\":";
+  out += std::to_string(capacity());
+  out += ",\"recorded\":";
+  out += std::to_string(total_recorded());
+  out += ",\"retained\":";
+  out += std::to_string(size());
+  out += ",\"overwritten\":";
+  out += std::to_string(overwritten());
+  out += ",\"utilization\":";
+  out += JsonDouble(static_cast<double>(size()) /
+                    static_cast<double>(capacity()));
+  out += "}";
   return out;
 }
 

@@ -62,7 +62,13 @@ struct TraceEvent {
   double aux = 0.0;       // Delay (send), watchdog window (arm), else 0.
   long long value = 0;    // Units / timer id / attempt / phase value / seq.
   uint64_t seq = 0;       // Monotone emission index (never wraps).
+  // Causal annotation (0 = none), populated from the OnCausal emitted just
+  // before this event when the run's Network assigns causal ids:
+  uint64_t causal_self = 0;    // Handler-activation id (deliver/timer).
+  uint64_t causal_msg = 0;     // In-flight message id (send/hop/drop/deliver).
+  uint64_t causal_parent = 0;  // Causing activation (send/hop/drop/timer).
   uint32_t label = kNoLabel;  // Interned category / phase name.
+  uint32_t bytes = 0;     // Frame bytes on the air (send/hop/deliver/drop).
   TraceKind kind = TraceKind::kSend;
   int32_t node = -1;      // Primary node (sender or owner); -1 when none.
   int32_t peer = -1;      // Other endpoint; -1 when none.
@@ -74,7 +80,9 @@ class Tracer : public SimObserver {
   /// `capacity` bounds the buffer (events, not bytes); must be > 0.
   explicit Tracer(size_t capacity = 1 << 16);
 
-  // SimObserver implementation (records one TraceEvent each).
+  // SimObserver implementation (records one TraceEvent each; OnCausal
+  // instead annotates the event recorded immediately after it).
+  void OnCausal(const CausalInfo& info) override;
   void OnSend(double now, int from, int to, const Message& msg,
               double delay) override;
   void OnHop(double at, int from, int to, const Message& msg) override;
@@ -106,6 +114,8 @@ class Tracer : public SimObserver {
 
   /// Resolves an interned label id back to its string.
   const std::string& label(uint32_t id) const { return labels_[id]; }
+  /// All interned labels, dense by id (CausalGraph copies them wholesale).
+  const std::vector<std::string>& labels() const { return labels_; }
 
   /// Invokes fn(event) oldest-to-newest over the retained window.
   template <typename F>
@@ -118,6 +128,14 @@ class Tracer : public SimObserver {
   /// Drops all retained events (interned labels survive).
   void Clear();
 
+  /// Ring-buffer accounting as a JSON object (capacity, recorded, retained,
+  /// overwritten, utilization) — embeddable as a RunReport section so a run
+  /// that overflowed its ring says so in the artifact.
+  std::string StatsJson() const;
+
+  /// Exporters.  When the ring overflowed, both lead with a warning banner
+  /// (a JSONL comment-object line / a Chrome "otherData" entry) instead of
+  /// silently truncating causal chains.
   std::string ExportJsonl() const;
   std::string ExportChromeTrace() const;
 
@@ -126,11 +144,19 @@ class Tracer : public SimObserver {
   void Push(TraceEvent event);
   void AppendJsonl(const TraceEvent& e, std::string* out) const;
   void AppendChrome(const TraceEvent& e, std::string* out) const;
+  /// Appends the Chrome flow-arrow record ("ph":"s" at the send, "ph":"f"
+  /// at the matching deliver) for causally-annotated message events.
+  void AppendChromeFlow(const TraceEvent& e, std::string* out) const;
 
   std::vector<TraceEvent> buffer_;
   size_t start_ = 0;  // Index of the oldest retained event.
   size_t count_ = 0;
   uint64_t next_seq_ = 0;
+
+  // Causal annotation waiting for the event it describes (emitted
+  // immediately before it on the same observer).
+  CausalInfo pending_causal_;
+  bool has_pending_causal_ = false;
 
   std::vector<std::string> labels_;
   std::unordered_map<std::string, uint32_t> label_index_;

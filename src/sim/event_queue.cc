@@ -148,7 +148,9 @@ void EventQueue::Dispatch(const Item& item) {
     case kKindCallback: {
       // Invoked *in place*: slot chunks never move, so reentrant scheduling
       // from inside the closure cannot invalidate it.  InvokeOnce fuses the
-      // call with the closure's destruction.
+      // call with the closure's destruction.  Generic callbacks are genesis
+      // events causally — they come from driver code, not a handler.
+      active_cause_ = 0;
       const uint32_t slot = item.b;
       SlotRef(slot).InvokeOnce();
       free_slots_.push_back(slot);
@@ -161,7 +163,7 @@ void EventQueue::Dispatch(const Item& item) {
       break;
     default:
       on_timer_(handler_ctx_, static_cast<int>(item.a & kArgMask),
-                static_cast<int>(item.b), static_cast<uint32_t>(item.c));
+                static_cast<int>(item.b), item.c);
       break;
   }
 }

@@ -57,9 +57,12 @@ class EventQueue {
 
   /// Handler for inline delivery events (installed once by the Network).
   using DeliveryHandler = void (*)(void* ctx, int from, int to, void* payload);
-  /// Handler for inline timer events.
+  /// Handler for inline timer events.  `aux` is an opaque 64-bit word the
+  /// scheduler round-trips untouched; the Network packs the restart
+  /// generation into its low half (and, while tracing, a causal-parent slot
+  /// into the high half).
   using TimerHandler = void (*)(void* ctx, int node, int timer_id,
-                                uint32_t generation);
+                                uint64_t aux);
 
   /// Installs the dispatch target for inline delivery/timer events.  Must be
   /// set before the first ScheduleDeliveryAfter/ScheduleTimerAfter.
@@ -101,11 +104,11 @@ class EventQueue {
 
   /// Schedules an inline timer event for the installed TimerHandler.
   void ScheduleTimerAfter(double delay, int node, int timer_id,
-                          uint32_t generation) {
+                          uint64_t aux) {
     ELINK_CHECK(delay >= 0.0);
     Enqueue(TimeBits(now_ + delay),
             Item{(kKindTimer << kKindShift) | static_cast<uint32_t>(node),
-                 static_cast<uint32_t>(timer_id), generation});
+                 static_cast<uint32_t>(timer_id), aux});
   }
 
   /// Current simulated time.  Advances to each event's timestamp as it is
@@ -118,6 +121,15 @@ class EventQueue {
 
   /// High-water mark of Size() over the queue's lifetime.
   size_t PeakSize() const { return peak_size_; }
+
+  /// Causal id of the handler activation currently executing (0 = none).
+  /// Written by the Network's delivery/timer handlers while an observer is
+  /// attached; cleared by the dispatcher before every generic callback so
+  /// driver-scheduled closures are never misattributed to whichever handler
+  /// happened to run last.  Purely observational: no simulation decision
+  /// ever reads it.
+  uint64_t active_cause() const { return active_cause_; }
+  void set_active_cause(uint64_t cause) { active_cause_ = cause; }
 
   /// Dispatches the next event; returns false when the queue is empty.
   bool RunOne();
@@ -252,6 +264,7 @@ class EventQueue {
   DeliveryHandler on_delivery_ = nullptr;
   TimerHandler on_timer_ = nullptr;
   void* handler_ctx_ = nullptr;
+  uint64_t active_cause_ = 0;
   double now_ = 0.0;
   size_t size_ = 0;
   size_t peak_size_ = 0;

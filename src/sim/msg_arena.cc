@@ -38,7 +38,7 @@ MessageArena::Slot* MessageArena::Create(Message&& msg) {
   Slab& slab = slabs_[active_];
   Slot* slot = SlabSlot(slab, slab.bump);
   ::new (static_cast<void*>(slot))
-      Slot{std::move(msg), 1, static_cast<uint32_t>(active_)};
+      Slot{std::move(msg), 1, static_cast<uint32_t>(active_), 0};
   live_mask_[active_ * kSlotsPerSlab + slab.bump] = 1;
   ++slab.bump;
   ++slab.live;

@@ -38,10 +38,14 @@ class MessageArena {
  public:
   /// One arena-resident payload.  `msg` is immutable after Create; `refs`
   /// counts scheduled deliveries plus the creator's transient reference.
+  /// `msg_id` is the causal-trace message id (0 when no observer is
+  /// attached); the Network stamps it after Create so every delivery of a
+  /// shared payload reports the same id.
   struct Slot {
     Message msg;
     uint32_t refs;
     uint32_t slab;
+    uint64_t msg_id;
   };
 
   MessageArena() = default;

@@ -201,37 +201,74 @@ void Network::Send(int from, int to, Message msg) {
   if (fault_drop || churn_drop) {
     if (churn_drop) ++churn_drops_;
     stats_.RecordDropped(msg.category, msg.CostUnits(), FrameBytes(msg));
-    if (observer_ != nullptr) observer_->OnDrop(Now(), from, to, msg);
+    if (observer_ != nullptr) {
+      observer_->OnCausal({0, NewCauseId(), queue_.active_cause()});
+      observer_->OnDrop(Now(), from, to, msg);
+    }
     return;
   }
   stats_.Record(msg.category, msg.CostUnits(), FrameBytes(msg));
-  if (observer_ != nullptr) observer_->OnSend(Now(), from, to, msg, delay);
-  ScheduleDelivery(delay, from, to, std::move(msg));
+  uint64_t mid = 0;
+  if (observer_ != nullptr) {
+    mid = NewCauseId();
+    observer_->OnCausal({0, mid, queue_.active_cause()});
+    observer_->OnSend(Now(), from, to, msg, delay);
+  }
+  ScheduleDelivery(delay, from, to, std::move(msg), mid);
 }
 
-void Network::ScheduleDelivery(double delay, int from, int to, Message&& msg) {
+void Network::ScheduleDelivery(double delay, int from, int to, Message&& msg,
+                               uint64_t msg_id) {
   if (config_.arena_messages) {
-    queue_.ScheduleDeliveryAfter(delay, from, to, arena_.Create(std::move(msg)));
+    MessageArena::Slot* slot = arena_.Create(std::move(msg));
+    slot->msg_id = msg_id;
+    queue_.ScheduleDeliveryAfter(delay, from, to, slot);
   } else {
-    queue_.ScheduleAfter(delay, [this, from, to, m = std::move(msg)]() {
-      if (observer_ != nullptr) observer_->OnDeliver(Now(), from, to, m);
-      nodes_[to]->HandleMessage(from, m);
+    queue_.ScheduleAfter(delay, [this, from, to, msg_id,
+                                 m = std::move(msg)]() {
+      DeliverHeap(from, to, m, msg_id);
     });
   }
+}
+
+void Network::DeliverHeap(int from, int to, const Message& msg,
+                          uint64_t msg_id) {
+  if (observer_ != nullptr) {
+    const uint64_t self = NewCauseId();
+    queue_.set_active_cause(self);
+    observer_->OnCausal({self, msg_id, 0});
+    observer_->OnDeliver(Now(), from, to, msg);
+  }
+  nodes_[to]->HandleMessage(from, msg);
 }
 
 void Network::OnDeliveryEvent(void* ctx, int from, int to, void* payload) {
   Network* net = static_cast<Network*>(ctx);
   auto* slot = static_cast<MessageArena::Slot*>(payload);
   if (net->observer_ != nullptr) {
+    const uint64_t self = net->NewCauseId();
+    net->queue_.set_active_cause(self);
+    net->observer_->OnCausal({self, slot->msg_id, 0});
     net->observer_->OnDeliver(net->Now(), from, to, slot->msg);
   }
   net->nodes_[to]->HandleMessage(from, slot->msg);
   net->arena_.Release(slot);
 }
 
-void Network::OnTimerEvent(void* ctx, int node, int timer_id, uint32_t gen) {
+void Network::OnTimerEvent(void* ctx, int node, int timer_id, uint64_t aux) {
   Network* net = static_cast<Network*>(ctx);
+  // Unpack the aux word: restart generation below, traced causal-parent
+  // pool slot (+1; 0 = untraced or genesis) above.  The pool slot is
+  // reclaimed on every fire outcome — including generation-orphaned and
+  // crash/absence-suppressed timers — so the pool's occupancy tracks timers
+  // actually in flight.
+  const uint32_t gen = static_cast<uint32_t>(aux);
+  const uint32_t cause_slot = static_cast<uint32_t>(aux >> 32);
+  uint64_t parent = 0;
+  if (cause_slot != 0) {
+    parent = net->timer_cause_pool_[cause_slot - 1];
+    net->free_timer_slots_.push_back(cause_slot - 1);
+  }
   // Timers set before a restart (churn join/repair, or a fault-plan crash
   // recovery) belong to the previous incarnation and never fire — the
   // restart bumped the node's generation.  OnRestart re-arms whatever the
@@ -243,13 +280,17 @@ void Network::OnTimerEvent(void* ctx, int node, int timer_id, uint32_t gen) {
   if (net->fault_.enabled() && net->fault_.IsCrashed(node, now)) return;
   if (net->churn_.enabled() && net->churn_.IsAbsent(node, now)) return;
   if (net->observer_ != nullptr) {
+    const uint64_t self = net->NewCauseId();
+    net->queue_.set_active_cause(self);
+    net->observer_->OnCausal({self, 0, parent});
     net->observer_->OnTimerFire(now, node, timer_id);
   }
   net->nodes_[node]->HandleTimer(timer_id);
 }
 
 void Network::SendShared(int from, int to,
-                         const std::shared_ptr<const Message>& msg) {
+                         const std::shared_ptr<const Message>& msg,
+                         uint64_t msg_id) {
   ELINK_CHECK(topology_.HasEdge(from, to) ||
               (churn_.enabled() && HasLiveEdge(from, to)));
   ELINK_CHECK(nodes_[to] != nullptr);
@@ -281,20 +322,25 @@ void Network::SendShared(int from, int to,
     if (churn_drop) ++churn_drops_;
     stats_.RecordDropped(wire->category, wire->CostUnits(),
                          FrameBytes(*wire));
-    if (observer_ != nullptr) observer_->OnDrop(Now(), from, to, *wire);
+    if (observer_ != nullptr) {
+      observer_->OnCausal({0, msg_id, queue_.active_cause()});
+      observer_->OnDrop(Now(), from, to, *wire);
+    }
     return;
   }
   stats_.Record(wire->category, wire->CostUnits(), FrameBytes(*wire));
-  if (observer_ != nullptr) observer_->OnSend(Now(), from, to, *wire, delay);
+  if (observer_ != nullptr) {
+    observer_->OnCausal({0, msg_id, queue_.active_cause()});
+    observer_->OnSend(Now(), from, to, *wire, delay);
+  }
   if (wire == &chopped) {
-    queue_.ScheduleAfter(delay, [this, from, to, m = std::move(chopped)]() {
-      if (observer_ != nullptr) observer_->OnDeliver(Now(), from, to, m);
-      nodes_[to]->HandleMessage(from, m);
+    queue_.ScheduleAfter(delay, [this, from, to, msg_id,
+                                 m = std::move(chopped)]() {
+      DeliverHeap(from, to, m, msg_id);
     });
   } else {
-    queue_.ScheduleAfter(delay, [this, from, to, msg]() {
-      if (observer_ != nullptr) observer_->OnDeliver(Now(), from, to, *msg);
-      nodes_[to]->HandleMessage(from, *msg);
+    queue_.ScheduleAfter(delay, [this, from, to, msg, msg_id]() {
+      DeliverHeap(from, to, *msg, msg_id);
     });
   }
 }
@@ -337,14 +383,24 @@ void Network::SendSharedArena(int from, int to, MessageArena::Slot* shared) {
     if (churn_drop) ++churn_drops_;
     stats_.RecordDropped(wire->category, wire->CostUnits(),
                          FrameBytes(*wire));
-    if (observer_ != nullptr) observer_->OnDrop(Now(), from, to, *wire);
+    if (observer_ != nullptr) {
+      observer_->OnCausal({0, shared->msg_id, queue_.active_cause()});
+      observer_->OnDrop(Now(), from, to, *wire);
+    }
     return;
   }
   stats_.Record(wire->category, wire->CostUnits(), FrameBytes(*wire));
-  if (observer_ != nullptr) observer_->OnSend(Now(), from, to, *wire, delay);
+  if (observer_ != nullptr) {
+    observer_->OnCausal({0, shared->msg_id, queue_.active_cause()});
+    observer_->OnSend(Now(), from, to, *wire, delay);
+  }
   if (truncated) {
-    queue_.ScheduleDeliveryAfter(delay, from, to,
-                                 arena_.Create(std::move(chopped)));
+    // The truncated leg's private payload is still the same logical
+    // transmission, so it keeps the fan-out's message id — the (id, to)
+    // pair stays unique across legs either way.
+    MessageArena::Slot* priv = arena_.Create(std::move(chopped));
+    priv->msg_id = shared->msg_id;
+    queue_.ScheduleDeliveryAfter(delay, from, to, priv);
   } else {
     MessageArena::AddRef(shared);
     queue_.ScheduleDeliveryAfter(delay, from, to, shared);
@@ -358,13 +414,15 @@ void Network::Broadcast(int from, Message msg) {
   // const& into it, so nothing is copied per neighbor.
   if (config_.arena_messages) {
     MessageArena::Slot* shared = arena_.Create(std::move(msg));
+    if (observer_ != nullptr) shared->msg_id = NewCauseId();
     for (int nb : nbrs) SendSharedArena(from, nb, shared);
     // Drop the creator's reference; the payload now lives exactly as long
     // as its last scheduled delivery (or dies here if every leg dropped).
     arena_.Release(shared);
   } else {
     const auto shared = std::make_shared<const Message>(std::move(msg));
-    for (int nb : nbrs) SendShared(from, nb, shared);
+    const uint64_t mid = observer_ != nullptr ? NewCauseId() : 0;
+    for (int nb : nbrs) SendShared(from, nb, shared, mid);
   }
 }
 
@@ -396,8 +454,13 @@ int Network::SendRouted(int from, int to, Message msg) {
   if (from == to) {
     if (fault_.enabled() && fault_.IsCrashed(to, Now())) return 0;
     if (churn_.enabled() && churn_.IsAbsent(to, Now())) return 0;
-    if (observer_ != nullptr) observer_->OnSend(Now(), from, to, msg, 0.0);
-    ScheduleDelivery(0.0, from, to, std::move(msg));
+    uint64_t mid = 0;
+    if (observer_ != nullptr) {
+      mid = NewCauseId();
+      observer_->OnCausal({0, mid, queue_.active_cause()});
+      observer_->OnSend(Now(), from, to, msg, 0.0);
+    }
+    ScheduleDelivery(0.0, from, to, std::move(msg), mid);
     return 0;
   }
   const RoutingTable& table = TableFor(to);
@@ -407,7 +470,10 @@ int Network::SendRouted(int from, int to, Message msg) {
     // with no path is lost (and charged once, like any other lost frame).
     ++churn_drops_;
     stats_.RecordDropped(msg.category, msg.CostUnits(), FrameBytes(msg));
-    if (observer_ != nullptr) observer_->OnDrop(Now(), from, to, msg);
+    if (observer_ != nullptr) {
+      observer_->OnCausal({0, NewCauseId(), queue_.active_cause()});
+      observer_->OnDrop(Now(), from, to, msg);
+    }
     return 0;
   }
   ELINK_CHECK(hops > 0);  // Connected networks only.
@@ -417,6 +483,16 @@ int Network::SendRouted(int from, int to, Message msg) {
   // The identical frame is on the air at every hop, so its length is
   // computed once per routed message, not once per relay.
   const uint64_t frame_bytes = FrameBytes(msg);
+  // One message id covers the whole routed journey — every relay hop is the
+  // same frame in flight.  The causal parent is pinned here: the hop loop
+  // below runs synchronously inside the caller's handler, so the active
+  // cause cannot change mid-walk.
+  uint64_t mid = 0;
+  uint64_t cause = 0;
+  if (observer_ != nullptr) {
+    mid = NewCauseId();
+    cause = queue_.active_cause();
+  }
   // Walk the path hop by hop: each relay transmission is charged when it
   // happens and any hop can lose the message (relay crashed, link down or
   // lossy, next relay dead on arrival).  Fault-free, this performs exactly
@@ -442,19 +518,26 @@ int Network::SendRouted(int from, int to, Message msg) {
       if (churn_drop) ++churn_drops_;
       stats_.RecordDropped(msg.category, msg.CostUnits(), frame_bytes);
       if (observer_ != nullptr) {
+        observer_->OnCausal({0, mid, cause});
         observer_->OnDrop(Now() + delay, cur, next, msg);
       }
       return hops;
     }
     stats_.Record(msg.category, msg.CostUnits(), frame_bytes);
-    if (observer_ != nullptr) observer_->OnHop(Now() + delay, cur, next, msg);
+    if (observer_ != nullptr) {
+      observer_->OnCausal({0, mid, cause});
+      observer_->OnHop(Now() + delay, cur, next, msg);
+    }
     delay += hop_delay;
     prev = cur;
     cur = next;
   }
-  if (observer_ != nullptr) observer_->OnSend(Now(), from, to, msg, delay);
+  if (observer_ != nullptr) {
+    observer_->OnCausal({0, mid, cause});
+    observer_->OnSend(Now(), from, to, msg, delay);
+  }
   // The penultimate node on the path is the sender seen by `to`.
-  ScheduleDelivery(delay, prev, to, std::move(msg));
+  ScheduleDelivery(delay, prev, to, std::move(msg), mid);
   return hops;
 }
 
@@ -466,8 +549,26 @@ int Network::HopDistance(int from, int to) {
 void Network::SetTimer(int id, double delay, int timer_id) {
   ELINK_CHECK(nodes_[id] != nullptr);
   // Inline POD event: the generation/crash/absence gating lives in
-  // OnTimerEvent, so no closure is built per timer.
-  queue_.ScheduleTimerAfter(delay, id, timer_id, restart_gen_[id]);
+  // OnTimerEvent, so no closure is built per timer.  While traced and armed
+  // from inside a handler, the arming cause parks in the pool and its slot
+  // rides the aux word's high half (shifted +1 so 0 keeps meaning "none").
+  uint64_t aux = restart_gen_[id];
+  if (observer_ != nullptr) {
+    const uint64_t cause = queue_.active_cause();
+    if (cause != 0) {
+      uint32_t slot;
+      if (free_timer_slots_.empty()) {
+        slot = static_cast<uint32_t>(timer_cause_pool_.size());
+        timer_cause_pool_.push_back(cause);
+      } else {
+        slot = free_timer_slots_.back();
+        free_timer_slots_.pop_back();
+        timer_cause_pool_[slot] = cause;
+      }
+      aux |= (static_cast<uint64_t>(slot) + 1) << 32;
+    }
+  }
+  queue_.ScheduleTimerAfter(delay, id, timer_id, aux);
 }
 
 void Network::ScheduleAfter(double delay, EventQueue::Callback cb) {
@@ -479,6 +580,9 @@ uint64_t Network::Run(uint64_t max_events) {
     ELINK_CHECK(nodes_[id] != nullptr);
   }
   hit_event_cap_ = false;
+  // Driver code brackets the drain: anything it sends before or after is a
+  // causal genesis, never a child of whichever handler ran last.
+  queue_.set_active_cause(0);
   uint64_t dispatched = 0;
   RunCheckpoint* cp = armed_checkpoint();
   if (cp == nullptr) {
@@ -504,6 +608,7 @@ uint64_t Network::Run(uint64_t max_events) {
       if (ran < budget) break;
     }
   }
+  queue_.set_active_cause(0);
   if (dispatched >= max_events && !queue_.Empty()) {
     hit_event_cap_ = true;
     ELINK_LOG(Warning) << "Network::Run hit the event cap (" << max_events

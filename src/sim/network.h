@@ -270,19 +270,32 @@ class Network {
   void MaybeTruncate(Message* msg);
   /// One fan-out leg of a Broadcast (heap path): identical charging/fault/
   /// delay logic to Send, but the delivery closure holds a reference to the
-  /// shared payload instead of its own Message copy.
-  void SendShared(int from, int to, const std::shared_ptr<const Message>& msg);
+  /// shared payload instead of its own Message copy.  `msg_id` is the
+  /// fan-out's shared causal message id (0 when untraced).
+  void SendShared(int from, int to, const std::shared_ptr<const Message>& msg,
+                  uint64_t msg_id);
   /// One fan-out leg of a Broadcast (arena path): `shared` is the arena
   /// payload every intact leg references; a truncated leg gets a private
   /// arena copy.  Charging/fault/delay logic mirrors Send exactly.
   void SendSharedArena(int from, int to, MessageArena::Slot* shared);
   /// Schedules the final delivery of `msg` (already charged and fault-
   /// cleared): an inline arena-backed POD event, or — with arena_messages
-  /// off — the legacy heap-backed closure.
-  void ScheduleDelivery(double delay, int from, int to, Message&& msg);
+  /// off — the legacy heap-backed closure.  `msg_id` rides along so the
+  /// delivery can report which traced message it completes.
+  void ScheduleDelivery(double delay, int from, int to, Message&& msg,
+                        uint64_t msg_id);
+  /// Heap-path delivery body: emits the causal/deliver annotations and runs
+  /// the handler, consuming ids in exactly the order the arena path does.
+  void DeliverHeap(int from, int to, const Message& msg, uint64_t msg_id);
   /// Inline-event trampolines installed into the EventQueue.
   static void OnDeliveryEvent(void* ctx, int from, int to, void* payload);
-  static void OnTimerEvent(void* ctx, int node, int timer_id, uint32_t gen);
+  static void OnTimerEvent(void* ctx, int node, int timer_id, uint64_t aux);
+
+  /// Next causal id.  Ids are dense from 1 and drawn only inside
+  /// observer-attached branches, so untraced runs never touch the counter
+  /// and traced same-seed runs draw identical id streams.  Purely
+  /// observational: no simulation decision depends on an id.
+  uint64_t NewCauseId() { return ++next_cause_id_; }
 
   Topology topology_;
   Config config_;
@@ -299,6 +312,16 @@ class Network {
   // a restart are orphaned instead of firing on the new incarnation.
   std::vector<uint32_t> restart_gen_;
   uint64_t churn_drops_ = 0;
+  // Causal-trace plumbing (all of it dormant without an observer).
+  // `timer_cause_pool_` parks the arming handler's id for each in-flight
+  // traced timer; the pool slot index (+1, 0 meaning "no parent") rides in
+  // the high half of the timer event's aux word and is recycled when the
+  // timer fires, is suppressed, or is orphaned by a restart generation
+  // bump... the last of which cannot be detected at arm time, so orphaned
+  // slots are reclaimed at fire time like every other.
+  uint64_t next_cause_id_ = 0;
+  std::vector<uint64_t> timer_cause_pool_;
+  std::vector<uint32_t> free_timer_slots_;
   std::vector<std::unique_ptr<Node>> nodes_;
   MessageStats stats_;
   SimObserver* observer_ = nullptr;

@@ -29,6 +29,31 @@ class SimObserver {
  public:
   virtual ~SimObserver() = default;
 
+  // -- Causal plane (Network) --------------------------------------------
+  /// Causal annotation for the *next* callback on this observer.  Ids are
+  /// assigned deterministically by the Network (dense, starting at 1; 0
+  /// means "none"), and are only consumed while an observer is attached, so
+  /// two same-seed runs with the same observer configuration see identical
+  /// ids — and detaching the observer still changes no simulation outcome.
+  struct CausalInfo {
+    /// Fresh id of the handler activation this event *is* (a delivery
+    /// dispatch or an actual timer fire); 0 for send/hop/drop annotations.
+    uint64_t self = 0;
+    /// Stable id of the in-flight message (send/hop/drop/deliver); one id
+    /// per logical message — broadcast fan-out legs and every relay hop of
+    /// a routed send share it.  0 when the event has no message.
+    uint64_t msg = 0;
+    /// Id of the causing handler activation: for sends/hops/drops the
+    /// delivery or timer handler that was running when the message went on
+    /// the air; for timer fires the handler that armed the timer.  0 means
+    /// genesis (driver code outside any handler).
+    uint64_t parent = 0;
+  };
+  /// Emitted immediately before the OnSend/OnHop/OnDeliver/OnDrop/
+  /// OnTimerFire callback it annotates.  Observers that do not record
+  /// causality ignore it (but chained observers must forward it).
+  virtual void OnCausal(const CausalInfo& info) { (void)info; }
+
   // -- Message plane (Network) -------------------------------------------
   /// A message was charged and scheduled for delivery.  `delay` is the full
   /// send-to-deliver latency (all hops for routed sends), so message-delay
