@@ -24,6 +24,8 @@
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "proto/wire.h"
+#include "serve/session.h"
+#include "serve/workload.h"
 #include "sim/graph.h"
 
 namespace elink {
@@ -39,6 +41,7 @@ constexpr uint64_t kRangeQueryStream = 17;
 constexpr uint64_t kPathQueryStream = 18;
 constexpr uint64_t kUpdateTimeStream = 19;
 constexpr uint64_t kWireFuzzStream = 20;
+constexpr uint64_t kServeQueryStream = 21;
 
 // Trace-ring capacity for the causal cross-check.  Fuzz scenarios are small
 // (tens of nodes), so the ring virtually never wraps; when a pathological
@@ -286,6 +289,124 @@ void RunElinkTrial(const Scenario& s, CheckOutcome* out,
   CollectReport(artifacts, tele, "elink", s.seed, res.stats);
 }
 
+// ---------------------------------------------------------------------------
+// Serve-coherence pass (the `serve` knob).
+//
+// A MaintenanceServeDriver rides along the maintenance trial: the protocol's
+// epoch-bump hook feeds its cache invalidation, and at every publish point
+// each client replays a pooled (Zipf-skewed, so hits occur) query batch.
+// Every served answer — cache hit or miss — must (a) byte-equal a fresh
+// recomputation on the published view, (b) equal the exact linear-scan/BFS
+// oracles over the view's live state, and (c) when it came from the cache,
+// carry the epoch vector of the *current* view (a stale hit is the
+// coherence failure mode this pass exists to catch).  Purely observational:
+// the pass draws from its own stream and never injects protocol activity,
+// so enabling/disabling it cannot reshuffle the maintenance trial.
+
+void CheckServedBatch(const Scenario& s, serve::MaintenanceServeDriver* driver,
+                      const serve::WorkloadGenerator& gen, int round,
+                      CheckOutcome* out) {
+  std::shared_ptr<const serve::ReadView> view = driver->frontend().View();
+  // original id -> compact id on the served view, for oracle remapping.
+  std::vector<int> remap(s.topology.num_nodes(), -1);
+  for (int c = 0; c < view->num_live(); ++c) remap[view->original_id(c)] = c;
+
+  for (int client = 0; client < s.serve_clients; ++client) {
+    const std::vector<serve::WorkloadOp> ops = gen.ClientOps(client);
+    for (size_t k = 0; k < ops.size(); ++k) {
+      const serve::WorkloadOp& op = ops[k];
+      const auto where = [&] {
+        return StringPrintf("round %d client %d op %zu (%s)", round, client,
+                            k, s.Describe().c_str());
+      };
+      if (op.is_range) {
+        const serve::ServedRange served =
+            driver->frontend().Range(op.feature, op.scalar);
+        const serve::RangeAnswer fresh = view->Range(op.feature, op.scalar);
+        if (!(served.answer == fresh)) {
+          Add(out, "serve_coherence",
+              StringPrintf("%s: served range answer (%zu matches, cached=%d) "
+                           "!= fresh recomputation (%zu)",
+                           where().c_str(), served.answer.matches.size(),
+                           served.from_cache ? 1 : 0, fresh.matches.size()));
+        }
+        std::vector<int> oracle = RangeOracle(
+            view->compact_features(), *s.metric, op.feature, op.scalar);
+        for (int& id : oracle) id = view->original_id(id);
+        if (served.answer.matches != oracle) {
+          Add(out, "serve_oracle",
+              StringPrintf("%s: served range answer (%zu) != linear-scan "
+                           "oracle (%zu)",
+                           where().c_str(), served.answer.matches.size(),
+                           oracle.size()));
+        }
+        if (served.from_cache &&
+            (served.epochs != view->epochs() ||
+             served.epoch_signature != view->epoch_signature())) {
+          Add(out, "serve_stale_hit",
+              StringPrintf("%s: cache hit carries a non-current epoch vector",
+                           where().c_str()));
+        }
+      } else {
+        const serve::ServedPath served = driver->frontend().SafePath(
+            op.source, op.destination, op.feature, op.scalar);
+        const serve::PathAnswer fresh = view->SafePath(
+            op.source, op.destination, op.feature, op.scalar);
+        if (!(served.answer == fresh)) {
+          Add(out, "serve_coherence",
+              StringPrintf("%s: served path answer (found=%d, cached=%d) != "
+                           "fresh recomputation (found=%d)",
+                           where().c_str(), served.answer.found ? 1 : 0,
+                           served.from_cache ? 1 : 0, fresh.found ? 1 : 0));
+        }
+        const bool endpoints_live =
+            view->node_live(op.source) && view->node_live(op.destination);
+        const bool oracle_found =
+            endpoints_live &&
+            SafePathExists(view->compact_adjacency(),
+                           view->compact_features(), *s.metric, op.feature,
+                           op.scalar, remap[op.source],
+                           remap[op.destination]);
+        if (served.answer.found != oracle_found) {
+          Add(out, "serve_oracle",
+              StringPrintf("%s: served path found=%d but BFS oracle says %d",
+                           where().c_str(), served.answer.found ? 1 : 0,
+                           oracle_found ? 1 : 0));
+        }
+        if (served.answer.found) {
+          // Soundness of the returned path on the served live state.
+          const std::vector<int>& p = served.answer.path;
+          bool sound = p.front() == op.source && p.back() == op.destination;
+          for (size_t i = 0; sound && i < p.size(); ++i) {
+            if (!view->node_live(p[i]) ||
+                !NodeIsSafe(view->compact_features()[remap[p[i]]], *s.metric,
+                            op.feature, op.scalar)) {
+              sound = false;
+            }
+            if (sound && i + 1 < p.size()) {
+              const auto& nbrs = view->compact_adjacency()[remap[p[i]]];
+              sound = std::find(nbrs.begin(), nbrs.end(),
+                                remap[p[i + 1]]) != nbrs.end();
+            }
+          }
+          if (!sound) {
+            Add(out, "serve_oracle",
+                StringPrintf("%s: served path is not a safe live walk",
+                             where().c_str()));
+          }
+        }
+        if (served.from_cache &&
+            (served.epochs != view->epochs() ||
+             served.epoch_signature != view->epoch_signature())) {
+          Add(out, "serve_stale_hit",
+              StringPrintf("%s: cache hit carries a non-current epoch vector",
+                           where().c_str()));
+        }
+      }
+    }
+  }
+}
+
 void RunMaintenanceTrial(const Scenario& s, CheckOutcome* out,
                          TrialArtifacts* artifacts) {
   std::optional<World> w = BuildWorld(s, out);
@@ -315,6 +436,30 @@ void RunMaintenanceTrial(const Scenario& s, CheckOutcome* out,
   const int n = s.topology.num_nodes();
   const int dim = s.feature_dim;
   const bool churny = s.churn.enabled();
+
+  // The serve pass rides along, publishing snapshots between protocol
+  // activity; it never injects updates or messages of its own.
+  std::unique_ptr<serve::MaintenanceServeDriver> driver;
+  std::unique_ptr<serve::WorkloadGenerator> serve_gen;
+  int serve_round = 0;
+  if (s.serve_enabled) {
+    serve::ServeFrontend::Options fopt;
+    fopt.delta = s.delta;
+    fopt.cache.shards = 4;
+    fopt.cache.capacity_per_shard = s.serve_cache_capacity;
+    driver = std::make_unique<serve::MaintenanceServeDriver>(&dm, s.metric,
+                                                             fopt);
+    serve::WorkloadConfig wcfg;
+    wcfg.num_clients = s.serve_clients;
+    wcfg.ops_per_client = s.serve_ops;
+    wcfg.range_fraction = s.serve_range_fraction;
+    wcfg.predicate_pool = s.serve_pool;
+    wcfg.zipf_s = s.serve_zipf;
+    wcfg.unique_fraction = 0.15;
+    serve_gen = std::make_unique<serve::WorkloadGenerator>(
+        s.features, n, wcfg, Rng(s.seed).Fork(kServeQueryStream).Next());
+    CheckServedBatch(s, driver.get(), *serve_gen, serve_round++, out);
+  }
   // The fire front's correlated shifts land at the times the front passes,
   // interleaved with the crashes it causes.
   for (const TimedUpdate& u : s.scheduled_updates) {
@@ -350,9 +495,20 @@ void RunMaintenanceTrial(const Scenario& s, CheckOutcome* out,
       dm.ScheduleUpdate(at, node, f);
     } else {
       dm.ApplyUpdate(node, f);
+      // Republish midway so pooled predicates cached on the previous state
+      // get invalidated (or stay warm when nothing drifted far enough to
+      // re-cluster) and the batch re-checks them on the new view.
+      if (driver && u == s.num_updates / 2) {
+        driver->Publish();
+        CheckServedBatch(s, driver.get(), *serve_gen, serve_round++, out);
+      }
     }
   }
   dm.RunToQuiescence();
+  if (driver) {
+    driver->Publish();
+    CheckServedBatch(s, driver.get(), *serve_gen, serve_round++, out);
+  }
 
   // Correctness of the maintained state is only guaranteed when nothing was
   // *silently* lost: fault drops and mangled messages void the warranty,
@@ -651,7 +807,7 @@ ScenarioKnobs ShrinkFailure(Protocol protocol, uint64_t seed,
       &ScenarioKnobs::async,    &ScenarioKnobs::reliable,
       &ScenarioKnobs::slack,    &ScenarioKnobs::features,
       &ScenarioKnobs::random_topology, &ScenarioKnobs::wirefuzz,
-      &ScenarioKnobs::causal,
+      &ScenarioKnobs::causal,   &ScenarioKnobs::serve,
   };
   for (const auto member : order) {
     if (!(current.*member)) continue;

@@ -20,6 +20,7 @@ enum Stream : uint64_t {
   kFaultStream = 4,
   kWorkloadStream = 5,
   kChurnStream = 6,
+  kServeStream = 7,
 };
 
 const char* KindName(TopologyKind k) {
@@ -288,11 +289,13 @@ Result<ScenarioKnobs> ScenarioKnobs::FromDisableList(const std::string& csv) {
       knobs.wirefuzz = false;
     } else if (item == "causal") {
       knobs.causal = false;
+    } else if (item == "serve") {
+      knobs.serve = false;
     } else {
       return Status::InvalidArgument(
           StringPrintf("unknown --disable knob '%s' (expected faults, async, "
                        "reliable, slack, features, topology, churn, "
-                       "wirefuzz, causal)",
+                       "wirefuzz, causal, serve)",
                        item.c_str()));
     }
   }
@@ -314,6 +317,7 @@ std::string ScenarioKnobs::DisableList() const {
   if (!churn) add("churn");
   if (!wirefuzz) add("wirefuzz");
   if (!causal) add("causal");
+  if (!serve) add("serve");
   return out;
 }
 
@@ -325,6 +329,12 @@ std::string Scenario::Describe() const {
         fault.drop_probability, fault.truncate_probability,
         fault.link_outages.size(), fault.node_crashes.size());
   }
+  std::string serve_desc = "none";
+  if (serve_enabled) {
+    serve_desc = StringPrintf(
+        "ops=%d clients=%d pool=%d zipf=%.2f cap=%d", serve_ops,
+        serve_clients, serve_pool, serve_zipf, serve_cache_capacity);
+  }
   std::string churn_desc = "none";
   if (churn.enabled()) {
     churn_desc = StringPrintf(
@@ -334,11 +344,11 @@ std::string Scenario::Describe() const {
   }
   return StringPrintf(
       "seed=%llu topo=%s n=%d dim=%d delta=%.4f slack=%.4f sync=%d mode=%s "
-      "fault=[%s] churn=[%s] reliable=%d updates=%d queries=%d",
+      "fault=[%s] churn=[%s] reliable=%d updates=%d queries=%d serve=[%s]",
       static_cast<unsigned long long>(seed), KindName(topology_kind),
       topology.num_nodes(), feature_dim, delta, slack, synchronous ? 1 : 0,
       ModeName(elink_mode), fault_desc.c_str(), churn_desc.c_str(),
-      reliable ? 1 : 0, num_updates, num_queries);
+      reliable ? 1 : 0, num_updates, num_queries, serve_desc.c_str());
 }
 
 Result<Scenario> MakeScenario(uint64_t seed, const ScenarioKnobs& knobs) {
@@ -352,6 +362,7 @@ Result<Scenario> MakeScenario(uint64_t seed, const ScenarioKnobs& knobs) {
   Rng fault_rng = master.Fork(kFaultStream);
   Rng work_rng = master.Fork(kWorkloadStream);
   Rng churn_rng = master.Fork(kChurnStream);
+  Rng serve_rng = master.Fork(kServeStream);
 
   Result<Topology> topo = DeriveTopology(&topo_rng, knobs, &s.topology_kind);
   if (!topo.ok()) return topo.status();
@@ -404,6 +415,17 @@ Result<Scenario> MakeScenario(uint64_t seed, const ScenarioKnobs& knobs) {
 
   s.num_updates = static_cast<int>(work_rng.UniformIntRange(8, 30));
   s.num_queries = static_cast<int>(work_rng.UniformIntRange(2, 5));
+
+  // Serve aspect (knob-stable: every draw happens, the knob and the coin
+  // only decide whether the drawn configuration is kept).
+  const bool serve_any = serve_rng.Bernoulli(0.6);
+  s.serve_ops = static_cast<int>(serve_rng.UniformIntRange(6, 20));
+  s.serve_clients = static_cast<int>(serve_rng.UniformIntRange(1, 3));
+  s.serve_range_fraction = serve_rng.Uniform(0.4, 0.9);
+  s.serve_zipf = serve_rng.Uniform(0.6, 1.6);
+  s.serve_pool = static_cast<int>(serve_rng.UniformIntRange(4, 24));
+  s.serve_cache_capacity = static_cast<int>(serve_rng.UniformIntRange(4, 64));
+  s.serve_enabled = knobs.serve && serve_any;
   return s;
 }
 

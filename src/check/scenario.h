@@ -44,10 +44,11 @@ struct ScenarioKnobs {
   bool churn = true;            // false: inert ChurnPlan, no fire front.
   bool wirefuzz = true;         // false: skip the frame-mutation sweep.
   bool causal = true;           // false: no tracer, no causal-graph check.
+  bool serve = true;            // false: skip the serve-coherence pass.
 
   /// Parses "faults,async,reliable,slack,features,topology,churn,wirefuzz,
-  /// causal" items (the check_fuzz --disable spelling); unknown names are
-  /// an error.
+  /// causal,serve" items (the check_fuzz --disable spelling); unknown names
+  /// are an error.
   static Result<ScenarioKnobs> FromDisableList(const std::string& csv);
 
   /// The --disable list reproducing this knob set ("" when all enabled).
@@ -89,6 +90,18 @@ struct Scenario {
 
   int num_updates = 0;  // Maintenance workload.
   int num_queries = 0;  // Range/path workload.
+
+  /// Serve-coherence pass (checked between maintenance rounds by the
+  /// runner): drive a ServeFrontend alongside the protocol and require
+  /// every served answer — cache hit or miss — to equal a fresh
+  /// recomputation and the exact oracles.  Disabled via knobs.serve.
+  bool serve_enabled = false;
+  int serve_ops = 0;            // Serve ops issued per publish point.
+  int serve_clients = 0;        // Deterministic client streams.
+  double serve_range_fraction = 0.7;
+  double serve_zipf = 1.1;      // Pool-popularity skew.
+  int serve_pool = 16;          // Shared predicate pool size.
+  int serve_cache_capacity = 64;  // Per-shard capacity (small: eviction).
 
   /// One-line human summary for failure reports.
   std::string Describe() const;

@@ -1,6 +1,7 @@
 #include "cluster/maintenance_protocol.h"
 
 #include <algorithm>
+#include <functional>
 #include <set>
 
 #include "cluster/maintenance_wire.h"
@@ -17,6 +18,10 @@ struct MaintContext {
   const DistanceMetric* metric = nullptr;
   MaintenanceConfig config;
   int dim = 1;
+  /// Fires on every cluster-epoch bump with (root node, new epoch).  The
+  /// serving layer uses it to invalidate cached answers per cluster; null
+  /// for sessions without a frontend.  Purely observational.
+  std::function<void(int, long long)> epoch_hook;
   /// True when the session runs under a live ChurnPlan.  All churn-repair
   /// behavior (neighbor reactions, epoch reports, probe retries) is gated on
   /// this so churn-free sessions stay bit-identical to the legacy protocol.
@@ -332,6 +337,7 @@ class MaintNode : public proto::ProtocolNode {
   void BumpEpoch() {
     ++cluster_epoch_;
     TracePhase("maint.epoch", cluster_epoch_);
+    if (ctx_->epoch_hook) ctx_->epoch_hook(id(), cluster_epoch_);
   }
 
   /// The parent vanished (churn): flatten the subtree and re-attach, like
@@ -688,6 +694,11 @@ const MessageStats& DistributedMaintenance::stats() const {
 
 void DistributedMaintenance::set_observer(SimObserver* observer) {
   impl_->harness->set_observer(observer);
+}
+
+void DistributedMaintenance::set_epoch_hook(
+    std::function<void(int, long long)> hook) {
+  impl_->ctx.epoch_hook = std::move(hook);
 }
 
 Status DistributedMaintenance::ValidateRootDistanceInvariant(

@@ -13,6 +13,7 @@
 #ifndef ELINK_CLUSTER_MAINTENANCE_PROTOCOL_H_
 #define ELINK_CLUSTER_MAINTENANCE_PROTOCOL_H_
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -104,6 +105,12 @@ class DistributedMaintenance {
   /// network; subsequent ApplyUpdate calls report through it.  Not owned;
   /// null detaches.  Attaching never changes protocol behavior.
   void set_observer(SimObserver* observer);
+
+  /// Installs a callback fired on every cluster-epoch bump with
+  /// (root node, new epoch value) — the invalidation feed of the serving
+  /// layer (serve/session.h).  Null detaches.  Observational only: the
+  /// hook never changes protocol behavior or message flow.
+  void set_epoch_hook(std::function<void(int, long long)> hook);
 
   /// The Section-6 invariant, evaluated over the nodes' live state:
   /// every present node within `bound` of its (present) root's current

@@ -62,6 +62,13 @@ class ClusteredSensorNetwork {
   const Clustering& clustering() const;
 
   int num_nodes() const { return topology_.num_nodes(); }
+
+  /// Deployment topology (positions + radio adjacency) the network was
+  /// built over.  The serving layer snapshots it when publishing views.
+  const Topology& topology() const { return topology_; }
+
+  /// The distance metric, shareable with read views that outlive a query.
+  std::shared_ptr<const DistanceMetric> metric() const { return metric_; }
   int num_clusters() const { return clustering().num_clusters(); }
   double delta() const { return options_.delta; }
 

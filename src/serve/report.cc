@@ -1,0 +1,26 @@
+#include "serve/report.h"
+
+namespace elink {
+namespace serve {
+
+void ExportCounters(const ServeCounters& counters, const std::string& prefix,
+                    obs::MetricsRegistry* metrics) {
+  const auto add = [&](const char* name, uint64_t value) {
+    metrics->AddCounter(prefix + name, value);
+  };
+  add("range_queries", counters.range_queries);
+  add("path_queries", counters.path_queries);
+  add("publishes", counters.publishes);
+  add("views_built", counters.views_built);
+  add("epoch_bumps", counters.epoch_bumps);
+  add("hook_bumps", counters.hook_bumps);
+  add("cache.hits", counters.cache.hits);
+  add("cache.misses", counters.cache.misses);
+  add("cache.insertions", counters.cache.insertions);
+  add("cache.stale_evictions", counters.cache.stale_evictions);
+  add("cache.capacity_evictions", counters.cache.capacity_evictions);
+  add("cache.invalidated", counters.cache.invalidated);
+}
+
+}  // namespace serve
+}  // namespace elink

@@ -1,0 +1,24 @@
+// Observability bridge for the serving layer: exports ServeCounters into a
+// MetricsRegistry so benches and harnesses surface cache behaviour through
+// the standard RunReport pipeline (deterministic sorted-key JSON).
+#ifndef ELINK_SERVE_REPORT_H_
+#define ELINK_SERVE_REPORT_H_
+
+#include "obs/metrics.h"
+#include "serve/frontend.h"
+
+namespace elink {
+namespace serve {
+
+/// Copies the serving counters into `metrics` under `prefix` (for example
+/// "serve."): query counts, publish/epoch activity, and the full cache
+/// ledger (hits, misses, insertions, stale/capacity evictions, invalidated
+/// entries).  Registry counters accumulate, so call this once per run (the
+/// end-of-run snapshot), not once per publish.
+void ExportCounters(const ServeCounters& counters, const std::string& prefix,
+                    obs::MetricsRegistry* metrics);
+
+}  // namespace serve
+}  // namespace elink
+
+#endif  // ELINK_SERVE_REPORT_H_

@@ -1,0 +1,145 @@
+#include "serve/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/status.h"
+
+namespace elink {
+namespace serve {
+
+namespace {
+
+// Distinct Fork stream ids so pool construction and per-client streams are
+// independent draws from the master seed.
+constexpr uint64_t kPoolStream = 0x9001;
+constexpr uint64_t kClientStreamBase = 0xC000;
+constexpr uint64_t kArrivalStreamBase = 0xA000;
+
+uint64_t MixDigest(uint64_t h, uint64_t v) {
+  for (int b = 0; b < 8; ++b) {
+    h ^= (v >> (8 * b)) & 0xFF;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+WorkloadGenerator::WorkloadGenerator(const std::vector<Feature>& features,
+                                     int num_nodes,
+                                     const WorkloadConfig& config,
+                                     uint64_t seed)
+    : config_(config), seed_(seed), num_nodes_(num_nodes) {
+  ELINK_CHECK(!features.empty());
+  ELINK_CHECK(num_nodes > 0);
+  const size_t dim = features[0].size();
+  lo_.assign(dim, features[0][0]);
+  hi_.assign(dim, features[0][0]);
+  for (size_t d = 0; d < dim; ++d) {
+    lo_[d] = hi_[d] = features[0][d];
+    for (const Feature& f : features) {
+      lo_[d] = std::min(lo_[d], f[d]);
+      hi_[d] = std::max(hi_[d], f[d]);
+    }
+  }
+  double sq = 0.0;
+  for (size_t d = 0; d < dim; ++d) {
+    sq += (hi_[d] - lo_[d]) * (hi_[d] - lo_[d]);
+  }
+  diameter_ = std::max(std::sqrt(sq), 1e-9);
+
+  const int pool_size = std::max(config_.predicate_pool, 1);
+  Rng pool_rng = Rng(seed_).Fork(kPoolStream);
+  pool_.reserve(pool_size);
+  for (int k = 0; k < pool_size; ++k) {
+    pool_.push_back(DrawOp(&pool_rng));
+  }
+
+  // Zipf CDF over pool ranks: weight(k) = 1/(k+1)^s.
+  zipf_cdf_.resize(pool_size);
+  double total = 0.0;
+  for (int k = 0; k < pool_size; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), config_.zipf_s);
+    zipf_cdf_[k] = total;
+  }
+  for (double& c : zipf_cdf_) c /= total;
+}
+
+WorkloadOp WorkloadGenerator::DrawOp(Rng* rng) const {
+  WorkloadOp op;
+  op.is_range = rng->Bernoulli(config_.range_fraction);
+  const size_t dim = lo_.size();
+  op.feature.resize(dim);
+  for (size_t d = 0; d < dim; ++d) {
+    // Allow centers slightly outside the box so empty answers occur too.
+    const double pad = 0.1 * (hi_[d] - lo_[d] + 1e-9);
+    op.feature[d] = rng->Uniform(lo_[d] - pad, hi_[d] + pad);
+  }
+  if (op.is_range) {
+    op.scalar = rng->Uniform(0.02, 0.6) * diameter_;
+  } else {
+    op.scalar = rng->Uniform(0.05, 0.5) * diameter_;
+    op.source = static_cast<int>(rng->UniformInt(num_nodes_));
+    op.destination = static_cast<int>(rng->UniformInt(num_nodes_));
+  }
+  return op;
+}
+
+int WorkloadGenerator::SampleZipf(Rng* rng) const {
+  const double u = rng->Uniform01();
+  const auto it = std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+  if (it == zipf_cdf_.end()) return static_cast<int>(zipf_cdf_.size()) - 1;
+  return static_cast<int>(it - zipf_cdf_.begin());
+}
+
+std::vector<WorkloadOp> WorkloadGenerator::ClientOps(int client) const {
+  Rng rng = Rng(seed_).Fork(kClientStreamBase + static_cast<uint64_t>(client));
+  std::vector<WorkloadOp> ops;
+  ops.reserve(config_.ops_per_client);
+  for (int k = 0; k < config_.ops_per_client; ++k) {
+    // Knob-stable draw order: every branch consumes the same draws.
+    const bool unique = rng.Bernoulli(config_.unique_fraction);
+    const int pick = SampleZipf(&rng);
+    WorkloadOp fresh = DrawOp(&rng);
+    ops.push_back(unique ? fresh : pool_[pick]);
+  }
+  return ops;
+}
+
+std::vector<double> WorkloadGenerator::ArrivalOffsets(int client) const {
+  Rng rng =
+      Rng(seed_).Fork(kArrivalStreamBase + static_cast<uint64_t>(client));
+  const double rate = std::max(config_.open_loop_qps, 1e-3);
+  std::vector<double> offsets;
+  offsets.reserve(config_.ops_per_client);
+  double t = 0.0;
+  for (int k = 0; k < config_.ops_per_client; ++k) {
+    // Exponential inter-arrival via inverse CDF; 1-u keeps log() finite.
+    t += -std::log(1.0 - rng.Uniform01()) / rate;
+    offsets.push_back(t);
+  }
+  return offsets;
+}
+
+uint64_t DigestRange(uint64_t h, const RangeAnswer& answer) {
+  h = MixDigest(h, 0x52414E47ULL);  // "RANG"
+  h = MixDigest(h, answer.matches.size());
+  for (int id : answer.matches) {
+    h = MixDigest(h, static_cast<uint64_t>(static_cast<uint32_t>(id)));
+  }
+  return h;
+}
+
+uint64_t DigestPath(uint64_t h, const PathAnswer& answer) {
+  h = MixDigest(h, 0x50415448ULL);  // "PATH"
+  h = MixDigest(h, answer.found ? 1 : 0);
+  h = MixDigest(h, answer.path.size());
+  for (int id : answer.path) {
+    h = MixDigest(h, static_cast<uint64_t>(static_cast<uint32_t>(id)));
+  }
+  return h;
+}
+
+}  // namespace serve
+}  // namespace elink

@@ -1,0 +1,94 @@
+// Deterministic multi-client query workload generation for the serving
+// layer.
+//
+// A WorkloadGenerator derives, from one master seed, an independent op
+// stream per client (Rng::Fork per client id), so a workload is exactly
+// reproducible regardless of how many OS threads replay it or in which
+// order clients run.  Predicates are drawn from a shared pool with
+// Zipf-skewed popularity — the skew is what gives the result cache a
+// non-trivial hit rate — mixed with a configurable fraction of one-off
+// predicates that can never hit.
+//
+// The generator is timing-free by construction; determinism tests digest
+// its replayed answers byte-for-byte.  For open-loop (arrival-rate-driven)
+// benchmarking it additionally emits a deterministic Poisson arrival
+// schedule per client; the bench turns those offsets into wall-clock send
+// times, so the load shape is reproducible even though latencies are not.
+#ifndef ELINK_SERVE_WORKLOAD_H_
+#define ELINK_SERVE_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "metric/feature.h"
+#include "serve/read_view.h"
+
+namespace elink {
+namespace serve {
+
+/// One query to issue against a ServeFrontend.
+struct WorkloadOp {
+  bool is_range = true;
+  Feature feature;       // Range center, or path danger point.
+  double scalar = 0.0;   // Range radius, or path safety gamma.
+  int source = 0;        // Path only.
+  int destination = 0;   // Path only.
+};
+
+struct WorkloadConfig {
+  int num_clients = 4;
+  int ops_per_client = 256;
+  /// Fraction of ops that are range queries (the rest are safe-path).
+  double range_fraction = 0.7;
+  /// Distinct predicates in the shared popularity pool.
+  int predicate_pool = 64;
+  /// Zipf exponent for pool popularity; 0 = uniform over the pool.
+  double zipf_s = 1.1;
+  /// Fraction of ops drawn fresh instead of from the pool (guaranteed cache
+  /// misses; models unique ad-hoc queries).
+  double unique_fraction = 0.1;
+  /// Open-loop target arrival rate per client (ops/sec) for
+  /// ArrivalOffsets; ignored by closed-loop replay.
+  double open_loop_qps = 2000.0;
+};
+
+/// \brief Deterministic per-client op streams over a fixed deployment.
+class WorkloadGenerator {
+ public:
+  /// `features` bounds the predicate space (centers are sampled inside the
+  /// feature bounding box, radii against its diameter); `num_nodes` bounds
+  /// path endpoints.  Requires a non-empty feature set.
+  WorkloadGenerator(const std::vector<Feature>& features, int num_nodes,
+                    const WorkloadConfig& config, uint64_t seed);
+
+  /// The full op sequence of one client, deterministic in (seed, client).
+  std::vector<WorkloadOp> ClientOps(int client) const;
+
+  /// Deterministic Poisson inter-arrival offsets (seconds, cumulative) for
+  /// open-loop replay of the same client stream.
+  std::vector<double> ArrivalOffsets(int client) const;
+
+  const std::vector<WorkloadOp>& pool() const { return pool_; }
+
+ private:
+  WorkloadOp DrawOp(Rng* rng) const;
+  int SampleZipf(Rng* rng) const;
+
+  WorkloadConfig config_;
+  uint64_t seed_;
+  int num_nodes_;
+  std::vector<double> lo_, hi_;  // Per-dimension feature bounds.
+  double diameter_ = 1.0;
+  std::vector<WorkloadOp> pool_;
+  std::vector<double> zipf_cdf_;
+};
+
+/// FNV-1a digest helpers for byte-exact replay comparison.
+uint64_t DigestRange(uint64_t h, const RangeAnswer& answer);
+uint64_t DigestPath(uint64_t h, const PathAnswer& answer);
+
+}  // namespace serve
+}  // namespace elink
+
+#endif  // ELINK_SERVE_WORKLOAD_H_

@@ -18,7 +18,11 @@
 
 #include "bench/bench_util.h"
 #include "cluster/elink.h"
+#include "common/rng.h"
+#include "core/clustered_network.h"
 #include "data/terrain.h"
+#include "serve/session.h"
+#include "serve/workload.h"
 
 namespace elink {
 namespace {
@@ -132,6 +136,80 @@ TEST(ParallelTrialRunnerTest, TrialsUnderThreadsMatchSerialBits) {
   bench::ParallelTrialRunner runner(4);
   runner.Run(static_cast<int>(seeds.size()),
              [&](int i) { parallel[i] = run_hash(seeds[i]); });
+  EXPECT_EQ(parallel, serial);
+}
+
+// ---------------------------------------------------------------------------
+// Serving-layer replay determinism: a single-threaded serve replay (clients
+// interleaved round-robin with maintenance publishes) digests to the same
+// bits on every run, with caching on or off, and whether the replay runs
+// serially or inside bench worker threads.  Wall-clock latency deliberately
+// never enters the digest — timing lives in bench/perf_serve.cc only.
+
+uint64_t ServeReplayDigest(const SensorDataset& ds, uint64_t seed,
+                           bool enable_cache) {
+  ClusteredSensorNetwork::Options opts;
+  opts.delta = kGoldenDelta;
+  opts.seed = 5;
+  auto net = std::move(ClusteredSensorNetwork::Build(ds, opts)).value();
+  serve::ServeFrontend::Options fopt;
+  fopt.enable_cache = enable_cache;
+  fopt.cache.capacity_per_shard = 8;  // Evictions are part of the replay.
+  serve::ServeSession session(net.get(), fopt);
+
+  serve::WorkloadConfig wcfg;
+  wcfg.num_clients = 2;
+  wcfg.ops_per_client = 30;
+  wcfg.predicate_pool = 10;
+  serve::WorkloadGenerator gen(ds.features, ds.topology.num_nodes(), wcfg,
+                               seed);
+  uint64_t h = 1469598103934665603ULL;
+  Rng rng(seed);
+  for (int round = 0; round < 3; ++round) {
+    for (int client = 0; client < wcfg.num_clients; ++client) {
+      for (const serve::WorkloadOp& op : gen.ClientOps(client)) {
+        if (op.is_range) {
+          h = serve::DigestRange(
+              h, session.frontend().Range(op.feature, op.scalar).answer);
+        } else {
+          h = serve::DigestPath(
+              h, session.frontend()
+                     .SafePath(op.source, op.destination, op.feature,
+                               op.scalar)
+                     .answer);
+        }
+      }
+    }
+    const int node = static_cast<int>(rng.UniformInt(120));
+    Feature f = net->feature(node);
+    f[0] += rng.Uniform(-5.0, 5.0);
+    session.UpdateFeatureAndPublish(node, f);
+  }
+  return h;
+}
+
+TEST(ServeDeterminismTest, ReplayBitsMatchAcrossRunsAndCacheModes) {
+  const SensorDataset ds = GoldenDataset();
+  const uint64_t cached = ServeReplayDigest(ds, 17, /*enable_cache=*/true);
+  const uint64_t cached_again =
+      ServeReplayDigest(ds, 17, /*enable_cache=*/true);
+  const uint64_t uncached = ServeReplayDigest(ds, 17, /*enable_cache=*/false);
+  EXPECT_EQ(cached, cached_again);
+  // Coherence in digest form: caching must never change a served answer.
+  EXPECT_EQ(cached, uncached);
+}
+
+TEST(ServeDeterminismTest, ReplayBitsMatchUnderBenchThreads) {
+  const SensorDataset ds = GoldenDataset();
+  const std::vector<uint64_t> seeds = {5, 6, 7};
+  std::vector<uint64_t> serial(seeds.size()), parallel(seeds.size());
+  for (size_t i = 0; i < seeds.size(); ++i) {
+    serial[i] = ServeReplayDigest(ds, seeds[i], true);
+  }
+  bench::ParallelTrialRunner runner(3);
+  runner.Run(static_cast<int>(seeds.size()), [&](int i) {
+    parallel[i] = ServeReplayDigest(ds, seeds[i], true);
+  });
   EXPECT_EQ(parallel, serial);
 }
 
